@@ -1,0 +1,86 @@
+// Ablation — which component buys what (DESIGN.md ablation index):
+// starting from plain RR12 and adding activity-aware scheduling, recall,
+// confidence weighting, and adaptivity one step at a time; plus the
+// recall-horizon and baseline-stagger sensitivity.
+#include "bench_common.hpp"
+
+#include "core/policy.hpp"
+
+using namespace origin;
+
+int main() {
+  auto exp = bench::make_experiment(data::DatasetKind::MHealthLike);
+  const auto stream = exp.make_stream(data::reference_user());
+
+  std::printf("\n=== Ablation: component build-up at RR12 ===\n");
+  {
+    util::AsciiTable t({"configuration", "overall %", "attempt success %"});
+    for (auto kind : {sim::PolicyKind::PlainRR, sim::PolicyKind::AAS,
+                      sim::PolicyKind::AASR}) {
+      auto policy = exp.make_policy(kind, 12);
+      const auto r = exp.run_policy(*policy, stream);
+      t.add_row(policy->name(), {100.0 * r.accuracy.overall(),
+                                 r.completion.attempt_success_rate()});
+    }
+    {
+      // Origin without adaptivity (static confidence matrix).
+      core::OriginPolicy frozen(core::ExtendedRoundRobin(12),
+                                exp.system().ranks, exp.system().confidence,
+                                /*adaptive=*/false);
+      frozen.set_recall_horizon_s(exp.config().recall_horizon_s);
+      const auto r = exp.run_policy(frozen, stream);
+      t.add_row("RR12+Origin (static matrix)",
+                {100.0 * r.accuracy.overall(),
+                 r.completion.attempt_success_rate()});
+    }
+    {
+      auto policy = exp.make_policy(sim::PolicyKind::Origin, 12);
+      const auto r = exp.run_policy(*policy, stream);
+      t.add_row("RR12+Origin (adaptive)", {100.0 * r.accuracy.overall(),
+                                           r.completion.attempt_success_rate()});
+    }
+    t.print();
+  }
+
+  std::printf("\n=== Ablation: recall horizon (Origin RR12) ===\n");
+  {
+    util::AsciiTable t({"horizon [s]", "overall %"});
+    for (double horizon : {2.0, 4.0, 6.0, 9.0, 15.0, 30.0}) {
+      auto policy = exp.make_policy(sim::PolicyKind::Origin, 12);
+      static_cast<core::OriginPolicy*>(policy.get())
+          ->set_recall_horizon_s(horizon);
+      const auto r = exp.run_policy(*policy, stream);
+      t.add_row(util::AsciiTable::format(horizon, 1),
+                {100.0 * r.accuracy.overall()});
+    }
+    t.print();
+  }
+
+  std::printf("\n=== Ablation: recency decay tau (Origin RR12) ===\n");
+  {
+    util::AsciiTable t({"tau [s]", "overall %"});
+    for (double tau : {1.0, 2.0, 4.5, 9.0, 1000.0}) {
+      auto policy = exp.make_policy(sim::PolicyKind::Origin, 12);
+      static_cast<core::OriginPolicy*>(policy.get())->set_recency_tau_s(tau);
+      const auto r = exp.run_policy(*policy, stream);
+      t.add_row(util::AsciiTable::format(tau, 1), {100.0 * r.accuracy.overall()});
+    }
+    t.print();
+  }
+
+  std::printf("\n=== Ablation: Baseline-2 ensemble schedule ===\n");
+  {
+    util::AsciiTable t({"baseline variant", "overall %"});
+    const auto sync = exp.run_fully_powered(core::BaselineKind::BL2, stream);
+    t.add_row("synchronized rounds (paper's conventional ensemble)",
+              {100.0 * sync.accuracy.overall()});
+    sim::ExperimentConfig staggered_cfg = exp.config();
+    staggered_cfg.bl2_staggered = true;
+    sim::Experiment staggered(staggered_cfg);
+    const auto stag = staggered.run_fully_powered(core::BaselineKind::BL2, stream);
+    t.add_row("staggered duty cycle (stronger variant)",
+              {100.0 * stag.accuracy.overall()});
+    t.print();
+  }
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Ablation — the energy substrate: NVP on/off for the eager round-robin,
+// capacitor headroom, and harvest-scarcity (energy ratio) sweeps. These
+// are the design knobs DESIGN.md calls out for the intermittent-computing
+// substrate.
+#include "bench_common.hpp"
+
+using namespace origin;
+
+int main() {
+  std::printf("\n=== Ablation: NVP vs volatile core (plain RR3, eager) ===\n");
+  {
+    util::AsciiTable t({"core", "attempt success %", "overall acc %"});
+    for (bool nvp : {true, false}) {
+      sim::ExperimentConfig cfg = bench::default_config(data::DatasetKind::MHealthLike);
+      cfg.sim.node.nvp.enabled = nvp;
+      sim::Experiment exp(cfg);
+      const auto stream = exp.make_stream(data::reference_user());
+      auto policy = exp.make_policy(sim::PolicyKind::PlainRR, 3);
+      const auto r = exp.run_policy(*policy, stream);
+      t.add_row({nvp ? "NVP (checkpointing)" : "volatile",
+                 util::AsciiTable::format(r.completion.attempt_success_rate()),
+                 util::AsciiTable::format(100.0 * r.accuracy.overall())});
+    }
+    t.print();
+  }
+
+  std::printf("\n=== Ablation: capacitor headroom (Origin RR12) ===\n");
+  {
+    util::AsciiTable t({"headroom [inferences]", "attempt success %", "overall acc %"});
+    for (double headroom : {1.5, 2.0, 3.0, 4.0, 6.0, 8.0}) {
+      sim::ExperimentConfig cfg = bench::default_config(data::DatasetKind::MHealthLike);
+      cfg.sim.node.capacitor_headroom = headroom;
+      sim::Experiment exp(cfg);
+      const auto stream = exp.make_stream(data::reference_user());
+      auto policy = exp.make_policy(sim::PolicyKind::Origin, 12);
+      const auto r = exp.run_policy(*policy, stream);
+      t.add_row({util::AsciiTable::format(headroom, 1),
+                 util::AsciiTable::format(r.completion.attempt_success_rate()),
+                 util::AsciiTable::format(100.0 * r.accuracy.overall())});
+    }
+    t.print();
+  }
+
+  std::printf("\n=== Ablation: harvest scarcity (energy ratio = slots of average harvest per inference) ===\n");
+  {
+    util::AsciiTable t({"ratio", "RR3 success %", "RR12 success %", "Origin RR12 acc %"});
+    for (double ratio : {3.0, 6.0, 9.0, 12.0, 18.0}) {
+      sim::ExperimentConfig cfg = bench::default_config(data::DatasetKind::MHealthLike);
+      cfg.energy_ratio = ratio;
+      sim::Experiment exp(cfg);
+      const auto stream = exp.make_stream(data::reference_user());
+      auto rr3 = exp.make_policy(sim::PolicyKind::PlainRR, 3);
+      const auto r3 = exp.run_policy(*rr3, stream);
+      auto rr12 = exp.make_policy(sim::PolicyKind::PlainRR, 12);
+      const auto r12 = exp.run_policy(*rr12, stream);
+      auto origin = exp.make_policy(sim::PolicyKind::Origin, 12);
+      const auto ro = exp.run_policy(*origin, stream);
+      t.add_row({util::AsciiTable::format(ratio, 1),
+                 util::AsciiTable::format(r3.completion.attempt_success_rate()),
+                 util::AsciiTable::format(r12.completion.attempt_success_rate()),
+                 util::AsciiTable::format(100.0 * ro.accuracy.overall())});
+    }
+    t.print();
+  }
+
+  std::printf("\n=== Harvest trace statistics ===\n");
+  {
+    const auto trace = energy::PowerTrace::generate_wifi_office({}, 0x7EAC3ULL);
+    util::AsciiTable t({"metric", "value"});
+    t.add_row({"average power [uW]",
+               util::AsciiTable::format(1e6 * trace.average_power_w(), 3)});
+    t.add_row({"peak power [uW]",
+               util::AsciiTable::format(1e6 * trace.peak_power_w(), 3)});
+    t.add_row({"burst duty cycle",
+               util::AsciiTable::format(trace.duty_cycle(0.2e-6), 3)});
+    t.add_row({"duration [s]", util::AsciiTable::format(trace.duration_s(), 0)});
+    t.print();
+  }
+  return 0;
+}

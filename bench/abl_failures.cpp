@@ -1,0 +1,103 @@
+// Ablation — sensor reliability (paper Discussion: Origin "uses multiple
+// sensors effectively and hence poses minimum risk if one of the sensors
+// fails"): kill each sensor halfway through the stream and measure the
+// accuracy before/after, plus the battery-hybrid operating mode and the
+// self-paced schedule variant.
+#include "bench_common.hpp"
+
+#include "core/policy.hpp"
+#include "sim/simulator.hpp"
+
+using namespace origin;
+
+int main() {
+  auto exp = bench::make_experiment(data::DatasetKind::MHealthLike);
+  const auto stream = exp.make_stream(data::reference_user());
+  const double half_s = 0.5 * stream.duration_s();
+  const std::size_t half_slot = stream.slots.size() / 2;
+
+  auto halves = [&](const sim::SimResult& r) {
+    std::array<double, 2> acc{};
+    for (int h = 0; h < 2; ++h) {
+      std::uint64_t ok = 0, n = 0;
+      const std::size_t begin = h == 0 ? 0 : half_slot;
+      const std::size_t end = h == 0 ? half_slot : stream.slots.size();
+      for (std::size_t i = begin; i < end; ++i) {
+        ++n;
+        if (r.outputs[i] == stream.slots[i].label) ++ok;
+      }
+      acc[static_cast<std::size_t>(h)] =
+          100.0 * static_cast<double>(ok) / static_cast<double>(n);
+    }
+    return acc;
+  };
+
+  std::printf("\n=== Ablation: one sensor dies at t = %.0f s (Origin RR12) ===\n",
+              half_s);
+  {
+    util::AsciiTable t({"failed sensor", "acc before fail %", "acc after fail %"});
+    {
+      auto policy = exp.make_policy(sim::PolicyKind::Origin, 12);
+      const auto r = exp.run_policy(*policy, stream);
+      const auto a = halves(r);
+      t.add_row({"none", util::AsciiTable::format(a[0]),
+                 util::AsciiTable::format(a[1])});
+    }
+    for (int s = 0; s < data::kNumSensors; ++s) {
+      sim::SimulatorConfig cfg = exp.sim_config();
+      cfg.node_failure_at_s[static_cast<std::size_t>(s)] = half_s;
+      auto policy = exp.make_policy(sim::PolicyKind::Origin, 12);
+      sim::Simulator sim(exp.spec(), exp.system().bl2_copy(), &exp.trace(),
+                         policy.get(), cfg);
+      const auto r = sim.run(stream);
+      const auto a = halves(r);
+      t.add_row({to_string(static_cast<data::SensorLocation>(s)),
+                 util::AsciiTable::format(a[0]), util::AsciiTable::format(a[1])});
+    }
+    t.print();
+    std::printf("(graceful degradation: the scheduler reroutes to the survivors)\n");
+  }
+
+  std::printf("\n=== Ablation: hybrid battery + harvest supply (Origin RR12) ===\n");
+  {
+    util::AsciiTable t({"supply", "attempt success %", "overall acc %"});
+    for (double trickle_uW : {0.0, 0.5, 1.0, 2.0}) {
+      sim::SimulatorConfig cfg = exp.sim_config();
+      cfg.node.trickle_power_w = trickle_uW * 1e-6;
+      auto policy = exp.make_policy(sim::PolicyKind::Origin, 12);
+      sim::Simulator sim(exp.spec(), exp.system().bl2_copy(), &exp.trace(),
+                         policy.get(), cfg);
+      const auto r = sim.run(stream);
+      t.add_row({trickle_uW == 0.0
+                     ? std::string("harvest only")
+                     : "harvest + " + util::AsciiTable::format(trickle_uW, 1) +
+                           " uW battery trickle",
+                 util::AsciiTable::format(r.completion.attempt_success_rate()),
+                 util::AsciiTable::format(100.0 * r.accuracy.overall())});
+    }
+    t.print();
+  }
+
+  std::printf("\n=== Ablation: self-paced schedule (\"RR policy fit for the EH source\") ===\n");
+  {
+    util::AsciiTable t({"schedule", "attempts", "success %", "overall acc %"});
+    {
+      auto policy = exp.make_policy(sim::PolicyKind::Origin, 12);
+      const auto r = exp.run_policy(*policy, stream);
+      t.add_row({"fixed RR12", std::to_string(r.completion.attempts),
+                 util::AsciiTable::format(r.completion.attempt_success_rate()),
+                 util::AsciiTable::format(100.0 * r.accuracy.overall())});
+    }
+    {
+      core::EnergyPacedOriginPolicy paced(exp.system().ranks,
+                                          exp.system().confidence);
+      paced.set_recall_horizon_s(exp.config().recall_horizon_s);
+      const auto r = exp.run_policy(paced, stream);
+      t.add_row({"energy-paced", std::to_string(r.completion.attempts),
+                 util::AsciiTable::format(r.completion.attempt_success_rate()),
+                 util::AsciiTable::format(100.0 * r.accuracy.overall())});
+    }
+    t.print();
+  }
+  return 0;
+}

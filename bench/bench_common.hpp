@@ -1,0 +1,57 @@
+// Shared setup for the reproduction benches: one cached trained system per
+// dataset (the model zoo lives in ./origin_models or $ORIGIN_CACHE_DIR, so
+// the first bench trains and every later binary loads), standard stream
+// seeds, and table-printing helpers. Every bench prints the rows of the
+// paper figure/table it regenerates; EXPERIMENTS.md records the
+// paper-vs-measured comparison.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "sim/experiment.hpp"
+#include "util/table.hpp"
+
+namespace origin::bench {
+
+inline std::string cache_dir() {
+  if (const char* env = std::getenv("ORIGIN_CACHE_DIR")) return env;
+  return "origin_models";
+}
+
+inline sim::ExperimentConfig default_config(data::DatasetKind kind) {
+  sim::ExperimentConfig cfg;
+  cfg.pipeline.kind = kind;
+  cfg.pipeline.cache_dir = cache_dir();
+  cfg.stream_slots = 4000;
+  return cfg;
+}
+
+inline sim::Experiment make_experiment(data::DatasetKind kind) {
+  std::printf("[setup] building/loading %s system (cache: %s)...\n",
+              to_string(kind), cache_dir().c_str());
+  return sim::Experiment(default_config(kind));
+}
+
+/// Per-activity accuracies (in percent) in class order, then the overall.
+inline std::vector<double> per_activity_pct(const sim::SimResult& result) {
+  std::vector<double> row;
+  for (int c = 0; c < result.accuracy.num_classes(); ++c) {
+    row.push_back(100.0 * result.accuracy.per_class(c));
+  }
+  row.push_back(100.0 * result.accuracy.overall());
+  return row;
+}
+
+inline std::vector<std::string> activity_header(const data::DatasetSpec& spec,
+                                                const std::string& first) {
+  std::vector<std::string> header{first};
+  for (int c = 0; c < spec.num_classes(); ++c) {
+    header.push_back(to_string(spec.activity_of(c)));
+  }
+  header.push_back("overall");
+  return header;
+}
+
+}  // namespace origin::bench

@@ -1,0 +1,26 @@
+// Fig. 3 — the extended round-robin schedule flavours and their execution
+// flow: RR3 (no no-ops) through RR12 (three no-ops between activations),
+// unrolled over one-and-a-half cycles each.
+#include "bench_common.hpp"
+
+#include "core/schedule.hpp"
+
+using namespace origin;
+
+int main() {
+  std::printf("=== Fig. 3: extended round-robin execution flows ===\n");
+  for (int cycle : {3, 6, 9, 12}) {
+    core::ExtendedRoundRobin rr(cycle);
+    std::printf("\n%-5s (gap %d slots, %d no-ops per cycle):\n  ",
+                rr.name().c_str(), rr.gap(), cycle - 3);
+    const auto unrolled = rr.unroll(cycle + cycle / 2);
+    for (std::size_t i = 0; i < unrolled.size(); ++i) {
+      std::printf("%s%s", unrolled[i].c_str(),
+                  i + 1 < unrolled.size() ? " -> " : "\n");
+    }
+    std::printf("  a node harvests for %d slots (%.1f s) between its own attempts\n",
+                rr.harvest_slots_per_attempt(),
+                0.5 * rr.harvest_slots_per_attempt());
+  }
+  return 0;
+}

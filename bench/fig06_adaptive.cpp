@@ -1,0 +1,174 @@
+// Fig. 6 — the adaptive ensemble learner personalizing to unseen users.
+// Following the paper's protocol: 3 previously-unseen users, Gaussian
+// noise at 20 dB SNR over unseen test windows, 1000 iterations of 10
+// classifications each (10000 successful classifications). Each
+// classification runs all three (frozen) sensor DNNs on the same noisy
+// instant; the host fuses with confidence-weighted voting; after every
+// classification the sensors' transmitted confidence scores update the
+// matrix by moving average. Only the confidence matrix ever changes.
+// Paper: accuracy starts below the base level because of the noise and the
+// unseen gait, and recovers toward it within ~100 iterations.
+#include "bench_common.hpp"
+
+#include "core/confidence.hpp"
+#include "core/ensemble.hpp"
+#include "data/noise.hpp"
+
+using namespace origin;
+
+namespace {
+
+constexpr int kIterations = 1000;
+constexpr int kPerIteration = 10;
+const std::vector<int> kCheckpoints = {1, 10, 100, 1000};
+
+/// Accuracy (in percent) near each checkpoint iteration for one user.
+std::vector<double> run_user(const core::TrainedSystem& sys,
+                             const data::UserProfile& user, bool adaptive,
+                             std::uint64_t seed) {
+  util::Rng rng(seed);
+  const data::SignalModel model(sys.spec, user);
+  core::ConfidenceMatrix matrix = sys.confidence;  // factory calibration
+
+  std::vector<char> correct;
+  correct.reserve(kIterations * kPerIteration);
+  auto bl2 = sys.bl2_copy();
+
+  for (int iter = 0; iter < kIterations; ++iter) {
+    for (int k = 0; k < kPerIteration; ++k) {
+      const int label = static_cast<int>(
+          rng.below(static_cast<std::uint64_t>(sys.spec.num_classes())));
+      const auto activity = sys.spec.activity_of(label);
+      const double t0 = rng.uniform(0.0, 3600.0);
+      const auto style = data::draw_shared_style(sys.spec, activity, rng);
+
+      std::vector<core::Ballot> ballots;
+      std::array<net::Classification, data::kNumSensors> results;
+      for (int s = 0; s < data::kNumSensors; ++s) {
+        const auto si = static_cast<std::size_t>(s);
+        nn::Tensor w = model.window(activity,
+                                    static_cast<data::SensorLocation>(s), t0,
+                                    rng, style);
+        data::add_gaussian_noise_snr(w, 20.0, rng);
+        results[si] = net::make_classification(bl2[si].predict_proba(w));
+        core::Ballot b;
+        b.cls = results[si].predicted_class;
+        b.weight = results[si].confidence *
+                   matrix.weight(static_cast<data::SensorLocation>(s), b.cls);
+        b.tie_priority = static_cast<double>(s);
+        ballots.push_back(b);
+      }
+      const int fused =
+          core::weighted_majority_vote(ballots, sys.spec.num_classes()).value();
+      correct.push_back(fused == label ? 1 : 0);
+      if (adaptive) {
+        // Consensus-gated moving average (§III-C + the online
+        // personalization rule): adapt only on clear-margin decisions —
+        // self-training on shaky consensus amplifies errors.
+        std::vector<double> totals(
+            static_cast<std::size_t>(sys.spec.num_classes()), 0.0);
+        int supporters = 0;
+        for (const auto& b : ballots) {
+          totals[static_cast<std::size_t>(b.cls)] += b.weight;
+          if (b.cls == fused) ++supporters;
+        }
+        double second = 0.0;
+        for (int c = 0; c < sys.spec.num_classes(); ++c) {
+          if (c != fused) {
+            second = std::max(second, totals[static_cast<std::size_t>(c)]);
+          }
+        }
+        if (supporters >= 2 &&
+            totals[static_cast<std::size_t>(fused)] >= 2.0 * second) {
+          for (int s = 0; s < data::kNumSensors; ++s) {
+            const auto si = static_cast<std::size_t>(s);
+            matrix.update_with_consensus(static_cast<data::SensorLocation>(s),
+                                         results[si].predicted_class,
+                                         results[si].confidence,
+                                         results[si].predicted_class == fused);
+          }
+        }
+      }
+    }
+  }
+
+  std::vector<double> at;
+  for (int checkpoint : kCheckpoints) {
+    // Accuracy over a window of iterations around the checkpoint.
+    const int lo = std::max(0, checkpoint - std::max(1, checkpoint / 2));
+    const int hi = std::min(kIterations, checkpoint + std::max(1, checkpoint / 2));
+    std::uint64_t ok = 0, n = 0;
+    for (int i = lo * kPerIteration; i < hi * kPerIteration; ++i) {
+      ++n;
+      ok += static_cast<std::uint64_t>(correct[static_cast<std::size_t>(i)]);
+    }
+    at.push_back(100.0 * static_cast<double>(ok) / static_cast<double>(n));
+  }
+  return at;
+}
+
+}  // namespace
+
+int main() {
+  auto exp = bench::make_experiment(data::DatasetKind::MHealthLike);
+  const auto& sys = exp.system();
+
+  // Base-model reference: the reference user, no added noise, factory
+  // matrix — the level the adaptation should recover toward.
+  double base = 0.0;
+  {
+    util::Rng rng(0xBA5EULL);
+    const data::SignalModel model(sys.spec, data::reference_user());
+    auto bl2 = const_cast<core::TrainedSystem&>(sys).bl2_copy();
+    std::uint64_t ok = 0;
+    const int n = 2000;
+    for (int i = 0; i < n; ++i) {
+      const int label = static_cast<int>(
+          rng.below(static_cast<std::uint64_t>(sys.spec.num_classes())));
+      const auto activity = sys.spec.activity_of(label);
+      const double t0 = rng.uniform(0.0, 3600.0);
+      const auto style = data::draw_shared_style(sys.spec, activity, rng);
+      std::vector<core::Ballot> ballots;
+      for (int s = 0; s < data::kNumSensors; ++s) {
+        const auto si = static_cast<std::size_t>(s);
+        const auto w = model.window(
+            activity, static_cast<data::SensorLocation>(s), t0, rng, style);
+        const auto c = net::make_classification(bl2[si].predict_proba(w));
+        ballots.push_back({c.predicted_class,
+                           c.confidence * sys.confidence.weight(
+                                              static_cast<data::SensorLocation>(s),
+                                              c.predicted_class),
+                           static_cast<double>(s)});
+      }
+      if (core::weighted_majority_vote(ballots, sys.spec.num_classes()).value() ==
+          label) {
+        ++ok;
+      }
+    }
+    base = 100.0 * static_cast<double>(ok) / n;
+  }
+
+  util::AsciiTable t({"user", "iter 1", "iter 10", "iter 100", "iter 1000"});
+  // Mild deviations, matching the paper's premise that the noise (not the
+  // gait shift) drives the initial drop to just below the base level.
+  constexpr double kSeverity = 0.5;
+  util::Rng rng(0xF165ULL);
+  for (int u = 1; u <= 3; ++u) {
+    const auto user = data::random_user(u, rng, kSeverity);
+    t.add_row("user " + std::to_string(u),
+              run_user(sys, user, /*adaptive=*/true, 5000 + u));
+  }
+  {
+    // Control: the same unseen user with a frozen factory matrix.
+    util::Rng urng(0xF165ULL);
+    const auto user = data::random_user(1, urng, kSeverity);
+    t.add_row("user 1 (frozen matrix)",
+              run_user(sys, user, /*adaptive=*/false, 5001));
+  }
+  t.add_row("base model", std::vector<double>(4, base));
+
+  std::printf("\n=== Fig. 6: adaptive confidence matrix on unseen users (20 dB SNR) ===\n");
+  std::printf("(1000 iterations x 10 classifications; only the matrix adapts)\n");
+  t.print();
+  return 0;
+}

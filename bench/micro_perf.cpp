@@ -1,0 +1,109 @@
+// Microbenchmarks (google-benchmark): inference latency of the deployed
+// networks, window synthesis, scheduler and ensemble arithmetic — the
+// per-slot costs of the simulator and, proportionally, of a real host.
+#include <benchmark/benchmark.h>
+
+#include "core/ensemble.hpp"
+#include "core/pipeline.hpp"
+#include "core/policy.hpp"
+#include "data/dataset.hpp"
+#include "energy/power_trace.hpp"
+#include "nn/energy_model.hpp"
+#include "util/rng.hpp"
+
+using namespace origin;
+
+namespace {
+
+nn::Sequential deployed_net() {
+  const auto spec = data::dataset_spec(data::DatasetKind::MHealthLike);
+  return core::make_bl1_architecture(spec, 42);
+}
+
+void BM_InferenceBL1(benchmark::State& state) {
+  auto net = deployed_net();
+  util::Rng rng(1);
+  const nn::Tensor x = nn::Tensor::randn({6, 64}, rng, 1.0f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net.predict(x));
+  }
+}
+BENCHMARK(BM_InferenceBL1);
+
+void BM_InferenceForwardTrain(benchmark::State& state) {
+  auto net = deployed_net();
+  util::Rng rng(2);
+  const nn::Tensor x = nn::Tensor::randn({6, 64}, rng, 1.0f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net.forward(x, true));
+  }
+}
+BENCHMARK(BM_InferenceForwardTrain);
+
+void BM_WindowSynthesis(benchmark::State& state) {
+  const auto spec = data::dataset_spec(data::DatasetKind::MHealthLike);
+  const data::SignalModel model(spec, data::reference_user());
+  util::Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.window(
+        data::Activity::Running, data::SensorLocation::LeftAnkle, 0.0, rng));
+  }
+}
+BENCHMARK(BM_WindowSynthesis);
+
+void BM_MajorityVote(benchmark::State& state) {
+  const std::vector<core::Ballot> ballots = {
+      {1, 1.0, 0.0}, {2, 1.0, 1.0}, {1, 1.0, 2.0}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::majority_vote(ballots, 6));
+  }
+}
+BENCHMARK(BM_MajorityVote);
+
+void BM_WeightedVote(benchmark::State& state) {
+  const std::vector<core::Ballot> ballots = {
+      {1, 0.08, 0.0}, {2, 0.11, 1.0}, {1, 0.02, 2.0}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::weighted_majority_vote(ballots, 6));
+  }
+}
+BENCHMARK(BM_WeightedVote);
+
+void BM_SchedulerPlan(benchmark::State& state) {
+  core::RankTable ranks(6);
+  core::AASPolicy policy(core::ExtendedRoundRobin(12), ranks);
+  core::SlotContext ctx;
+  ctx.slot = 0;
+  for (auto& n : ctx.nodes) {
+    n.stored_j = 1.0;
+    n.cost_j = 0.5;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(policy.plan(ctx));
+    ctx.slot = (ctx.slot + 1) % 1200;
+  }
+}
+BENCHMARK(BM_SchedulerPlan);
+
+void BM_EnergyEstimate(benchmark::State& state) {
+  auto net = deployed_net();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nn::estimate_cost(net, {6, 64}));
+  }
+}
+BENCHMARK(BM_EnergyEstimate);
+
+void BM_PowerTraceEnergyLookup(benchmark::State& state) {
+  const auto trace = energy::PowerTrace::generate_wifi_office({}, 5);
+  double t = 0.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(trace.energy_between(t, t + 0.5));
+    t += 0.5;
+    if (t > 1e6) t = 0.0;
+  }
+}
+BENCHMARK(BM_PowerTraceEnergyLookup);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,116 @@
+#include "core/confidence.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/stats.hpp"
+
+namespace origin::core {
+
+ConfidenceMatrix::ConfidenceMatrix(int num_classes, double initial)
+    : num_classes_(num_classes) {
+  if (num_classes <= 0) throw std::invalid_argument("ConfidenceMatrix: num_classes <= 0");
+  if (initial < 0.0) throw std::invalid_argument("ConfidenceMatrix: negative initial");
+  for (auto& row : weights_) {
+    row.assign(static_cast<std::size_t>(num_classes), initial);
+  }
+}
+
+ConfidenceMatrix ConfidenceMatrix::calibrate(
+    std::array<nn::Sequential*, data::kNumSensors> models,
+    const std::array<const nn::Samples*, data::kNumSensors>& calibration,
+    int num_classes) {
+  ConfidenceMatrix matrix(num_classes);
+  for (int s = 0; s < data::kNumSensors; ++s) {
+    if (!models[static_cast<std::size_t>(s)] || !calibration[static_cast<std::size_t>(s)]) {
+      throw std::invalid_argument("ConfidenceMatrix::calibrate: null input");
+    }
+    std::vector<util::RunningStats> per_class(static_cast<std::size_t>(num_classes));
+    util::RunningStats global;
+    for (const auto& sample : *calibration[static_cast<std::size_t>(s)]) {
+      const auto probs =
+          models[static_cast<std::size_t>(s)]->predict_proba(sample.input);
+      const double var = util::probability_vector_variance(probs);
+      const auto predicted = util::argmax(probs);
+      if (predicted >= static_cast<std::size_t>(num_classes)) {
+        throw std::logic_error("ConfidenceMatrix::calibrate: class out of range");
+      }
+      per_class[predicted].add(var);
+      global.add(var);
+    }
+    for (int c = 0; c < num_classes; ++c) {
+      const auto& stats = per_class[static_cast<std::size_t>(c)];
+      matrix.weights_[static_cast<std::size_t>(s)][static_cast<std::size_t>(c)] =
+          stats.count() > 0 ? stats.mean() : global.mean();
+    }
+  }
+  matrix.freeze_baseline();
+  return matrix;
+}
+
+double ConfidenceMatrix::weight(data::SensorLocation sensor, int cls) const {
+  if (cls < 0 || cls >= num_classes_) throw std::out_of_range("ConfidenceMatrix::weight");
+  return weights_[static_cast<std::size_t>(sensor)][static_cast<std::size_t>(cls)];
+}
+
+void ConfidenceMatrix::update(data::SensorLocation sensor, int cls,
+                              double confidence) {
+  if (cls < 0 || cls >= num_classes_) throw std::out_of_range("ConfidenceMatrix::update");
+  if (confidence < 0.0) throw std::invalid_argument("ConfidenceMatrix::update: negative");
+  auto& w = weights_[static_cast<std::size_t>(sensor)][static_cast<std::size_t>(cls)];
+  w = (1.0 - alpha_) * w + alpha_ * confidence;
+  const auto& floor_row = floors_[static_cast<std::size_t>(sensor)];
+  if (!floor_row.empty()) {
+    w = std::max(w, floor_row[static_cast<std::size_t>(cls)]);
+  }
+}
+
+void ConfidenceMatrix::freeze_baseline(double floor_fraction) {
+  if (floor_fraction < 0.0 || floor_fraction >= 1.0) {
+    throw std::invalid_argument("ConfidenceMatrix::freeze_baseline: fraction in [0, 1)");
+  }
+  for (int s = 0; s < data::kNumSensors; ++s) {
+    auto& floor_row = floors_[static_cast<std::size_t>(s)];
+    const auto& row = weights_[static_cast<std::size_t>(s)];
+    floor_row.resize(row.size());
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      floor_row[c] = floor_fraction * row[c];
+    }
+  }
+}
+
+void ConfidenceMatrix::update_with_consensus(data::SensorLocation sensor,
+                                             int cls, double confidence,
+                                             bool agreed_with_consensus) {
+  update(sensor, cls, agreed_with_consensus ? confidence : 0.0);
+}
+
+void ConfidenceMatrix::set_alpha(double alpha) {
+  if (alpha <= 0.0 || alpha > 1.0) {
+    throw std::invalid_argument("ConfidenceMatrix::set_alpha: out of (0, 1]");
+  }
+  alpha_ = alpha;
+}
+
+void ConfidenceMatrix::set_weight(data::SensorLocation sensor, int cls,
+                                  double value) {
+  if (cls < 0 || cls >= num_classes_) throw std::out_of_range("ConfidenceMatrix::set_weight");
+  weights_[static_cast<std::size_t>(sensor)][static_cast<std::size_t>(cls)] = value;
+}
+
+double ConfidenceMatrix::distance(const ConfidenceMatrix& other) const {
+  if (other.num_classes_ != num_classes_) {
+    throw std::invalid_argument("ConfidenceMatrix::distance: size mismatch");
+  }
+  double sum = 0.0;
+  for (int s = 0; s < data::kNumSensors; ++s) {
+    for (int c = 0; c < num_classes_; ++c) {
+      sum += std::fabs(
+          weights_[static_cast<std::size_t>(s)][static_cast<std::size_t>(c)] -
+          other.weights_[static_cast<std::size_t>(s)][static_cast<std::size_t>(c)]);
+    }
+  }
+  return sum / static_cast<double>(data::kNumSensors * num_classes_);
+}
+
+}  // namespace origin::core

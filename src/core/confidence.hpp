@@ -1,0 +1,70 @@
+// The adaptive confidence matrix (paper §III-C/D): one weight per
+// (sensor, class), initialized offline as the mean variance of the softmax
+// output over held-out samples grouped by predicted class, used to weight
+// the ensemble vote, and updated online by an exponential moving average
+// whenever a sensor reports a successful classification — this is the
+// mechanism that personalizes Origin to an unseen user (Fig. 6).
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "data/activity.hpp"
+#include "nn/model.hpp"
+#include "nn/trainer.hpp"
+
+namespace origin::core {
+
+class ConfidenceMatrix {
+ public:
+  /// Uniform initial confidence for every (sensor, class).
+  explicit ConfidenceMatrix(int num_classes, double initial = 0.05);
+
+  /// Offline calibration: runs each sensor's model over its calibration
+  /// samples and averages Var(softmax) per *predicted* class. Classes a
+  /// sensor never predicts fall back to that sensor's global mean.
+  static ConfidenceMatrix calibrate(
+      std::array<nn::Sequential*, data::kNumSensors> models,
+      const std::array<const nn::Samples*, data::kNumSensors>& calibration,
+      int num_classes);
+
+  int num_classes() const { return num_classes_; }
+
+  double weight(data::SensorLocation sensor, int cls) const;
+
+  /// EMA update: w <- (1 - alpha) * w + alpha * confidence.
+  void update(data::SensorLocation sensor, int cls, double confidence);
+
+  /// Consensus-aware update (the online personalization rule): when the
+  /// sensor's classification agreed with the fused ensemble decision its
+  /// transmitted confidence reinforces the weight; when it deviated the
+  /// weight decays toward zero — systematically wrong-but-confident
+  /// (sensor, class) pairs lose influence.
+  void update_with_consensus(data::SensorLocation sensor, int cls,
+                             double confidence, bool agreed_with_consensus);
+
+  double alpha() const { return alpha_; }
+  void set_alpha(double alpha);
+
+  /// Snapshots the current weights as the adaptation baseline: subsequent
+  /// updates never push a cell below `floor_fraction` of its baseline
+  /// value, so a discounted sensor keeps enough influence to re-enter the
+  /// consensus when its behaviour recovers. calibrate() freezes
+  /// automatically.
+  void freeze_baseline(double floor_fraction = 0.25);
+
+  /// Direct cell write (deserialization / tests).
+  void set_weight(data::SensorLocation sensor, int cls, double value);
+
+  /// Mean absolute difference to another matrix (convergence tracking).
+  double distance(const ConfidenceMatrix& other) const;
+
+ private:
+  int num_classes_;
+  double alpha_ = 0.05;
+  std::array<std::vector<double>, data::kNumSensors> weights_;
+  /// Per-cell lower bounds (empty until freeze_baseline()).
+  std::array<std::vector<double>, data::kNumSensors> floors_;
+};
+
+}  // namespace origin::core

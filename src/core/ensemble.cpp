@@ -1,0 +1,84 @@
+#include "core/ensemble.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace origin::core {
+
+namespace {
+
+void validate(const std::vector<Ballot>& ballots, int num_classes) {
+  if (num_classes <= 0) throw std::invalid_argument("vote: num_classes <= 0");
+  for (const auto& b : ballots) {
+    if (b.cls < 0 || b.cls >= num_classes) {
+      throw std::invalid_argument("vote: ballot class out of range");
+    }
+    if (b.weight < 0.0) throw std::invalid_argument("vote: negative weight");
+  }
+}
+
+}  // namespace
+
+std::optional<int> majority_vote(const std::vector<Ballot>& ballots,
+                                 int num_classes) {
+  validate(ballots, num_classes);
+  if (ballots.empty()) return std::nullopt;
+  std::vector<int> counts(static_cast<std::size_t>(num_classes), 0);
+  std::vector<double> best_priority(static_cast<std::size_t>(num_classes),
+                                    std::numeric_limits<double>::infinity());
+  for (const auto& b : ballots) {
+    ++counts[static_cast<std::size_t>(b.cls)];
+    best_priority[static_cast<std::size_t>(b.cls)] =
+        std::min(best_priority[static_cast<std::size_t>(b.cls)], b.tie_priority);
+  }
+  int winner = -1;
+  for (int c = 0; c < num_classes; ++c) {
+    if (counts[static_cast<std::size_t>(c)] == 0) continue;
+    if (winner < 0 ||
+        counts[static_cast<std::size_t>(c)] > counts[static_cast<std::size_t>(winner)] ||
+        (counts[static_cast<std::size_t>(c)] == counts[static_cast<std::size_t>(winner)] &&
+         best_priority[static_cast<std::size_t>(c)] <
+             best_priority[static_cast<std::size_t>(winner)])) {
+      winner = c;
+    }
+  }
+  return winner;
+}
+
+std::optional<int> weighted_majority_vote(const std::vector<Ballot>& ballots,
+                                          int num_classes) {
+  validate(ballots, num_classes);
+  if (ballots.empty()) return std::nullopt;
+  std::vector<double> totals(static_cast<std::size_t>(num_classes), 0.0);
+  std::vector<double> heaviest(static_cast<std::size_t>(num_classes), 0.0);
+  std::vector<double> best_priority(static_cast<std::size_t>(num_classes),
+                                    std::numeric_limits<double>::infinity());
+  std::vector<bool> present(static_cast<std::size_t>(num_classes), false);
+  for (const auto& b : ballots) {
+    const auto c = static_cast<std::size_t>(b.cls);
+    totals[c] += b.weight;
+    heaviest[c] = std::max(heaviest[c], b.weight);
+    best_priority[c] = std::min(best_priority[c], b.tie_priority);
+    present[c] = true;
+  }
+  int winner = -1;
+  for (int c = 0; c < num_classes; ++c) {
+    const auto ci = static_cast<std::size_t>(c);
+    if (!present[ci]) continue;
+    if (winner < 0) {
+      winner = c;
+      continue;
+    }
+    const auto wi = static_cast<std::size_t>(winner);
+    if (totals[ci] > totals[wi] ||
+        (totals[ci] == totals[wi] && heaviest[ci] > heaviest[wi]) ||
+        (totals[ci] == totals[wi] && heaviest[ci] == heaviest[wi] &&
+         best_priority[ci] < best_priority[wi])) {
+      winner = c;
+    }
+  }
+  return winner;
+}
+
+}  // namespace origin::core

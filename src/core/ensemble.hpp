@@ -1,0 +1,31 @@
+// Ensemble aggregation: plain majority voting (the baselines and AASR) and
+// confidence-weighted majority voting (Origin). Tie handling follows the
+// paper: the confidence matrix "also resolves ties while voting"; the
+// unweighted baselines fall back to a fixed sensor priority.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+namespace origin::core {
+
+struct Ballot {
+  int cls = -1;
+  /// Vote weight (1.0 for unweighted voting).
+  double weight = 1.0;
+  /// Priority used only for tie-breaks: lower = preferred (typically the
+  /// sensor's fixed index for baselines, or -confidence for Origin).
+  double tie_priority = 0.0;
+};
+
+/// Unweighted majority vote. Ties are resolved toward the tied class whose
+/// best (lowest) tie_priority ballot wins. Returns nullopt for no ballots.
+std::optional<int> majority_vote(const std::vector<Ballot>& ballots,
+                                 int num_classes);
+
+/// Weighted majority: class with the largest summed weight; exact ties
+/// resolved by the single heaviest ballot, then by tie_priority.
+std::optional<int> weighted_majority_vote(const std::vector<Ballot>& ballots,
+                                          int num_classes);
+
+}  // namespace origin::core

@@ -1,0 +1,234 @@
+#include "core/pipeline.hpp"
+
+#include <filesystem>
+#include <sstream>
+
+#include "nn/activations.hpp"
+#include "nn/conv1d.hpp"
+#include "nn/dense.hpp"
+#include "nn/dropout.hpp"
+#include "nn/pooling.hpp"
+#include "nn/serialize.hpp"
+#include "util/logging.hpp"
+#include "util/strings.hpp"
+
+namespace origin::core {
+
+namespace {
+
+// Bump when the architecture or the synthetic data generator changes in a
+// way that invalidates cached weights.
+constexpr int kArchVersion = 5;
+
+nn::Samples training_set_for(const PipelineConfig& config,
+                             const data::DatasetSpec& spec,
+                             data::SensorLocation loc, int per_class,
+                             std::uint64_t salt) {
+  return data::make_training_set(spec, loc, per_class, data::reference_user(),
+                                 config.seed ^ salt);
+}
+
+}  // namespace
+
+std::array<nn::Sequential*, data::kNumSensors> TrainedSystem::bl1_models() {
+  return {&sensors[0].bl1, &sensors[1].bl1, &sensors[2].bl1};
+}
+std::array<nn::Sequential*, data::kNumSensors> TrainedSystem::bl2_models() {
+  return {&sensors[0].bl2, &sensors[1].bl2, &sensors[2].bl2};
+}
+std::array<nn::Sequential*, data::kNumSensors> TrainedSystem::relaxed_models() {
+  return {&sensors[0].relaxed, &sensors[1].relaxed, &sensors[2].relaxed};
+}
+std::array<nn::Sequential, data::kNumSensors> TrainedSystem::bl1_copy() const {
+  return {sensors[0].bl1, sensors[1].bl1, sensors[2].bl1};
+}
+std::array<nn::Sequential, data::kNumSensors> TrainedSystem::bl2_copy() const {
+  return {sensors[0].bl2, sensors[1].bl2, sensors[2].bl2};
+}
+std::array<nn::Sequential, data::kNumSensors> TrainedSystem::relaxed_copy() const {
+  return {sensors[0].relaxed, sensors[1].relaxed, sensors[2].relaxed};
+}
+
+nn::Sequential make_bl1_architecture(const data::DatasetSpec& spec,
+                                     std::uint64_t seed) {
+  util::Rng rng(seed);
+  nn::Sequential model;
+  model.emplace<nn::Conv1D>(spec.channels, 20, 5, 1, rng)
+      .emplace<nn::ReLU>()
+      .emplace<nn::MaxPool1D>(2)
+      .emplace<nn::Conv1D>(20, 32, 5, 1, rng)
+      .emplace<nn::ReLU>()
+      .emplace<nn::MaxPool1D>(2)
+      .emplace<nn::Flatten>()
+      .emplace<nn::Dense>(
+          32 * nn::MaxPool1D::out_length(
+                   nn::Conv1D::out_length(
+                       nn::MaxPool1D::out_length(
+                           nn::Conv1D::out_length(spec.window_len, 5, 1), 2, 2),
+                       5, 1),
+                   2, 2),
+          64, rng)
+      .emplace<nn::ReLU>()
+      .emplace<nn::Dropout>(0.25f, seed ^ 0xD120u)
+      .emplace<nn::Dense>(64, spec.num_classes(), rng);
+  return model;
+}
+
+std::string pipeline_cache_key(const PipelineConfig& config) {
+  std::ostringstream os;
+  os << to_string(config.kind) << '|' << kArchVersion << '|'
+     << config.train_per_class << '|' << config.train.epochs << '|'
+     << config.train.batch_size << '|' << config.train.learning_rate << '|'
+     << config.train.mixup_prob << '|'
+     << config.bl2_budget_fraction << '|' << config.relaxed_budget_fraction
+     << '|' << config.seed << '|'
+     << config.profile.energy_per_mac_j << '|'
+     << config.profile.energy_per_param_access_j << '|'
+     << config.profile.inference_overhead_j;
+  return util::hex64(util::fnv1a(os.str()));
+}
+
+std::vector<double> per_class_accuracy(nn::Sequential& model,
+                                       const nn::Samples& samples,
+                                       int num_classes) {
+  std::vector<std::uint64_t> correct(static_cast<std::size_t>(num_classes), 0);
+  std::vector<std::uint64_t> total(static_cast<std::size_t>(num_classes), 0);
+  for (const auto& s : samples) {
+    ++total[static_cast<std::size_t>(s.label)];
+    if (model.predict(s.input) == s.label) {
+      ++correct[static_cast<std::size_t>(s.label)];
+    }
+  }
+  std::vector<double> acc(static_cast<std::size_t>(num_classes), 0.0);
+  for (int c = 0; c < num_classes; ++c) {
+    const auto ci = static_cast<std::size_t>(c);
+    if (total[ci]) acc[ci] = static_cast<double>(correct[ci]) / static_cast<double>(total[ci]);
+  }
+  return acc;
+}
+
+TrainedSystem build_system(const PipelineConfig& config) {
+  TrainedSystem system;
+  system.spec = data::dataset_spec(config.kind);
+  const std::vector<int> input_shape = {system.spec.channels,
+                                        system.spec.window_len};
+  const std::string key = pipeline_cache_key(config);
+  const std::filesystem::path cache_dir(config.cache_dir);
+
+  for (int s = 0; s < data::kNumSensors; ++s) {
+    const auto si = static_cast<std::size_t>(s);
+    const auto loc = static_cast<data::SensorLocation>(s);
+    SensorSystem& bundle = system.sensors[si];
+
+    const std::filesystem::path bl1_path =
+        cache_dir / (key + "_" + to_string(loc) + "_bl1.bin");
+    const std::filesystem::path bl2_path =
+        cache_dir / (key + "_" + to_string(loc) + "_bl2.bin");
+    const std::filesystem::path rlx_path =
+        cache_dir / (key + "_" + to_string(loc) + "_rlx.bin");
+
+    bool loaded = false;
+    if (config.use_cache && std::filesystem::exists(bl1_path) &&
+        std::filesystem::exists(bl2_path) && std::filesystem::exists(rlx_path)) {
+      try {
+        bundle.bl1 = nn::load_model(bl1_path.string());
+        bundle.bl2 = nn::load_model(bl2_path.string());
+        bundle.relaxed = nn::load_model(rlx_path.string());
+        loaded = true;
+        util::log_info("pipeline: loaded cached models for ", to_string(loc));
+      } catch (const std::exception& e) {
+        util::log_warn("pipeline: cache load failed (", e.what(), "); retraining");
+      }
+    }
+
+    if (!loaded) {
+      const nn::Samples train = training_set_for(
+          config, system.spec, loc, config.train_per_class, 0x7123ULL + si);
+      bundle.bl1 = make_bl1_architecture(
+          system.spec, config.seed + 31ULL * static_cast<std::uint64_t>(s));
+      nn::Trainer trainer(config.train);
+      trainer.fit(bundle.bl1, train);
+      // Low-rate polish pass, mirroring the recovery fit the pruned nets
+      // receive, so the BL-1/BL-2 comparison isolates the pruning.
+      nn::TrainConfig polish = config.train;
+      polish.epochs = 3;
+      polish.learning_rate = 2e-3;
+      polish.early_stop_accuracy = 0.995;
+      nn::Trainer(polish).fit(bundle.bl1, train);
+
+      const double bl1_energy =
+          nn::estimate_cost(bundle.bl1, input_shape, config.profile).energy_j;
+      // Interleaved fine-tuning runs on a subset for speed; a full
+      // recovery fit follows once the budget is met.
+      const nn::Samples tune_subset(
+          train.begin(),
+          train.begin() + static_cast<std::ptrdiff_t>(
+                              std::min<std::size_t>(train.size(), 600)));
+      auto prune_variant = [&](double fraction, const char* tag) {
+        nn::Sequential net = bundle.bl1;
+        nn::PruneConfig prune;
+        prune.energy_budget_j = fraction * bl1_energy;
+        prune.fine_tune_every = 10;
+        prune.fine_tune.epochs = 1;
+        prune.fine_tune.learning_rate = 2e-3;
+        prune.fine_tune.shuffle_seed = config.seed ^ 0xF17EULL;
+        const auto report = nn::prune_to_energy_budget(
+            net, input_shape, config.profile, tune_subset, prune);
+        nn::TrainConfig recover = config.train;
+        recover.epochs = 3;
+        recover.learning_rate = 2e-3;
+        recover.early_stop_accuracy = 0.995;
+        nn::Trainer(recover).fit(net, train);
+        util::log_info("pipeline: pruned ", to_string(loc), " [", tag, "] ",
+                       report.params_before, " -> ", report.params_after,
+                       " params, energy ", report.energy_before_j, " -> ",
+                       report.energy_after_j);
+        return net;
+      };
+      bundle.bl2 = prune_variant(config.bl2_budget_fraction, "bl2");
+      bundle.relaxed = prune_variant(config.relaxed_budget_fraction, "relaxed");
+
+      if (config.use_cache) {
+        std::error_code ec;
+        std::filesystem::create_directories(cache_dir, ec);
+        if (!ec) {
+          nn::save_model(bundle.bl1, bl1_path.string());
+          nn::save_model(bundle.bl2, bl2_path.string());
+          nn::save_model(bundle.relaxed, rlx_path.string());
+        }
+      }
+    }
+
+    bundle.bl1_cost = nn::estimate_cost(bundle.bl1, input_shape, config.profile);
+    bundle.bl2_cost = nn::estimate_cost(bundle.bl2, input_shape, config.profile);
+    bundle.relaxed_cost =
+        nn::estimate_cost(bundle.relaxed, input_shape, config.profile);
+  }
+
+  // Calibration: rank table + confidence matrix from held-out windows,
+  // separately for the strict (BL-2) and relaxed model sets.
+  std::array<nn::Samples, data::kNumSensors> calib;
+  for (int s = 0; s < data::kNumSensors; ++s) {
+    const auto si = static_cast<std::size_t>(s);
+    const auto loc = static_cast<data::SensorLocation>(s);
+    calib[si] = training_set_for(config, system.spec, loc,
+                                 config.calib_per_class, 0xCA11Bu + si);
+    system.calib_accuracy[si] = per_class_accuracy(
+        system.sensors[si].bl2, calib[si], system.spec.num_classes());
+    system.calib_accuracy_relaxed[si] = per_class_accuracy(
+        system.sensors[si].relaxed, calib[si], system.spec.num_classes());
+    system.test_sets[si] = training_set_for(config, system.spec, loc,
+                                            config.test_per_class, 0x7E57u + si);
+  }
+  system.ranks = RankTable::from_accuracy(system.calib_accuracy);
+  system.confidence = ConfidenceMatrix::calibrate(
+      system.bl2_models(),
+      {&calib[0], &calib[1], &calib[2]}, system.spec.num_classes());
+  system.ranks_relaxed = RankTable::from_accuracy(system.calib_accuracy_relaxed);
+  system.confidence_relaxed = ConfidenceMatrix::calibrate(
+      system.relaxed_models(),
+      {&calib[0], &calib[1], &calib[2]}, system.spec.num_classes());
+  return system;
+}
+
+}  // namespace origin::core

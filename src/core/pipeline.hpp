@@ -1,0 +1,99 @@
+// End-to-end offline pipeline (paper §IV-B): per-sensor training sets from
+// the synthetic dataset, Baseline-1 CNNs trained per sensor location,
+// Baseline-2 derived by energy-aware pruning, rank table and confidence
+// matrix calibrated on held-out data. Trained models are cached on disk so
+// every bench/example binary shares one training run.
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "core/confidence.hpp"
+#include "core/rank_table.hpp"
+#include "data/dataset.hpp"
+#include "nn/energy_model.hpp"
+#include "nn/model.hpp"
+#include "nn/pruning.hpp"
+#include "nn/trainer.hpp"
+
+namespace origin::core {
+
+struct PipelineConfig {
+  data::DatasetKind kind = data::DatasetKind::MHealthLike;
+  int train_per_class = 260;
+  int calib_per_class = 90;
+  int test_per_class = 110;
+  nn::TrainConfig train;
+  nn::ComputeProfile profile;
+  /// BL-2 per-inference energy budget as a fraction of BL-1's. Mirrors
+  /// "prune to the average harvested power budget": the harvest scale is
+  /// calibrated afterwards so this budget equals the trace's average
+  /// power over the pruning period (see sim/experiment.hpp).
+  double bl2_budget_fraction = 0.45;
+  /// Relaxed budget (paper §III-D): under extended round-robin a node only
+  /// infers once per cycle, so the pruning constraint relaxes to the
+  /// cycle-average power — a larger, more accurate network.
+  double relaxed_budget_fraction = 0.80;
+  std::uint64_t seed = 20210201;  // DATE'21
+  std::string cache_dir = "origin_models";
+  bool use_cache = true;
+
+  PipelineConfig() {
+    train.epochs = 12;
+    train.batch_size = 16;
+    train.learning_rate = 8e-3;
+    train.early_stop_accuracy = 0.995;
+    // Mixup calibration is available (see TrainConfig::mixup_prob and the
+    // abl_components bench) but off by default: on this generator it
+    // lowers per-sensor accuracy without sharpening the confidence signal.
+    train.mixup_prob = 0.0;
+  }
+};
+
+struct SensorSystem {
+  nn::Sequential bl1;      // unpruned
+  nn::Sequential bl2;      // pruned to the continuous-operation budget
+  nn::Sequential relaxed;  // pruned to the ER-r cycle budget (§III-D)
+  nn::InferenceCost bl1_cost;
+  nn::InferenceCost bl2_cost;
+  nn::InferenceCost relaxed_cost;
+};
+
+struct TrainedSystem {
+  data::DatasetSpec spec;
+  std::array<SensorSystem, data::kNumSensors> sensors;
+  /// Held-out (calibration) per-class accuracy: calib_accuracy[sensor][class].
+  std::array<std::vector<double>, data::kNumSensors> calib_accuracy;
+  std::array<std::vector<double>, data::kNumSensors> calib_accuracy_relaxed;
+  RankTable ranks{1};
+  ConfidenceMatrix confidence{1};
+  RankTable ranks_relaxed{1};
+  ConfidenceMatrix confidence_relaxed{1};
+  /// Held-out i.i.d. test windows per sensor (Fig. 2 style evaluation).
+  std::array<nn::Samples, data::kNumSensors> test_sets;
+
+  std::array<nn::Sequential*, data::kNumSensors> bl1_models();
+  std::array<nn::Sequential*, data::kNumSensors> bl2_models();
+  std::array<nn::Sequential*, data::kNumSensors> relaxed_models();
+  std::array<nn::Sequential, data::kNumSensors> bl1_copy() const;
+  std::array<nn::Sequential, data::kNumSensors> bl2_copy() const;
+  std::array<nn::Sequential, data::kNumSensors> relaxed_copy() const;
+};
+
+/// The per-sensor CNN architecture (Ha & Choi-style) before pruning.
+nn::Sequential make_bl1_architecture(const data::DatasetSpec& spec,
+                                     std::uint64_t seed);
+
+/// Trains (or loads from cache) the full system.
+TrainedSystem build_system(const PipelineConfig& config);
+
+/// Per-class accuracy of `model` on `samples` (classes sized by
+/// `num_classes`; classes with no samples report 0).
+std::vector<double> per_class_accuracy(nn::Sequential& model,
+                                       const nn::Samples& samples,
+                                       int num_classes);
+
+/// Stable cache key for the given configuration (exposed for tests).
+std::string pipeline_cache_key(const PipelineConfig& config);
+
+}  // namespace origin::core

@@ -1,0 +1,76 @@
+#include "core/rank_table.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace origin::core {
+
+RankTable::RankTable(int num_classes) : num_classes_(num_classes) {
+  if (num_classes <= 0) throw std::invalid_argument("RankTable: num_classes <= 0");
+  ranks_.assign(static_cast<std::size_t>(num_classes), {0, 1, 2});
+}
+
+RankTable RankTable::from_accuracy(
+    const std::array<std::vector<double>, data::kNumSensors>& accuracy) {
+  const std::size_t num_classes = accuracy[0].size();
+  for (const auto& row : accuracy) {
+    if (row.size() != num_classes) {
+      throw std::invalid_argument("RankTable: ragged accuracy matrix");
+    }
+  }
+  if (num_classes == 0) throw std::invalid_argument("RankTable: no classes");
+
+  RankTable table(static_cast<int>(num_classes));
+  for (std::size_t c = 0; c < num_classes; ++c) {
+    std::array<int, data::kNumSensors> order = {0, 1, 2};
+    std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+      return accuracy[static_cast<std::size_t>(a)][c] >
+             accuracy[static_cast<std::size_t>(b)][c];
+    });
+    table.ranks_[c] = order;
+  }
+  return table;
+}
+
+data::SensorLocation RankTable::sensor_at(int cls, int rank) const {
+  if (cls < 0 || cls >= num_classes_ || rank < 0 || rank >= data::kNumSensors) {
+    throw std::out_of_range("RankTable::sensor_at");
+  }
+  return static_cast<data::SensorLocation>(
+      ranks_[static_cast<std::size_t>(cls)][static_cast<std::size_t>(rank)]);
+}
+
+int RankTable::rank_of(int cls, data::SensorLocation sensor) const {
+  if (cls < 0 || cls >= num_classes_) throw std::out_of_range("RankTable::rank_of");
+  const auto& row = ranks_[static_cast<std::size_t>(cls)];
+  for (int r = 0; r < data::kNumSensors; ++r) {
+    if (row[static_cast<std::size_t>(r)] == static_cast<int>(sensor)) return r;
+  }
+  throw std::logic_error("RankTable: sensor missing from row");
+}
+
+std::array<data::SensorLocation, data::kNumSensors> RankTable::order(int cls) const {
+  std::array<data::SensorLocation, data::kNumSensors> out{};
+  for (int r = 0; r < data::kNumSensors; ++r) {
+    out[static_cast<std::size_t>(r)] = sensor_at(cls, r);
+  }
+  return out;
+}
+
+void RankTable::set_order(
+    int cls, const std::array<data::SensorLocation, data::kNumSensors>& order) {
+  if (cls < 0 || cls >= num_classes_) throw std::out_of_range("RankTable::set_order");
+  // Validate it is a permutation.
+  std::array<bool, data::kNumSensors> seen{};
+  for (auto s : order) {
+    auto& flag = seen[static_cast<std::size_t>(s)];
+    if (flag) throw std::invalid_argument("RankTable::set_order: duplicate sensor");
+    flag = true;
+  }
+  for (int r = 0; r < data::kNumSensors; ++r) {
+    ranks_[static_cast<std::size_t>(cls)][static_cast<std::size_t>(r)] =
+        static_cast<int>(order[static_cast<std::size_t>(r)]);
+  }
+}
+
+}  // namespace origin::core

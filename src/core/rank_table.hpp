@@ -1,0 +1,46 @@
+// Activity-aware scheduling lookup table (paper §III-B): for each activity
+// class, the sensors ordered by their local classification accuracy. The
+// paper stores *ranks* rather than floating-point accuracies to keep the
+// on-node table cheap — so does this class.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "data/activity.hpp"
+
+namespace origin::core {
+
+class RankTable {
+ public:
+  /// Identity ranking (sensor 0 best everywhere) for `num_classes`.
+  explicit RankTable(int num_classes);
+
+  /// Builds the table from a per-sensor, per-class accuracy matrix:
+  /// `accuracy[sensor][class]` in [0, 1]. Higher accuracy = better rank.
+  /// Deterministic tie-break: lower sensor index wins.
+  static RankTable from_accuracy(
+      const std::array<std::vector<double>, data::kNumSensors>& accuracy);
+
+  int num_classes() const { return num_classes_; }
+
+  /// The sensor holding position `rank` (0 = best) for `cls`.
+  data::SensorLocation sensor_at(int cls, int rank) const;
+
+  /// Position (0 = best) of `sensor` for `cls`.
+  int rank_of(int cls, data::SensorLocation sensor) const;
+
+  /// All sensors for `cls`, best first.
+  std::array<data::SensorLocation, data::kNumSensors> order(int cls) const;
+
+  /// Overrides one class's ordering (tests / hand-tuned deployments).
+  void set_order(int cls,
+                 const std::array<data::SensorLocation, data::kNumSensors>& order);
+
+ private:
+  int num_classes_;
+  /// ranks_[cls][rank] = sensor index.
+  std::vector<std::array<int, data::kNumSensors>> ranks_;
+};
+
+}  // namespace origin::core

@@ -1,0 +1,43 @@
+#include "core/schedule.hpp"
+
+#include <stdexcept>
+
+namespace origin::core {
+
+ExtendedRoundRobin::ExtendedRoundRobin(int cycle_len)
+    : cycle_len_(cycle_len), gap_(cycle_len / data::kNumSensors) {
+  if (cycle_len <= 0 || cycle_len % data::kNumSensors != 0) {
+    throw std::invalid_argument(
+        "ExtendedRoundRobin: cycle length must be a positive multiple of 3");
+  }
+}
+
+bool ExtendedRoundRobin::is_opportunity(int slot) const {
+  if (slot < 0) throw std::invalid_argument("ExtendedRoundRobin: negative slot");
+  return (slot % gap_) == 0;
+}
+
+int ExtendedRoundRobin::opportunity_index(int slot) const {
+  if (!is_opportunity(slot)) return -1;
+  return (slot % cycle_len_) / gap_;
+}
+
+data::SensorLocation ExtendedRoundRobin::default_sensor(int slot) const {
+  const int idx = opportunity_index(slot);
+  if (idx < 0) {
+    throw std::logic_error("ExtendedRoundRobin::default_sensor: no-op slot");
+  }
+  return data::all_sensors()[static_cast<std::size_t>(idx)];
+}
+
+std::vector<std::string> ExtendedRoundRobin::unroll(int slots) const {
+  if (slots < 0) throw std::invalid_argument("ExtendedRoundRobin::unroll: negative");
+  std::vector<std::string> out;
+  out.reserve(static_cast<std::size_t>(slots));
+  for (int s = 0; s < slots; ++s) {
+    out.push_back(is_opportunity(s) ? to_string(default_sensor(s)) : "no-op");
+  }
+  return out;
+}
+
+}  // namespace origin::core

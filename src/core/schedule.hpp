@@ -1,0 +1,51 @@
+// Extended round-robin (ER-r) schedules, Fig. 3: a cycle of `cycle_len`
+// slots holds one activation opportunity per sensor plus (cycle_len - 3)
+// no-op slots, evenly spaced so every node accumulates harvest between
+// opportunities. RR3 has no no-ops; RR12 gives each node 12 slots of
+// harvesting per attempt.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "data/activity.hpp"
+
+namespace origin::core {
+
+class ExtendedRoundRobin {
+ public:
+  /// `cycle_len` must be a positive multiple of the sensor count (3).
+  explicit ExtendedRoundRobin(int cycle_len);
+
+  int cycle_len() const { return cycle_len_; }
+  /// Slots between consecutive opportunities (= cycle_len / 3).
+  int gap() const { return gap_; }
+
+  /// True if some sensor's activation opportunity falls on `slot`.
+  bool is_opportunity(int slot) const;
+
+  /// Which of the cycle's three opportunities `slot` is (0..2); -1 for a
+  /// no-op slot.
+  int opportunity_index(int slot) const;
+
+  /// The sensor the *plain* rotation activates at `slot` (chest, right
+  /// wrist, left ankle — the Fig. 3 order); activity-aware policies
+  /// override this choice. Only valid on opportunity slots.
+  data::SensorLocation default_sensor(int slot) const;
+
+  /// Number of slots a given sensor waits between its own opportunities
+  /// under the plain rotation (= cycle_len).
+  int harvest_slots_per_attempt() const { return cycle_len_; }
+
+  /// Human-readable unrolled schedule ("chest", "no-op", ...) for `slots`
+  /// slots — used by the Fig. 3 reproduction.
+  std::vector<std::string> unroll(int slots) const;
+
+  std::string name() const { return "RR" + std::to_string(cycle_len_); }
+
+ private:
+  int cycle_len_;
+  int gap_;
+};
+
+}  // namespace origin::core

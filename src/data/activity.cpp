@@ -1,0 +1,105 @@
+#include "data/activity.hpp"
+
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace origin::data {
+
+std::array<SensorLocation, kNumSensors> all_sensors() {
+  return {SensorLocation::Chest, SensorLocation::RightWrist,
+          SensorLocation::LeftAnkle};
+}
+
+const char* to_string(Activity a) {
+  switch (a) {
+    case Activity::Walking: return "walking";
+    case Activity::Climbing: return "climbing";
+    case Activity::Cycling: return "cycling";
+    case Activity::Running: return "running";
+    case Activity::Jogging: return "jogging";
+    case Activity::Jumping: return "jumping";
+  }
+  return "?";
+}
+
+const char* to_string(SensorLocation s) {
+  switch (s) {
+    case SensorLocation::Chest: return "chest";
+    case SensorLocation::LeftAnkle: return "left_ankle";
+    case SensorLocation::RightWrist: return "right_wrist";
+  }
+  return "?";
+}
+
+double activity_intensity(Activity a) {
+  switch (a) {
+    case Activity::Walking: return 1.0;
+    case Activity::Climbing: return 1.5;
+    case Activity::Cycling: return 2.0;
+    case Activity::Jogging: return 2.5;
+    case Activity::Jumping: return 3.0;
+    case Activity::Running: return 3.2;
+  }
+  return 1.0;
+}
+
+const char* to_string(DatasetKind k) {
+  switch (k) {
+    case DatasetKind::MHealthLike: return "mhealth";
+    case DatasetKind::Pamap2Like: return "pamap2";
+  }
+  return "?";
+}
+
+Activity activity_from_string(const std::string& name) {
+  const std::string n = util::to_lower(util::trim(name));
+  for (int i = 0; i < kNumActivityKinds; ++i) {
+    const auto a = static_cast<Activity>(i);
+    if (n == to_string(a)) return a;
+  }
+  throw std::invalid_argument("unknown activity: " + name);
+}
+
+SensorLocation sensor_from_string(const std::string& name) {
+  const std::string n = util::to_lower(util::trim(name));
+  for (int i = 0; i < kNumSensors; ++i) {
+    const auto s = static_cast<SensorLocation>(i);
+    if (n == to_string(s)) return s;
+  }
+  throw std::invalid_argument("unknown sensor location: " + name);
+}
+
+int DatasetSpec::class_of(Activity a) const {
+  for (std::size_t i = 0; i < activities.size(); ++i) {
+    if (activities[i] == a) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Activity DatasetSpec::activity_of(int class_id) const {
+  if (class_id < 0 || class_id >= num_classes()) {
+    throw std::out_of_range("DatasetSpec::activity_of: bad class id");
+  }
+  return activities[static_cast<std::size_t>(class_id)];
+}
+
+DatasetSpec dataset_spec(DatasetKind kind) {
+  DatasetSpec spec;
+  spec.kind = kind;
+  switch (kind) {
+    case DatasetKind::MHealthLike:
+      spec.activities = {Activity::Walking, Activity::Climbing,
+                         Activity::Cycling, Activity::Running,
+                         Activity::Jogging, Activity::Jumping};
+      break;
+    case DatasetKind::Pamap2Like:
+      spec.activities = {Activity::Walking, Activity::Climbing,
+                         Activity::Cycling, Activity::Running,
+                         Activity::Jumping};
+      break;
+  }
+  return spec;
+}
+
+}  // namespace origin::data

@@ -1,0 +1,80 @@
+// Activity and sensor-placement taxonomy for the body-area network: three
+// IMU nodes (chest, left ankle, right wrist) and the activity sets of the
+// two evaluation datasets (MHEALTH-like: 6 classes; PAMAP2-like: 5).
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+namespace origin::data {
+
+enum class Activity {
+  Walking = 0,
+  Climbing = 1,  // climbing stairs
+  Cycling = 2,
+  Running = 3,
+  Jogging = 4,
+  Jumping = 5,
+};
+
+inline constexpr int kNumActivityKinds = 6;
+
+enum class SensorLocation {
+  Chest = 0,
+  LeftAnkle = 1,
+  RightWrist = 2,
+};
+
+inline constexpr int kNumSensors = 3;
+
+/// All sensor locations in scheduling order (matches Fig. 3's cycle:
+/// chest, right wrist, left ankle).
+std::array<SensorLocation, kNumSensors> all_sensors();
+
+const char* to_string(Activity a);
+const char* to_string(SensorLocation s);
+
+/// Metabolic/kinematic intensity scale used both for Markov transition
+/// plausibility and for drawing whole-body ambiguous moments: adjacent
+/// intensities are the activities people actually drift between.
+double activity_intensity(Activity a);
+
+/// Parses a name produced by to_string (case-insensitive). Throws
+/// std::invalid_argument on unknown names.
+Activity activity_from_string(const std::string& name);
+SensorLocation sensor_from_string(const std::string& name);
+
+enum class DatasetKind {
+  MHealthLike = 0,
+  Pamap2Like = 1,
+};
+
+const char* to_string(DatasetKind k);
+
+struct DatasetSpec {
+  DatasetKind kind = DatasetKind::MHealthLike;
+  /// Activities present, in label order: class id == index here.
+  std::vector<Activity> activities;
+  int sample_rate_hz = 50;
+  int window_len = 64;     // samples per window (~1.28 s)
+  int channels = 6;        // 3-axis accelerometer + 3-axis gyroscope
+  int stride = 25;         // window stride in samples (0.5 s slot)
+
+  int num_classes() const { return static_cast<int>(activities.size()); }
+  /// Class id for an activity; -1 if absent from this dataset.
+  int class_of(Activity a) const;
+  Activity activity_of(int class_id) const;
+  double slot_seconds() const {
+    return static_cast<double>(stride) / sample_rate_hz;
+  }
+  double window_seconds() const {
+    return static_cast<double>(window_len) / sample_rate_hz;
+  }
+};
+
+/// MHEALTH-like: walking, climbing, cycling, running, jogging, jumping.
+/// PAMAP2-like: walking, climbing, cycling, running, jumping.
+DatasetSpec dataset_spec(DatasetKind kind);
+
+}  // namespace origin::data

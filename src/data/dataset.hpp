@@ -1,0 +1,69 @@
+// Dataset builders: i.i.d. labeled windows for training/calibration, and
+// time-continuous multi-sensor streams (Markov activity sequence) for the
+// scheduling/ensemble simulations.
+#pragma once
+
+#include <array>
+#include <optional>
+#include <vector>
+
+#include "data/activity.hpp"
+#include "data/markov.hpp"
+#include "data/signal_model.hpp"
+#include "data/user_profile.hpp"
+#include "nn/trainer.hpp"
+
+namespace origin::data {
+
+/// One scheduler slot of the synchronized body-area network stream: the
+/// ground-truth activity and the window each sensor would sample.
+struct SlotSample {
+  int label = 0;
+  Activity activity = Activity::Walking;
+  double t0_s = 0.0;
+  /// True when this instant was a whole-body ambiguous moment (analysis
+  /// only; policies never see it).
+  bool ambiguous = false;
+  std::array<nn::Tensor, kNumSensors> windows;
+};
+
+struct Stream {
+  DatasetSpec spec;
+  UserProfile user;
+  std::vector<ActivitySegment> segments;
+  std::vector<SlotSample> slots;
+
+  double duration_s() const {
+    return static_cast<double>(slots.size()) * spec.slot_seconds();
+  }
+};
+
+/// Labeled i.i.d. windows (`per_class` each) for one sensor location.
+nn::Samples make_training_set(const DatasetSpec& spec, SensorLocation loc,
+                              int per_class, const UserProfile& user,
+                              std::uint64_t seed);
+
+struct StreamConfig {
+  MarkovConfig markov;
+  /// If set, white Gaussian noise at this SNR (dB) is added to every
+  /// window (Fig. 6's noisy unseen-user condition).
+  std::optional<double> snr_db;
+  /// Execution style evolves smoothly: new style anchors are drawn every
+  /// this many slots and interpolated between (people drift in and out of
+  /// sloppy form over seconds, not per 0.5 s window).
+  int style_anchor_slots = 4;
+  /// Whole-body ambiguous episodes: mean episode length and mean gap
+  /// between episodes, in seconds (duty ~= len / (len + gap)).
+  double ambiguous_len_s = 2.5;
+  double ambiguous_gap_s = 5.0;
+};
+
+/// A `num_slots`-slot synchronized stream for all three sensors.
+Stream make_stream(const DatasetSpec& spec, int num_slots,
+                   const UserProfile& user, std::uint64_t seed,
+                   const StreamConfig& config = {});
+
+/// Per-class sample counts of a training set (sanity checks / tests).
+std::vector<int> class_histogram(const nn::Samples& samples, int num_classes);
+
+}  // namespace origin::data

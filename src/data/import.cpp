@@ -1,0 +1,71 @@
+#include "data/import.hpp"
+
+#include <stdexcept>
+
+#include "util/csv.hpp"
+
+namespace origin::data {
+
+void save_samples_csv(const std::string& path, const nn::Samples& samples,
+                      const DatasetSpec& spec) {
+  const std::size_t expected =
+      static_cast<std::size_t>(spec.channels) *
+      static_cast<std::size_t>(spec.window_len);
+  util::CsvWriter writer(path);
+  std::vector<std::string> header{"label"};
+  for (int c = 0; c < spec.channels; ++c) {
+    for (int t = 0; t < spec.window_len; ++t) {
+      header.push_back("c" + std::to_string(c) + "_t" + std::to_string(t));
+    }
+  }
+  writer.write_row(header);
+  for (const auto& s : samples) {
+    if (s.input.size() != expected) {
+      throw std::invalid_argument("save_samples_csv: window shape mismatch");
+    }
+    std::vector<double> row;
+    row.reserve(expected + 1);
+    row.push_back(static_cast<double>(s.label));
+    for (std::size_t i = 0; i < s.input.size(); ++i) {
+      row.push_back(static_cast<double>(s.input[i]));
+    }
+    writer.write_row(row);
+  }
+  writer.flush();
+}
+
+nn::Samples load_samples_csv(const std::string& path, const DatasetSpec& spec) {
+  const auto rows = util::read_csv(path);
+  if (rows.empty()) throw std::runtime_error("load_samples_csv: empty file");
+  const std::size_t expected =
+      static_cast<std::size_t>(spec.channels) *
+      static_cast<std::size_t>(spec.window_len);
+  if (rows[0].size() != expected + 1) {
+    throw std::runtime_error("load_samples_csv: column count mismatch (got " +
+                             std::to_string(rows[0].size()) + ", expected " +
+                             std::to_string(expected + 1) + ")");
+  }
+  nn::Samples samples;
+  samples.reserve(rows.size() - 1);
+  for (std::size_t r = 1; r < rows.size(); ++r) {
+    const auto& row = rows[r];
+    if (row.size() != expected + 1) {
+      throw std::runtime_error("load_samples_csv: ragged row " + std::to_string(r));
+    }
+    nn::LabeledSample sample;
+    sample.label = std::stoi(row[0]);
+    if (sample.label < 0 || sample.label >= spec.num_classes()) {
+      throw std::runtime_error("load_samples_csv: label out of range in row " +
+                               std::to_string(r));
+    }
+    std::vector<float> values(expected);
+    for (std::size_t i = 0; i < expected; ++i) {
+      values[i] = std::stof(row[i + 1]);
+    }
+    sample.input = nn::Tensor({spec.channels, spec.window_len}, std::move(values));
+    samples.push_back(std::move(sample));
+  }
+  return samples;
+}
+
+}  // namespace origin::data

@@ -1,0 +1,57 @@
+// Markov activity-sequence generation. Human activity has temporal
+// continuity (paper §III-A: activities last hundreds of ms to seconds and
+// don't stop abruptly) — dwell times are lognormal with means of several
+// seconds, and transitions prefer kinesiologically adjacent activities.
+// This continuity is exactly what AAS anticipation and recall exploit.
+#pragma once
+
+#include <vector>
+
+#include "data/activity.hpp"
+#include "util/rng.hpp"
+
+namespace origin::data {
+
+struct MarkovConfig {
+  /// Mean activity dwell time in seconds (lognormal). Activity bouts in
+  /// protocol recordings like MHEALTH last tens of seconds to minutes —
+  /// long relative to the schedule rotation (6 s for RR12), as the recall
+  /// hypothesis requires.
+  double mean_dwell_s = 25.0;
+  /// Sigma of the underlying normal of the lognormal dwell.
+  double dwell_sigma = 0.45;
+  /// Minimum dwell so no activity is shorter than a few windows.
+  double min_dwell_s = 5.0;
+};
+
+struct ActivitySegment {
+  Activity activity = Activity::Walking;
+  double start_s = 0.0;
+  double duration_s = 0.0;
+  double end_s() const { return start_s + duration_s; }
+};
+
+class ActivityMarkov {
+ public:
+  ActivityMarkov(DatasetSpec spec, MarkovConfig config = {});
+
+  /// Generates contiguous segments covering [0, total_s).
+  std::vector<ActivitySegment> generate(double total_s, util::Rng& rng) const;
+
+  /// Transition weight from `from` to `to` (self-transitions excluded by
+  /// construction: dwell time already models persistence).
+  double transition_weight(Activity from, Activity to) const;
+
+  const DatasetSpec& spec() const { return spec_; }
+  const MarkovConfig& config() const { return config_; }
+
+ private:
+  DatasetSpec spec_;
+  MarkovConfig config_;
+};
+
+/// Activity at absolute time `t_s`, by binary search over segments.
+/// Returns the last segment's activity for t beyond the end.
+Activity activity_at(const std::vector<ActivitySegment>& segments, double t_s);
+
+}  // namespace origin::data

@@ -1,0 +1,28 @@
+#include "data/user_profile.hpp"
+
+#include <algorithm>
+
+#include "util/rng.hpp"
+
+namespace origin::data {
+
+UserProfile reference_user() { return UserProfile{}; }
+
+UserProfile random_user(int index, util::Rng& rng, double severity) {
+  if (severity < 0.0) severity = 0.0;
+  UserProfile u;
+  u.name = "user" + std::to_string(index);
+  u.freq_scale = std::clamp(1.0 + severity * rng.gauss(0.0, 0.08), 0.75, 1.25);
+  u.amp_scale = std::clamp(1.0 + severity * rng.gauss(0.0, 0.12), 0.6, 1.4);
+  u.phase_jitter = severity * rng.uniform(0.0, 0.6);
+  u.noise_scale =
+      std::clamp(1.0 + severity * rng.gauss(0.15, 0.15), 0.8, 1.6);
+  u.style_shift = severity * rng.uniform(0.0, 0.25);
+  // One sensor sits badly on most real users (a loose strap, a rotated
+  // mount): its signal is markedly noisier for this wearer.
+  const auto bad = static_cast<std::size_t>(rng.below(3));
+  u.placement_noise[bad] = 1.0 + severity * rng.uniform(0.7, 1.6);
+  return u;
+}
+
+}  // namespace origin::data

@@ -1,0 +1,46 @@
+// Per-user gait parameters. The training corpus uses the reference user;
+// the Fig. 6 personalization experiment synthesizes unseen users whose
+// tempo/intensity/style deviate from the training distribution.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace origin::util {
+class Rng;
+}
+
+namespace origin::data {
+
+struct UserProfile {
+  std::string name = "reference";
+  /// Multiplies every activity's fundamental frequency (gait tempo).
+  double freq_scale = 1.0;
+  /// Multiplies motion amplitudes (motion intensity).
+  double amp_scale = 1.0;
+  /// Random phase offset range added per channel (radians).
+  double phase_jitter = 0.0;
+  /// Multiplies the sensor-noise floor.
+  double noise_scale = 1.0;
+  /// Blends the activity signature toward its confusable neighbour
+  /// (idiosyncratic style); 0 = textbook execution of the activity.
+  double style_shift = 0.0;
+  /// Per-sensor placement quality (indexed by SensorLocation): a loose
+  /// wrist strap or a shifted chest mount multiplies that sensor's noise
+  /// floor for this user. This is the asymmetric, user-specific
+  /// degradation the adaptive confidence matrix learns to discount
+  /// (Fig. 6).
+  std::array<double, 3> placement_noise = {1.0, 1.0, 1.0};
+};
+
+/// The user the training sets are generated from.
+UserProfile reference_user();
+
+/// A previously-unseen user: deviations drawn from `rng`; `index` only
+/// names the profile. `severity` scales every deviation from the
+/// reference user (1.0 = the full population spread; ~0.5 = the mild
+/// shifts of a cooperative study participant).
+UserProfile random_user(int index, util::Rng& rng, double severity = 1.0);
+
+}  // namespace origin::data

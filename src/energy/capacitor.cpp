@@ -1,0 +1,44 @@
+#include "energy/capacitor.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace origin::energy {
+
+Capacitor::Capacitor(double capacity_j, double initial_j, double leakage_w)
+    : capacity_(capacity_j),
+      stored_(std::clamp(initial_j, 0.0, capacity_j)),
+      leakage_(leakage_w) {
+  if (capacity_j <= 0.0) throw std::invalid_argument("Capacitor: capacity <= 0");
+  if (leakage_w < 0.0) throw std::invalid_argument("Capacitor: negative leakage");
+}
+
+double Capacitor::harvest(double joules) {
+  if (joules < 0.0) throw std::invalid_argument("Capacitor::harvest: negative energy");
+  const double stored = std::min(joules, capacity_ - stored_);
+  stored_ += stored;
+  return stored;
+}
+
+bool Capacitor::try_draw(double joules) {
+  if (joules < 0.0) throw std::invalid_argument("Capacitor::try_draw: negative energy");
+  // Relative tolerance so accumulated floating-point round-off from many
+  // harvest/draw cycles cannot spuriously refuse a full draw.
+  if (stored_ + 1e-9 * joules < joules) return false;
+  stored_ = std::max(0.0, stored_ - joules);
+  return true;
+}
+
+double Capacitor::draw_up_to(double joules) {
+  if (joules < 0.0) throw std::invalid_argument("Capacitor::draw_up_to: negative energy");
+  const double drawn = std::min(joules, stored_);
+  stored_ -= drawn;
+  return drawn;
+}
+
+void Capacitor::leak(double dt_s) {
+  if (dt_s < 0.0) throw std::invalid_argument("Capacitor::leak: negative dt");
+  stored_ = std::max(0.0, stored_ - leakage_ * dt_s);
+}
+
+}  // namespace origin::energy

@@ -1,0 +1,43 @@
+// Energy storage of a harvesting node, modeled as an energy bucket with
+// finite capacity and constant leakage. (Voltage dynamics of a real
+// supercap are below the abstraction the scheduler observes — whether a
+// full inference's worth of energy is available.)
+#pragma once
+
+namespace origin::energy {
+
+class Capacitor {
+ public:
+  /// `capacity_j` > 0; `initial_j` clamped to [0, capacity];
+  /// `leakage_w` >= 0 drains continuously.
+  explicit Capacitor(double capacity_j, double initial_j = 0.0,
+                     double leakage_w = 0.0);
+
+  /// Adds harvested energy, clamped at capacity. Returns energy actually
+  /// stored (excess is lost — harvester saturation).
+  double harvest(double joules);
+
+  /// Atomically draws `joules` if fully available; returns false (and
+  /// draws nothing) otherwise — wait-compute semantics.
+  bool try_draw(double joules);
+
+  /// Draws up to `joules`, returns the amount actually drawn — eager
+  /// (naive) execution that dies mid-inference.
+  double draw_up_to(double joules);
+
+  /// Applies leakage over `dt_s` seconds.
+  void leak(double dt_s);
+
+  double stored_j() const { return stored_; }
+  double capacity_j() const { return capacity_; }
+  double leakage_w() const { return leakage_; }
+  double headroom_j() const { return capacity_ - stored_; }
+  bool full() const { return stored_ >= capacity_; }
+
+ private:
+  double capacity_;
+  double stored_;
+  double leakage_;
+};
+
+}  // namespace origin::energy

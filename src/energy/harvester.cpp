@@ -1,0 +1,31 @@
+#include "energy/harvester.hpp"
+
+#include <stdexcept>
+
+namespace origin::energy {
+
+Harvester::Harvester(const PowerTrace* trace, double efficiency, double scale,
+                     double offset_s)
+    : trace_(trace), efficiency_(efficiency), scale_(scale), offset_s_(offset_s) {
+  if (!trace_) throw std::invalid_argument("Harvester: null trace");
+  if (efficiency <= 0.0 || efficiency > 1.0) {
+    throw std::invalid_argument("Harvester: efficiency out of (0, 1]");
+  }
+  if (scale <= 0.0) throw std::invalid_argument("Harvester: scale <= 0");
+  if (offset_s < 0.0) throw std::invalid_argument("Harvester: negative offset");
+}
+
+double Harvester::harvested_j(double t0_s, double t1_s) const {
+  return efficiency_ * scale_ *
+         trace_->energy_between(t0_s + offset_s_, t1_s + offset_s_);
+}
+
+double Harvester::power_w(double t_s) const {
+  return efficiency_ * scale_ * trace_->power_at(t_s + offset_s_);
+}
+
+double Harvester::average_power_w() const {
+  return efficiency_ * scale_ * trace_->average_power_w();
+}
+
+}  // namespace origin::energy

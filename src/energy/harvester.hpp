@@ -1,0 +1,35 @@
+// Binds a node to the shared RF environment: each node sees the ambient
+// power trace through its own conversion efficiency, antenna/location
+// scale, and a time offset (nodes sit at different spots of the room, so
+// their burst patterns are decorrelated).
+#pragma once
+
+#include "energy/power_trace.hpp"
+
+namespace origin::energy {
+
+class Harvester {
+ public:
+  /// `trace` must outlive the harvester.
+  Harvester(const PowerTrace* trace, double efficiency, double scale,
+            double offset_s);
+
+  /// Energy delivered to the node's storage over [t0, t1].
+  double harvested_j(double t0_s, double t1_s) const;
+
+  /// Node-side instantaneous power at time t.
+  double power_w(double t_s) const;
+
+  double average_power_w() const;
+  double efficiency() const { return efficiency_; }
+  double scale() const { return scale_; }
+  double offset_s() const { return offset_s_; }
+
+ private:
+  const PowerTrace* trace_;
+  double efficiency_;
+  double scale_;
+  double offset_s_;
+};
+
+}  // namespace origin::energy

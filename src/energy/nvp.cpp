@@ -1,0 +1,74 @@
+#include "energy/nvp.hpp"
+
+#include <algorithm>
+
+namespace origin::energy {
+
+NvpCore::NvpCore(NvpConfig config) : config_(config) {
+  if (config_.checkpoint_j < 0.0 || config_.restore_j < 0.0) {
+    throw std::invalid_argument("NvpCore: negative checkpoint/restore cost");
+  }
+}
+
+void NvpCore::begin_task(double total_j) {
+  if (total_j <= 0.0) throw std::invalid_argument("NvpCore::begin_task: total <= 0");
+  active_ = true;
+  total_j_ = total_j;
+  progress_j_ = 0.0;
+}
+
+double NvpCore::progress() const {
+  if (!active_ || total_j_ <= 0.0) return 0.0;
+  return progress_j_ / total_j_;
+}
+
+void NvpCore::abort_task() {
+  active_ = false;
+  total_j_ = 0.0;
+  progress_j_ = 0.0;
+}
+
+NvpCore::Advance NvpCore::advance(double allowance_j) {
+  if (allowance_j < 0.0) throw std::invalid_argument("NvpCore::advance: negative allowance");
+  Advance result;
+  if (!active_) return result;
+
+  double budget = allowance_j;
+
+  // Resume cost for a previously suspended task.
+  if (config_.enabled && suspended()) {
+    if (budget < config_.restore_j) {
+      // Not even enough to restore; nothing happens, state stays in NVM.
+      return result;
+    }
+    budget -= config_.restore_j;
+    result.consumed_j += config_.restore_j;
+    ++restores_;
+  }
+
+  const double needed = total_j_ - progress_j_;
+  if (budget >= needed) {
+    result.consumed_j += needed;
+    result.completed = true;
+    active_ = false;
+    total_j_ = 0.0;
+    progress_j_ = 0.0;
+    return result;
+  }
+
+  // Power emergency: the allowance ran out mid-task.
+  if (config_.enabled) {
+    // Reserve checkpoint energy out of the budget; the rest is real work.
+    const double work = std::max(0.0, budget - config_.checkpoint_j);
+    progress_j_ += work;
+    result.consumed_j += budget;
+    if (budget > 0.0) ++checkpoints_;
+  } else {
+    // Volatile core: the work is burned and lost.
+    result.consumed_j += budget;
+    progress_j_ = 0.0;
+  }
+  return result;
+}
+
+}  // namespace origin::energy

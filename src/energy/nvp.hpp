@@ -1,0 +1,63 @@
+// Non-volatile processor (NVP) execution model (paper refs [6],[9]): an
+// inference is a fixed amount of compute energy; when the supply dies
+// mid-task an NVP checkpoints its progress (paying a checkpoint cost) and
+// resumes later after a restore, so partial work is never lost. A volatile
+// core loses all progress on every power emergency.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+namespace origin::energy {
+
+struct NvpConfig {
+  bool enabled = true;
+  /// Energy to checkpoint architectural state to NVM on power loss.
+  double checkpoint_j = 0.05e-6;
+  /// Energy to restore state when resuming a suspended task.
+  double restore_j = 0.05e-6;
+};
+
+class NvpCore {
+ public:
+  explicit NvpCore(NvpConfig config = {});
+
+  /// Begins a task needing `total_j` of compute energy. Any previously
+  /// suspended task is abandoned.
+  void begin_task(double total_j);
+
+  struct Advance {
+    double consumed_j = 0.0;  // energy actually consumed this advance
+    bool completed = false;
+  };
+
+  /// Runs the current task with an energy allowance. Consumes up to the
+  /// allowance; if the task cannot finish, a volatile core loses all
+  /// progress, an NVP checkpoints (consuming checkpoint_j out of the
+  /// allowance) and keeps the remainder for next time. Resuming a
+  /// suspended task first pays the restore cost.
+  Advance advance(double allowance_j);
+
+  bool task_active() const { return active_; }
+  bool suspended() const { return active_ && progress_j_ > 0.0; }
+  /// Completed fraction of the current task in [0, 1].
+  double progress() const;
+  double remaining_j() const { return active_ ? total_j_ - progress_j_ : 0.0; }
+  const NvpConfig& config() const { return config_; }
+
+  /// Abandons the current task (e.g. its input window became stale).
+  void abort_task();
+
+  std::uint64_t checkpoints() const { return checkpoints_; }
+  std::uint64_t restores() const { return restores_; }
+
+ private:
+  NvpConfig config_;
+  bool active_ = false;
+  double total_j_ = 0.0;
+  double progress_j_ = 0.0;
+  std::uint64_t checkpoints_ = 0;
+  std::uint64_t restores_ = 0;
+};
+
+}  // namespace origin::energy

@@ -1,0 +1,130 @@
+#include "energy/power_trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/csv.hpp"
+#include "util/rng.hpp"
+
+namespace origin::energy {
+
+PowerTrace::PowerTrace(std::vector<double> samples_w, double dt_s)
+    : samples_(std::move(samples_w)), dt_s_(dt_s) {
+  if (samples_.empty()) throw std::invalid_argument("PowerTrace: empty trace");
+  if (dt_s_ <= 0.0) throw std::invalid_argument("PowerTrace: dt <= 0");
+  for (double p : samples_) {
+    if (p < 0.0) throw std::invalid_argument("PowerTrace: negative power");
+  }
+  prefix_j_.resize(samples_.size() + 1, 0.0);
+  for (std::size_t i = 0; i < samples_.size(); ++i) {
+    prefix_j_[i + 1] = prefix_j_[i] + samples_[i] * dt_s_;
+  }
+}
+
+PowerTrace PowerTrace::generate_wifi_office(const TraceConfig& config,
+                                            std::uint64_t seed) {
+  if (config.duration_s <= 0.0 || config.dt_s <= 0.0) {
+    throw std::invalid_argument("generate_wifi_office: bad duration/dt");
+  }
+  util::Rng rng(seed);
+  const auto n = static_cast<std::size_t>(std::ceil(config.duration_s / config.dt_s));
+  std::vector<double> samples(n, config.background_w);
+  // Alternate idle/burst periods; each burst holds one lognormal power
+  // level (an ongoing transfer) with small per-sample flicker.
+  const double mu = std::log(config.burst_power_w);
+  double t = rng.exponential(config.mean_idle_s);  // start mid-idle
+  while (t < config.duration_s) {
+    const double burst_len = rng.exponential(config.mean_burst_s);
+    const double level = rng.lognormal(mu, config.burst_sigma);
+    const auto begin = static_cast<std::size_t>(t / config.dt_s);
+    const auto end = std::min(
+        n, static_cast<std::size_t>((t + burst_len) / config.dt_s) + 1);
+    for (std::size_t i = begin; i < end; ++i) {
+      const double flicker = std::max(0.2, rng.gauss(1.0, 0.15));
+      samples[i] = config.background_w + level * flicker;
+    }
+    t += burst_len + rng.exponential(config.mean_idle_s);
+  }
+  return PowerTrace(std::move(samples), config.dt_s);
+}
+
+double PowerTrace::duration_s() const {
+  return static_cast<double>(samples_.size()) * dt_s_;
+}
+
+double PowerTrace::power_at(double t_s) const {
+  if (t_s < 0.0) throw std::invalid_argument("PowerTrace::power_at: t < 0");
+  const double wrapped = std::fmod(t_s, duration_s());
+  auto idx = static_cast<std::size_t>(wrapped / dt_s_);
+  if (idx >= samples_.size()) idx = samples_.size() - 1;
+  return samples_[idx];
+}
+
+double PowerTrace::energy_between(double t0_s, double t1_s) const {
+  if (t0_s < 0.0 || t1_s < t0_s) {
+    throw std::invalid_argument("PowerTrace::energy_between: bad interval");
+  }
+  const double period = duration_s();
+  const double total_per_loop = prefix_j_.back();
+
+  // Energy over [0, t) for t within one period.
+  auto energy_from_zero = [&](double t) {
+    const auto full = static_cast<std::size_t>(t / dt_s_);
+    const std::size_t idx = std::min(full, samples_.size());
+    double e = prefix_j_[idx];
+    if (idx < samples_.size()) {
+      e += samples_[idx] * (t - static_cast<double>(idx) * dt_s_);
+    }
+    return e;
+  };
+  auto absolute_energy = [&](double t) {
+    const double loops = std::floor(t / period);
+    return loops * total_per_loop + energy_from_zero(t - loops * period);
+  };
+  return absolute_energy(t1_s) - absolute_energy(t0_s);
+}
+
+double PowerTrace::average_power_w() const {
+  return prefix_j_.back() / duration_s();
+}
+
+double PowerTrace::peak_power_w() const {
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+double PowerTrace::duty_cycle(double threshold_w) const {
+  std::size_t above = 0;
+  for (double p : samples_) {
+    if (p > threshold_w) ++above;
+  }
+  return static_cast<double>(above) / static_cast<double>(samples_.size());
+}
+
+void PowerTrace::save_csv(const std::string& path) const {
+  util::CsvWriter writer(path);
+  writer.write_row(std::vector<std::string>{"time_s", "power_w"});
+  for (std::size_t i = 0; i < samples_.size(); ++i) {
+    writer.write_row(std::vector<double>{static_cast<double>(i) * dt_s_, samples_[i]});
+  }
+}
+
+PowerTrace PowerTrace::load_csv(const std::string& path) {
+  const auto rows = util::read_csv(path);
+  if (rows.size() < 3) throw std::runtime_error("PowerTrace::load_csv: too few rows");
+  std::vector<double> samples;
+  samples.reserve(rows.size() - 1);
+  double dt = 0.0;
+  double prev_t = 0.0;
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    if (rows[i].size() < 2) throw std::runtime_error("PowerTrace::load_csv: bad row");
+    const double t = std::stod(rows[i][0]);
+    samples.push_back(std::stod(rows[i][1]));
+    if (i == 2) dt = t - prev_t;
+    prev_t = t;
+  }
+  if (dt <= 0.0) throw std::runtime_error("PowerTrace::load_csv: bad timestamps");
+  return PowerTrace(std::move(samples), dt);
+}
+
+}  // namespace origin::energy

@@ -1,0 +1,61 @@
+// RF (WiFi) harvest power traces. The paper replays a real trace captured
+// in an office; we synthesize an equivalent: bursty on/off behaviour with
+// exponential burst/idle durations, lognormal per-burst power, and a faint
+// ambient background — the statistics that matter to the scheduler are the
+// duty cycle and the heavy-tailed burst power, both of which this model
+// reproduces (see DESIGN.md substitutions).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace origin::energy {
+
+struct TraceConfig {
+  double dt_s = 0.1;            // sample period
+  double duration_s = 1800.0;   // trace length before it loops
+  double mean_burst_s = 2.5;    // exponential mean burst duration
+  double mean_idle_s = 6.0;     // exponential mean idle duration
+  double burst_power_w = 1.6e-6;  // median power while a burst is active
+  double burst_sigma = 0.6;       // lognormal sigma of per-burst power
+  double background_w = 0.05e-6;  // ambient RF floor
+};
+
+/// Piecewise-constant power-vs-time trace that loops past its end.
+class PowerTrace {
+ public:
+  PowerTrace(std::vector<double> samples_w, double dt_s);
+
+  /// Synthesizes an office-WiFi-like trace.
+  static PowerTrace generate_wifi_office(const TraceConfig& config,
+                                         std::uint64_t seed);
+
+  /// Instantaneous power at absolute time t (trace loops).
+  double power_at(double t_s) const;
+
+  /// Exact integral of power over [t0, t1], loop-aware, O(1) via prefix
+  /// sums. Requires t1 >= t0 >= 0.
+  double energy_between(double t0_s, double t1_s) const;
+
+  double average_power_w() const;
+  double peak_power_w() const;
+  /// Fraction of samples above `threshold_w` (measures burst duty cycle).
+  double duty_cycle(double threshold_w) const;
+
+  double dt() const { return dt_s_; }
+  double duration_s() const;
+  std::size_t sample_count() const { return samples_.size(); }
+  const std::vector<double>& samples() const { return samples_; }
+
+  /// CSV persistence: one `time_s,power_w` row per sample.
+  void save_csv(const std::string& path) const;
+  static PowerTrace load_csv(const std::string& path);
+
+ private:
+  std::vector<double> samples_;   // W
+  std::vector<double> prefix_j_;  // prefix_j_[i] = energy of samples [0, i)
+  double dt_s_ = 0.1;
+};
+
+}  // namespace origin::energy

@@ -1,0 +1,34 @@
+#include "net/host.hpp"
+
+namespace origin::net {
+
+void HostDevice::update_vote(data::SensorLocation sensor,
+                             const Classification& c, double timestamp_s) {
+  auto& slot = votes_[static_cast<std::size_t>(sensor)];
+  slot = RecalledVote{c, timestamp_s, /*fresh=*/true};
+}
+
+void HostDevice::age_votes() {
+  for (auto& v : votes_) {
+    if (v) v->fresh = false;
+  }
+}
+
+const std::optional<RecalledVote>& HostDevice::vote(
+    data::SensorLocation sensor) const {
+  return votes_[static_cast<std::size_t>(sensor)];
+}
+
+int HostDevice::populated() const {
+  int n = 0;
+  for (const auto& v : votes_) {
+    if (v) ++n;
+  }
+  return n;
+}
+
+void HostDevice::clear() {
+  for (auto& v : votes_) v.reset();
+}
+
+}  // namespace origin::net

@@ -1,0 +1,47 @@
+// Battery-backed host device (mobile phone). Holds the recall buffer: the
+// most recent classification each sensor reported, so non-scheduled
+// sensors still participate in the ensemble (paper §III-B, Recall). The
+// ensemble arithmetic itself lives in core/ — the host is deliberately
+// dumb storage, matching the paper's "minimal overhead on the host".
+#pragma once
+
+#include <array>
+#include <optional>
+
+#include "data/activity.hpp"
+#include "net/message.hpp"
+
+namespace origin::net {
+
+struct RecalledVote {
+  Classification classification;
+  double timestamp_s = 0.0;
+  /// True when the vote was produced in the current slot (fresh) rather
+  /// than recalled from an earlier one.
+  bool fresh = false;
+};
+
+class HostDevice {
+ public:
+  /// Records a successful classification from `sensor`.
+  void update_vote(data::SensorLocation sensor, const Classification& c,
+                   double timestamp_s);
+
+  /// Marks every stored vote as stale (start of a new slot).
+  void age_votes();
+
+  const std::optional<RecalledVote>& vote(data::SensorLocation sensor) const;
+  const std::array<std::optional<RecalledVote>, data::kNumSensors>& votes() const {
+    return votes_;
+  }
+
+  /// Number of sensors with any (fresh or recalled) vote.
+  int populated() const;
+
+  void clear();
+
+ private:
+  std::array<std::optional<RecalledVote>, data::kNumSensors> votes_;
+};
+
+}  // namespace origin::net

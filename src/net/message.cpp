@@ -1,0 +1,27 @@
+#include "net/message.hpp"
+
+#include "util/stats.hpp"
+
+namespace origin::net {
+
+Classification make_classification(std::vector<float> probs) {
+  Classification c;
+  c.predicted_class = static_cast<int>(util::argmax(probs));
+  c.confidence = util::probability_vector_variance(probs);
+  c.probs = std::move(probs);
+  return c;
+}
+
+std::size_t Message::payload_bytes() const {
+  switch (type) {
+    case MessageType::ClassificationResult:
+      // class id (1 B) + fixed-point confidence (2 B) + header (2 B)
+      return 5;
+    case MessageType::ActivationSignal:
+      // target id (1 B) + anticipated class (1 B) + header (2 B)
+      return 4;
+  }
+  return 4;
+}
+
+}  // namespace origin::net

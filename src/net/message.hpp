@@ -1,0 +1,45 @@
+// Wire-level vocabulary of the body-area network: classification results
+// flowing up to the host and activation signals between sensors (the AAS
+// "signal the next best sensor" hop, paper §III-B).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "data/activity.hpp"
+
+namespace origin::net {
+
+/// Output of one successful on-node inference.
+struct Classification {
+  int predicted_class = -1;
+  std::vector<float> probs;  // softmax output
+  /// Paper's confidence metric: variance of the softmax vector.
+  double confidence = 0.0;
+
+  bool valid() const { return predicted_class >= 0; }
+};
+
+/// Computes the paper's confidence (Var of softmax) for a probability
+/// vector and bundles it into a Classification.
+Classification make_classification(std::vector<float> probs);
+
+enum class MessageType {
+  ClassificationResult,  // sensor -> host: class id + confidence
+  ActivationSignal,      // sensor -> sensor: "you run the next inference"
+};
+
+struct Message {
+  MessageType type = MessageType::ClassificationResult;
+  data::SensorLocation from = data::SensorLocation::Chest;
+  data::SensorLocation to = data::SensorLocation::Chest;  // receiver (host
+                                                          // implied for results)
+  int predicted_class = -1;
+  double confidence = 0.0;
+  double timestamp_s = 0.0;
+
+  /// Payload size on the air — the paper's "few bytes".
+  std::size_t payload_bytes() const;
+};
+
+}  // namespace origin::net

@@ -1,0 +1,6 @@
+#include "net/radio.hpp"
+
+// RadioModel is a plain aggregate with inline cost formulas; this
+// translation unit exists so the module has a .cpp anchor and a home for
+// future modulation-dependent models.
+namespace origin::net {}

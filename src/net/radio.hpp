@@ -1,0 +1,26 @@
+// Radio energy/latency model (BLE-class link). The paper assumes the cost
+// is negligible because only a few bytes move per inference; we model it
+// anyway so that the assumption is checkable (abl_energy sweeps it).
+#pragma once
+
+#include "net/message.hpp"
+
+namespace origin::net {
+
+struct RadioModel {
+  double energy_per_byte_j = 0.2e-6;  // BLE-class TX energy
+  double tx_overhead_j = 0.5e-6;      // radio wakeup + sync per packet
+  double seconds_per_byte = 8.0e-6;   // ~1 Mbit/s effective
+  double tx_overhead_s = 1.5e-3;
+
+  double tx_energy_j(const Message& m) const {
+    return tx_overhead_j +
+           energy_per_byte_j * static_cast<double>(m.payload_bytes());
+  }
+  double tx_latency_s(const Message& m) const {
+    return tx_overhead_s +
+           seconds_per_byte * static_cast<double>(m.payload_bytes());
+  }
+};
+
+}  // namespace origin::net

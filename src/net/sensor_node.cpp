@@ -1,0 +1,129 @@
+#include "net/sensor_node.hpp"
+
+#include <stdexcept>
+
+namespace origin::net {
+
+SensorNode::SensorNode(data::SensorLocation location, nn::Sequential model,
+                       const std::vector<int>& input_shape,
+                       energy::Harvester harvester,
+                       const SensorNodeConfig& config)
+    : location_(location),
+      model_(std::move(model)),
+      cost_(nn::estimate_cost(model_, input_shape, config.compute)),
+      harvester_(harvester),
+      capacitor_(1.0),  // placeholder, re-built below once cost is known
+      nvp_(config.nvp),
+      radio_(config.radio),
+      trickle_power_w_(config.trickle_power_w) {
+  if (config.trickle_power_w < 0.0) {
+    throw std::invalid_argument("SensorNode: negative trickle power");
+  }
+  Message result_msg;
+  result_msg.type = MessageType::ClassificationResult;
+  total_cost_j_ = cost_.energy_j + radio_.tx_energy_j(result_msg);
+  if (config.capacitor_headroom < 1.0) {
+    throw std::invalid_argument(
+        "SensorNode: capacitor must hold at least one inference");
+  }
+  capacitor_ = energy::Capacitor(
+      config.capacitor_headroom * total_cost_j_,
+      config.initial_charge * config.capacitor_headroom * total_cost_j_,
+      config.leakage_w);
+}
+
+void SensorNode::accumulate(double t0_s, double t1_s) {
+  if (t1_s < t0_s) throw std::invalid_argument("SensorNode::accumulate: t1 < t0");
+  if (failed_) return;
+  const double harvested = harvester_.harvested_j(t0_s, t1_s) +
+                           trickle_power_w_ * (t1_s - t0_s);
+  counters_.harvested_j += capacitor_.harvest(harvested);
+  capacitor_.leak(t1_s - t0_s);
+}
+
+bool SensorNode::can_infer() const {
+  return !failed_ && capacitor_.stored_j() >= total_cost_j_;
+}
+
+std::optional<Classification> SensorNode::attempt_wait_compute(
+    const nn::Tensor& window) {
+  ++counters_.attempts;
+  if (failed_) {
+    ++counters_.skipped_no_energy;
+    return std::nullopt;
+  }
+  if (!capacitor_.try_draw(total_cost_j_)) {
+    ++counters_.skipped_no_energy;
+    return std::nullopt;
+  }
+  counters_.consumed_j += total_cost_j_;
+  ++counters_.completions;
+  return make_classification(model_.predict_proba(window));
+}
+
+std::optional<Classification> SensorNode::attempt_eager(
+    const nn::Tensor& window, double start_threshold_frac) {
+  ++counters_.attempts;
+  if (failed_) {
+    ++counters_.skipped_no_energy;
+    return std::nullopt;
+  }
+  if (!nvp_.task_active()) {
+    // New task: only begin once a minimal charge exists (a cold processor
+    // cannot even boot below this).
+    if (capacitor_.stored_j() < start_threshold_frac * total_cost_j_) {
+      ++counters_.skipped_no_energy;
+      return std::nullopt;
+    }
+    nvp_.begin_task(total_cost_j_);
+    pending_window_ = window;
+  }
+  const double allowance = capacitor_.stored_j();
+  const auto advance = nvp_.advance(allowance);
+  capacitor_.draw_up_to(advance.consumed_j);
+  counters_.consumed_j += advance.consumed_j;
+  if (!advance.completed) {
+    ++counters_.died_midway;
+    if (!nvp_.task_active() || !nvp_.suspended()) {
+      // Volatile core: progress (and the captured window) is gone.
+      if (!nvp_.config().enabled) {
+        nvp_.abort_task();
+        pending_window_.reset();
+      }
+    }
+    return std::nullopt;
+  }
+  ++counters_.completions;
+  nn::Tensor input = pending_window_ ? *pending_window_ : window;
+  pending_window_.reset();
+  return make_classification(model_.predict_proba(input));
+}
+
+std::optional<Classification> SensorNode::attempt_deadline(
+    const nn::Tensor& window, double start_threshold_frac) {
+  ++counters_.attempts;
+  if (failed_) {
+    ++counters_.skipped_no_energy;
+    return std::nullopt;
+  }
+  if (capacitor_.stored_j() < start_threshold_frac * total_cost_j_) {
+    ++counters_.skipped_no_energy;
+    return std::nullopt;
+  }
+  if (capacitor_.try_draw(total_cost_j_)) {
+    counters_.consumed_j += total_cost_j_;
+    ++counters_.completions;
+    return make_classification(model_.predict_proba(window));
+  }
+  // Started but cannot make the deadline: everything stored burns on
+  // partial work that the slot-synchronous ensemble cannot use.
+  counters_.consumed_j += capacitor_.draw_up_to(total_cost_j_);
+  ++counters_.died_midway;
+  return std::nullopt;
+}
+
+Classification SensorNode::classify(const nn::Tensor& window) {
+  return make_classification(model_.predict_proba(window));
+}
+
+}  // namespace origin::net

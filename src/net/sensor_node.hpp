@@ -1,0 +1,122 @@
+// One energy-harvesting sensor node: IMU window in, classification out —
+// when (and only when) the harvested energy allows. Combines the
+// classifier, its static energy cost, the capacitor, the harvester binding
+// and the NVP core into the unit the scheduling policies reason about.
+#pragma once
+
+#include <optional>
+
+#include "data/activity.hpp"
+#include "energy/capacitor.hpp"
+#include "energy/harvester.hpp"
+#include "energy/nvp.hpp"
+#include "net/message.hpp"
+#include "net/radio.hpp"
+#include "nn/energy_model.hpp"
+#include "nn/model.hpp"
+
+namespace origin::net {
+
+struct SensorNodeConfig {
+  nn::ComputeProfile compute;
+  RadioModel radio;
+  energy::NvpConfig nvp;
+  /// Battery-assisted (hybrid) operation: a constant trickle charge into
+  /// the capacitor on top of the harvest (paper Discussion: Origin also
+  /// applies to battery-powered or hybrid systems). 0 = harvest only.
+  double trickle_power_w = 0.0;
+  /// Capacitor capacity as a multiple of the per-inference energy. A few
+  /// inferences of headroom lets the node ride out harvest droughts
+  /// between its (sparse) ER-r turns instead of saturating and wasting
+  /// burst energy.
+  double capacitor_headroom = 6.0;
+  /// Initial charge as a fraction of capacity.
+  double initial_charge = 0.5;
+  double leakage_w = 0.01e-6;
+};
+
+struct NodeCounters {
+  std::uint64_t attempts = 0;
+  std::uint64_t completions = 0;
+  std::uint64_t skipped_no_energy = 0;
+  std::uint64_t died_midway = 0;
+  double harvested_j = 0.0;
+  double consumed_j = 0.0;
+};
+
+class SensorNode {
+ public:
+  /// `harvester`'s trace must outlive the node. The model is copied in
+  /// (each node owns its deployed network).
+  SensorNode(data::SensorLocation location, nn::Sequential model,
+             const std::vector<int>& input_shape,
+             energy::Harvester harvester, const SensorNodeConfig& config);
+
+  data::SensorLocation location() const { return location_; }
+
+  /// Per-inference cost including the result uplink transmission.
+  double inference_energy_j() const { return total_cost_j_; }
+  const nn::InferenceCost& compute_cost() const { return cost_; }
+
+  /// Integrates harvest, trickle charge and leakage over [t0, t1]. A
+  /// failed node accumulates nothing.
+  void accumulate(double t0_s, double t1_s);
+
+  /// Hard device failure (reliability experiments): the node stops
+  /// harvesting and never completes another inference. Its last recalled
+  /// vote ages out at the host naturally.
+  void fail() { failed_ = true; }
+  bool failed() const { return failed_; }
+
+  bool can_infer() const;
+  double stored_j() const { return capacitor_.stored_j(); }
+  double capacity_j() const { return capacitor_.capacity_j(); }
+
+  /// Wait-compute attempt: runs the inference only if the full energy is
+  /// available; otherwise records a skip and returns nullopt.
+  std::optional<Classification> attempt_wait_compute(const nn::Tensor& window);
+
+  /// Eager attempt: starts/continues regardless of the stored energy
+  /// (above a small start threshold), drawing what is there. A volatile
+  /// core loses partial progress; an NVP core checkpoints it and resumes
+  /// on the *original* window at the next attempt. Returns the
+  /// classification when the inference completes this call.
+  std::optional<Classification> attempt_eager(const nn::Tensor& window,
+                                              double start_threshold_frac = 0.1);
+
+  /// Deadline attempt (the conventional ensemble of Fig. 1a): the
+  /// inference must finish within this slot. If the stored energy is below
+  /// the start threshold it "cannot start"; if it starts but the charge
+  /// runs out the partial work is discarded — stale results are worthless
+  /// to a per-slot ensemble, NVP or not.
+  std::optional<Classification> attempt_deadline(const nn::Tensor& window,
+                                                 double start_threshold_frac = 0.1);
+
+  /// Inference on a fully-powered bench supply (baselines); no energy
+  /// bookkeeping.
+  Classification classify(const nn::Tensor& window);
+
+  const NodeCounters& counters() const { return counters_; }
+  const energy::NvpCore& nvp() const { return nvp_; }
+  nn::Sequential& model() { return model_; }
+  const nn::Sequential& model() const { return model_; }
+  const energy::Harvester& harvester() const { return harvester_; }
+
+ private:
+  data::SensorLocation location_;
+  nn::Sequential model_;
+  nn::InferenceCost cost_;
+  double total_cost_j_ = 0.0;  // compute + result TX
+  energy::Harvester harvester_;
+  energy::Capacitor capacitor_;
+  energy::NvpCore nvp_;
+  RadioModel radio_;
+  double trickle_power_w_ = 0.0;
+  bool failed_ = false;
+  NodeCounters counters_;
+  /// Window the in-flight eager task was started on (NVP resumes finish
+  /// the *original* input, which may be stale by then — as on hardware).
+  std::optional<nn::Tensor> pending_window_;
+};
+
+}  // namespace origin::net

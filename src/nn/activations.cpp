@@ -1,0 +1,41 @@
+#include "nn/activations.hpp"
+
+namespace origin::nn {
+
+Tensor ReLU::forward(const Tensor& input, bool /*train*/) {
+  last_input_ = input;
+  Tensor out = input;
+  for (auto& v : out.vec()) {
+    if (v < 0.0f) v = 0.0f;
+  }
+  return out;
+}
+
+Tensor ReLU::backward(const Tensor& grad_output) {
+  Tensor grad = grad_output;
+  for (std::size_t i = 0; i < grad.size(); ++i) {
+    if (last_input_[i] <= 0.0f) grad[i] = 0.0f;
+  }
+  return grad;
+}
+
+std::unique_ptr<Layer> ReLU::clone() const { return std::make_unique<ReLU>(); }
+
+Tensor Flatten::forward(const Tensor& input, bool /*train*/) {
+  last_shape_ = input.shape();
+  return input.reshaped({static_cast<int>(input.size())});
+}
+
+Tensor Flatten::backward(const Tensor& grad_output) {
+  return grad_output.reshaped(last_shape_);
+}
+
+std::unique_ptr<Layer> Flatten::clone() const {
+  return std::make_unique<Flatten>();
+}
+
+std::vector<int> Flatten::output_shape(const std::vector<int>& input) const {
+  return {static_cast<int>(Tensor::shape_size(input))};
+}
+
+}  // namespace origin::nn

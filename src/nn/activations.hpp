@@ -1,0 +1,35 @@
+// Parameter-free activation layers.
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace origin::nn {
+
+class ReLU : public Layer {
+ public:
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string kind() const override { return "relu"; }
+  std::unique_ptr<Layer> clone() const override;
+  std::vector<int> output_shape(const std::vector<int>& input) const override {
+    return input;
+  }
+
+ private:
+  Tensor last_input_;
+};
+
+/// Flatten any-rank input to rank-1; backward restores the original shape.
+class Flatten : public Layer {
+ public:
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string kind() const override { return "flatten"; }
+  std::unique_ptr<Layer> clone() const override;
+  std::vector<int> output_shape(const std::vector<int>& input) const override;
+
+ private:
+  std::vector<int> last_shape_;
+};
+
+}  // namespace origin::nn

@@ -1,0 +1,173 @@
+#include "nn/conv1d.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace origin::nn {
+
+int Conv1D::out_length(int in_length, int kernel, int stride) {
+  if (in_length < kernel) return 0;
+  return (in_length - kernel) / stride + 1;
+}
+
+Conv1D::Conv1D(int in_channels, int out_channels, int kernel, int stride)
+    : cin_(in_channels),
+      cout_(out_channels),
+      k_(kernel),
+      stride_(stride),
+      weight_({out_channels, in_channels, kernel}),
+      bias_({out_channels}),
+      grad_weight_({out_channels, in_channels, kernel}),
+      grad_bias_({out_channels}) {
+  if (in_channels <= 0 || out_channels <= 0 || kernel <= 0 || stride <= 0) {
+    throw std::invalid_argument("Conv1D: non-positive configuration");
+  }
+}
+
+Conv1D::Conv1D(int in_channels, int out_channels, int kernel, int stride,
+               util::Rng& rng)
+    : Conv1D(in_channels, out_channels, kernel, stride) {
+  const float fan_in = static_cast<float>(in_channels * kernel);
+  weight_ = Tensor::randn({cout_, cin_, k_}, rng, std::sqrt(2.0f / fan_in));
+}
+
+Tensor Conv1D::forward(const Tensor& input, bool /*train*/) {
+  if (input.rank() != 2 || input.dim(0) != cin_) {
+    throw std::invalid_argument("Conv1D::forward: expected [" +
+                                std::to_string(cin_) + ", L] input, got " +
+                                input.shape_str());
+  }
+  const int in_len = input.dim(1);
+  const int out_len = out_length(in_len, k_, stride_);
+  if (out_len <= 0) {
+    throw std::invalid_argument("Conv1D::forward: input shorter than kernel");
+  }
+  last_input_ = input;
+  Tensor out({cout_, out_len});
+  for (int co = 0; co < cout_; ++co) {
+    const float b = bias_[static_cast<std::size_t>(co)];
+    for (int t = 0; t < out_len; ++t) {
+      float acc = b;
+      const int base = t * stride_;
+      for (int ci = 0; ci < cin_; ++ci) {
+        for (int kk = 0; kk < k_; ++kk) {
+          acc += weight_.at(co, ci, kk) * input.at(ci, base + kk);
+        }
+      }
+      out.at(co, t) = acc;
+    }
+  }
+  return out;
+}
+
+Tensor Conv1D::backward(const Tensor& grad_output) {
+  const int in_len = last_input_.dim(1);
+  const int out_len = out_length(in_len, k_, stride_);
+  if (grad_output.rank() != 2 || grad_output.dim(0) != cout_ ||
+      grad_output.dim(1) != out_len) {
+    throw std::invalid_argument("Conv1D::backward: gradient shape mismatch");
+  }
+  Tensor grad_in({cin_, in_len});
+  for (int co = 0; co < cout_; ++co) {
+    for (int t = 0; t < out_len; ++t) {
+      const float g = grad_output.at(co, t);
+      grad_bias_[static_cast<std::size_t>(co)] += g;
+      const int base = t * stride_;
+      for (int ci = 0; ci < cin_; ++ci) {
+        for (int kk = 0; kk < k_; ++kk) {
+          grad_weight_.at(co, ci, kk) += g * last_input_.at(ci, base + kk);
+          grad_in.at(ci, base + kk) += g * weight_.at(co, ci, kk);
+        }
+      }
+    }
+  }
+  return grad_in;
+}
+
+std::string Conv1D::describe() const {
+  std::ostringstream os;
+  os << "conv1d(" << cin_ << " -> " << cout_ << ", k=" << k_ << ", s=" << stride_
+     << ")";
+  return os.str();
+}
+
+std::unique_ptr<Layer> Conv1D::clone() const {
+  auto copy = std::make_unique<Conv1D>(cin_, cout_, k_, stride_);
+  copy->weight_ = weight_;
+  copy->bias_ = bias_;
+  return copy;
+}
+
+std::vector<int> Conv1D::output_shape(const std::vector<int>& input) const {
+  if (input.size() != 2 || input[0] != cin_) {
+    throw std::invalid_argument("Conv1D: input shape mismatch");
+  }
+  const int out_len = out_length(input[1], k_, stride_);
+  if (out_len <= 0) throw std::invalid_argument("Conv1D: input too short");
+  return {cout_, out_len};
+}
+
+std::uint64_t Conv1D::macs(const std::vector<int>& input) const {
+  const auto out = output_shape(input);
+  return static_cast<std::uint64_t>(cout_) * static_cast<std::uint64_t>(out[1]) *
+         static_cast<std::uint64_t>(cin_) * static_cast<std::uint64_t>(k_);
+}
+
+float Conv1D::filter_l2(int f) const {
+  if (f < 0 || f >= cout_) throw std::invalid_argument("Conv1D::filter_l2: bad index");
+  float s = 0.0f;
+  for (int ci = 0; ci < cin_; ++ci) {
+    for (int kk = 0; kk < k_; ++kk) {
+      const float w = weight_.at(f, ci, kk);
+      s += w * w;
+    }
+  }
+  return std::sqrt(s);
+}
+
+void Conv1D::remove_output_filter(int f) {
+  if (f < 0 || f >= cout_ || cout_ <= 1) {
+    throw std::invalid_argument("Conv1D::remove_output_filter: bad index");
+  }
+  const int new_cout = cout_ - 1;
+  Tensor new_w({new_cout, cin_, k_});
+  Tensor new_b({new_cout});
+  int dst = 0;
+  for (int co = 0; co < cout_; ++co) {
+    if (co == f) continue;
+    for (int ci = 0; ci < cin_; ++ci) {
+      for (int kk = 0; kk < k_; ++kk) new_w.at(dst, ci, kk) = weight_.at(co, ci, kk);
+    }
+    new_b[static_cast<std::size_t>(dst)] = bias_[static_cast<std::size_t>(co)];
+    ++dst;
+  }
+  cout_ = new_cout;
+  weight_ = std::move(new_w);
+  bias_ = std::move(new_b);
+  grad_weight_ = Tensor({cout_, cin_, k_});
+  grad_bias_ = Tensor({cout_});
+}
+
+void Conv1D::remove_input_channel(int c) {
+  if (c < 0 || c >= cin_ || cin_ <= 1) {
+    throw std::invalid_argument("Conv1D::remove_input_channel: bad index");
+  }
+  const int new_cin = cin_ - 1;
+  Tensor new_w({cout_, new_cin, k_});
+  for (int co = 0; co < cout_; ++co) {
+    int dst = 0;
+    for (int ci = 0; ci < cin_; ++ci) {
+      if (ci == c) continue;
+      for (int kk = 0; kk < k_; ++kk) new_w.at(co, dst, kk) = weight_.at(co, ci, kk);
+      ++dst;
+    }
+  }
+  cin_ = new_cin;
+  weight_ = std::move(new_w);
+  grad_weight_ = Tensor({cout_, cin_, k_});
+}
+
+}  // namespace origin::nn

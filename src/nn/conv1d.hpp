@@ -1,0 +1,63 @@
+// 1-D convolution over [channels, length] windows — the workhorse of the
+// per-sensor HAR classifiers (Ha & Choi-style CNNs, paper refs [11],[14]).
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace origin::util {
+class Rng;
+}
+
+namespace origin::nn {
+
+class Conv1D : public Layer {
+ public:
+  /// Valid (no padding) convolution with the given stride.
+  Conv1D(int in_channels, int out_channels, int kernel, int stride,
+         util::Rng& rng);
+  Conv1D(int in_channels, int out_channels, int kernel, int stride);
+
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_output) override;
+
+  std::vector<Tensor*> params() override { return {&weight_, &bias_}; }
+  std::vector<Tensor*> grads() override { return {&grad_weight_, &grad_bias_}; }
+
+  std::string kind() const override { return "conv1d"; }
+  std::string describe() const override;
+  std::unique_ptr<Layer> clone() const override;
+  std::vector<int> output_shape(const std::vector<int>& input) const override;
+  std::uint64_t macs(const std::vector<int>& input) const override;
+
+  int in_channels() const { return cin_; }
+  int out_channels() const { return cout_; }
+  int kernel() const { return k_; }
+  int stride() const { return stride_; }
+
+  /// weight shape [cout, cin, k]; bias [cout].
+  Tensor& weight() { return weight_; }
+  const Tensor& weight() const { return weight_; }
+  Tensor& bias() { return bias_; }
+  const Tensor& bias() const { return bias_; }
+
+  /// L2 norm of output filter `f`'s weights — pruning importance score.
+  float filter_l2(int f) const;
+  /// Structured pruning surgery.
+  void remove_output_filter(int f);
+  void remove_input_channel(int c);
+
+  static int out_length(int in_length, int kernel, int stride);
+
+ private:
+  int cin_ = 0;
+  int cout_ = 0;
+  int k_ = 0;
+  int stride_ = 1;
+  Tensor weight_;       // [cout, cin, k]
+  Tensor bias_;         // [cout]
+  Tensor grad_weight_;
+  Tensor grad_bias_;
+  Tensor last_input_;   // [cin, L]
+};
+
+}  // namespace origin::nn

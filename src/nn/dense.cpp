@@ -1,0 +1,132 @@
+#include "nn/dense.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace origin::nn {
+
+Dense::Dense(int in_features, int out_features)
+    : in_(in_features),
+      out_(out_features),
+      weight_({out_features, in_features}),
+      bias_({out_features}),
+      grad_weight_({out_features, in_features}),
+      grad_bias_({out_features}) {
+  if (in_features <= 0 || out_features <= 0) {
+    throw std::invalid_argument("Dense: non-positive dimensions");
+  }
+}
+
+Dense::Dense(int in_features, int out_features, util::Rng& rng)
+    : Dense(in_features, out_features) {
+  const float stddev = std::sqrt(2.0f / static_cast<float>(in_features));
+  weight_ = Tensor::randn({out_, in_}, rng, stddev);
+}
+
+Tensor Dense::forward(const Tensor& input, bool /*train*/) {
+  if (static_cast<int>(input.size()) != in_) {
+    throw std::invalid_argument("Dense::forward: expected " + std::to_string(in_) +
+                                " features, got " + std::to_string(input.size()));
+  }
+  last_input_ = input.rank() == 1 ? input : input.reshaped({in_});
+  Tensor out({out_});
+  const float* w = weight_.data();
+  const float* x = last_input_.data();
+  for (int o = 0; o < out_; ++o) {
+    float acc = bias_[static_cast<std::size_t>(o)];
+    const float* wrow = w + static_cast<std::size_t>(o) * static_cast<std::size_t>(in_);
+    for (int i = 0; i < in_; ++i) acc += wrow[i] * x[i];
+    out[static_cast<std::size_t>(o)] = acc;
+  }
+  return out;
+}
+
+Tensor Dense::backward(const Tensor& grad_output) {
+  if (static_cast<int>(grad_output.size()) != out_) {
+    throw std::invalid_argument("Dense::backward: gradient size mismatch");
+  }
+  Tensor grad_in({in_});
+  const float* w = weight_.data();
+  const float* x = last_input_.data();
+  const float* gy = grad_output.data();
+  float* gw = grad_weight_.data();
+  float* gx = grad_in.data();
+  for (int o = 0; o < out_; ++o) {
+    const float g = gy[o];
+    grad_bias_[static_cast<std::size_t>(o)] += g;
+    const std::size_t row = static_cast<std::size_t>(o) * static_cast<std::size_t>(in_);
+    for (int i = 0; i < in_; ++i) {
+      gw[row + static_cast<std::size_t>(i)] += g * x[i];
+      gx[i] += g * w[row + static_cast<std::size_t>(i)];
+    }
+  }
+  return grad_in;
+}
+
+std::string Dense::describe() const {
+  std::ostringstream os;
+  os << "dense(" << in_ << " -> " << out_ << ")";
+  return os.str();
+}
+
+std::unique_ptr<Layer> Dense::clone() const {
+  auto copy = std::make_unique<Dense>(in_, out_);
+  copy->weight_ = weight_;
+  copy->bias_ = bias_;
+  return copy;
+}
+
+std::vector<int> Dense::output_shape(const std::vector<int>& input) const {
+  if (Tensor::shape_size(input) != static_cast<std::size_t>(in_)) {
+    throw std::invalid_argument("Dense: input shape mismatch");
+  }
+  return {out_};
+}
+
+std::uint64_t Dense::macs(const std::vector<int>& /*input*/) const {
+  return static_cast<std::uint64_t>(in_) * static_cast<std::uint64_t>(out_);
+}
+
+void Dense::remove_input_block(int begin, int count) {
+  if (begin < 0 || count <= 0 || begin + count > in_) {
+    throw std::invalid_argument("Dense::remove_input_block: bad range");
+  }
+  const int new_in = in_ - count;
+  Tensor new_w({out_, new_in});
+  for (int o = 0; o < out_; ++o) {
+    int dst = 0;
+    for (int i = 0; i < in_; ++i) {
+      if (i >= begin && i < begin + count) continue;
+      new_w.at(o, dst++) = weight_.at(o, i);
+    }
+  }
+  in_ = new_in;
+  weight_ = std::move(new_w);
+  grad_weight_ = Tensor({out_, in_});
+}
+
+void Dense::remove_output_unit(int index) {
+  if (index < 0 || index >= out_ || out_ <= 1) {
+    throw std::invalid_argument("Dense::remove_output_unit: bad index");
+  }
+  const int new_out = out_ - 1;
+  Tensor new_w({new_out, in_});
+  Tensor new_b({new_out});
+  int dst = 0;
+  for (int o = 0; o < out_; ++o) {
+    if (o == index) continue;
+    for (int i = 0; i < in_; ++i) new_w.at(dst, i) = weight_.at(o, i);
+    new_b[static_cast<std::size_t>(dst)] = bias_[static_cast<std::size_t>(o)];
+    ++dst;
+  }
+  out_ = new_out;
+  weight_ = std::move(new_w);
+  bias_ = std::move(new_b);
+  grad_weight_ = Tensor({out_, in_});
+  grad_bias_ = Tensor({out_});
+}
+
+}  // namespace origin::nn

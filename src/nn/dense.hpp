@@ -1,0 +1,57 @@
+// Fully-connected layer: y = W x + b over rank-1 inputs.
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace origin::util {
+class Rng;
+}
+
+namespace origin::nn {
+
+class Dense : public Layer {
+ public:
+  /// He-normal initialized weights. `rng` is only used at construction.
+  Dense(int in_features, int out_features, util::Rng& rng);
+  /// Uninitialized-parameter constructor for deserialization.
+  Dense(int in_features, int out_features);
+
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_output) override;
+
+  std::vector<Tensor*> params() override { return {&weight_, &bias_}; }
+  std::vector<Tensor*> grads() override { return {&grad_weight_, &grad_bias_}; }
+
+  std::string kind() const override { return "dense"; }
+  std::string describe() const override;
+  std::unique_ptr<Layer> clone() const override;
+  std::vector<int> output_shape(const std::vector<int>& input) const override;
+  std::uint64_t macs(const std::vector<int>& input) const override;
+
+  int in_features() const { return in_; }
+  int out_features() const { return out_; }
+
+  /// weight has shape [out, in]; bias [out]. Exposed for pruning surgery
+  /// and serialization.
+  Tensor& weight() { return weight_; }
+  const Tensor& weight() const { return weight_; }
+  Tensor& bias() { return bias_; }
+  const Tensor& bias() const { return bias_; }
+
+  /// Remove a contiguous block of input columns [begin, begin+count) —
+  /// used when an upstream conv filter is pruned away.
+  void remove_input_block(int begin, int count);
+  /// Remove output unit `index` (row of W, element of b).
+  void remove_output_unit(int index);
+
+ private:
+  int in_ = 0;
+  int out_ = 0;
+  Tensor weight_;       // [out, in]
+  Tensor bias_;         // [out]
+  Tensor grad_weight_;  // [out, in]
+  Tensor grad_bias_;    // [out]
+  Tensor last_input_;   // [in]
+};
+
+}  // namespace origin::nn

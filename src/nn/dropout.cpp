@@ -1,0 +1,50 @@
+#include "nn/dropout.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace origin::nn {
+
+Dropout::Dropout(float rate, std::uint64_t seed) : rate_(rate), rng_(seed) {
+  if (rate < 0.0f || rate >= 1.0f) {
+    throw std::invalid_argument("Dropout: rate must be in [0, 1)");
+  }
+}
+
+Tensor Dropout::forward(const Tensor& input, bool train) {
+  if (!train || rate_ == 0.0f) {
+    mask_.clear();
+    return input;
+  }
+  const float keep = 1.0f - rate_;
+  mask_.resize(input.size());
+  Tensor out = input;
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    const bool kept = rng_.uniform() < keep;
+    mask_[i] = kept ? 1.0f / keep : 0.0f;
+    out[i] *= mask_[i];
+  }
+  return out;
+}
+
+Tensor Dropout::backward(const Tensor& grad_output) {
+  if (mask_.empty()) return grad_output;
+  if (mask_.size() != grad_output.size()) {
+    throw std::invalid_argument("Dropout::backward: gradient size mismatch");
+  }
+  Tensor grad = grad_output;
+  for (std::size_t i = 0; i < grad.size(); ++i) grad[i] *= mask_[i];
+  return grad;
+}
+
+std::string Dropout::describe() const {
+  std::ostringstream os;
+  os << "dropout(" << rate_ << ")";
+  return os.str();
+}
+
+std::unique_ptr<Layer> Dropout::clone() const {
+  return std::make_unique<Dropout>(rate_);
+}
+
+}  // namespace origin::nn

@@ -1,0 +1,32 @@
+// Inverted dropout: active only when forward(train=true); identity at
+// inference so deployed behaviour matches the serialized model.
+#pragma once
+
+#include "nn/layer.hpp"
+#include "util/rng.hpp"
+
+namespace origin::nn {
+
+class Dropout : public Layer {
+ public:
+  explicit Dropout(float rate, std::uint64_t seed = 0x5eedD120ULL);
+
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string kind() const override { return "dropout"; }
+  std::string describe() const override;
+  std::unique_ptr<Layer> clone() const override;
+  std::vector<int> output_shape(const std::vector<int>& input) const override {
+    return input;
+  }
+
+  float rate() const { return rate_; }
+  void reseed(std::uint64_t seed) { rng_.reseed(seed); }
+
+ private:
+  float rate_ = 0.0f;
+  util::Rng rng_;
+  std::vector<float> mask_;
+};
+
+}  // namespace origin::nn

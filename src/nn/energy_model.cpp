@@ -1,0 +1,41 @@
+#include "nn/energy_model.hpp"
+
+#include <stdexcept>
+
+namespace origin::nn {
+
+InferenceCost estimate_cost(const Sequential& model,
+                            const std::vector<int>& input_shape,
+                            const ComputeProfile& profile) {
+  InferenceCost cost;
+  std::vector<int> shape = input_shape;
+  for (std::size_t i = 0; i < model.layer_count(); ++i) {
+    const Layer& layer = model.layer(i);
+    cost.macs += layer.macs(shape);
+    cost.param_accesses += layer.param_count();
+    const auto out = layer.output_shape(shape);
+    cost.activation_accesses +=
+        Tensor::shape_size(shape) + Tensor::shape_size(out);
+    shape = out;
+  }
+  cost.energy_j =
+      profile.inference_overhead_j +
+      static_cast<double>(cost.macs) * profile.energy_per_mac_j +
+      static_cast<double>(cost.param_accesses) * profile.energy_per_param_access_j +
+      static_cast<double>(cost.activation_accesses) * profile.energy_per_activation_j;
+  cost.latency_s = profile.inference_overhead_s +
+                   static_cast<double>(cost.macs) / profile.macs_per_second;
+  return cost;
+}
+
+double continuous_power_w(const InferenceCost& cost) {
+  if (cost.latency_s <= 0.0) throw std::invalid_argument("continuous_power_w: zero latency");
+  return cost.energy_j / cost.latency_s;
+}
+
+double duty_cycled_power_w(const InferenceCost& cost, double period_s) {
+  if (period_s <= 0.0) throw std::invalid_argument("duty_cycled_power_w: period <= 0");
+  return cost.energy_j / period_s;
+}
+
+}  // namespace origin::nn

@@ -1,0 +1,49 @@
+// Per-inference energy/latency model for a Sequential network running on an
+// ultra-low-power NVP-class compute node (paper refs [6],[15]): energy is
+// dominated by MAC operations plus parameter/activation memory traffic.
+// This is the model both energy-aware pruning (Baseline-2) and the harvest
+// simulator consume.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/model.hpp"
+
+namespace origin::nn {
+
+/// Hardware constants of the sensor's compute component. Defaults model an
+/// NVP-class microcontroller inference engine (instruction + NVM-fetch
+/// overhead folded into the per-MAC/per-access figures), where compute —
+/// not wakeup overhead — dominates, so energy-aware pruning has leverage.
+struct ComputeProfile {
+  double energy_per_mac_j = 50.0e-12;           // MAC incl. instruction cost
+  double energy_per_param_access_j = 100.0e-12;  // weight fetch from NVM
+  double energy_per_activation_j = 20.0e-12;     // activation read+write
+  double macs_per_second = 2.0e6;                // sustained MAC throughput
+  double inference_overhead_j = 0.5e-6;          // sensor read + wakeup
+  double inference_overhead_s = 5.0e-3;
+};
+
+struct InferenceCost {
+  double energy_j = 0.0;
+  double latency_s = 0.0;
+  std::uint64_t macs = 0;
+  std::uint64_t param_accesses = 0;
+  std::uint64_t activation_accesses = 0;
+};
+
+/// Static cost estimate for one inference of `model` on one sample of
+/// `input_shape`.
+InferenceCost estimate_cost(const Sequential& model,
+                            const std::vector<int>& input_shape,
+                            const ComputeProfile& profile = {});
+
+/// Average power drawn if the node ran inferences back to back.
+double continuous_power_w(const InferenceCost& cost);
+
+/// Average power when one inference runs every `period_s` seconds — the
+/// budget a duty-cycled (extended round-robin) schedule must meet.
+double duty_cycled_power_w(const InferenceCost& cost, double period_s);
+
+}  // namespace origin::nn

@@ -1,0 +1,5 @@
+#include "nn/layer.hpp"
+
+// Interface-only translation unit: anchors the vtable for Layer so the
+// library has a home for its typeinfo.
+namespace origin::nn {}

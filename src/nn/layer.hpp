@@ -1,0 +1,59 @@
+// Layer interface for the from-scratch inference/training engine.
+//
+// Layers process one sample at a time (rank-2 [channels, length] tensors
+// for the convolutional front-end, rank-1 after Flatten). forward() caches
+// whatever backward() needs; backward() accumulates parameter gradients
+// (zeroed by the optimizer after each step) and returns the gradient with
+// respect to the layer input.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/tensor.hpp"
+
+namespace origin::nn {
+
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  /// `train` enables training-only behaviour (dropout masking).
+  virtual Tensor forward(const Tensor& input, bool train) = 0;
+  /// Gradient w.r.t. the input of the most recent forward().
+  virtual Tensor backward(const Tensor& grad_output) = 0;
+
+  /// Learnable parameters and their gradient accumulators; same order.
+  virtual std::vector<Tensor*> params() { return {}; }
+  virtual std::vector<Tensor*> grads() { return {}; }
+
+  /// Stable identifier used by the serializer / factory.
+  virtual std::string kind() const = 0;
+  /// Human-readable one-line description for summaries.
+  virtual std::string describe() const { return kind(); }
+
+  virtual std::unique_ptr<Layer> clone() const = 0;
+
+  /// Shape inference: output shape for a given input shape. Throws
+  /// std::invalid_argument if the input shape is unsupported.
+  virtual std::vector<int> output_shape(const std::vector<int>& input) const = 0;
+
+  /// Multiply-accumulate count for one sample with the given input shape —
+  /// consumed by the energy/latency model. Parameter-free layers return 0.
+  virtual std::uint64_t macs(const std::vector<int>& input) const {
+    (void)input;
+    return 0;
+  }
+
+  std::size_t param_count() const {
+    std::size_t n = 0;
+    for (const Tensor* p : const_cast<Layer*>(this)->params()) n += p->size();
+    return n;
+  }
+};
+
+using LayerPtr = std::unique_ptr<Layer>;
+
+}  // namespace origin::nn

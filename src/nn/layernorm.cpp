@@ -1,0 +1,92 @@
+#include "nn/layernorm.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace origin::nn {
+
+LayerNorm::LayerNorm(int size, float epsilon)
+    : size_(size),
+      epsilon_(epsilon),
+      gamma_(Tensor::full({size}, 1.0f)),
+      beta_({size}),
+      grad_gamma_({size}),
+      grad_beta_({size}) {
+  if (size <= 0) throw std::invalid_argument("LayerNorm: size <= 0");
+  if (epsilon <= 0.0f) throw std::invalid_argument("LayerNorm: epsilon <= 0");
+}
+
+Tensor LayerNorm::forward(const Tensor& input, bool /*train*/) {
+  if (static_cast<int>(input.size()) != size_) {
+    throw std::invalid_argument("LayerNorm::forward: expected " +
+                                std::to_string(size_) + " elements");
+  }
+  in_shape_ = input.shape();
+  const float n = static_cast<float>(size_);
+  float mean = 0.0f;
+  for (std::size_t i = 0; i < input.size(); ++i) mean += input[i];
+  mean /= n;
+  float var = 0.0f;
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    const float d = input[i] - mean;
+    var += d * d;
+  }
+  var /= n;
+  inv_std_ = 1.0f / std::sqrt(var + epsilon_);
+
+  normalized_ = Tensor({size_});
+  Tensor out(input.shape());
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    normalized_[i] = (input[i] - mean) * inv_std_;
+    out[i] = gamma_[i] * normalized_[i] + beta_[i];
+  }
+  return out;
+}
+
+Tensor LayerNorm::backward(const Tensor& grad_output) {
+  if (static_cast<int>(grad_output.size()) != size_) {
+    throw std::invalid_argument("LayerNorm::backward: gradient size mismatch");
+  }
+  const float n = static_cast<float>(size_);
+  // dL/dx_hat_i = g_i * gamma_i; with the standard layer-norm backward:
+  // dL/dx_i = inv_std/n * (n*dxh_i - sum(dxh) - x_hat_i * sum(dxh * x_hat))
+  float sum_dxh = 0.0f;
+  float sum_dxh_xh = 0.0f;
+  Tensor dxh({size_});
+  for (std::size_t i = 0; i < grad_output.size(); ++i) {
+    grad_gamma_[i] += grad_output[i] * normalized_[i];
+    grad_beta_[i] += grad_output[i];
+    dxh[i] = grad_output[i] * gamma_[i];
+    sum_dxh += dxh[i];
+    sum_dxh_xh += dxh[i] * normalized_[i];
+  }
+  Tensor grad_in(in_shape_);
+  for (std::size_t i = 0; i < grad_output.size(); ++i) {
+    grad_in[i] =
+        inv_std_ / n * (n * dxh[i] - sum_dxh - normalized_[i] * sum_dxh_xh);
+  }
+  return grad_in;
+}
+
+std::string LayerNorm::describe() const {
+  std::ostringstream os;
+  os << "layernorm(" << size_ << ")";
+  return os.str();
+}
+
+std::unique_ptr<Layer> LayerNorm::clone() const {
+  auto copy = std::make_unique<LayerNorm>(size_, epsilon_);
+  copy->gamma_ = gamma_;
+  copy->beta_ = beta_;
+  return copy;
+}
+
+std::vector<int> LayerNorm::output_shape(const std::vector<int>& input) const {
+  if (Tensor::shape_size(input) != static_cast<std::size_t>(size_)) {
+    throw std::invalid_argument("LayerNorm: input shape mismatch");
+  }
+  return input;
+}
+
+}  // namespace origin::nn

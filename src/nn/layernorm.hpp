@@ -1,0 +1,47 @@
+// Layer normalization with learnable gain/bias. Per-sample normalization
+// (no batch statistics) suits this engine's sample-at-a-time training and
+// stabilizes the small HAR CNNs when sensor gains drift between users.
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace origin::nn {
+
+class LayerNorm : public Layer {
+ public:
+  /// Normalizes over all elements of the input tensor (any rank); `size`
+  /// must equal the input element count. gamma starts at 1, beta at 0.
+  explicit LayerNorm(int size, float epsilon = 1e-5f);
+
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_output) override;
+
+  std::vector<Tensor*> params() override { return {&gamma_, &beta_}; }
+  std::vector<Tensor*> grads() override { return {&grad_gamma_, &grad_beta_}; }
+
+  std::string kind() const override { return "layernorm"; }
+  std::string describe() const override;
+  std::unique_ptr<Layer> clone() const override;
+  std::vector<int> output_shape(const std::vector<int>& input) const override;
+
+  int size() const { return size_; }
+  float epsilon() const { return epsilon_; }
+  Tensor& gamma() { return gamma_; }
+  const Tensor& gamma() const { return gamma_; }
+  Tensor& beta() { return beta_; }
+  const Tensor& beta() const { return beta_; }
+
+ private:
+  int size_ = 0;
+  float epsilon_ = 1e-5f;
+  Tensor gamma_;       // [size]
+  Tensor beta_;        // [size]
+  Tensor grad_gamma_;
+  Tensor grad_beta_;
+  // Cached forward state for backward.
+  Tensor normalized_;  // x_hat, flattened
+  std::vector<int> in_shape_;
+  float inv_std_ = 0.0f;
+};
+
+}  // namespace origin::nn

@@ -1,0 +1,56 @@
+#include "nn/loss.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "nn/softmax.hpp"
+
+namespace origin::nn {
+
+LossResult softmax_cross_entropy(const Tensor& logits, int target) {
+  if (target < 0 || static_cast<std::size_t>(target) >= logits.size()) {
+    throw std::invalid_argument("softmax_cross_entropy: target out of range");
+  }
+  const std::vector<float> p = softmax(logits.vec());
+  LossResult result;
+  // Clamp to avoid -inf on a fully-confident wrong prediction.
+  const float pt = std::max(p[static_cast<std::size_t>(target)], 1e-12f);
+  result.loss = -std::log(pt);
+  result.grad = Tensor(logits.shape(), p);
+  result.grad[static_cast<std::size_t>(target)] -= 1.0f;
+  return result;
+}
+
+LossResult softmax_cross_entropy_soft(const Tensor& logits,
+                                      const std::vector<float>& target) {
+  if (target.size() != logits.size()) {
+    throw std::invalid_argument("softmax_cross_entropy_soft: size mismatch");
+  }
+  const std::vector<float> p = softmax(logits.vec());
+  LossResult result;
+  result.grad = Tensor(logits.shape(), p);
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    if (target[i] > 0.0f) {
+      result.loss -= target[i] * std::log(std::max(p[i], 1e-12f));
+    }
+    result.grad[i] -= target[i];
+  }
+  return result;
+}
+
+LossResult mse(const Tensor& output, const Tensor& target) {
+  if (!output.same_shape(target)) {
+    throw std::invalid_argument("mse: shape mismatch");
+  }
+  LossResult result;
+  result.grad = Tensor(output.shape());
+  const float n = static_cast<float>(output.size());
+  for (std::size_t i = 0; i < output.size(); ++i) {
+    const float d = output[i] - target[i];
+    result.loss += d * d / n;
+    result.grad[i] = 2.0f * d / n;
+  }
+  return result;
+}
+
+}  // namespace origin::nn

@@ -1,0 +1,28 @@
+// Losses. Classification training uses the fused softmax+cross-entropy
+// whose gradient w.r.t. logits is (softmax(z) - onehot(y)).
+#pragma once
+
+#include <vector>
+
+#include "nn/tensor.hpp"
+
+namespace origin::nn {
+
+struct LossResult {
+  float loss = 0.0f;
+  Tensor grad;  // dL/d(logits), same shape as logits
+};
+
+/// Cross-entropy of softmax(logits) against integer label `target`.
+LossResult softmax_cross_entropy(const Tensor& logits, int target);
+
+/// Cross-entropy against a soft target distribution (mixup / label
+/// smoothing). `target` must be a probability vector of the same size as
+/// `logits`. Gradient w.r.t. logits is softmax(logits) - target.
+LossResult softmax_cross_entropy_soft(const Tensor& logits,
+                                      const std::vector<float>& target);
+
+/// Mean squared error against a dense target (used by regression tests).
+LossResult mse(const Tensor& output, const Tensor& target);
+
+}  // namespace origin::nn

@@ -1,0 +1,118 @@
+#include "nn/model.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "nn/softmax.hpp"
+#include "util/stats.hpp"
+
+namespace origin::nn {
+
+Sequential::Sequential(const Sequential& other) {
+  layers_.reserve(other.layers_.size());
+  for (const auto& l : other.layers_) layers_.push_back(l->clone());
+}
+
+Sequential& Sequential::operator=(const Sequential& other) {
+  if (this == &other) return *this;
+  layers_.clear();
+  layers_.reserve(other.layers_.size());
+  for (const auto& l : other.layers_) layers_.push_back(l->clone());
+  return *this;
+}
+
+Sequential& Sequential::add(LayerPtr layer) {
+  if (!layer) throw std::invalid_argument("Sequential::add: null layer");
+  layers_.push_back(std::move(layer));
+  return *this;
+}
+
+Tensor Sequential::forward(const Tensor& input, bool train) {
+  Tensor x = input;
+  for (auto& layer : layers_) x = layer->forward(x, train);
+  return x;
+}
+
+void Sequential::backward(const Tensor& grad_logits) {
+  Tensor g = grad_logits;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+    g = (*it)->backward(g);
+  }
+}
+
+std::vector<float> Sequential::predict_proba(const Tensor& input) {
+  return softmax(forward(input, false).vec());
+}
+
+int Sequential::predict(const Tensor& input) {
+  return static_cast<int>(forward(input, false).argmax());
+}
+
+std::vector<Tensor*> Sequential::params() {
+  std::vector<Tensor*> out;
+  for (auto& layer : layers_) {
+    for (Tensor* p : layer->params()) out.push_back(p);
+  }
+  return out;
+}
+
+std::vector<Tensor*> Sequential::grads() {
+  std::vector<Tensor*> out;
+  for (auto& layer : layers_) {
+    for (Tensor* g : layer->grads()) out.push_back(g);
+  }
+  return out;
+}
+
+std::size_t Sequential::param_count() const {
+  std::size_t n = 0;
+  for (const auto& layer : layers_) n += layer->param_count();
+  return n;
+}
+
+void Sequential::zero_grads() {
+  for (Tensor* g : grads()) g->zero();
+}
+
+std::vector<std::vector<int>> Sequential::shape_trace(
+    const std::vector<int>& input) const {
+  std::vector<std::vector<int>> trace;
+  trace.reserve(layers_.size() + 1);
+  std::vector<int> shape = input;
+  trace.push_back(shape);
+  for (const auto& layer : layers_) {
+    shape = layer->output_shape(shape);
+    trace.push_back(shape);
+  }
+  return trace;
+}
+
+std::vector<int> Sequential::output_shape(const std::vector<int>& input) const {
+  return shape_trace(input).back();
+}
+
+std::uint64_t Sequential::total_macs(const std::vector<int>& input) const {
+  std::uint64_t total = 0;
+  std::vector<int> shape = input;
+  for (const auto& layer : layers_) {
+    total += layer->macs(shape);
+    shape = layer->output_shape(shape);
+  }
+  return total;
+}
+
+std::string Sequential::summary(const std::vector<int>& input) const {
+  std::ostringstream os;
+  std::vector<int> shape = input;
+  os << "Sequential(" << param_count() << " params, " << total_macs(input)
+     << " MACs)\n";
+  for (const auto& layer : layers_) {
+    const auto out = layer->output_shape(shape);
+    os << "  " << layer->describe() << "  ";
+    os << Tensor(shape).shape_str() << " -> " << Tensor(out).shape_str() << '\n';
+    shape = out;
+  }
+  return os.str();
+}
+
+}  // namespace origin::nn

@@ -1,0 +1,63 @@
+// Sequential model container: the unit the scheduler deploys to a sensor
+// node and the unit pruning/serialization operate on.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/layer.hpp"
+#include "nn/tensor.hpp"
+
+namespace origin::nn {
+
+class Sequential {
+ public:
+  Sequential() = default;
+  Sequential(Sequential&&) = default;
+  Sequential& operator=(Sequential&&) = default;
+  Sequential(const Sequential& other);
+  Sequential& operator=(const Sequential& other);
+
+  /// Appends a layer; returns *this for builder-style chaining.
+  Sequential& add(LayerPtr layer);
+
+  template <typename L, typename... Args>
+  Sequential& emplace(Args&&... args) {
+    return add(std::make_unique<L>(std::forward<Args>(args)...));
+  }
+
+  /// Raw forward pass (logits for a classifier).
+  Tensor forward(const Tensor& input, bool train = false);
+  /// Backward pass through every layer; input is dL/d(logits).
+  void backward(const Tensor& grad_logits);
+
+  /// Softmax probabilities for a classifier head producing logits.
+  std::vector<float> predict_proba(const Tensor& input);
+  /// Top-1 class for the input.
+  int predict(const Tensor& input);
+
+  std::size_t layer_count() const { return layers_.size(); }
+  Layer& layer(std::size_t i) { return *layers_[i]; }
+  const Layer& layer(std::size_t i) const { return *layers_[i]; }
+
+  std::vector<Tensor*> params();
+  std::vector<Tensor*> grads();
+  std::size_t param_count() const;
+  void zero_grads();
+
+  /// Shape of the output for a given input shape, and per-layer input
+  /// shapes (index i = input shape of layer i; back() = final output).
+  std::vector<std::vector<int>> shape_trace(const std::vector<int>& input) const;
+  std::vector<int> output_shape(const std::vector<int>& input) const;
+
+  /// Total multiply-accumulates for one sample of the given input shape.
+  std::uint64_t total_macs(const std::vector<int>& input) const;
+
+  std::string summary(const std::vector<int>& input) const;
+
+ private:
+  std::vector<LayerPtr> layers_;
+};
+
+}  // namespace origin::nn

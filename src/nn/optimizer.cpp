@@ -1,0 +1,77 @@
+#include "nn/optimizer.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "nn/model.hpp"
+
+namespace origin::nn {
+
+SgdMomentum::SgdMomentum(double lr, double momentum, double weight_decay)
+    : lr_(lr), momentum_(momentum), weight_decay_(weight_decay) {}
+
+void SgdMomentum::bind(Sequential& model) {
+  params_ = model.params();
+  grads_ = model.grads();
+  if (params_.size() != grads_.size()) {
+    throw std::logic_error("SgdMomentum::bind: param/grad count mismatch");
+  }
+  velocity_.clear();
+  velocity_.reserve(params_.size());
+  for (Tensor* p : params_) velocity_.emplace_back(p->shape());
+}
+
+void SgdMomentum::step() {
+  if (params_.empty()) throw std::logic_error("SgdMomentum::step: not bound");
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    Tensor& p = *params_[i];
+    Tensor& g = *grads_[i];
+    Tensor& vel = velocity_[i];
+    for (std::size_t j = 0; j < p.size(); ++j) {
+      const float grad = g[j] + static_cast<float>(weight_decay_) * p[j];
+      vel[j] = static_cast<float>(momentum_) * vel[j] - static_cast<float>(lr_) * grad;
+      p[j] += vel[j];
+    }
+    g.zero();
+  }
+}
+
+Adam::Adam(double lr, double beta1, double beta2, double eps, double weight_decay)
+    : lr_(lr), beta1_(beta1), beta2_(beta2), eps_(eps), weight_decay_(weight_decay) {}
+
+void Adam::bind(Sequential& model) {
+  params_ = model.params();
+  grads_ = model.grads();
+  if (params_.size() != grads_.size()) {
+    throw std::logic_error("Adam::bind: param/grad count mismatch");
+  }
+  m_.clear();
+  v_.clear();
+  t_ = 0;
+  for (Tensor* p : params_) {
+    m_.emplace_back(p->shape());
+    v_.emplace_back(p->shape());
+  }
+}
+
+void Adam::step() {
+  if (params_.empty()) throw std::logic_error("Adam::step: not bound");
+  ++t_;
+  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    Tensor& p = *params_[i];
+    Tensor& g = *grads_[i];
+    for (std::size_t j = 0; j < p.size(); ++j) {
+      const double grad = static_cast<double>(g[j]) + weight_decay_ * p[j];
+      m_[i][j] = static_cast<float>(beta1_ * m_[i][j] + (1.0 - beta1_) * grad);
+      v_[i][j] = static_cast<float>(beta2_ * v_[i][j] + (1.0 - beta2_) * grad * grad);
+      const double mhat = m_[i][j] / bc1;
+      const double vhat = v_[i][j] / bc2;
+      p[j] -= static_cast<float>(lr_ * mhat / (std::sqrt(vhat) + eps_));
+    }
+    g.zero();
+  }
+}
+
+}  // namespace origin::nn

@@ -1,0 +1,64 @@
+// Optimizers operating on a model's parameter/gradient tensor lists.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "nn/tensor.hpp"
+
+namespace origin::nn {
+
+class Sequential;
+
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+  /// Binds the optimizer to a model's parameters (call once; re-binding
+  /// resets state — required after pruning changes tensor shapes).
+  virtual void bind(Sequential& model) = 0;
+  /// Applies one update from the accumulated gradients, then zeroes them.
+  virtual void step() = 0;
+  virtual void set_learning_rate(double lr) = 0;
+  virtual double learning_rate() const = 0;
+};
+
+/// SGD with classical momentum and optional L2 weight decay.
+class SgdMomentum : public Optimizer {
+ public:
+  explicit SgdMomentum(double lr, double momentum = 0.9, double weight_decay = 0.0);
+
+  void bind(Sequential& model) override;
+  void step() override;
+  void set_learning_rate(double lr) override { lr_ = lr; }
+  double learning_rate() const override { return lr_; }
+
+ private:
+  double lr_;
+  double momentum_;
+  double weight_decay_;
+  std::vector<Tensor*> params_;
+  std::vector<Tensor*> grads_;
+  std::vector<Tensor> velocity_;
+};
+
+/// Adam (Kingma & Ba) with bias correction.
+class Adam : public Optimizer {
+ public:
+  explicit Adam(double lr, double beta1 = 0.9, double beta2 = 0.999,
+                double eps = 1e-8, double weight_decay = 0.0);
+
+  void bind(Sequential& model) override;
+  void step() override;
+  void set_learning_rate(double lr) override { lr_ = lr; }
+  double learning_rate() const override { return lr_; }
+
+ private:
+  double lr_, beta1_, beta2_, eps_, weight_decay_;
+  long t_ = 0;
+  std::vector<Tensor*> params_;
+  std::vector<Tensor*> grads_;
+  std::vector<Tensor> m_;
+  std::vector<Tensor> v_;
+};
+
+}  // namespace origin::nn

@@ -1,0 +1,89 @@
+#include "nn/pooling.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace origin::nn {
+
+MaxPool1D::MaxPool1D(int pool, int stride)
+    : pool_(pool), stride_(stride == 0 ? pool : stride) {
+  if (pool_ <= 0 || stride_ <= 0) {
+    throw std::invalid_argument("MaxPool1D: non-positive configuration");
+  }
+}
+
+int MaxPool1D::out_length(int in_length, int pool, int stride) {
+  if (in_length < pool) return 0;
+  return (in_length - pool) / stride + 1;
+}
+
+Tensor MaxPool1D::forward(const Tensor& input, bool /*train*/) {
+  if (input.rank() != 2) {
+    throw std::invalid_argument("MaxPool1D::forward: expected rank-2 input");
+  }
+  const int channels = input.dim(0);
+  const int in_len = input.dim(1);
+  const int out_len = out_length(in_len, pool_, stride_);
+  if (out_len <= 0) {
+    throw std::invalid_argument("MaxPool1D::forward: input shorter than window");
+  }
+  in_shape_ = input.shape();
+  Tensor out({channels, out_len});
+  argmax_.assign(static_cast<std::size_t>(channels) * static_cast<std::size_t>(out_len), 0);
+  for (int c = 0; c < channels; ++c) {
+    for (int t = 0; t < out_len; ++t) {
+      const int base = t * stride_;
+      float best = input.at(c, base);
+      int best_idx = base;
+      for (int p = 1; p < pool_; ++p) {
+        const float v = input.at(c, base + p);
+        if (v > best) {
+          best = v;
+          best_idx = base + p;
+        }
+      }
+      out.at(c, t) = best;
+      argmax_[static_cast<std::size_t>(c) * static_cast<std::size_t>(out_len) +
+              static_cast<std::size_t>(t)] = best_idx;
+    }
+  }
+  return out;
+}
+
+Tensor MaxPool1D::backward(const Tensor& grad_output) {
+  const int channels = in_shape_[0];
+  const int in_len = in_shape_[1];
+  const int out_len = out_length(in_len, pool_, stride_);
+  if (grad_output.rank() != 2 || grad_output.dim(0) != channels ||
+      grad_output.dim(1) != out_len) {
+    throw std::invalid_argument("MaxPool1D::backward: gradient shape mismatch");
+  }
+  Tensor grad_in({channels, in_len});
+  for (int c = 0; c < channels; ++c) {
+    for (int t = 0; t < out_len; ++t) {
+      const int src = argmax_[static_cast<std::size_t>(c) * static_cast<std::size_t>(out_len) +
+                              static_cast<std::size_t>(t)];
+      grad_in.at(c, src) += grad_output.at(c, t);
+    }
+  }
+  return grad_in;
+}
+
+std::string MaxPool1D::describe() const {
+  std::ostringstream os;
+  os << "maxpool1d(p=" << pool_ << ", s=" << stride_ << ")";
+  return os.str();
+}
+
+std::unique_ptr<Layer> MaxPool1D::clone() const {
+  return std::make_unique<MaxPool1D>(pool_, stride_);
+}
+
+std::vector<int> MaxPool1D::output_shape(const std::vector<int>& input) const {
+  if (input.size() != 2) throw std::invalid_argument("MaxPool1D: rank-2 input required");
+  const int out_len = out_length(input[1], pool_, stride_);
+  if (out_len <= 0) throw std::invalid_argument("MaxPool1D: input too short");
+  return {input[0], out_len};
+}
+
+}  // namespace origin::nn

@@ -1,0 +1,32 @@
+// Max pooling over the temporal axis of a [channels, length] tensor.
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace origin::nn {
+
+class MaxPool1D : public Layer {
+ public:
+  /// Non-overlapping pooling when stride == pool (the default).
+  explicit MaxPool1D(int pool, int stride = 0);
+
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string kind() const override { return "maxpool1d"; }
+  std::string describe() const override;
+  std::unique_ptr<Layer> clone() const override;
+  std::vector<int> output_shape(const std::vector<int>& input) const override;
+
+  int pool() const { return pool_; }
+  int stride() const { return stride_; }
+
+  static int out_length(int in_length, int pool, int stride);
+
+ private:
+  int pool_ = 2;
+  int stride_ = 2;
+  std::vector<int> argmax_;  // flat index into the input per output element
+  std::vector<int> in_shape_;
+};
+
+}  // namespace origin::nn

@@ -1,0 +1,184 @@
+#include "nn/pruning.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "nn/conv1d.hpp"
+#include "nn/dense.hpp"
+#include "util/logging.hpp"
+
+namespace origin::nn {
+
+namespace {
+
+/// A layer is "structural" if it changes or consumes the channel layout.
+bool is_passthrough(const Layer& layer) {
+  const std::string k = layer.kind();
+  return k == "relu" || k == "dropout" || k == "maxpool1d" || k == "softmax";
+}
+
+/// Row L2 norm of a dense hidden unit's outgoing weights.
+float dense_unit_l2(const Dense& d, int unit) {
+  float s = 0.0f;
+  for (int i = 0; i < d.in_features(); ++i) {
+    const float w = d.weight().at(unit, i);
+    s += w * w;
+  }
+  return std::sqrt(s);
+}
+
+/// True if some later layer consumes this layer's output as features,
+/// i.e. the layer is not the classifier head.
+bool has_downstream_consumer(Sequential& model, std::size_t layer_index) {
+  for (std::size_t j = layer_index + 1; j < model.layer_count(); ++j) {
+    const std::string k = model.layer(j).kind();
+    if (k == "conv1d" || k == "dense") return true;
+    if (!is_passthrough(model.layer(j)) && k != "flatten") return false;
+  }
+  return false;
+}
+
+struct Candidate {
+  std::size_t layer_index = 0;
+  int unit = -1;
+  double importance = 0.0;
+  bool valid() const { return unit >= 0; }
+};
+
+Candidate cheapest_unit(Sequential& model, int min_channels) {
+  Candidate best;
+  double best_score = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < model.layer_count(); ++i) {
+    if (!has_downstream_consumer(model, i)) continue;
+    if (auto* conv = dynamic_cast<Conv1D*>(&model.layer(i))) {
+      if (conv->out_channels() <= min_channels) continue;
+      for (int f = 0; f < conv->out_channels(); ++f) {
+        const double score = conv->filter_l2(f);
+        if (score < best_score) {
+          best_score = score;
+          best = {i, f, score};
+        }
+      }
+    } else if (auto* dense = dynamic_cast<Dense*>(&model.layer(i))) {
+      if (dense->out_features() <= min_channels) continue;
+      for (int u = 0; u < dense->out_features(); ++u) {
+        const double score = dense_unit_l2(*dense, u);
+        if (score < best_score) {
+          best_score = score;
+          best = {i, u, score};
+        }
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+void remove_unit(Sequential& model, const std::vector<int>& input_shape,
+                 std::size_t layer_index, int unit) {
+  if (layer_index >= model.layer_count()) {
+    throw std::invalid_argument("remove_unit: layer index out of range");
+  }
+  // Shape trace BEFORE surgery: needed to map a conv channel onto the
+  // column block it occupies after a flatten.
+  const auto trace = model.shape_trace(input_shape);
+
+  Layer& target = model.layer(layer_index);
+  bool from_conv = false;
+  if (auto* conv = dynamic_cast<Conv1D*>(&target)) {
+    conv->remove_output_filter(unit);
+    from_conv = true;
+  } else if (auto* dense = dynamic_cast<Dense*>(&target)) {
+    dense->remove_output_unit(unit);
+  } else {
+    throw std::invalid_argument("remove_unit: layer has no prunable units");
+  }
+
+  // Propagate the missing channel/unit to the first downstream consumer.
+  bool crossed_flatten = false;
+  for (std::size_t j = layer_index + 1; j < model.layer_count(); ++j) {
+    Layer& layer = model.layer(j);
+    if (is_passthrough(layer)) continue;
+    if (layer.kind() == "flatten") {
+      crossed_flatten = true;
+      continue;
+    }
+    if (auto* conv = dynamic_cast<Conv1D*>(&layer)) {
+      if (crossed_flatten) {
+        throw std::logic_error("remove_unit: conv after flatten unsupported");
+      }
+      conv->remove_input_channel(unit);
+      return;
+    }
+    if (auto* dense = dynamic_cast<Dense*>(&layer)) {
+      if (from_conv && crossed_flatten) {
+        // Flatten layout is channel-major: channel c of a [C, L] tensor
+        // occupies columns [c*L, (c+1)*L).
+        const auto& pre_flatten = trace[j];  // input shape of the flatten's
+                                             // consumer == flattened vector
+        (void)pre_flatten;
+        // Find the conv-output temporal length feeding the flatten: it is
+        // the input shape of the flatten layer itself.
+        std::vector<int> flat_in;
+        for (std::size_t k = layer_index + 1; k < j; ++k) {
+          if (model.layer(k).kind() == "flatten") {
+            flat_in = trace[k];
+            break;
+          }
+        }
+        if (flat_in.size() != 2) {
+          throw std::logic_error("remove_unit: cannot locate flatten input shape");
+        }
+        const int length = flat_in[1];
+        dense->remove_input_block(unit * length, length);
+      } else {
+        dense->remove_input_block(unit, 1);
+      }
+      return;
+    }
+    throw std::logic_error("remove_unit: unsupported consumer layer " + layer.kind());
+  }
+  throw std::logic_error("remove_unit: no downstream consumer found");
+}
+
+PruneReport prune_to_energy_budget(Sequential& model,
+                                   const std::vector<int>& input_shape,
+                                   const ComputeProfile& profile,
+                                   const Samples& train,
+                                   const PruneConfig& config) {
+  if (config.energy_budget_j <= 0.0) {
+    throw std::invalid_argument("prune_to_energy_budget: budget <= 0");
+  }
+  PruneReport report;
+  report.energy_before_j = estimate_cost(model, input_shape, profile).energy_j;
+  report.params_before = model.param_count();
+
+  Trainer tuner(config.fine_tune);
+  int since_tune = 0;
+  while (estimate_cost(model, input_shape, profile).energy_j >
+         config.energy_budget_j) {
+    const Candidate c = cheapest_unit(model, config.min_channels);
+    if (!c.valid()) break;  // nothing left to prune
+    remove_unit(model, input_shape, c.layer_index, c.unit);
+    const double energy = estimate_cost(model, input_shape, profile).energy_j;
+    report.steps.push_back({c.layer_index, model.layer(c.layer_index).kind(),
+                            c.unit, c.importance, energy});
+    util::log_debug("prune: layer ", c.layer_index, " unit ", c.unit,
+                    " -> energy ", energy);
+    if (!train.empty() && ++since_tune >= config.fine_tune_every) {
+      tuner.fit(model, train);
+      since_tune = 0;
+    }
+  }
+  if (!train.empty() && !report.steps.empty() && since_tune > 0) {
+    tuner.fit(model, train);
+  }
+  report.energy_after_j = estimate_cost(model, input_shape, profile).energy_j;
+  report.params_after = model.param_count();
+  report.met_budget = report.energy_after_j <= config.energy_budget_j;
+  return report;
+}
+
+}  // namespace origin::nn

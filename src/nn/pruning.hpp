@@ -1,0 +1,66 @@
+// Energy-aware structured pruning (in the spirit of Yang et al. [15] /
+// NetAdapt [3]): greedily removes the least-important conv filter or dense
+// hidden unit — importance = L2 norm per joule of energy saved — with
+// weight surgery propagated to downstream consumers, fine-tuning as it
+// goes, until the per-inference energy fits the budget. This is how
+// Baseline-2 networks are derived from Baseline-1 networks.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nn/energy_model.hpp"
+#include "nn/model.hpp"
+#include "nn/trainer.hpp"
+
+namespace origin::nn {
+
+struct PruneConfig {
+  /// Target per-inference energy (joules). Must be > 0.
+  double energy_budget_j = 0.0;
+  /// Fine-tune after this many removals (and once at the end).
+  int fine_tune_every = 4;
+  TrainConfig fine_tune;
+  /// A conv layer is never pruned below this many output filters, a dense
+  /// layer below this many hidden units.
+  int min_channels = 2;
+
+  PruneConfig() {
+    fine_tune.epochs = 2;
+    fine_tune.learning_rate = 3e-3;
+  }
+};
+
+struct PruneStep {
+  std::size_t layer_index = 0;
+  std::string layer_kind;
+  int unit = 0;               // removed filter / hidden-unit index
+  double importance = 0.0;    // L2 norm of removed weights
+  double energy_after_j = 0.0;
+};
+
+struct PruneReport {
+  double energy_before_j = 0.0;
+  double energy_after_j = 0.0;
+  std::size_t params_before = 0;
+  std::size_t params_after = 0;
+  bool met_budget = false;
+  std::vector<PruneStep> steps;
+};
+
+/// Prunes `model` in place until estimate_cost(...).energy_j <=
+/// config.energy_budget_j or no prunable unit remains. `train` is used for
+/// fine-tuning (may be empty to skip fine-tuning).
+PruneReport prune_to_energy_budget(Sequential& model,
+                                   const std::vector<int>& input_shape,
+                                   const ComputeProfile& profile,
+                                   const Samples& train,
+                                   const PruneConfig& config);
+
+/// Removes output filter `unit` from the conv/dense layer at `layer_index`
+/// and patches every downstream consumer (conv input channels, dense input
+/// columns through a flatten). Exposed for tests and custom pruners.
+void remove_unit(Sequential& model, const std::vector<int>& input_shape,
+                 std::size_t layer_index, int unit);
+
+}  // namespace origin::nn

@@ -1,0 +1,28 @@
+// Binary (de)serialization of Sequential models — the model-zoo cache that
+// lets every bench/example binary share one training run.
+//
+// Format (little-endian):
+//   magic "ORGN", u32 version
+//   u32 layer_count
+//   per layer: string kind, kind-specific i32/f32 config, param tensors
+//              (u64 element count + raw f32 data, weight before bias)
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "nn/model.hpp"
+
+namespace origin::nn {
+
+void save_model(const Sequential& model, std::ostream& out);
+void save_model(const Sequential& model, const std::string& path);
+
+/// Throws std::runtime_error on malformed/truncated input or unknown kinds.
+Sequential load_model(std::istream& in);
+Sequential load_model(const std::string& path);
+
+std::string model_to_string(const Sequential& model);
+Sequential model_from_string(const std::string& blob);
+
+}  // namespace origin::nn

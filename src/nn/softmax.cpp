@@ -1,0 +1,43 @@
+#include "nn/softmax.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace origin::nn {
+
+std::vector<float> softmax(const std::vector<float>& logits) {
+  std::vector<float> out(logits.size());
+  if (logits.empty()) return out;
+  const float m = *std::max_element(logits.begin(), logits.end());
+  float sum = 0.0f;
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    out[i] = std::exp(logits[i] - m);
+    sum += out[i];
+  }
+  for (auto& v : out) v /= sum;
+  return out;
+}
+
+Tensor Softmax::forward(const Tensor& input, bool /*train*/) {
+  Tensor out(input.shape(), softmax(input.vec()));
+  last_output_ = out;
+  return out;
+}
+
+Tensor Softmax::backward(const Tensor& grad_output) {
+  // dL/dx_i = y_i * (dL/dy_i - sum_j dL/dy_j * y_j)
+  const auto& y = last_output_;
+  float dot = 0.0f;
+  for (std::size_t j = 0; j < y.size(); ++j) dot += grad_output[j] * y[j];
+  Tensor grad(y.shape());
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    grad[i] = y[i] * (grad_output[i] - dot);
+  }
+  return grad;
+}
+
+std::unique_ptr<Layer> Softmax::clone() const {
+  return std::make_unique<Softmax>();
+}
+
+}  // namespace origin::nn

@@ -1,0 +1,28 @@
+// Numerically-stable softmax. Training uses fused softmax+cross-entropy in
+// loss.hpp (gradient p - y); this standalone layer serves inference-time
+// probability outputs and its exact Jacobian backward is exercised by the
+// gradient-check tests.
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace origin::nn {
+
+class Softmax : public Layer {
+ public:
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string kind() const override { return "softmax"; }
+  std::unique_ptr<Layer> clone() const override;
+  std::vector<int> output_shape(const std::vector<int>& input) const override {
+    return input;
+  }
+
+ private:
+  Tensor last_output_;
+};
+
+/// Free-function softmax over a logits vector.
+std::vector<float> softmax(const std::vector<float>& logits);
+
+}  // namespace origin::nn

@@ -1,0 +1,145 @@
+#include "nn/tensor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace origin::nn {
+
+std::size_t Tensor::shape_size(const std::vector<int>& shape) {
+  std::size_t n = 1;
+  for (int d : shape) {
+    if (d < 0) throw std::invalid_argument("Tensor: negative dimension");
+    n *= static_cast<std::size_t>(d);
+  }
+  return shape.empty() ? 0 : n;
+}
+
+Tensor::Tensor(std::vector<int> shape)
+    : shape_(std::move(shape)), data_(shape_size(shape_), 0.0f) {}
+
+Tensor::Tensor(std::vector<int> shape, std::vector<float> data)
+    : shape_(std::move(shape)), data_(std::move(data)) {
+  if (shape_size(shape_) != data_.size()) {
+    throw std::invalid_argument("Tensor: shape/data size mismatch");
+  }
+}
+
+Tensor Tensor::full(std::vector<int> shape, float value) {
+  Tensor t(std::move(shape));
+  t.fill(value);
+  return t;
+}
+
+Tensor Tensor::randn(std::vector<int> shape, util::Rng& rng, float stddev) {
+  Tensor t(std::move(shape));
+  for (auto& v : t.data_) v = static_cast<float>(rng.gauss(0.0, stddev));
+  return t;
+}
+
+void Tensor::check_rank(int expected) const {
+  if (rank() != expected) {
+    throw std::logic_error("Tensor: rank " + std::to_string(rank()) +
+                           ", expected " + std::to_string(expected));
+  }
+}
+
+float& Tensor::at(int i, int j) {
+  check_rank(2);
+  return data_[static_cast<std::size_t>(i) * static_cast<std::size_t>(shape_[1]) +
+               static_cast<std::size_t>(j)];
+}
+float Tensor::at(int i, int j) const {
+  return const_cast<Tensor*>(this)->at(i, j);
+}
+
+float& Tensor::at(int i, int j, int k) {
+  check_rank(3);
+  const std::size_t s1 = static_cast<std::size_t>(shape_[1]);
+  const std::size_t s2 = static_cast<std::size_t>(shape_[2]);
+  return data_[(static_cast<std::size_t>(i) * s1 + static_cast<std::size_t>(j)) * s2 +
+               static_cast<std::size_t>(k)];
+}
+float Tensor::at(int i, int j, int k) const {
+  return const_cast<Tensor*>(this)->at(i, j, k);
+}
+
+Tensor Tensor::reshaped(std::vector<int> shape) const {
+  if (shape_size(shape) != data_.size()) {
+    throw std::invalid_argument("Tensor::reshaped: element count mismatch (" +
+                                shape_str() + ")");
+  }
+  return Tensor(std::move(shape), data_);
+}
+
+void Tensor::fill(float value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+Tensor& Tensor::add(const Tensor& other) {
+  if (!same_shape(other)) throw std::invalid_argument("Tensor::add: shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::sub(const Tensor& other) {
+  if (!same_shape(other)) throw std::invalid_argument("Tensor::sub: shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::scale(float factor) {
+  for (auto& v : data_) v *= factor;
+  return *this;
+}
+
+Tensor& Tensor::axpy(float factor, const Tensor& other) {
+  if (!same_shape(other)) throw std::invalid_argument("Tensor::axpy: shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += factor * other.data_[i];
+  return *this;
+}
+
+float Tensor::sum() const {
+  float s = 0.0f;
+  for (float v : data_) s += v;
+  return s;
+}
+
+float Tensor::abs_sum() const {
+  float s = 0.0f;
+  for (float v : data_) s += std::fabs(v);
+  return s;
+}
+
+float Tensor::sq_sum() const {
+  float s = 0.0f;
+  for (float v : data_) s += v * v;
+  return s;
+}
+
+float Tensor::max() const {
+  if (data_.empty()) return 0.0f;
+  return *std::max_element(data_.begin(), data_.end());
+}
+
+std::size_t Tensor::argmax() const {
+  if (data_.empty()) return 0;
+  return static_cast<std::size_t>(
+      std::max_element(data_.begin(), data_.end()) - data_.begin());
+}
+
+std::string Tensor::shape_str() const {
+  std::ostringstream os;
+  os << '[';
+  for (std::size_t i = 0; i < shape_.size(); ++i) {
+    if (i) os << 'x';
+    os << shape_[i];
+  }
+  os << ']';
+  return os.str();
+}
+
+}  // namespace origin::nn

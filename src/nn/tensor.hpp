@@ -1,0 +1,84 @@
+// Dense row-major float tensor — the data currency of the nn/ module.
+// Small by design: per-sample processing of 1-D IMU windows needs rank-1/2
+// tensors only, but the class supports arbitrary rank.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace origin::util {
+class Rng;
+}
+
+namespace origin::nn {
+
+class Tensor {
+ public:
+  Tensor() = default;
+  /// Zero-initialized tensor of the given shape.
+  explicit Tensor(std::vector<int> shape);
+  Tensor(std::vector<int> shape, std::vector<float> data);
+
+  static Tensor zeros(std::vector<int> shape) { return Tensor(std::move(shape)); }
+  static Tensor full(std::vector<int> shape, float value);
+  /// He/Kaiming-normal initialization with fan_in scaling.
+  static Tensor randn(std::vector<int> shape, util::Rng& rng, float stddev);
+
+  const std::vector<int>& shape() const { return shape_; }
+  int rank() const { return static_cast<int>(shape_.size()); }
+  int dim(int i) const { return shape_[static_cast<std::size_t>(i)]; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  std::vector<float>& vec() { return data_; }
+  const std::vector<float>& vec() const { return data_; }
+
+  float& operator[](std::size_t i) { return data_[i]; }
+  float operator[](std::size_t i) const { return data_[i]; }
+
+  /// 2-D access (row-major): element (i, j) of a rank-2 tensor.
+  float& at(int i, int j);
+  float at(int i, int j) const;
+  /// 3-D access: element (i, j, k) of a rank-3 tensor.
+  float& at(int i, int j, int k);
+  float at(int i, int j, int k) const;
+
+  /// Returns a tensor with the same data but a new shape (element count
+  /// must match). Throws std::invalid_argument otherwise.
+  Tensor reshaped(std::vector<int> shape) const;
+
+  void fill(float value);
+  void zero() { fill(0.0f); }
+
+  /// In-place element-wise operations; shapes must match exactly.
+  Tensor& add(const Tensor& other);
+  Tensor& sub(const Tensor& other);
+  Tensor& scale(float factor);
+  /// this += factor * other (axpy); shapes must match.
+  Tensor& axpy(float factor, const Tensor& other);
+
+  float sum() const;
+  float abs_sum() const;
+  float sq_sum() const;
+  float max() const;
+  /// Index of the maximum element (0 for empty).
+  std::size_t argmax() const;
+
+  bool same_shape(const Tensor& other) const { return shape_ == other.shape_; }
+
+  std::string shape_str() const;
+
+  /// Total element count implied by a shape. Throws on negative dims.
+  static std::size_t shape_size(const std::vector<int>& shape);
+
+ private:
+  void check_rank(int expected) const;
+
+  std::vector<int> shape_;
+  std::vector<float> data_;
+};
+
+}  // namespace origin::nn

@@ -1,0 +1,105 @@
+#include "nn/trainer.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+#include "nn/loss.hpp"
+#include "util/logging.hpp"
+
+namespace origin::nn {
+
+Trainer::Trainer(TrainConfig config) : config_(config) {
+  if (config_.epochs <= 0 || config_.batch_size <= 0) {
+    throw std::invalid_argument("Trainer: non-positive epochs/batch");
+  }
+}
+
+std::vector<EpochStats> Trainer::fit(Sequential& model, const Samples& train) {
+  if (train.empty()) throw std::invalid_argument("Trainer::fit: empty dataset");
+
+  SgdMomentum opt(config_.learning_rate, config_.momentum, config_.weight_decay);
+  opt.bind(model);
+  model.zero_grads();
+
+  util::Rng rng(config_.shuffle_seed);
+  std::vector<std::size_t> order(train.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+
+  std::vector<EpochStats> history;
+  history.reserve(static_cast<std::size_t>(config_.epochs));
+  double lr = config_.learning_rate;
+
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    rng.shuffle(order);
+    double loss_sum = 0.0;
+    std::size_t correct = 0;
+    std::size_t in_batch = 0;
+    for (std::size_t idx : order) {
+      const LabeledSample& s = train[idx];
+      LossResult lr_res;
+      if (config_.mixup_prob > 0.0 && rng.bernoulli(config_.mixup_prob)) {
+        // Mixup: blend this sample with a random partner; the soft target
+        // carries the blend ratio, teaching the network calibrated
+        // (low-variance) softmax outputs on ambiguous inputs.
+        const LabeledSample& partner = train[rng.below(train.size())];
+        const float lambda = static_cast<float>(rng.uniform(0.3, 1.0));
+        Tensor mixed = s.input;
+        mixed.scale(lambda).axpy(1.0f - lambda, partner.input);
+        const Tensor logits = model.forward(mixed, /*train=*/true);
+        const int num_classes = static_cast<int>(logits.size());
+        std::vector<float> target(static_cast<std::size_t>(num_classes), 0.0f);
+        target[static_cast<std::size_t>(s.label)] += lambda;
+        target[static_cast<std::size_t>(partner.label)] += 1.0f - lambda;
+        lr_res = softmax_cross_entropy_soft(logits, target);
+        loss_sum += lr_res.loss;
+        if (static_cast<int>(logits.argmax()) == s.label) ++correct;
+      } else {
+        const Tensor logits = model.forward(s.input, /*train=*/true);
+        lr_res = softmax_cross_entropy(logits, s.label);
+        loss_sum += lr_res.loss;
+        if (static_cast<int>(logits.argmax()) == s.label) ++correct;
+      }
+      // Scale so the step uses the batch-mean gradient.
+      Tensor g = lr_res.grad;
+      g.scale(1.0f / static_cast<float>(config_.batch_size));
+      model.backward(g);
+      if (++in_batch == static_cast<std::size_t>(config_.batch_size)) {
+        opt.step();
+        in_batch = 0;
+      }
+    }
+    if (in_batch > 0) opt.step();
+
+    EpochStats stats;
+    stats.loss = loss_sum / static_cast<double>(train.size());
+    stats.accuracy = static_cast<double>(correct) / static_cast<double>(train.size());
+    history.push_back(stats);
+    util::log_debug("epoch ", epoch, ": loss=", stats.loss,
+                    " acc=", stats.accuracy, " lr=", lr);
+
+    lr *= config_.lr_decay;
+    opt.set_learning_rate(lr);
+    if (config_.early_stop_accuracy > 0.0 &&
+        stats.accuracy >= config_.early_stop_accuracy) {
+      break;
+    }
+  }
+  return history;
+}
+
+EpochStats Trainer::evaluate(Sequential& model, const Samples& samples) {
+  EpochStats stats;
+  if (samples.empty()) return stats;
+  double loss_sum = 0.0;
+  std::size_t correct = 0;
+  for (const LabeledSample& s : samples) {
+    const Tensor logits = model.forward(s.input, /*train=*/false);
+    loss_sum += softmax_cross_entropy(logits, s.label).loss;
+    if (static_cast<int>(logits.argmax()) == s.label) ++correct;
+  }
+  stats.loss = loss_sum / static_cast<double>(samples.size());
+  stats.accuracy = static_cast<double>(correct) / static_cast<double>(samples.size());
+  return stats;
+}
+
+}  // namespace origin::nn

@@ -1,0 +1,67 @@
+#include "sim/metrics.hpp"
+
+#include <stdexcept>
+
+namespace origin::sim {
+
+AccuracyTracker::AccuracyTracker(int num_classes) : num_classes_(num_classes) {
+  if (num_classes <= 0) throw std::invalid_argument("AccuracyTracker: num_classes <= 0");
+  confusion_.assign(static_cast<std::size_t>(num_classes),
+                    std::vector<std::uint64_t>(static_cast<std::size_t>(num_classes) + 1, 0));
+}
+
+void AccuracyTracker::record(int truth, int predicted) {
+  if (truth < 0 || truth >= num_classes_) {
+    throw std::out_of_range("AccuracyTracker::record: truth out of range");
+  }
+  if (predicted >= num_classes_) {
+    throw std::out_of_range("AccuracyTracker::record: predicted out of range");
+  }
+  ++total_;
+  const std::size_t col = predicted < 0 ? static_cast<std::size_t>(num_classes_)
+                                        : static_cast<std::size_t>(predicted);
+  ++confusion_[static_cast<std::size_t>(truth)][col];
+  if (predicted == truth) ++correct_;
+}
+
+double AccuracyTracker::overall() const {
+  return total_ ? static_cast<double>(correct_) / static_cast<double>(total_) : 0.0;
+}
+
+std::uint64_t AccuracyTracker::class_total(int cls) const {
+  if (cls < 0 || cls >= num_classes_) throw std::out_of_range("class_total");
+  std::uint64_t sum = 0;
+  for (const auto v : confusion_[static_cast<std::size_t>(cls)]) sum += v;
+  return sum;
+}
+
+double AccuracyTracker::per_class(int cls) const {
+  const std::uint64_t total = class_total(cls);
+  if (total == 0) return 0.0;
+  return static_cast<double>(
+             confusion_[static_cast<std::size_t>(cls)][static_cast<std::size_t>(cls)]) /
+         static_cast<double>(total);
+}
+
+double CompletionStats::pct_all() const {
+  return slots ? 100.0 * static_cast<double>(slots_all_completed) /
+                     static_cast<double>(slots)
+               : 0.0;
+}
+double CompletionStats::pct_at_least_one() const {
+  return slots ? 100.0 * static_cast<double>(slots_some_completed) /
+                     static_cast<double>(slots)
+               : 0.0;
+}
+double CompletionStats::pct_failed_slots() const {
+  return slots ? 100.0 * static_cast<double>(slots_none_completed) /
+                     static_cast<double>(slots)
+               : 0.0;
+}
+double CompletionStats::attempt_success_rate() const {
+  return attempts ? 100.0 * static_cast<double>(completions) /
+                        static_cast<double>(attempts)
+                  : 0.0;
+}
+
+}  // namespace origin::sim

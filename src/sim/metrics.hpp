@@ -1,0 +1,71 @@
+// Metrics collected by the simulator: per-class top-1 accuracy with a full
+// confusion matrix (the paper's figures are per-activity accuracies) and
+// the inference-completion breakdown of Fig. 1.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "data/activity.hpp"
+#include "net/sensor_node.hpp"
+
+namespace origin::sim {
+
+class AccuracyTracker {
+ public:
+  explicit AccuracyTracker(int num_classes);
+
+  /// `predicted` may be -1 ("system produced no output"), counted wrong.
+  void record(int truth, int predicted);
+
+  int num_classes() const { return num_classes_; }
+  std::uint64_t total() const { return total_; }
+  std::uint64_t correct() const { return correct_; }
+  double overall() const;
+  double per_class(int cls) const;              // accuracy in [0, 1]
+  std::uint64_t class_total(int cls) const;
+  /// confusion()[truth][predicted]; predicted == num_classes is the
+  /// "no output" column.
+  const std::vector<std::vector<std::uint64_t>>& confusion() const {
+    return confusion_;
+  }
+
+ private:
+  int num_classes_;
+  std::uint64_t total_ = 0;
+  std::uint64_t correct_ = 0;
+  std::vector<std::vector<std::uint64_t>> confusion_;
+};
+
+/// Fig. 1 statistics. For the naive policy (everybody attempts every slot)
+/// the per-slot breakdown is meaningful; for round-robin policies the
+/// per-attempt success rate is the reported quantity.
+struct CompletionStats {
+  std::uint64_t slots = 0;
+  std::uint64_t slots_all_completed = 0;   // every attempting sensor finished
+  std::uint64_t slots_some_completed = 0;  // >= 1 finished
+  std::uint64_t slots_none_completed = 0;  // attempts existed, none finished
+  std::uint64_t attempts = 0;
+  std::uint64_t completions = 0;
+
+  double pct_all() const;
+  double pct_at_least_one() const;
+  double pct_failed_slots() const;
+  double attempt_success_rate() const;
+};
+
+struct SimResult {
+  AccuracyTracker accuracy{1};
+  CompletionStats completion;
+  std::array<net::NodeCounters, data::kNumSensors> node_counters{};
+  /// How many times each sensor was scheduled to attempt.
+  std::array<std::uint64_t, data::kNumSensors> scheduled{};
+  /// Slots in which the fused output changed class (stability metric).
+  std::uint64_t output_transitions = 0;
+  /// Per-slot fused prediction (-1 = no output) — per-slot analyses and
+  /// the Fig. 6 per-iteration accuracy series.
+  std::vector<int> outputs;
+};
+
+}  // namespace origin::sim

@@ -1,0 +1,37 @@
+#include "sim/repeat.hpp"
+
+#include <stdexcept>
+
+namespace origin::sim {
+
+RepeatResult repeat_policy_runs(const Experiment& experiment,
+                                PolicyKind policy_kind, int rr_cycle,
+                                int runs, ModelSet set) {
+  if (runs <= 0) throw std::invalid_argument("repeat_policy_runs: runs <= 0");
+  RepeatResult out;
+  for (int r = 0; r < runs; ++r) {
+    const auto stream = experiment.make_stream(
+        data::reference_user(), 1000ULL + static_cast<std::uint64_t>(r));
+    auto policy = experiment.make_policy(policy_kind, rr_cycle, set);
+    const auto result = experiment.run_policy(*policy, stream, set);
+    out.accuracy.add(result.accuracy.overall());
+    out.success_rate.add(result.completion.attempt_success_rate());
+  }
+  return out;
+}
+
+RepeatResult repeat_baseline_runs(const Experiment& experiment,
+                                  core::BaselineKind kind, int runs) {
+  if (runs <= 0) throw std::invalid_argument("repeat_baseline_runs: runs <= 0");
+  RepeatResult out;
+  for (int r = 0; r < runs; ++r) {
+    const auto stream = experiment.make_stream(
+        data::reference_user(), 1000ULL + static_cast<std::uint64_t>(r));
+    const auto result = experiment.run_fully_powered(kind, stream);
+    out.accuracy.add(result.accuracy.overall());
+    out.success_rate.add(result.completion.attempt_success_rate());
+  }
+  return out;
+}
+
+}  // namespace origin::sim

@@ -1,0 +1,29 @@
+// Multi-seed experiment repetition: every simulation in this repository is
+// deterministic per seed, so statistical confidence comes from repeating a
+// configuration over independent stream seeds and aggregating.
+#pragma once
+
+#include "sim/experiment.hpp"
+#include "util/stats.hpp"
+
+namespace origin::sim {
+
+struct RepeatResult {
+  util::RunningStats accuracy;       // overall top-1 per run, in [0, 1]
+  util::RunningStats success_rate;   // attempt success %, per run
+  /// Mean +/- one standard deviation, as percentages.
+  double mean_accuracy_pct() const { return 100.0 * accuracy.mean(); }
+  double stddev_accuracy_pct() const { return 100.0 * accuracy.stddev(); }
+};
+
+/// Runs `policy_kind` over `runs` independently-seeded streams (the same
+/// trained system and trace) and aggregates the per-run metrics.
+RepeatResult repeat_policy_runs(const Experiment& experiment,
+                                PolicyKind policy_kind, int rr_cycle,
+                                int runs, ModelSet set = ModelSet::BL2);
+
+/// Same, for a fully-powered baseline.
+RepeatResult repeat_baseline_runs(const Experiment& experiment,
+                                  core::BaselineKind kind, int runs);
+
+}  // namespace origin::sim

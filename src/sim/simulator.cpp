@@ -1,0 +1,147 @@
+#include "sim/simulator.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace origin::sim {
+
+Simulator::Simulator(const data::DatasetSpec& spec,
+                     std::array<nn::Sequential, data::kNumSensors> models,
+                     const energy::PowerTrace* trace, core::Policy* policy,
+                     SimulatorConfig config)
+    : spec_(spec),
+      models_(std::move(models)),
+      trace_(trace),
+      policy_(policy),
+      config_(config) {
+  if (!trace_) throw std::invalid_argument("Simulator: null trace");
+  if (!policy_) throw std::invalid_argument("Simulator: null policy");
+}
+
+std::array<double, data::kNumSensors> Simulator::inference_energy_j() const {
+  std::array<double, data::kNumSensors> out{};
+  for (int s = 0; s < data::kNumSensors; ++s) {
+    const auto si = static_cast<std::size_t>(s);
+    const auto cost = nn::estimate_cost(
+        models_[si], {spec_.channels, spec_.window_len}, config_.node.compute);
+    net::Message msg;
+    out[si] = cost.energy_j + config_.node.radio.tx_energy_j(msg);
+  }
+  return out;
+}
+
+SimResult Simulator::run(const data::Stream& stream) {
+  if (stream.slots.empty()) throw std::invalid_argument("Simulator::run: empty stream");
+  if (stream.spec.num_classes() != spec_.num_classes()) {
+    throw std::invalid_argument("Simulator::run: stream/spec class mismatch");
+  }
+
+  // Fresh nodes per run.
+  std::vector<net::SensorNode> nodes;
+  nodes.reserve(data::kNumSensors);
+  for (int s = 0; s < data::kNumSensors; ++s) {
+    const auto si = static_cast<std::size_t>(s);
+    energy::Harvester harvester(trace_, config_.harvester_efficiency,
+                                config_.harvest_scale[si],
+                                config_.harvest_offset_s[si]);
+    nodes.emplace_back(static_cast<data::SensorLocation>(s), models_[si],
+                       std::vector<int>{spec_.channels, spec_.window_len},
+                       harvester, config_.node);
+  }
+
+  net::HostDevice host;
+  policy_->reset();
+  std::array<double, data::kNumSensors> last_success_s;
+  last_success_s.fill(-std::numeric_limits<double>::infinity());
+
+  SimResult result;
+  result.accuracy = AccuracyTracker(spec_.num_classes());
+  const double slot_s = spec_.slot_seconds();
+  int previous_output = -1;
+
+  for (std::size_t i = 0; i < stream.slots.size(); ++i) {
+    const auto& slot = stream.slots[i];
+    const double t0 = static_cast<double>(i) * slot_s;
+    const double t1 = t0 + slot_s;
+
+    for (int s = 0; s < data::kNumSensors; ++s) {
+      const auto si = static_cast<std::size_t>(s);
+      const auto& failure = config_.node_failure_at_s[si];
+      if (failure && t0 >= *failure) nodes[si].fail();
+      nodes[si].accumulate(t0, t1);
+    }
+    host.age_votes();
+
+    core::SlotContext ctx;
+    ctx.slot = static_cast<int>(i);
+    ctx.time_s = t0;
+    for (int s = 0; s < data::kNumSensors; ++s) {
+      const auto si = static_cast<std::size_t>(s);
+      ctx.nodes[si].stored_j = nodes[si].stored_j();
+      ctx.nodes[si].cost_j = nodes[si].inference_energy_j();
+      ctx.nodes[si].vote_age_s = t0 - last_success_s[si];
+      ctx.nodes[si].alive = !nodes[si].failed();
+    }
+
+    const std::vector<int> attempts = policy_->plan(ctx);
+    std::size_t completed = 0;
+    for (int s : attempts) {
+      if (s < 0 || s >= data::kNumSensors) {
+        throw std::logic_error("Simulator: policy planned invalid sensor");
+      }
+      const auto si = static_cast<std::size_t>(s);
+      ++result.scheduled[si];
+      const nn::Tensor& window = slot.windows[si];
+      std::optional<net::Classification> outcome;
+      switch (policy_->execution()) {
+        case core::ExecutionModel::WaitCompute:
+          outcome = nodes[si].attempt_wait_compute(window);
+          break;
+        case core::ExecutionModel::EagerNvp:
+          outcome = nodes[si].attempt_eager(window);
+          break;
+        case core::ExecutionModel::Deadline:
+          outcome = nodes[si].attempt_deadline(window);
+          break;
+      }
+      if (outcome) {
+        ++completed;
+        last_success_s[si] = t1;
+        host.update_vote(static_cast<data::SensorLocation>(s), *outcome, t1);
+        policy_->on_result(s, *outcome, ctx);
+      }
+    }
+
+    // Completion bookkeeping (Fig. 1).
+    ++result.completion.slots;
+    result.completion.attempts += attempts.size();
+    result.completion.completions += completed;
+    if (!attempts.empty()) {
+      if (completed == attempts.size()) {
+        ++result.completion.slots_all_completed;
+      }
+      if (completed > 0) {
+        ++result.completion.slots_some_completed;
+      } else {
+        ++result.completion.slots_none_completed;
+      }
+    }
+
+    const auto fused = policy_->fuse(host, ctx);
+    const int predicted = fused.value_or(-1);
+    result.outputs.push_back(predicted);
+    result.accuracy.record(slot.label, predicted);
+    if (predicted != previous_output && predicted >= 0 && previous_output >= 0) {
+      ++result.output_transitions;
+    }
+    if (predicted >= 0) previous_output = predicted;
+  }
+
+  for (int s = 0; s < data::kNumSensors; ++s) {
+    result.node_counters[static_cast<std::size_t>(s)] =
+        nodes[static_cast<std::size_t>(s)].counters();
+  }
+  return result;
+}
+
+}  // namespace origin::sim

@@ -1,0 +1,38 @@
+// Minimal CSV reading/writing used for power traces, experiment outputs and
+// model-zoo metadata. Only what the project needs: numeric-friendly,
+// RFC4180-style quoting for fields containing separators.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace origin::util {
+
+class CsvWriter {
+ public:
+  /// Opens (truncates) `path`. Throws std::runtime_error on failure.
+  explicit CsvWriter(const std::string& path);
+  ~CsvWriter();
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  void write_row(const std::vector<std::string>& fields);
+  void write_row(const std::vector<double>& fields);
+  void flush();
+
+ private:
+  struct Impl;
+  Impl* impl_;
+};
+
+/// Parses a whole CSV file into rows of string fields. Handles quoted
+/// fields with embedded commas/quotes/newlines. Throws on I/O failure.
+std::vector<std::vector<std::string>> read_csv(const std::string& path);
+
+/// Parses one CSV line (no embedded newlines) into fields.
+std::vector<std::string> split_csv_line(const std::string& line);
+
+/// Quotes a field if needed.
+std::string csv_escape(const std::string& field);
+
+}  // namespace origin::util

@@ -1,0 +1,53 @@
+// Small statistics helpers shared by the data generator, confidence matrix,
+// metrics and benches.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace origin::util {
+
+/// Streaming mean/variance accumulator (Welford). Numerically stable and
+/// O(1) memory, used for confidence-matrix estimation and metrics.
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& other);
+  void reset();
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  /// Population variance (divide by n).
+  double variance() const;
+  /// Sample variance (divide by n-1).
+  double sample_variance() const;
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return n_ ? mean_ * static_cast<double>(n_) : 0.0; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+double mean(const std::vector<double>& v);
+/// Population variance of v (0 for empty/singleton handled as 0).
+double variance(const std::vector<double>& v);
+double stddev(const std::vector<double>& v);
+/// p in [0,1]; linear interpolation between order statistics.
+double percentile(std::vector<double> v, double p);
+
+/// Variance of a probability vector — the paper's confidence measure for a
+/// softmax output (§III-C): [1,0,..] is maximally confident, uniform is
+/// maximally confused.
+double probability_vector_variance(const std::vector<float>& probs);
+
+/// argmax index; returns 0 for empty input.
+std::size_t argmax(const std::vector<float>& v);
+std::size_t argmax(const std::vector<double>& v);
+
+}  // namespace origin::util

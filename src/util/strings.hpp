@@ -1,0 +1,23 @@
+// String helpers used across modules (identifiers for model-cache keys,
+// parsing of small config strings).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace origin::util {
+
+std::string to_lower(std::string s);
+std::string trim(const std::string& s);
+std::vector<std::string> split(const std::string& s, char sep);
+std::string join(const std::vector<std::string>& parts, const std::string& sep);
+bool starts_with(const std::string& s, const std::string& prefix);
+bool ends_with(const std::string& s, const std::string& suffix);
+
+/// FNV-1a 64-bit hash — stable across platforms, used for model-cache keys.
+std::uint64_t fnv1a(const std::string& s);
+/// Hex string of a 64-bit value (16 chars, lowercase).
+std::string hex64(std::uint64_t v);
+
+}  // namespace origin::util

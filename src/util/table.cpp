@@ -1,0 +1,75 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace origin::util {
+
+AsciiTable::AsciiTable(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void AsciiTable::add_row(std::vector<std::string> row) {
+  row.resize(header_.size());
+  rows_.push_back(std::move(row));
+}
+
+void AsciiTable::add_row(const std::string& label,
+                         const std::vector<double>& values, int precision) {
+  std::vector<std::string> row;
+  row.reserve(values.size() + 1);
+  row.push_back(label);
+  for (double v : values) row.push_back(format(v, precision));
+  add_row(std::move(row));
+}
+
+std::string AsciiTable::format(double v, int precision) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(precision);
+  os << v;
+  return os.str();
+}
+
+std::string AsciiTable::str() const {
+  std::vector<std::size_t> widths(header_.size(), 0);
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto pad = [](const std::string& s, std::size_t w) {
+    std::string out = s;
+    out.resize(w, ' ');
+    return out;
+  };
+  std::ostringstream os;
+  auto rule = [&] {
+    os << '+';
+    for (std::size_t w : widths) os << std::string(w + 2, '-') << '+';
+    os << '\n';
+  };
+  rule();
+  os << '|';
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    os << ' ' << pad(header_[c], widths[c]) << " |";
+  }
+  os << '\n';
+  rule();
+  for (const auto& row : rows_) {
+    os << '|';
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      os << ' ' << pad(c < row.size() ? row[c] : "", widths[c]) << " |";
+    }
+    os << '\n';
+  }
+  rule();
+  return os.str();
+}
+
+void AsciiTable::print() const { std::fputs(str().c_str(), stdout); }
+
+}  // namespace origin::util

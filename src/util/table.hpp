@@ -1,0 +1,30 @@
+// ASCII table rendering for bench binaries: the benches print the same rows
+// the paper's tables/figures report, and this keeps the output aligned and
+// diffable.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace origin::util {
+
+class AsciiTable {
+ public:
+  explicit AsciiTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+  /// Convenience: formats doubles with the given precision.
+  void add_row(const std::string& label, const std::vector<double>& values,
+               int precision = 2);
+
+  std::string str() const;
+  void print() const;
+
+  static std::string format(double v, int precision = 2);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace origin::util

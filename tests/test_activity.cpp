@@ -1,0 +1,75 @@
+#include "data/activity.hpp"
+
+#include <gtest/gtest.h>
+
+namespace origin::data {
+namespace {
+
+TEST(Activity, NamesRoundtrip) {
+  for (int i = 0; i < kNumActivityKinds; ++i) {
+    const auto a = static_cast<Activity>(i);
+    EXPECT_EQ(activity_from_string(to_string(a)), a);
+  }
+}
+
+TEST(Activity, ParseIsCaseInsensitive) {
+  EXPECT_EQ(activity_from_string("  WALKING "), Activity::Walking);
+  EXPECT_EQ(activity_from_string("Cycling"), Activity::Cycling);
+}
+
+TEST(Activity, ParseUnknownThrows) {
+  EXPECT_THROW(activity_from_string("swimming"), std::invalid_argument);
+}
+
+TEST(Sensor, NamesRoundtrip) {
+  for (int i = 0; i < kNumSensors; ++i) {
+    const auto s = static_cast<SensorLocation>(i);
+    EXPECT_EQ(sensor_from_string(to_string(s)), s);
+  }
+  EXPECT_THROW(sensor_from_string("hip"), std::invalid_argument);
+}
+
+TEST(Sensor, SchedulingOrderMatchesFig3) {
+  const auto order = all_sensors();
+  EXPECT_EQ(order[0], SensorLocation::Chest);
+  EXPECT_EQ(order[1], SensorLocation::RightWrist);
+  EXPECT_EQ(order[2], SensorLocation::LeftAnkle);
+}
+
+TEST(DatasetSpec, MHealthHasSixClasses) {
+  const auto spec = dataset_spec(DatasetKind::MHealthLike);
+  EXPECT_EQ(spec.num_classes(), 6);
+  EXPECT_EQ(spec.class_of(Activity::Jogging), 4);
+}
+
+TEST(DatasetSpec, Pamap2LacksJogging) {
+  const auto spec = dataset_spec(DatasetKind::Pamap2Like);
+  EXPECT_EQ(spec.num_classes(), 5);
+  EXPECT_EQ(spec.class_of(Activity::Jogging), -1);
+  EXPECT_EQ(spec.class_of(Activity::Jumping), 4);
+}
+
+TEST(DatasetSpec, ActivityOfRoundtrip) {
+  const auto spec = dataset_spec(DatasetKind::MHealthLike);
+  for (int c = 0; c < spec.num_classes(); ++c) {
+    EXPECT_EQ(spec.class_of(spec.activity_of(c)), c);
+  }
+  EXPECT_THROW(spec.activity_of(-1), std::out_of_range);
+  EXPECT_THROW(spec.activity_of(6), std::out_of_range);
+}
+
+TEST(DatasetSpec, SlotAndWindowSeconds) {
+  const auto spec = dataset_spec(DatasetKind::MHealthLike);
+  EXPECT_DOUBLE_EQ(spec.slot_seconds(), 0.5);
+  EXPECT_DOUBLE_EQ(spec.window_seconds(), 1.28);
+}
+
+TEST(Activity, IntensityOrdering) {
+  EXPECT_LT(activity_intensity(Activity::Walking),
+            activity_intensity(Activity::Jogging));
+  EXPECT_LT(activity_intensity(Activity::Jogging),
+            activity_intensity(Activity::Running));
+}
+
+}  // namespace
+}  // namespace origin::data

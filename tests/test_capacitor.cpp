@@ -1,0 +1,73 @@
+#include "energy/capacitor.hpp"
+
+#include <gtest/gtest.h>
+
+namespace origin::energy {
+namespace {
+
+TEST(Capacitor, Validation) {
+  EXPECT_THROW(Capacitor(0.0), std::invalid_argument);
+  EXPECT_THROW(Capacitor(-1.0), std::invalid_argument);
+  EXPECT_THROW(Capacitor(1.0, 0.0, -1.0), std::invalid_argument);
+}
+
+TEST(Capacitor, InitialChargeClamped) {
+  Capacitor c(10.0, 20.0);
+  EXPECT_DOUBLE_EQ(c.stored_j(), 10.0);
+  Capacitor d(10.0, -5.0);
+  EXPECT_DOUBLE_EQ(d.stored_j(), 0.0);
+}
+
+TEST(Capacitor, HarvestClampsAtCapacity) {
+  Capacitor c(10.0, 8.0);
+  EXPECT_DOUBLE_EQ(c.harvest(5.0), 2.0);  // only 2 J fit
+  EXPECT_DOUBLE_EQ(c.stored_j(), 10.0);
+  EXPECT_TRUE(c.full());
+  EXPECT_DOUBLE_EQ(c.headroom_j(), 0.0);
+}
+
+TEST(Capacitor, HarvestNegativeThrows) {
+  Capacitor c(1.0);
+  EXPECT_THROW(c.harvest(-0.1), std::invalid_argument);
+}
+
+TEST(Capacitor, TryDrawAtomic) {
+  Capacitor c(10.0, 5.0);
+  EXPECT_FALSE(c.try_draw(6.0));
+  EXPECT_DOUBLE_EQ(c.stored_j(), 5.0);  // nothing taken on failure
+  EXPECT_TRUE(c.try_draw(5.0));
+  EXPECT_DOUBLE_EQ(c.stored_j(), 0.0);
+}
+
+TEST(Capacitor, TryDrawToleratesRoundoff) {
+  Capacitor c(1.0, 0.3);
+  // Repeated float-ish arithmetic should still allow drawing "everything".
+  EXPECT_TRUE(c.try_draw(0.1));
+  EXPECT_TRUE(c.try_draw(0.2));
+  EXPECT_FALSE(c.try_draw(1e-6));
+}
+
+TEST(Capacitor, DrawUpToPartial) {
+  Capacitor c(10.0, 3.0);
+  EXPECT_DOUBLE_EQ(c.draw_up_to(5.0), 3.0);
+  EXPECT_DOUBLE_EQ(c.stored_j(), 0.0);
+  EXPECT_DOUBLE_EQ(c.draw_up_to(1.0), 0.0);
+}
+
+TEST(Capacitor, LeakDrains) {
+  Capacitor c(10.0, 1.0, 0.1);
+  c.leak(5.0);
+  EXPECT_DOUBLE_EQ(c.stored_j(), 0.5);
+  c.leak(100.0);
+  EXPECT_DOUBLE_EQ(c.stored_j(), 0.0);  // floors at zero
+  EXPECT_THROW(c.leak(-1.0), std::invalid_argument);
+}
+
+TEST(Capacitor, ZeroLeakageIsLossless) {
+  Capacitor c(10.0, 4.0, 0.0);
+  c.leak(1000.0);
+  EXPECT_DOUBLE_EQ(c.stored_j(), 4.0);
+}
+
+}  // namespace
+}  // namespace origin::energy

@@ -1,0 +1,104 @@
+#include "core/confidence.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nn/activations.hpp"
+#include "nn/dense.hpp"
+#include "util/rng.hpp"
+
+namespace origin::core {
+namespace {
+
+using data::SensorLocation;
+
+TEST(ConfidenceMatrix, ConstructorValidation) {
+  EXPECT_THROW(ConfidenceMatrix(0), std::invalid_argument);
+  EXPECT_THROW(ConfidenceMatrix(3, -0.1), std::invalid_argument);
+}
+
+TEST(ConfidenceMatrix, UniformInitial) {
+  ConfidenceMatrix m(4, 0.07);
+  for (int s = 0; s < data::kNumSensors; ++s) {
+    for (int c = 0; c < 4; ++c) {
+      EXPECT_DOUBLE_EQ(m.weight(static_cast<SensorLocation>(s), c), 0.07);
+    }
+  }
+}
+
+TEST(ConfidenceMatrix, EmaUpdateMovesTowardObservation) {
+  ConfidenceMatrix m(2, 0.1);
+  m.set_alpha(0.5);
+  m.update(SensorLocation::Chest, 0, 0.3);
+  EXPECT_DOUBLE_EQ(m.weight(SensorLocation::Chest, 0), 0.2);
+  m.update(SensorLocation::Chest, 0, 0.3);
+  EXPECT_DOUBLE_EQ(m.weight(SensorLocation::Chest, 0), 0.25);
+  // Other cells untouched.
+  EXPECT_DOUBLE_EQ(m.weight(SensorLocation::Chest, 1), 0.1);
+  EXPECT_DOUBLE_EQ(m.weight(SensorLocation::LeftAnkle, 0), 0.1);
+}
+
+TEST(ConfidenceMatrix, ConvergesToStationaryObservation) {
+  ConfidenceMatrix m(2, 0.0);
+  m.set_alpha(0.2);
+  for (int i = 0; i < 200; ++i) m.update(SensorLocation::RightWrist, 1, 0.12);
+  EXPECT_NEAR(m.weight(SensorLocation::RightWrist, 1), 0.12, 1e-6);
+}
+
+TEST(ConfidenceMatrix, UpdateValidation) {
+  ConfidenceMatrix m(2);
+  EXPECT_THROW(m.update(SensorLocation::Chest, 2, 0.1), std::out_of_range);
+  EXPECT_THROW(m.update(SensorLocation::Chest, 0, -0.1), std::invalid_argument);
+  EXPECT_THROW(m.set_alpha(0.0), std::invalid_argument);
+  EXPECT_THROW(m.set_alpha(1.5), std::invalid_argument);
+}
+
+TEST(ConfidenceMatrix, SetWeightAndDistance) {
+  ConfidenceMatrix a(2, 0.1), b(2, 0.1);
+  EXPECT_DOUBLE_EQ(a.distance(b), 0.0);
+  b.set_weight(SensorLocation::Chest, 0, 0.4);
+  // One cell off by 0.3 out of 6 cells.
+  EXPECT_NEAR(a.distance(b), 0.3 / 6.0, 1e-12);
+  ConfidenceMatrix c(3);
+  EXPECT_THROW(a.distance(c), std::invalid_argument);
+}
+
+TEST(ConfidenceMatrix, CalibrateAveragesPerPredictedClass) {
+  // Build three trivial "models" that output fixed logits regardless of
+  // input: each predicts a known class with a known softmax variance.
+  auto fixed_model = [](float strong) {
+    util::Rng rng(1);
+    nn::Sequential m;
+    m.emplace<nn::Dense>(2, 3);
+    auto* d = dynamic_cast<nn::Dense*>(&m.layer(0));
+    d->weight().zero();
+    d->bias()[0] = strong;  // always predicts class 0
+    return m;
+  };
+  nn::Sequential m0 = fixed_model(10.0f);  // near one-hot: high variance
+  nn::Sequential m1 = fixed_model(0.5f);   // soft: low variance
+  nn::Sequential m2 = fixed_model(2.0f);
+
+  nn::Samples calib;
+  for (int i = 0; i < 4; ++i) calib.push_back({nn::Tensor({2}), 0});
+
+  const auto matrix = ConfidenceMatrix::calibrate(
+      {&m0, &m1, &m2}, {&calib, &calib, &calib}, 3);
+  // Sharper model earns a higher class-0 weight.
+  EXPECT_GT(matrix.weight(SensorLocation::Chest, 0),
+            matrix.weight(SensorLocation::LeftAnkle, 0));
+  // Never-predicted classes fall back to the sensor's global mean: equal
+  // to the class-0 value here since all predictions were class 0.
+  EXPECT_DOUBLE_EQ(matrix.weight(SensorLocation::Chest, 1),
+                   matrix.weight(SensorLocation::Chest, 0));
+}
+
+TEST(ConfidenceMatrix, CalibrateValidatesInputs) {
+  nn::Samples calib;
+  EXPECT_THROW(
+      ConfidenceMatrix::calibrate({nullptr, nullptr, nullptr},
+                                  {&calib, &calib, &calib}, 3),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace origin::core

@@ -1,0 +1,86 @@
+#include "util/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+namespace origin::util {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(Csv, EscapePlainFieldUnchanged) {
+  EXPECT_EQ(csv_escape("hello"), "hello");
+}
+
+TEST(Csv, EscapeQuotesCommasNewlines) {
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(csv_escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(Csv, SplitSimpleLine) {
+  const auto f = split_csv_line("a,b,c");
+  ASSERT_EQ(f.size(), 3u);
+  EXPECT_EQ(f[1], "b");
+}
+
+TEST(Csv, SplitQuotedFields) {
+  const auto f = split_csv_line("\"a,b\",c,\"d\"\"e\"");
+  ASSERT_EQ(f.size(), 3u);
+  EXPECT_EQ(f[0], "a,b");
+  EXPECT_EQ(f[2], "d\"e");
+}
+
+TEST(Csv, SplitEmptyFields) {
+  const auto f = split_csv_line(",,");
+  ASSERT_EQ(f.size(), 3u);
+  EXPECT_EQ(f[0], "");
+}
+
+TEST(Csv, WriteReadRoundtrip) {
+  const std::string path = temp_path("origin_csv_test.csv");
+  {
+    CsvWriter w(path);
+    w.write_row(std::vector<std::string>{"name", "value, with comma"});
+    w.write_row(std::vector<double>{1.5, -2.25});
+    w.flush();
+  }
+  const auto rows = read_csv(path);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0][1], "value, with comma");
+  EXPECT_DOUBLE_EQ(std::stod(rows[1][0]), 1.5);
+  EXPECT_DOUBLE_EQ(std::stod(rows[1][1]), -2.25);
+  std::filesystem::remove(path);
+}
+
+TEST(Csv, ReadMissingFileThrows) {
+  EXPECT_THROW(read_csv("/nonexistent/definitely/not/here.csv"),
+               std::runtime_error);
+}
+
+TEST(Csv, WriterBadPathThrows) {
+  EXPECT_THROW(CsvWriter("/nonexistent/dir/file.csv"), std::runtime_error);
+}
+
+TEST(Csv, ReadSkipsBlankLinesAndCr) {
+  const std::string path = temp_path("origin_csv_cr.csv");
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs("a,b\r\n\r\nc,d\n", f);
+    std::fclose(f);
+  }
+  const auto rows = read_csv(path);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0][1], "b");
+  EXPECT_EQ(rows[1][0], "c");
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace origin::util

@@ -1,0 +1,99 @@
+#include "nn/energy_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nn/activations.hpp"
+#include "nn/conv1d.hpp"
+#include "nn/dense.hpp"
+#include "nn/pooling.hpp"
+#include "util/rng.hpp"
+
+namespace origin::nn {
+namespace {
+
+Sequential net(int hidden, std::uint64_t seed) {
+  util::Rng rng(seed);
+  Sequential m;
+  m.emplace<Conv1D>(2, hidden, 3, 1, rng)
+      .emplace<ReLU>()
+      .emplace<MaxPool1D>(2)
+      .emplace<Flatten>()
+      .emplace<Dense>(hidden * 5, 3, rng);
+  return m;
+}
+
+TEST(EnergyModel, CostIsPositive) {
+  auto m = net(4, 1);
+  const auto cost = estimate_cost(m, {2, 12});
+  EXPECT_GT(cost.energy_j, 0.0);
+  EXPECT_GT(cost.latency_s, 0.0);
+  EXPECT_GT(cost.macs, 0u);
+  EXPECT_GT(cost.param_accesses, 0u);
+  EXPECT_GT(cost.activation_accesses, 0u);
+}
+
+TEST(EnergyModel, BiggerNetCostsMore) {
+  auto small = net(2, 2);
+  auto big = net(16, 3);
+  const auto cs = estimate_cost(small, {2, 12});
+  const auto cb = estimate_cost(big, {2, 12});
+  EXPECT_GT(cb.energy_j, cs.energy_j);
+  EXPECT_GT(cb.latency_s, cs.latency_s);
+  EXPECT_GT(cb.macs, cs.macs);
+}
+
+TEST(EnergyModel, MacsMatchModel) {
+  auto m = net(4, 4);
+  const auto cost = estimate_cost(m, {2, 12});
+  EXPECT_EQ(cost.macs, m.total_macs({2, 12}));
+}
+
+TEST(EnergyModel, ParamAccessesEqualParamCount) {
+  auto m = net(4, 5);
+  const auto cost = estimate_cost(m, {2, 12});
+  EXPECT_EQ(cost.param_accesses, m.param_count());
+}
+
+TEST(EnergyModel, OverheadDominatesEmptyModel) {
+  Sequential empty;
+  ComputeProfile profile;
+  const auto cost = estimate_cost(empty, {4});
+  EXPECT_DOUBLE_EQ(cost.energy_j, profile.inference_overhead_j);
+  EXPECT_DOUBLE_EQ(cost.latency_s, profile.inference_overhead_s);
+}
+
+TEST(EnergyModel, ProfileScalesEnergy) {
+  auto m = net(4, 6);
+  ComputeProfile cheap;
+  ComputeProfile expensive = cheap;
+  expensive.energy_per_mac_j *= 10.0;
+  const auto c1 = estimate_cost(m, {2, 12}, cheap);
+  const auto c2 = estimate_cost(m, {2, 12}, expensive);
+  EXPECT_GT(c2.energy_j, c1.energy_j);
+  EXPECT_DOUBLE_EQ(c2.latency_s, c1.latency_s);  // latency unaffected by energy
+}
+
+TEST(EnergyModel, ContinuousPower) {
+  InferenceCost cost;
+  cost.energy_j = 10e-6;
+  cost.latency_s = 0.1;
+  EXPECT_DOUBLE_EQ(continuous_power_w(cost), 1e-4);
+  cost.latency_s = 0.0;
+  EXPECT_THROW(continuous_power_w(cost), std::invalid_argument);
+}
+
+TEST(EnergyModel, DutyCycledPower) {
+  InferenceCost cost;
+  cost.energy_j = 6e-6;
+  EXPECT_DOUBLE_EQ(duty_cycled_power_w(cost, 3.0), 2e-6);
+  EXPECT_THROW(duty_cycled_power_w(cost, 0.0), std::invalid_argument);
+}
+
+TEST(EnergyModel, DutyCyclingReducesPower) {
+  auto m = net(4, 7);
+  const auto cost = estimate_cost(m, {2, 12});
+  EXPECT_LT(duty_cycled_power_w(cost, 6.0), continuous_power_w(cost));
+}
+
+}  // namespace
+}  // namespace origin::nn

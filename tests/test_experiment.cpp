@@ -1,0 +1,53 @@
+#include "sim/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+namespace origin::sim {
+namespace {
+
+TEST(Calibration, ScaleMakesRatioExact) {
+  const auto trace = energy::PowerTrace::generate_wifi_office({}, 1);
+  const double cost = 5e-6;
+  const double eff = 0.7;
+  const double slot = 0.5;
+  const double ratio = 6.0;
+  const double scale = calibrate_harvest_scale(cost, trace, eff, slot, ratio);
+  // With this scale, `ratio` slots of average harvest equal one inference.
+  const double slot_harvest = scale * eff * trace.average_power_w() * slot;
+  EXPECT_NEAR(ratio * slot_harvest, cost, 1e-12);
+}
+
+TEST(Calibration, Validation) {
+  const auto trace = energy::PowerTrace::generate_wifi_office({}, 2);
+  EXPECT_THROW(calibrate_harvest_scale(0.0, trace, 0.7, 0.5, 6.0),
+               std::invalid_argument);
+  EXPECT_THROW(calibrate_harvest_scale(1e-6, trace, 0.0, 0.5, 6.0),
+               std::invalid_argument);
+  EXPECT_THROW(calibrate_harvest_scale(1e-6, trace, 0.7, 0.0, 6.0),
+               std::invalid_argument);
+  EXPECT_THROW(calibrate_harvest_scale(1e-6, trace, 0.7, 0.5, 0.0),
+               std::invalid_argument);
+}
+
+TEST(Calibration, HigherRatioMeansLessHarvest) {
+  const auto trace = energy::PowerTrace::generate_wifi_office({}, 3);
+  const double s6 = calibrate_harvest_scale(1e-6, trace, 0.7, 0.5, 6.0);
+  const double s12 = calibrate_harvest_scale(1e-6, trace, 0.7, 0.5, 12.0);
+  EXPECT_GT(s6, s12);
+}
+
+TEST(Names, PolicyKindStrings) {
+  EXPECT_STREQ(to_string(PolicyKind::Naive), "naive");
+  EXPECT_STREQ(to_string(PolicyKind::PlainRR), "rr");
+  EXPECT_STREQ(to_string(PolicyKind::AAS), "aas");
+  EXPECT_STREQ(to_string(PolicyKind::AASR), "aasr");
+  EXPECT_STREQ(to_string(PolicyKind::Origin), "origin");
+}
+
+TEST(Names, ModelSetStrings) {
+  EXPECT_STREQ(to_string(ModelSet::BL2), "bl2");
+  EXPECT_STREQ(to_string(ModelSet::Relaxed), "relaxed");
+}
+
+}  // namespace
+}  // namespace origin::sim

@@ -1,0 +1,203 @@
+// Numerical gradient checking — the backprop correctness property tests.
+// For each architecture under test we compare every analytic parameter
+// gradient and the input gradient against central finite differences of
+// the scalar loss.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "nn/activations.hpp"
+#include "nn/conv1d.hpp"
+#include "nn/dense.hpp"
+#include "nn/loss.hpp"
+#include "nn/model.hpp"
+#include "nn/pooling.hpp"
+#include "nn/softmax.hpp"
+#include "util/rng.hpp"
+
+namespace origin::nn {
+namespace {
+
+double loss_of(Sequential& model, const Tensor& input, int target) {
+  const Tensor logits = model.forward(input, /*train=*/false);
+  return softmax_cross_entropy(logits, target).loss;
+}
+
+/// Checks d(loss)/d(param) for every parameter via central differences.
+void check_param_gradients(Sequential& model, const Tensor& input, int target,
+                           double eps = 1e-3, double tol = 2e-2) {
+  model.zero_grads();
+  const Tensor logits = model.forward(input, /*train=*/false);
+  model.backward(softmax_cross_entropy(logits, target).grad);
+
+  const auto params = model.params();
+  const auto grads = model.grads();
+  for (std::size_t p = 0; p < params.size(); ++p) {
+    for (std::size_t i = 0; i < params[p]->size(); ++i) {
+      const float saved = (*params[p])[i];
+      (*params[p])[i] = saved + static_cast<float>(eps);
+      const double lp = loss_of(model, input, target);
+      (*params[p])[i] = saved - static_cast<float>(eps);
+      const double lm = loss_of(model, input, target);
+      (*params[p])[i] = saved;
+      const double numeric = (lp - lm) / (2.0 * eps);
+      const double analytic = (*grads[p])[i];
+      const double denom = std::max({1.0, std::fabs(numeric), std::fabs(analytic)});
+      ASSERT_NEAR(analytic / denom, numeric / denom, tol)
+          << "param tensor " << p << " element " << i;
+    }
+  }
+}
+
+/// Checks d(loss)/d(input) via the gradient returned through backward().
+void check_input_gradient(Sequential& model, Tensor input, int target,
+                          double eps = 1e-3, double tol = 2e-2) {
+  model.zero_grads();
+  Tensor x = input;
+  // Manually thread the backward to recover the input gradient.
+  std::vector<Tensor> activations;
+  activations.push_back(x);
+  for (std::size_t l = 0; l < model.layer_count(); ++l) {
+    activations.push_back(model.layer(l).forward(activations.back(), false));
+  }
+  Tensor g = softmax_cross_entropy(activations.back(), target).grad;
+  for (std::size_t l = model.layer_count(); l-- > 0;) {
+    g = model.layer(l).backward(g);
+  }
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    const float saved = input[i];
+    input[i] = saved + static_cast<float>(eps);
+    const double lp = loss_of(model, input, target);
+    input[i] = saved - static_cast<float>(eps);
+    const double lm = loss_of(model, input, target);
+    input[i] = saved;
+    const double numeric = (lp - lm) / (2.0 * eps);
+    const double denom = std::max({1.0, std::fabs(numeric), std::fabs(static_cast<double>(g[i]))});
+    ASSERT_NEAR(g[i] / denom, numeric / denom, tol) << "input element " << i;
+  }
+}
+
+Tensor random_input(const std::vector<int>& shape, std::uint64_t seed) {
+  util::Rng rng(seed);
+  return Tensor::randn(shape, rng, 1.0f);
+}
+
+TEST(GradCheck, DenseOnly) {
+  util::Rng rng(100);
+  Sequential m;
+  m.emplace<Dense>(5, 4, rng).emplace<Dense>(4, 3, rng);
+  const Tensor x = random_input({5}, 1);
+  check_param_gradients(m, x, 2);
+  check_input_gradient(m, x, 2);
+}
+
+TEST(GradCheck, DenseRelu) {
+  util::Rng rng(101);
+  Sequential m;
+  m.emplace<Dense>(6, 8, rng).emplace<ReLU>().emplace<Dense>(8, 3, rng);
+  const Tensor x = random_input({6}, 2);
+  check_param_gradients(m, x, 0);
+  check_input_gradient(m, x, 0);
+}
+
+TEST(GradCheck, Conv1DOnly) {
+  util::Rng rng(102);
+  Sequential m;
+  m.emplace<Conv1D>(2, 3, 3, 1, rng).emplace<Flatten>().emplace<Dense>(3 * 6, 2, rng);
+  const Tensor x = random_input({2, 8}, 3);
+  check_param_gradients(m, x, 1);
+  check_input_gradient(m, x, 1);
+}
+
+TEST(GradCheck, Conv1DStride2) {
+  util::Rng rng(103);
+  Sequential m;
+  m.emplace<Conv1D>(2, 2, 3, 2, rng).emplace<Flatten>().emplace<Dense>(2 * 4, 3, rng);
+  const Tensor x = random_input({2, 9}, 4);
+  check_param_gradients(m, x, 2);
+  check_input_gradient(m, x, 2);
+}
+
+TEST(GradCheck, ConvReluPoolDense) {
+  util::Rng rng(104);
+  Sequential m;
+  m.emplace<Conv1D>(2, 3, 3, 1, rng)
+      .emplace<ReLU>()
+      .emplace<MaxPool1D>(2)
+      .emplace<Flatten>()
+      .emplace<Dense>(3 * 5, 3, rng);
+  const Tensor x = random_input({2, 12}, 5);
+  check_param_gradients(m, x, 0);
+  check_input_gradient(m, x, 0);
+}
+
+TEST(GradCheck, TwoConvStages) {
+  util::Rng rng(105);
+  Sequential m;
+  m.emplace<Conv1D>(3, 4, 3, 1, rng)
+      .emplace<ReLU>()
+      .emplace<MaxPool1D>(2)
+      .emplace<Conv1D>(4, 3, 3, 1, rng)
+      .emplace<ReLU>()
+      .emplace<Flatten>()
+      .emplace<Dense>(3 * 4, 2, rng);
+  const Tensor x = random_input({3, 15}, 6);
+  check_param_gradients(m, x, 1);
+  check_input_gradient(m, x, 1);
+}
+
+TEST(GradCheck, SoftmaxLayerJacobian) {
+  // Standalone softmax layer backward against MSE-style upstream gradient.
+  Softmax sm;
+  const Tensor x = random_input({5}, 7);
+  Tensor y = sm.forward(x, false);
+  const Tensor upstream({5}, {0.3f, -0.2f, 0.5f, 0.1f, -0.7f});
+  const Tensor g = sm.backward(upstream);
+
+  const double eps = 1e-4;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    Tensor xp = x, xm = x;
+    xp[i] += static_cast<float>(eps);
+    xm[i] -= static_cast<float>(eps);
+    Softmax s2;
+    const Tensor yp = s2.forward(xp, false);
+    const Tensor ym = s2.forward(xm, false);
+    double numeric = 0.0;
+    for (std::size_t j = 0; j < x.size(); ++j) {
+      numeric += upstream[j] * (yp[j] - ym[j]) / (2.0 * eps);
+    }
+    ASSERT_NEAR(g[i], numeric, 1e-3) << "softmax input " << i;
+  }
+}
+
+TEST(GradCheck, SoftCrossEntropyGradient) {
+  const Tensor logits({4}, {0.5f, -1.0f, 2.0f, 0.0f});
+  const std::vector<float> target = {0.1f, 0.2f, 0.6f, 0.1f};
+  const LossResult res = softmax_cross_entropy_soft(logits, target);
+  // float32 loss values limit finite-difference precision; use a larger
+  // step and a tolerance matched to it.
+  const double eps = 5e-3;
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    Tensor lp = logits, lm = logits;
+    lp[i] += static_cast<float>(eps);
+    lm[i] -= static_cast<float>(eps);
+    const double numeric = (softmax_cross_entropy_soft(lp, target).loss -
+                            softmax_cross_entropy_soft(lm, target).loss) /
+                           (2.0 * eps);
+    ASSERT_NEAR(res.grad[i], numeric, 5e-3);
+  }
+}
+
+TEST(GradCheck, HardCrossEntropyMatchesSoftOneHot) {
+  const Tensor logits({3}, {0.2f, 1.4f, -0.3f});
+  const LossResult hard = softmax_cross_entropy(logits, 1);
+  const LossResult soft = softmax_cross_entropy_soft(logits, {0.0f, 1.0f, 0.0f});
+  EXPECT_NEAR(hard.loss, soft.loss, 1e-6);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(hard.grad[i], soft.grad[i], 1e-6);
+  }
+}
+
+}  // namespace
+}  // namespace origin::nn

@@ -1,0 +1,52 @@
+#include "energy/harvester.hpp"
+
+#include <gtest/gtest.h>
+
+namespace origin::energy {
+namespace {
+
+class HarvesterTest : public ::testing::Test {
+ protected:
+  PowerTrace trace{{1.0, 2.0, 3.0, 4.0}, 1.0};
+};
+
+TEST_F(HarvesterTest, Validation) {
+  EXPECT_THROW(Harvester(nullptr, 0.5, 1.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(Harvester(&trace, 0.0, 1.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(Harvester(&trace, 1.5, 1.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(Harvester(&trace, 0.5, 0.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(Harvester(&trace, 0.5, 1.0, -1.0), std::invalid_argument);
+}
+
+TEST_F(HarvesterTest, EfficiencyAndScaleApply) {
+  Harvester h(&trace, 0.5, 2.0, 0.0);
+  // 0.5 * 2.0 = 1.0x on the raw trace.
+  EXPECT_DOUBLE_EQ(h.harvested_j(0.0, 4.0), 10.0);
+  EXPECT_DOUBLE_EQ(h.power_w(0.5), 1.0);
+  EXPECT_DOUBLE_EQ(h.average_power_w(), 2.5);
+}
+
+TEST_F(HarvesterTest, OffsetShiftsView) {
+  Harvester a(&trace, 1.0, 1.0, 0.0);
+  Harvester b(&trace, 1.0, 1.0, 1.0);
+  EXPECT_DOUBLE_EQ(a.power_w(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(b.power_w(0.0), 2.0);
+  EXPECT_DOUBLE_EQ(b.harvested_j(0.0, 1.0), 2.0);
+}
+
+TEST_F(HarvesterTest, OffsetsDecorrelateNodes) {
+  Harvester a(&trace, 1.0, 1.0, 0.0);
+  Harvester b(&trace, 1.0, 1.0, 2.0);
+  // Same average, different instantaneous views.
+  EXPECT_DOUBLE_EQ(a.average_power_w(), b.average_power_w());
+  EXPECT_NE(a.power_w(0.0), b.power_w(0.0));
+}
+
+TEST_F(HarvesterTest, FullLoopIdenticalEnergy) {
+  Harvester a(&trace, 1.0, 1.0, 0.0);
+  Harvester b(&trace, 1.0, 1.0, 3.0);
+  EXPECT_NEAR(a.harvested_j(0.0, 4.0), b.harvested_j(0.0, 4.0), 1e-12);
+}
+
+}  // namespace
+}  // namespace origin::energy

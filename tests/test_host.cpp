@@ -1,0 +1,72 @@
+#include "net/host.hpp"
+
+#include <gtest/gtest.h>
+
+namespace origin::net {
+namespace {
+
+Classification cls(int c) {
+  Classification out;
+  out.predicted_class = c;
+  out.confidence = 0.1;
+  return out;
+}
+
+TEST(Host, StartsEmpty) {
+  HostDevice host;
+  EXPECT_EQ(host.populated(), 0);
+  for (int s = 0; s < data::kNumSensors; ++s) {
+    EXPECT_FALSE(host.vote(static_cast<data::SensorLocation>(s)).has_value());
+  }
+}
+
+TEST(Host, UpdateStoresFreshVote) {
+  HostDevice host;
+  host.update_vote(data::SensorLocation::Chest, cls(2), 1.5);
+  const auto& v = host.vote(data::SensorLocation::Chest);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->classification.predicted_class, 2);
+  EXPECT_DOUBLE_EQ(v->timestamp_s, 1.5);
+  EXPECT_TRUE(v->fresh);
+  EXPECT_EQ(host.populated(), 1);
+}
+
+TEST(Host, AgeVotesClearsFreshFlag) {
+  HostDevice host;
+  host.update_vote(data::SensorLocation::LeftAnkle, cls(0), 1.0);
+  host.age_votes();
+  const auto& v = host.vote(data::SensorLocation::LeftAnkle);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_FALSE(v->fresh);
+  EXPECT_EQ(v->classification.predicted_class, 0);  // recall persists
+}
+
+TEST(Host, NewVoteOverwritesOld) {
+  HostDevice host;
+  host.update_vote(data::SensorLocation::RightWrist, cls(1), 1.0);
+  host.age_votes();
+  host.update_vote(data::SensorLocation::RightWrist, cls(4), 2.0);
+  const auto& v = host.vote(data::SensorLocation::RightWrist);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->classification.predicted_class, 4);
+  EXPECT_DOUBLE_EQ(v->timestamp_s, 2.0);
+  EXPECT_TRUE(v->fresh);
+}
+
+TEST(Host, VotesAreIndependentPerSensor) {
+  HostDevice host;
+  host.update_vote(data::SensorLocation::Chest, cls(1), 1.0);
+  host.update_vote(data::SensorLocation::LeftAnkle, cls(2), 2.0);
+  EXPECT_EQ(host.populated(), 2);
+  EXPECT_FALSE(host.vote(data::SensorLocation::RightWrist).has_value());
+}
+
+TEST(Host, ClearEmptiesBuffer) {
+  HostDevice host;
+  host.update_vote(data::SensorLocation::Chest, cls(1), 1.0);
+  host.clear();
+  EXPECT_EQ(host.populated(), 0);
+}
+
+}  // namespace
+}  // namespace origin::net

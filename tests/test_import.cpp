@@ -1,0 +1,94 @@
+#include "data/import.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "data/dataset.hpp"
+
+namespace origin::data {
+namespace {
+
+std::string temp_csv(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+class ImportTest : public ::testing::Test {
+ protected:
+  DatasetSpec spec = dataset_spec(DatasetKind::MHealthLike);
+};
+
+TEST_F(ImportTest, RoundtripPreservesEverything) {
+  const auto samples =
+      make_training_set(spec, SensorLocation::Chest, 4, reference_user(), 1);
+  const auto path = temp_csv("origin_import_rt.csv");
+  save_samples_csv(path, samples, spec);
+  const auto loaded = load_samples_csv(path, spec);
+  ASSERT_EQ(loaded.size(), samples.size());
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    ASSERT_EQ(loaded[i].label, samples[i].label);
+    ASSERT_EQ(loaded[i].input.shape(), samples[i].input.shape());
+    for (std::size_t j = 0; j < samples[i].input.size(); ++j) {
+      ASSERT_NEAR(loaded[i].input[j], samples[i].input[j], 1e-5f);
+    }
+  }
+  std::filesystem::remove(path);
+}
+
+TEST_F(ImportTest, EmptySetRoundtrips) {
+  const auto path = temp_csv("origin_import_empty.csv");
+  save_samples_csv(path, {}, spec);
+  EXPECT_TRUE(load_samples_csv(path, spec).empty());
+  std::filesystem::remove(path);
+}
+
+TEST_F(ImportTest, SaveRejectsWrongShape) {
+  nn::Samples bad;
+  bad.push_back({nn::Tensor({2, 3}), 0});
+  EXPECT_THROW(save_samples_csv(temp_csv("origin_import_bad.csv"), bad, spec),
+               std::invalid_argument);
+}
+
+TEST_F(ImportTest, LoadRejectsWrongColumnCount) {
+  const auto pamap = dataset_spec(DatasetKind::Pamap2Like);
+  auto narrow = spec;
+  narrow.window_len = 32;  // fewer columns than the file will have
+  const auto samples =
+      make_training_set(pamap, SensorLocation::Chest, 2, reference_user(), 2);
+  const auto path = temp_csv("origin_import_cols.csv");
+  save_samples_csv(path, samples, pamap);
+  EXPECT_THROW(load_samples_csv(path, narrow), std::runtime_error);
+  std::filesystem::remove(path);
+}
+
+TEST_F(ImportTest, LoadRejectsOutOfRangeLabel) {
+  // Write with the 6-class spec, read with the 5-class spec: class 5 rows
+  // must be rejected.
+  nn::Samples samples;
+  samples.push_back({nn::Tensor({spec.channels, spec.window_len}), 5});
+  const auto path = temp_csv("origin_import_label.csv");
+  save_samples_csv(path, samples, spec);
+  auto pamap = dataset_spec(DatasetKind::Pamap2Like);
+  EXPECT_THROW(load_samples_csv(path, pamap), std::runtime_error);
+  std::filesystem::remove(path);
+}
+
+TEST_F(ImportTest, LoadMissingFileThrows) {
+  EXPECT_THROW(load_samples_csv("/no/such/windows.csv", spec),
+               std::runtime_error);
+}
+
+TEST_F(ImportTest, LoadedSamplesAreTrainable) {
+  const auto samples =
+      make_training_set(spec, SensorLocation::LeftAnkle, 3, reference_user(), 3);
+  const auto path = temp_csv("origin_import_train.csv");
+  save_samples_csv(path, samples, spec);
+  const auto loaded = load_samples_csv(path, spec);
+  // The loaded tensors must have the simulator's expected rank-2 shape.
+  EXPECT_EQ(loaded.front().input.rank(), 2);
+  EXPECT_EQ(loaded.front().input.dim(0), spec.channels);
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace origin::data

@@ -1,0 +1,69 @@
+#include "net/message.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/radio.hpp"
+#include "util/stats.hpp"
+
+namespace origin::net {
+namespace {
+
+TEST(Classification, DefaultInvalid) {
+  Classification c;
+  EXPECT_FALSE(c.valid());
+}
+
+TEST(Classification, MakeFromProbs) {
+  const Classification c = make_classification({0.1f, 0.7f, 0.2f});
+  EXPECT_TRUE(c.valid());
+  EXPECT_EQ(c.predicted_class, 1);
+  EXPECT_NEAR(c.confidence,
+              util::probability_vector_variance({0.1f, 0.7f, 0.2f}), 1e-12);
+  ASSERT_EQ(c.probs.size(), 3u);
+}
+
+TEST(Classification, SharperIsMoreConfident) {
+  const Classification sharp = make_classification({0.94f, 0.02f, 0.02f, 0.02f});
+  const Classification soft = make_classification({0.4f, 0.3f, 0.2f, 0.1f});
+  EXPECT_GT(sharp.confidence, soft.confidence);
+}
+
+TEST(Message, PayloadsAreFewBytes) {
+  Message result;
+  result.type = MessageType::ClassificationResult;
+  Message signal;
+  signal.type = MessageType::ActivationSignal;
+  EXPECT_LE(result.payload_bytes(), 8u);
+  EXPECT_LE(signal.payload_bytes(), 8u);
+  EXPECT_GT(result.payload_bytes(), 0u);
+}
+
+TEST(Radio, EnergyIncludesOverheadAndPayload) {
+  RadioModel radio;
+  Message m;
+  m.type = MessageType::ClassificationResult;
+  const double e = radio.tx_energy_j(m);
+  EXPECT_GT(e, radio.tx_overhead_j);
+  EXPECT_NEAR(e, radio.tx_overhead_j +
+                     radio.energy_per_byte_j * static_cast<double>(m.payload_bytes()),
+              1e-18);
+}
+
+TEST(Radio, LatencyPositiveAndSmall) {
+  RadioModel radio;
+  Message m;
+  const double t = radio.tx_latency_s(m);
+  EXPECT_GT(t, 0.0);
+  EXPECT_LT(t, 0.1);  // well within a slot
+}
+
+TEST(Radio, CostNegligibleVsInference) {
+  // The paper assumes communication cost is negligible; verify the model
+  // keeps radio energy well below a typical inference (~5 uJ).
+  RadioModel radio;
+  Message m;
+  EXPECT_LT(radio.tx_energy_j(m), 0.5 * 5e-6);
+}
+
+}  // namespace
+}  // namespace origin::net

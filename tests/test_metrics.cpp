@@ -1,0 +1,75 @@
+#include "sim/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace origin::sim {
+namespace {
+
+TEST(AccuracyTracker, Validation) {
+  EXPECT_THROW(AccuracyTracker(0), std::invalid_argument);
+  AccuracyTracker t(3);
+  EXPECT_THROW(t.record(-1, 0), std::out_of_range);
+  EXPECT_THROW(t.record(3, 0), std::out_of_range);
+  EXPECT_THROW(t.record(0, 3), std::out_of_range);
+}
+
+TEST(AccuracyTracker, OverallAndPerClass) {
+  AccuracyTracker t(2);
+  t.record(0, 0);
+  t.record(0, 1);
+  t.record(1, 1);
+  t.record(1, 1);
+  EXPECT_EQ(t.total(), 4u);
+  EXPECT_EQ(t.correct(), 3u);
+  EXPECT_DOUBLE_EQ(t.overall(), 0.75);
+  EXPECT_DOUBLE_EQ(t.per_class(0), 0.5);
+  EXPECT_DOUBLE_EQ(t.per_class(1), 1.0);
+  EXPECT_EQ(t.class_total(0), 2u);
+}
+
+TEST(AccuracyTracker, NoOutputCountsAsWrong) {
+  AccuracyTracker t(2);
+  t.record(1, -1);
+  EXPECT_DOUBLE_EQ(t.overall(), 0.0);
+  // The "no output" column is the last one.
+  EXPECT_EQ(t.confusion()[1][2], 1u);
+}
+
+TEST(AccuracyTracker, ConfusionMatrixPlacement) {
+  AccuracyTracker t(3);
+  t.record(0, 2);
+  t.record(2, 2);
+  EXPECT_EQ(t.confusion()[0][2], 1u);
+  EXPECT_EQ(t.confusion()[2][2], 1u);
+  EXPECT_EQ(t.confusion()[1][0], 0u);
+}
+
+TEST(AccuracyTracker, EmptyClassAccuracyZero) {
+  AccuracyTracker t(2);
+  t.record(0, 0);
+  EXPECT_DOUBLE_EQ(t.per_class(1), 0.0);
+  EXPECT_THROW(t.per_class(5), std::out_of_range);
+}
+
+TEST(CompletionStats, Percentages) {
+  CompletionStats s;
+  s.slots = 100;
+  s.slots_all_completed = 10;
+  s.slots_some_completed = 25;
+  s.slots_none_completed = 75;
+  s.attempts = 300;
+  s.completions = 60;
+  EXPECT_DOUBLE_EQ(s.pct_all(), 10.0);
+  EXPECT_DOUBLE_EQ(s.pct_at_least_one(), 25.0);
+  EXPECT_DOUBLE_EQ(s.pct_failed_slots(), 75.0);
+  EXPECT_DOUBLE_EQ(s.attempt_success_rate(), 20.0);
+}
+
+TEST(CompletionStats, EmptyIsZeroNotNan) {
+  CompletionStats s;
+  EXPECT_DOUBLE_EQ(s.pct_all(), 0.0);
+  EXPECT_DOUBLE_EQ(s.attempt_success_rate(), 0.0);
+}
+
+}  // namespace
+}  // namespace origin::sim

@@ -1,0 +1,135 @@
+#include "nn/model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nn/activations.hpp"
+#include "nn/conv1d.hpp"
+#include "nn/dense.hpp"
+#include "nn/pooling.hpp"
+#include "util/rng.hpp"
+
+namespace origin::nn {
+namespace {
+
+Sequential small_cnn(std::uint64_t seed) {
+  util::Rng rng(seed);
+  Sequential m;
+  m.emplace<Conv1D>(2, 4, 3, 1, rng)
+      .emplace<ReLU>()
+      .emplace<MaxPool1D>(2)
+      .emplace<Flatten>()
+      .emplace<Dense>(4 * 5, 3, rng);
+  return m;
+}
+
+TEST(Sequential, AddRejectsNull) {
+  Sequential m;
+  EXPECT_THROW(m.add(nullptr), std::invalid_argument);
+}
+
+TEST(Sequential, ForwardShape) {
+  auto m = small_cnn(1);
+  const Tensor y = m.forward(Tensor({2, 12}), false);
+  EXPECT_EQ(y.shape(), std::vector<int>{3});
+}
+
+TEST(Sequential, ShapeTrace) {
+  auto m = small_cnn(2);
+  const auto trace = m.shape_trace({2, 12});
+  ASSERT_EQ(trace.size(), 6u);
+  EXPECT_EQ(trace[0], (std::vector<int>{2, 12}));
+  EXPECT_EQ(trace[1], (std::vector<int>{4, 10}));
+  EXPECT_EQ(trace[2], (std::vector<int>{4, 10}));
+  EXPECT_EQ(trace[3], (std::vector<int>{4, 5}));
+  EXPECT_EQ(trace[4], (std::vector<int>{20}));
+  EXPECT_EQ(trace[5], (std::vector<int>{3}));
+}
+
+TEST(Sequential, ParamCount) {
+  auto m = small_cnn(3);
+  // conv: 4*2*3 + 4 = 28; dense: 3*20 + 3 = 63
+  EXPECT_EQ(m.param_count(), 91u);
+}
+
+TEST(Sequential, TotalMacs) {
+  auto m = small_cnn(4);
+  // conv: 4 out-ch * 10 positions * 2 in-ch * 3 k = 240; dense: 60
+  EXPECT_EQ(m.total_macs({2, 12}), 300u);
+}
+
+TEST(Sequential, PredictProbaSumsToOne) {
+  auto m = small_cnn(5);
+  util::Rng rng(6);
+  const auto p = m.predict_proba(Tensor::randn({2, 12}, rng, 1.0f));
+  double sum = 0.0;
+  for (float v : p) {
+    EXPECT_GE(v, 0.0f);
+    sum += v;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-5);
+}
+
+TEST(Sequential, PredictIsArgmaxOfProba) {
+  auto m = small_cnn(7);
+  util::Rng rng(8);
+  const Tensor x = Tensor::randn({2, 12}, rng, 1.0f);
+  const auto p = m.predict_proba(x);
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < p.size(); ++i) {
+    if (p[i] > p[best]) best = i;
+  }
+  EXPECT_EQ(m.predict(x), static_cast<int>(best));
+}
+
+TEST(Sequential, CopyIsDeep) {
+  auto m = small_cnn(9);
+  Sequential copy = m;
+  util::Rng rng(10);
+  const Tensor x = Tensor::randn({2, 12}, rng, 1.0f);
+  const auto before = copy.predict_proba(x);
+  // Perturb the original's weights; the copy must be unaffected.
+  for (Tensor* p : m.params()) p->scale(0.0f);
+  const auto after = copy.predict_proba(x);
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    EXPECT_FLOAT_EQ(before[i], after[i]);
+  }
+}
+
+TEST(Sequential, ZeroGradsClears) {
+  auto m = small_cnn(11);
+  util::Rng rng(12);
+  const Tensor x = Tensor::randn({2, 12}, rng, 1.0f);
+  const Tensor y = m.forward(x, true);
+  Tensor g(y.shape());
+  g.fill(1.0f);
+  m.backward(g);
+  bool any_nonzero = false;
+  for (Tensor* gr : m.grads()) {
+    if (gr->abs_sum() > 0.0f) any_nonzero = true;
+  }
+  EXPECT_TRUE(any_nonzero);
+  m.zero_grads();
+  for (Tensor* gr : m.grads()) {
+    EXPECT_FLOAT_EQ(gr->abs_sum(), 0.0f);
+  }
+}
+
+TEST(Sequential, SummaryMentionsLayers) {
+  auto m = small_cnn(13);
+  const std::string s = m.summary({2, 12});
+  EXPECT_NE(s.find("conv1d"), std::string::npos);
+  EXPECT_NE(s.find("dense"), std::string::npos);
+  EXPECT_NE(s.find("maxpool1d"), std::string::npos);
+}
+
+TEST(Sequential, DeterministicForward) {
+  auto m = small_cnn(14);
+  util::Rng rng(15);
+  const Tensor x = Tensor::randn({2, 12}, rng, 1.0f);
+  const auto a = m.predict_proba(x);
+  const auto b = m.predict_proba(x);
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_FLOAT_EQ(a[i], b[i]);
+}
+
+}  // namespace
+}  // namespace origin::nn

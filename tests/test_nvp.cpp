@@ -1,0 +1,131 @@
+#include "energy/nvp.hpp"
+
+#include <gtest/gtest.h>
+
+namespace origin::energy {
+namespace {
+
+NvpConfig volatile_core() {
+  NvpConfig cfg;
+  cfg.enabled = false;
+  return cfg;
+}
+
+TEST(Nvp, Validation) {
+  NvpConfig bad;
+  bad.checkpoint_j = -1.0;
+  EXPECT_THROW(NvpCore{bad}, std::invalid_argument);
+  NvpCore core;
+  EXPECT_THROW(core.begin_task(0.0), std::invalid_argument);
+  EXPECT_THROW(core.advance(-1.0), std::invalid_argument);
+}
+
+TEST(Nvp, CompletesWithSufficientAllowance) {
+  NvpCore core;
+  core.begin_task(5.0);
+  const auto adv = core.advance(10.0);
+  EXPECT_TRUE(adv.completed);
+  EXPECT_DOUBLE_EQ(adv.consumed_j, 5.0);
+  EXPECT_FALSE(core.task_active());
+}
+
+TEST(Nvp, AdvanceWithoutTaskIsNoop) {
+  NvpCore core;
+  const auto adv = core.advance(10.0);
+  EXPECT_FALSE(adv.completed);
+  EXPECT_DOUBLE_EQ(adv.consumed_j, 0.0);
+}
+
+TEST(Nvp, CheckpointPreservesProgress) {
+  NvpConfig cfg;
+  cfg.checkpoint_j = 0.5;
+  cfg.restore_j = 0.5;
+  NvpCore core(cfg);
+  core.begin_task(10.0);
+  // First advance: 4 J allowance -> 3.5 J of work + 0.5 J checkpoint.
+  auto adv = core.advance(4.0);
+  EXPECT_FALSE(adv.completed);
+  EXPECT_DOUBLE_EQ(adv.consumed_j, 4.0);
+  EXPECT_TRUE(core.suspended());
+  EXPECT_NEAR(core.remaining_j(), 6.5, 1e-12);
+  EXPECT_EQ(core.checkpoints(), 1u);
+  // Resume: pay restore then finish.
+  adv = core.advance(100.0);
+  EXPECT_TRUE(adv.completed);
+  EXPECT_DOUBLE_EQ(adv.consumed_j, 0.5 + 6.5);
+  EXPECT_EQ(core.restores(), 1u);
+}
+
+TEST(Nvp, VolatileCoreLosesProgress) {
+  NvpCore core(volatile_core());
+  core.begin_task(10.0);
+  auto adv = core.advance(4.0);
+  EXPECT_FALSE(adv.completed);
+  EXPECT_DOUBLE_EQ(adv.consumed_j, 4.0);  // energy burned...
+  EXPECT_DOUBLE_EQ(core.progress(), 0.0);  // ...work lost
+  // Needs the full 10 J in one go.
+  adv = core.advance(9.0);
+  EXPECT_FALSE(adv.completed);
+  adv = core.advance(10.0);
+  EXPECT_TRUE(adv.completed);
+}
+
+TEST(Nvp, RestoreTooExpensiveDoesNothing) {
+  NvpConfig cfg;
+  cfg.restore_j = 1.0;
+  NvpCore core(cfg);
+  core.begin_task(10.0);
+  core.advance(2.0);  // suspend with progress
+  const double progress = core.progress();
+  const auto adv = core.advance(0.5);  // cannot even restore
+  EXPECT_DOUBLE_EQ(adv.consumed_j, 0.0);
+  EXPECT_DOUBLE_EQ(core.progress(), progress);
+}
+
+TEST(Nvp, ForwardProgressAcrossManySmallAdvances) {
+  // The NVP guarantee: arbitrarily fragmented energy still finishes the
+  // task (unlike the volatile core).
+  NvpConfig cfg;
+  cfg.checkpoint_j = 0.05;
+  cfg.restore_j = 0.05;
+  NvpCore core(cfg);
+  core.begin_task(5.0);
+  int rounds = 0;
+  while (core.task_active() && rounds < 100) {
+    core.advance(0.5);
+    ++rounds;
+  }
+  EXPECT_FALSE(core.task_active());
+  EXPECT_LT(rounds, 100);
+  EXPECT_GT(core.checkpoints(), 0u);
+}
+
+TEST(Nvp, AbortClearsTask) {
+  NvpCore core;
+  core.begin_task(5.0);
+  core.advance(1.0);
+  core.abort_task();
+  EXPECT_FALSE(core.task_active());
+  EXPECT_DOUBLE_EQ(core.remaining_j(), 0.0);
+}
+
+TEST(Nvp, BeginTaskReplacesOldTask) {
+  NvpCore core;
+  core.begin_task(5.0);
+  core.advance(1.0);
+  core.begin_task(2.0);
+  EXPECT_DOUBLE_EQ(core.remaining_j(), 2.0);
+  EXPECT_DOUBLE_EQ(core.progress(), 0.0);
+}
+
+TEST(Nvp, ProgressFraction) {
+  NvpConfig cfg;
+  cfg.checkpoint_j = 0.0;
+  NvpCore core(cfg);
+  core.begin_task(10.0);
+  core.advance(4.0);
+  EXPECT_NEAR(core.progress(), 0.4, 1e-12);
+}
+
+}  // namespace
+}  // namespace origin::energy

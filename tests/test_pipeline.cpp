@@ -1,0 +1,125 @@
+#include "core/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "nn/dense.hpp"
+
+namespace origin::core {
+namespace {
+
+PipelineConfig micro(const std::string& cache_dir, bool use_cache) {
+  PipelineConfig cfg;
+  cfg.train_per_class = 10;
+  cfg.calib_per_class = 6;
+  cfg.test_per_class = 6;
+  cfg.train.epochs = 2;
+  cfg.cache_dir = cache_dir;
+  cfg.use_cache = use_cache;
+  cfg.seed = 555;
+  return cfg;
+}
+
+TEST(PipelineCache, KeyIsStable) {
+  const auto a = pipeline_cache_key(micro("x", false));
+  const auto b = pipeline_cache_key(micro("y", true));  // cache fields excluded
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.size(), 16u);  // hex64
+}
+
+TEST(PipelineCache, KeyChangesWithConfig) {
+  auto base = micro("x", false);
+  auto other = base;
+  other.seed = 556;
+  EXPECT_NE(pipeline_cache_key(base), pipeline_cache_key(other));
+  other = base;
+  other.bl2_budget_fraction = 0.5;
+  EXPECT_NE(pipeline_cache_key(base), pipeline_cache_key(other));
+  other = base;
+  other.kind = data::DatasetKind::Pamap2Like;
+  EXPECT_NE(pipeline_cache_key(base), pipeline_cache_key(other));
+  other = base;
+  other.train.epochs = 3;
+  EXPECT_NE(pipeline_cache_key(base), pipeline_cache_key(other));
+}
+
+TEST(PipelineCache, RoundtripReproducesModels) {
+  const auto dir =
+      (std::filesystem::temp_directory_path() / "origin_cache_test").string();
+  std::filesystem::remove_all(dir);
+
+  // First build trains and populates the cache.
+  auto first = build_system(micro(dir, true));
+  ASSERT_FALSE(std::filesystem::is_empty(dir));
+  // Second build must load identical weights.
+  auto second = build_system(micro(dir, true));
+  const auto& sample = first.test_sets[0][0];
+  for (int s = 0; s < data::kNumSensors; ++s) {
+    const auto si = static_cast<std::size_t>(s);
+    EXPECT_EQ(first.sensors[si].bl2.param_count(),
+              second.sensors[si].bl2.param_count());
+    EXPECT_EQ(first.sensors[si].bl2.predict(sample.input),
+              second.sensors[si].bl2.predict(sample.input));
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(PipelineCache, CorruptCacheRetrains) {
+  const auto dir =
+      (std::filesystem::temp_directory_path() / "origin_cache_corrupt").string();
+  std::filesystem::remove_all(dir);
+  build_system(micro(dir, true));
+  // Truncate every cached blob.
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    std::filesystem::resize_file(entry.path(), 4);
+  }
+  // Must fall back to retraining rather than crash.
+  EXPECT_NO_THROW(build_system(micro(dir, true)));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Pipeline, ArchitectureShapes) {
+  const auto spec = data::dataset_spec(data::DatasetKind::MHealthLike);
+  auto net = make_bl1_architecture(spec, 1);
+  EXPECT_EQ(net.output_shape({spec.channels, spec.window_len}),
+            std::vector<int>{spec.num_classes()});
+  const auto p2 = data::dataset_spec(data::DatasetKind::Pamap2Like);
+  auto net2 = make_bl1_architecture(p2, 2);
+  EXPECT_EQ(net2.output_shape({p2.channels, p2.window_len}),
+            std::vector<int>{5});
+}
+
+TEST(Pipeline, ArchitectureSeedChangesWeights) {
+  const auto spec = data::dataset_spec(data::DatasetKind::MHealthLike);
+  auto a = make_bl1_architecture(spec, 1);
+  auto b = make_bl1_architecture(spec, 2);
+  nn::Tensor x({spec.channels, spec.window_len});
+  x.fill(0.5f);
+  const auto ya = a.forward(x, false);
+  const auto yb = b.forward(x, false);
+  bool differ = false;
+  for (std::size_t i = 0; i < ya.size(); ++i) {
+    if (ya[i] != yb[i]) differ = true;
+  }
+  EXPECT_TRUE(differ);
+}
+
+TEST(Pipeline, PerClassAccuracyCountsCorrectly) {
+  // A constant-output model: 100% on its favourite class, 0% elsewhere.
+  nn::Sequential constant;
+  constant.emplace<nn::Dense>(4, 3);
+  auto* d = dynamic_cast<nn::Dense*>(&constant.layer(0));
+  d->bias()[1] = 10.0f;
+  nn::Samples samples;
+  for (int c = 0; c < 3; ++c) {
+    for (int i = 0; i < 5; ++i) samples.push_back({nn::Tensor({4}), c});
+  }
+  const auto acc = per_class_accuracy(constant, samples, 3);
+  EXPECT_DOUBLE_EQ(acc[0], 0.0);
+  EXPECT_DOUBLE_EQ(acc[1], 1.0);
+  EXPECT_DOUBLE_EQ(acc[2], 0.0);
+}
+
+}  // namespace
+}  // namespace origin::core

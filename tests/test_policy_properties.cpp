@@ -1,0 +1,141 @@
+// Property sweeps over the policy family: structural invariants that must
+// hold for every schedule depth and random energy state, checked across a
+// seeded fuzz of slot contexts.
+#include <gtest/gtest.h>
+
+#include "core/policy.hpp"
+#include "util/rng.hpp"
+
+namespace origin::core {
+namespace {
+
+using data::SensorLocation;
+
+RankTable random_ranks(util::Rng& rng, int num_classes) {
+  RankTable t(num_classes);
+  for (int c = 0; c < num_classes; ++c) {
+    std::array<SensorLocation, 3> order = {
+        SensorLocation::Chest, SensorLocation::LeftAnkle,
+        SensorLocation::RightWrist};
+    for (std::size_t i = 3; i > 1; --i) {
+      std::swap(order[i - 1], order[rng.below(i)]);
+    }
+    t.set_order(c, order);
+  }
+  return t;
+}
+
+SlotContext random_ctx(util::Rng& rng, int slot) {
+  SlotContext ctx;
+  ctx.slot = slot;
+  ctx.time_s = slot * 0.5;
+  for (auto& n : ctx.nodes) {
+    n.cost_j = 1.0;
+    n.stored_j = rng.uniform(0.0, 3.0);
+    n.vote_age_s = rng.bernoulli(0.2)
+                       ? std::numeric_limits<double>::infinity()
+                       : rng.uniform(0.0, 20.0);
+    n.alive = !rng.bernoulli(0.1);
+  }
+  return ctx;
+}
+
+net::Classification random_cls(util::Rng& rng, int num_classes) {
+  net::Classification c;
+  c.predicted_class = static_cast<int>(rng.below(static_cast<std::uint64_t>(num_classes)));
+  c.confidence = rng.uniform(0.0, 0.14);
+  return c;
+}
+
+class PolicySweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(PolicySweep, PlansAreAlwaysValidSensors) {
+  const int cycle = GetParam();
+  util::Rng rng(1000 + static_cast<std::uint64_t>(cycle));
+  ConfidenceMatrix conf(6, 0.1);
+  std::vector<std::unique_ptr<Policy>> policies;
+  policies.push_back(std::make_unique<NaiveAllPolicy>(6));
+  policies.push_back(std::make_unique<PlainRRPolicy>(ExtendedRoundRobin(cycle)));
+  policies.push_back(std::make_unique<AASPolicy>(ExtendedRoundRobin(cycle),
+                                                 random_ranks(rng, 6)));
+  policies.push_back(std::make_unique<AASRPolicy>(ExtendedRoundRobin(cycle),
+                                                  random_ranks(rng, 6)));
+  policies.push_back(std::make_unique<OriginPolicy>(
+      ExtendedRoundRobin(cycle), random_ranks(rng, 6), conf));
+  for (auto& p : policies) {
+    p->reset();
+    for (int slot = 0; slot < 4 * cycle; ++slot) {
+      const auto ctx = random_ctx(rng, slot);
+      const auto plan = p->plan(ctx);
+      for (int s : plan) {
+        ASSERT_GE(s, 0) << p->name();
+        ASSERT_LT(s, data::kNumSensors) << p->name();
+      }
+      // Feed back a plausible result occasionally.
+      if (!plan.empty() && rng.bernoulli(0.6)) {
+        p->on_result(plan[0], random_cls(rng, 6), ctx);
+      }
+    }
+  }
+}
+
+TEST_P(PolicySweep, RrFamilyRespectsOpportunities) {
+  const int cycle = GetParam();
+  util::Rng rng(2000 + static_cast<std::uint64_t>(cycle));
+  ExtendedRoundRobin schedule(cycle);
+  AASRPolicy p(schedule, random_ranks(rng, 6));
+  p.set_recall_horizon_s(9.0);
+  for (int slot = 0; slot < 6 * cycle; ++slot) {
+    const auto plan = p.plan(random_ctx(rng, slot));
+    if (!schedule.is_opportunity(slot)) {
+      EXPECT_TRUE(plan.empty()) << "slot " << slot;
+    } else {
+      EXPECT_EQ(plan.size(), 1u) << "slot " << slot;
+    }
+  }
+}
+
+TEST_P(PolicySweep, AasNeverPicksDeadSensorWhenAlternativeCharged) {
+  const int cycle = GetParam();
+  util::Rng rng(3000 + static_cast<std::uint64_t>(cycle));
+  AASPolicy p(ExtendedRoundRobin(cycle), random_ranks(rng, 6));
+  for (int trial = 0; trial < 200; ++trial) {
+    auto ctx = random_ctx(rng, cycle * (trial + 1));  // opportunity slots
+    ctx.slot = (ctx.slot / cycle) * cycle;            // force opportunity
+    // Ensure at least one alive charged node exists.
+    ctx.nodes[1].alive = true;
+    ctx.nodes[1].stored_j = 2.0;
+    p.on_result(0, random_cls(rng, 6), ctx);
+    const auto plan = p.plan(ctx);
+    ASSERT_EQ(plan.size(), 1u);
+    const auto& chosen = ctx.nodes[static_cast<std::size_t>(plan[0])];
+    if (!chosen.can_infer()) {
+      // Only allowed when nobody can infer — but node 1 can.
+      FAIL() << "picked uninferable sensor " << plan[0]
+             << " while sensor 1 was charged";
+    }
+  }
+}
+
+TEST_P(PolicySweep, FuseIsDeterministicGivenHostState) {
+  const int cycle = GetParam();
+  util::Rng rng(4000 + static_cast<std::uint64_t>(cycle));
+  ConfidenceMatrix conf(6, 0.1);
+  OriginPolicy p(ExtendedRoundRobin(cycle), random_ranks(rng, 6), conf,
+                 /*adaptive=*/false);
+  p.set_recall_horizon_s(9.0);
+  net::HostDevice host;
+  for (int i = 0; i < 50; ++i) {
+    host.update_vote(static_cast<SensorLocation>(rng.below(3)),
+                     random_cls(rng, 6), rng.uniform(0.0, 10.0));
+    const auto ctx = random_ctx(rng, 20 + i);
+    const auto a = p.fuse(host, ctx);
+    const auto b = p.fuse(host, ctx);
+    ASSERT_EQ(a, b);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Cycles, PolicySweep, ::testing::Values(3, 6, 9, 12));
+
+}  // namespace
+}  // namespace origin::core

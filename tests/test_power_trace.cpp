@@ -1,0 +1,130 @@
+#include "energy/power_trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+
+#include "util/rng.hpp"
+
+namespace origin::energy {
+namespace {
+
+TEST(PowerTrace, ValidatesConstruction) {
+  EXPECT_THROW(PowerTrace({}, 0.1), std::invalid_argument);
+  EXPECT_THROW(PowerTrace({1.0}, 0.0), std::invalid_argument);
+  EXPECT_THROW(PowerTrace({-1.0}, 0.1), std::invalid_argument);
+}
+
+TEST(PowerTrace, PowerAtSamplesAndWraps) {
+  PowerTrace trace({1.0, 2.0, 3.0}, 1.0);
+  EXPECT_DOUBLE_EQ(trace.power_at(0.5), 1.0);
+  EXPECT_DOUBLE_EQ(trace.power_at(1.5), 2.0);
+  EXPECT_DOUBLE_EQ(trace.power_at(2.9), 3.0);
+  EXPECT_DOUBLE_EQ(trace.power_at(3.5), 1.0);   // wrapped
+  EXPECT_DOUBLE_EQ(trace.power_at(7.5), 2.0);   // wrapped twice
+  EXPECT_THROW(trace.power_at(-1.0), std::invalid_argument);
+}
+
+TEST(PowerTrace, EnergyBetweenExact) {
+  PowerTrace trace({1.0, 2.0, 3.0}, 1.0);
+  EXPECT_DOUBLE_EQ(trace.energy_between(0.0, 3.0), 6.0);
+  EXPECT_DOUBLE_EQ(trace.energy_between(0.5, 1.5), 0.5 * 1.0 + 0.5 * 2.0);
+  EXPECT_DOUBLE_EQ(trace.energy_between(1.0, 1.0), 0.0);
+}
+
+TEST(PowerTrace, EnergyBetweenWrapsLoops) {
+  PowerTrace trace({1.0, 3.0}, 1.0);
+  // One loop = 4 J over 2 s.
+  EXPECT_DOUBLE_EQ(trace.energy_between(0.0, 6.0), 12.0);
+  EXPECT_DOUBLE_EQ(trace.energy_between(1.5, 2.5), 0.5 * 3.0 + 0.5 * 1.0);
+}
+
+TEST(PowerTrace, EnergyMatchesNumericIntegration) {
+  util::Rng rng(1);
+  std::vector<double> samples(100);
+  for (auto& s : samples) s = rng.uniform(0.0, 5.0);
+  PowerTrace trace(samples, 0.1);
+  // Numeric: sum over fine steps.
+  const double t0 = 1.234, t1 = 17.89;
+  double numeric = 0.0;
+  const double dt = 1e-4;
+  for (double t = t0; t < t1; t += dt) numeric += trace.power_at(t) * dt;
+  EXPECT_NEAR(trace.energy_between(t0, t1), numeric, numeric * 1e-2 + 1e-6);
+}
+
+TEST(PowerTrace, EnergyIsAdditive) {
+  util::Rng rng(2);
+  std::vector<double> samples(50);
+  for (auto& s : samples) s = rng.uniform(0.0, 2.0);
+  PowerTrace trace(samples, 0.25);
+  const double a = trace.energy_between(0.3, 5.7);
+  const double b = trace.energy_between(5.7, 11.2);
+  EXPECT_NEAR(trace.energy_between(0.3, 11.2), a + b, 1e-9);
+}
+
+TEST(PowerTrace, BadIntervalThrows) {
+  PowerTrace trace({1.0}, 1.0);
+  EXPECT_THROW(trace.energy_between(2.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(trace.energy_between(-1.0, 1.0), std::invalid_argument);
+}
+
+TEST(PowerTrace, AveragePeakDuty) {
+  PowerTrace trace({0.0, 4.0, 0.0, 4.0}, 1.0);
+  EXPECT_DOUBLE_EQ(trace.average_power_w(), 2.0);
+  EXPECT_DOUBLE_EQ(trace.peak_power_w(), 4.0);
+  EXPECT_DOUBLE_EQ(trace.duty_cycle(1.0), 0.5);
+  EXPECT_DOUBLE_EQ(trace.duty_cycle(5.0), 0.0);
+}
+
+TEST(PowerTrace, GeneratedTraceIsBursty) {
+  TraceConfig cfg;
+  const PowerTrace trace = PowerTrace::generate_wifi_office(cfg, 42);
+  EXPECT_EQ(trace.sample_count(),
+            static_cast<std::size_t>(std::ceil(cfg.duration_s / cfg.dt_s)));
+  // Duty cycle of bursts ~ mean_burst / (mean_burst + mean_idle) ~ 0.29.
+  const double duty = trace.duty_cycle(2.0 * cfg.background_w);
+  EXPECT_GT(duty, 0.1);
+  EXPECT_LT(duty, 0.6);
+  // Heavy-tailed: peak well above average.
+  EXPECT_GT(trace.peak_power_w(), 3.0 * trace.average_power_w());
+  // Background floor present everywhere.
+  for (double p : trace.samples()) EXPECT_GE(p, cfg.background_w * 0.99);
+}
+
+TEST(PowerTrace, GenerationDeterministicPerSeed) {
+  TraceConfig cfg;
+  cfg.duration_s = 100.0;
+  const auto a = PowerTrace::generate_wifi_office(cfg, 7);
+  const auto b = PowerTrace::generate_wifi_office(cfg, 7);
+  const auto c = PowerTrace::generate_wifi_office(cfg, 8);
+  ASSERT_EQ(a.sample_count(), b.sample_count());
+  for (std::size_t i = 0; i < a.sample_count(); ++i) {
+    ASSERT_DOUBLE_EQ(a.samples()[i], b.samples()[i]);
+  }
+  EXPECT_NE(a.average_power_w(), c.average_power_w());
+}
+
+TEST(PowerTrace, CsvRoundtrip) {
+  TraceConfig cfg;
+  cfg.duration_s = 20.0;
+  const auto trace = PowerTrace::generate_wifi_office(cfg, 3);
+  const auto path =
+      (std::filesystem::temp_directory_path() / "origin_trace.csv").string();
+  trace.save_csv(path);
+  const auto loaded = PowerTrace::load_csv(path);
+  ASSERT_EQ(loaded.sample_count(), trace.sample_count());
+  EXPECT_NEAR(loaded.dt(), trace.dt(), 1e-9);
+  for (std::size_t i = 0; i < trace.sample_count(); ++i) {
+    ASSERT_NEAR(loaded.samples()[i], trace.samples()[i],
+                1e-9 * trace.samples()[i] + 1e-18);
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(PowerTrace, LoadCsvRejectsGarbage) {
+  EXPECT_THROW(PowerTrace::load_csv("/no/such/trace.csv"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace origin::energy

@@ -1,0 +1,199 @@
+#include "nn/pruning.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nn/activations.hpp"
+#include "nn/conv1d.hpp"
+#include "nn/dense.hpp"
+#include "nn/pooling.hpp"
+#include "util/rng.hpp"
+
+namespace origin::nn {
+namespace {
+
+Sequential conv_dense_net(std::uint64_t seed, int c1 = 6, int c2 = 8,
+                          int hidden = 16) {
+  util::Rng rng(seed);
+  Sequential m;
+  const int len1 = 16 - 3 + 1;      // conv1
+  const int len2 = len1 / 2;        // pool
+  const int len3 = len2 - 3 + 1;    // conv2
+  m.emplace<Conv1D>(2, c1, 3, 1, rng)
+      .emplace<ReLU>()
+      .emplace<MaxPool1D>(2)
+      .emplace<Conv1D>(c1, c2, 3, 1, rng)
+      .emplace<ReLU>()
+      .emplace<Flatten>()
+      .emplace<Dense>(c2 * len3, hidden, rng)
+      .emplace<ReLU>()
+      .emplace<Dense>(hidden, 4, rng);
+  return m;
+}
+
+const std::vector<int> kInput = {2, 16};
+
+TEST(Pruning, RemoveConvFilterPatchesNextConv) {
+  auto m = conv_dense_net(1);
+  remove_unit(m, kInput, 0, 2);
+  auto* conv1 = dynamic_cast<Conv1D*>(&m.layer(0));
+  auto* conv2 = dynamic_cast<Conv1D*>(&m.layer(3));
+  ASSERT_NE(conv1, nullptr);
+  ASSERT_NE(conv2, nullptr);
+  EXPECT_EQ(conv1->out_channels(), 5);
+  EXPECT_EQ(conv2->in_channels(), 5);
+  // Forward still works with consistent shapes.
+  EXPECT_NO_THROW(m.forward(Tensor(kInput), false));
+}
+
+TEST(Pruning, RemoveConvFilterBeforeFlattenPatchesDense) {
+  auto m = conv_dense_net(2);
+  const auto before_shape = m.output_shape(kInput);
+  remove_unit(m, kInput, 3, 0);  // second conv feeds flatten->dense
+  auto* conv2 = dynamic_cast<Conv1D*>(&m.layer(3));
+  auto* dense = dynamic_cast<Dense*>(&m.layer(6));
+  ASSERT_NE(conv2, nullptr);
+  ASSERT_NE(dense, nullptr);
+  EXPECT_EQ(conv2->out_channels(), 7);
+  EXPECT_EQ(dense->in_features(), 7 * 5);
+  EXPECT_EQ(m.output_shape(kInput), before_shape);
+  EXPECT_NO_THROW(m.forward(Tensor(kInput), false));
+}
+
+TEST(Pruning, ZeroFilterRemovalPreservesOutputs) {
+  // Removing a filter whose weights are all zero (and whose consumers'
+  // corresponding weights are arbitrary) must not change the function if
+  // we also zero the consumer columns; here we zero the filter AND check
+  // that the network output changes only through the bias-free paths.
+  auto m = conv_dense_net(3);
+  auto* conv2 = dynamic_cast<Conv1D*>(&m.layer(3));
+  ASSERT_NE(conv2, nullptr);
+  // Zero filter 1 of conv2 and its bias: its activation becomes ReLU(0)=0.
+  for (int ci = 0; ci < conv2->in_channels(); ++ci) {
+    for (int k = 0; k < conv2->kernel(); ++k) conv2->weight().at(1, ci, k) = 0.0f;
+  }
+  conv2->bias()[1] = 0.0f;
+
+  util::Rng rng(4);
+  const Tensor x = Tensor::randn(kInput, rng, 1.0f);
+  const Tensor before = m.forward(x, false);
+  remove_unit(m, kInput, 3, 1);
+  const Tensor after = m.forward(x, false);
+  ASSERT_EQ(before.shape(), after.shape());
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    EXPECT_NEAR(before[i], after[i], 1e-4);
+  }
+}
+
+TEST(Pruning, ZeroDenseUnitRemovalPreservesOutputs) {
+  auto m = conv_dense_net(5);
+  auto* hidden = dynamic_cast<Dense*>(&m.layer(6));
+  ASSERT_NE(hidden, nullptr);
+  for (int i = 0; i < hidden->in_features(); ++i) hidden->weight().at(3, i) = 0.0f;
+  hidden->bias()[3] = 0.0f;
+
+  util::Rng rng(6);
+  const Tensor x = Tensor::randn(kInput, rng, 1.0f);
+  const Tensor before = m.forward(x, false);
+  remove_unit(m, kInput, 6, 3);
+  const Tensor after = m.forward(x, false);
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    EXPECT_NEAR(before[i], after[i], 1e-4);
+  }
+}
+
+TEST(Pruning, RemoveUnitValidation) {
+  auto m = conv_dense_net(7);
+  EXPECT_THROW(remove_unit(m, kInput, 99, 0), std::invalid_argument);
+  EXPECT_THROW(remove_unit(m, kInput, 1, 0), std::invalid_argument);  // relu
+  // The classifier head has no downstream consumer.
+  EXPECT_THROW(remove_unit(m, kInput, 8, 0), std::logic_error);
+}
+
+TEST(Pruning, BudgetIsMet) {
+  auto m = conv_dense_net(8);
+  ComputeProfile profile;
+  const double before = estimate_cost(m, kInput, profile).energy_j;
+  // A modest cut that stays above the structural floor (overhead +
+  // min_channels everywhere) so the budget is reachable.
+  PruneConfig cfg;
+  cfg.energy_budget_j = 0.8 * before;
+  const auto report = prune_to_energy_budget(m, kInput, profile, {}, cfg);
+  EXPECT_TRUE(report.met_budget);
+  EXPECT_LE(report.energy_after_j, cfg.energy_budget_j);
+  EXPECT_LT(report.params_after, report.params_before);
+  EXPECT_FALSE(report.steps.empty());
+  EXPECT_NO_THROW(m.forward(Tensor(kInput), false));
+}
+
+TEST(Pruning, UnreachableBudgetStopsGracefully) {
+  auto m = conv_dense_net(9, 3, 3, 3);
+  ComputeProfile profile;
+  PruneConfig cfg;
+  cfg.energy_budget_j = 1e-12;  // below the fixed overhead: unreachable
+  const auto report = prune_to_energy_budget(m, kInput, profile, {}, cfg);
+  EXPECT_FALSE(report.met_budget);
+  // Every prunable layer is at the floor.
+  for (std::size_t i = 0; i < m.layer_count(); ++i) {
+    if (auto* c = dynamic_cast<Conv1D*>(&m.layer(i))) {
+      EXPECT_LE(c->out_channels(), cfg.min_channels);
+    }
+  }
+  EXPECT_NO_THROW(m.forward(Tensor(kInput), false));
+}
+
+TEST(Pruning, InvalidBudgetThrows) {
+  auto m = conv_dense_net(10);
+  PruneConfig cfg;
+  cfg.energy_budget_j = 0.0;
+  EXPECT_THROW(prune_to_energy_budget(m, kInput, ComputeProfile{}, {}, cfg),
+               std::invalid_argument);
+}
+
+TEST(Pruning, RemovesLowNormFiltersFirst) {
+  auto m = conv_dense_net(11);
+  auto* conv1 = dynamic_cast<Conv1D*>(&m.layer(0));
+  ASSERT_NE(conv1, nullptr);
+  // Make filter 4 of conv1 by far the weakest in the whole net.
+  for (int ci = 0; ci < conv1->in_channels(); ++ci) {
+    for (int k = 0; k < conv1->kernel(); ++k) {
+      conv1->weight().at(4, ci, k) = 1e-6f;
+    }
+  }
+  ComputeProfile profile;
+  const double before = estimate_cost(m, kInput, profile).energy_j;
+  PruneConfig cfg;
+  cfg.energy_budget_j = 0.98 * before;  // remove only a unit or two
+  const auto report = prune_to_energy_budget(m, kInput, profile, {}, cfg);
+  ASSERT_FALSE(report.steps.empty());
+  EXPECT_EQ(report.steps.front().layer_index, 0u);
+  EXPECT_EQ(report.steps.front().unit, 4);
+}
+
+// Property sweep: pruning to any reachable budget keeps the network valid
+// and monotonically smaller.
+class PruneBudgetSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(PruneBudgetSweep, BudgetFractionRespected) {
+  const double fraction = GetParam();
+  auto m = conv_dense_net(static_cast<std::uint64_t>(fraction * 100));
+  ComputeProfile profile;
+  const double before = estimate_cost(m, kInput, profile).energy_j;
+  const std::size_t params_before = m.param_count();
+  PruneConfig cfg;
+  cfg.energy_budget_j = fraction * before;
+  const auto report = prune_to_energy_budget(m, kInput, profile, {}, cfg);
+  EXPECT_LE(m.param_count(), params_before);
+  EXPECT_LE(report.energy_after_j, report.energy_before_j);
+  if (report.met_budget) {
+    EXPECT_LE(report.energy_after_j, cfg.energy_budget_j * 1.0001);
+  }
+  // The surgically altered network still computes the right output shape.
+  EXPECT_EQ(m.output_shape(kInput), std::vector<int>{4});
+  EXPECT_NO_THROW(m.forward(Tensor(kInput), false));
+}
+
+INSTANTIATE_TEST_SUITE_P(Budgets, PruneBudgetSweep,
+                         ::testing::Values(0.95, 0.85, 0.75, 0.65, 0.55, 0.45));
+
+}  // namespace
+}  // namespace origin::nn

@@ -1,0 +1,102 @@
+#include "core/rank_table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace origin::core {
+namespace {
+
+using data::SensorLocation;
+
+TEST(RankTable, ConstructorValidation) {
+  EXPECT_THROW(RankTable(0), std::invalid_argument);
+  EXPECT_NO_THROW(RankTable(6));
+}
+
+TEST(RankTable, DefaultIsIdentity) {
+  RankTable t(3);
+  for (int c = 0; c < 3; ++c) {
+    EXPECT_EQ(t.sensor_at(c, 0), SensorLocation::Chest);
+    EXPECT_EQ(t.sensor_at(c, 1), SensorLocation::LeftAnkle);
+    EXPECT_EQ(t.sensor_at(c, 2), SensorLocation::RightWrist);
+  }
+}
+
+TEST(RankTable, FromAccuracyOrdersDescending) {
+  std::array<std::vector<double>, 3> acc;
+  acc[0] = {0.5, 0.9};  // chest
+  acc[1] = {0.8, 0.7};  // ankle
+  acc[2] = {0.6, 0.95};  // wrist
+  const auto t = RankTable::from_accuracy(acc);
+  EXPECT_EQ(t.sensor_at(0, 0), SensorLocation::LeftAnkle);
+  EXPECT_EQ(t.sensor_at(0, 1), SensorLocation::RightWrist);
+  EXPECT_EQ(t.sensor_at(0, 2), SensorLocation::Chest);
+  EXPECT_EQ(t.sensor_at(1, 0), SensorLocation::RightWrist);
+  EXPECT_EQ(t.sensor_at(1, 1), SensorLocation::Chest);
+}
+
+TEST(RankTable, TieBreaksByLowerIndex) {
+  std::array<std::vector<double>, 3> acc;
+  acc[0] = {0.8};
+  acc[1] = {0.8};
+  acc[2] = {0.8};
+  const auto t = RankTable::from_accuracy(acc);
+  EXPECT_EQ(t.sensor_at(0, 0), SensorLocation::Chest);
+  EXPECT_EQ(t.sensor_at(0, 1), SensorLocation::LeftAnkle);
+  EXPECT_EQ(t.sensor_at(0, 2), SensorLocation::RightWrist);
+}
+
+TEST(RankTable, FromAccuracyValidation) {
+  std::array<std::vector<double>, 3> ragged;
+  ragged[0] = {0.5, 0.6};
+  ragged[1] = {0.5};
+  ragged[2] = {0.5, 0.6};
+  EXPECT_THROW(RankTable::from_accuracy(ragged), std::invalid_argument);
+  std::array<std::vector<double>, 3> empty;
+  EXPECT_THROW(RankTable::from_accuracy(empty), std::invalid_argument);
+}
+
+TEST(RankTable, RankOfIsInverseOfSensorAt) {
+  std::array<std::vector<double>, 3> acc;
+  acc[0] = {0.3, 0.8, 0.1};
+  acc[1] = {0.9, 0.2, 0.5};
+  acc[2] = {0.6, 0.5, 0.9};
+  const auto t = RankTable::from_accuracy(acc);
+  for (int c = 0; c < 3; ++c) {
+    for (int r = 0; r < data::kNumSensors; ++r) {
+      EXPECT_EQ(t.rank_of(c, t.sensor_at(c, r)), r);
+    }
+  }
+}
+
+TEST(RankTable, OrderReturnsFullPermutation) {
+  RankTable t(2);
+  const auto order = t.order(1);
+  std::array<bool, 3> seen{};
+  for (auto s : order) seen[static_cast<std::size_t>(s)] = true;
+  EXPECT_TRUE(seen[0] && seen[1] && seen[2]);
+}
+
+TEST(RankTable, SetOrderValidatesPermutation) {
+  RankTable t(2);
+  t.set_order(0, {SensorLocation::RightWrist, SensorLocation::Chest,
+                  SensorLocation::LeftAnkle});
+  EXPECT_EQ(t.sensor_at(0, 0), SensorLocation::RightWrist);
+  EXPECT_THROW(
+      t.set_order(0, {SensorLocation::Chest, SensorLocation::Chest,
+                      SensorLocation::LeftAnkle}),
+      std::invalid_argument);
+  EXPECT_THROW(t.set_order(5, {SensorLocation::Chest, SensorLocation::LeftAnkle,
+                               SensorLocation::RightWrist}),
+               std::out_of_range);
+}
+
+TEST(RankTable, BoundsChecking) {
+  RankTable t(2);
+  EXPECT_THROW(t.sensor_at(-1, 0), std::out_of_range);
+  EXPECT_THROW(t.sensor_at(2, 0), std::out_of_range);
+  EXPECT_THROW(t.sensor_at(0, 3), std::out_of_range);
+  EXPECT_THROW(t.rank_of(9, SensorLocation::Chest), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace origin::core

@@ -1,0 +1,70 @@
+#include "sim/repeat.hpp"
+
+#include <gtest/gtest.h>
+
+namespace origin::sim {
+namespace {
+
+core::PipelineConfig micro_pipeline() {
+  core::PipelineConfig cfg;
+  cfg.train_per_class = 12;
+  cfg.calib_per_class = 6;
+  cfg.test_per_class = 6;
+  cfg.train.epochs = 2;
+  cfg.use_cache = false;
+  cfg.seed = 4242;
+  return cfg;
+}
+
+class RepeatTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    ExperimentConfig cfg;
+    cfg.pipeline = micro_pipeline();
+    cfg.stream_slots = 120;
+    experiment_ = new Experiment(cfg);
+  }
+  static void TearDownTestSuite() {
+    delete experiment_;
+    experiment_ = nullptr;
+  }
+  static Experiment* experiment_;
+};
+
+Experiment* RepeatTest::experiment_ = nullptr;
+
+TEST_F(RepeatTest, AggregatesRequestedRuns) {
+  const auto r = repeat_policy_runs(*experiment_, PolicyKind::PlainRR, 6, 3);
+  EXPECT_EQ(r.accuracy.count(), 3u);
+  EXPECT_EQ(r.success_rate.count(), 3u);
+  EXPECT_GE(r.accuracy.mean(), 0.0);
+  EXPECT_LE(r.accuracy.mean(), 1.0);
+}
+
+TEST_F(RepeatTest, SeedsActuallyVary) {
+  const auto r = repeat_policy_runs(*experiment_, PolicyKind::PlainRR, 6, 4);
+  // Independent streams: the per-run accuracies should not all coincide.
+  EXPECT_GT(r.accuracy.max() - r.accuracy.min(), 0.0);
+}
+
+TEST_F(RepeatTest, BaselineRunsAggregate) {
+  const auto r = repeat_baseline_runs(*experiment_, core::BaselineKind::BL2, 2);
+  EXPECT_EQ(r.accuracy.count(), 2u);
+  EXPECT_DOUBLE_EQ(r.success_rate.mean(), 100.0);
+}
+
+TEST_F(RepeatTest, PercentHelpers) {
+  const auto r = repeat_policy_runs(*experiment_, PolicyKind::AAS, 6, 2);
+  EXPECT_NEAR(r.mean_accuracy_pct(), 100.0 * r.accuracy.mean(), 1e-9);
+  EXPECT_GE(r.stddev_accuracy_pct(), 0.0);
+}
+
+TEST_F(RepeatTest, Validation) {
+  EXPECT_THROW(repeat_policy_runs(*experiment_, PolicyKind::AAS, 6, 0),
+               std::invalid_argument);
+  EXPECT_THROW(repeat_baseline_runs(*experiment_, core::BaselineKind::BL1, -1),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace origin::sim

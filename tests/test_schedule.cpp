@@ -1,0 +1,128 @@
+#include "core/schedule.hpp"
+
+#include <gtest/gtest.h>
+
+namespace origin::core {
+namespace {
+
+TEST(Schedule, ValidatesCycle) {
+  EXPECT_THROW(ExtendedRoundRobin(0), std::invalid_argument);
+  EXPECT_THROW(ExtendedRoundRobin(4), std::invalid_argument);
+  EXPECT_THROW(ExtendedRoundRobin(-3), std::invalid_argument);
+  EXPECT_NO_THROW(ExtendedRoundRobin(3));
+  EXPECT_NO_THROW(ExtendedRoundRobin(12));
+}
+
+TEST(Schedule, RR3EverySlotIsOpportunity) {
+  ExtendedRoundRobin rr(3);
+  EXPECT_EQ(rr.gap(), 1);
+  for (int s = 0; s < 9; ++s) {
+    EXPECT_TRUE(rr.is_opportunity(s));
+  }
+  EXPECT_EQ(rr.default_sensor(0), data::SensorLocation::Chest);
+  EXPECT_EQ(rr.default_sensor(1), data::SensorLocation::RightWrist);
+  EXPECT_EQ(rr.default_sensor(2), data::SensorLocation::LeftAnkle);
+  EXPECT_EQ(rr.default_sensor(3), data::SensorLocation::Chest);
+}
+
+TEST(Schedule, RR12MatchesFig3) {
+  ExtendedRoundRobin rr(12);
+  EXPECT_EQ(rr.gap(), 4);
+  // Opportunities at 0, 4, 8 with the chest/wrist/ankle rotation, no-ops
+  // in between — exactly Fig. 3's RR12 row.
+  EXPECT_TRUE(rr.is_opportunity(0));
+  EXPECT_FALSE(rr.is_opportunity(1));
+  EXPECT_FALSE(rr.is_opportunity(2));
+  EXPECT_FALSE(rr.is_opportunity(3));
+  EXPECT_TRUE(rr.is_opportunity(4));
+  EXPECT_TRUE(rr.is_opportunity(8));
+  EXPECT_TRUE(rr.is_opportunity(12));
+  EXPECT_EQ(rr.default_sensor(0), data::SensorLocation::Chest);
+  EXPECT_EQ(rr.default_sensor(4), data::SensorLocation::RightWrist);
+  EXPECT_EQ(rr.default_sensor(8), data::SensorLocation::LeftAnkle);
+  EXPECT_EQ(rr.default_sensor(12), data::SensorLocation::Chest);
+}
+
+TEST(Schedule, OpportunityIndex) {
+  ExtendedRoundRobin rr(6);
+  EXPECT_EQ(rr.opportunity_index(0), 0);
+  EXPECT_EQ(rr.opportunity_index(1), -1);
+  EXPECT_EQ(rr.opportunity_index(2), 1);
+  EXPECT_EQ(rr.opportunity_index(4), 2);
+  EXPECT_EQ(rr.opportunity_index(6), 0);
+}
+
+TEST(Schedule, DefaultSensorOnNoopThrows) {
+  ExtendedRoundRobin rr(6);
+  EXPECT_THROW(rr.default_sensor(1), std::logic_error);
+}
+
+TEST(Schedule, NegativeSlotThrows) {
+  ExtendedRoundRobin rr(3);
+  EXPECT_THROW(rr.is_opportunity(-1), std::invalid_argument);
+}
+
+TEST(Schedule, UnrollReadable) {
+  ExtendedRoundRobin rr(6);
+  const auto u = rr.unroll(6);
+  ASSERT_EQ(u.size(), 6u);
+  EXPECT_EQ(u[0], "chest");
+  EXPECT_EQ(u[1], "no-op");
+  EXPECT_EQ(u[2], "right_wrist");
+  EXPECT_EQ(u[4], "left_ankle");
+  EXPECT_THROW(rr.unroll(-1), std::invalid_argument);
+}
+
+TEST(Schedule, Name) {
+  EXPECT_EQ(ExtendedRoundRobin(9).name(), "RR9");
+}
+
+// Property sweep across all paper cycle lengths.
+class SchedulePolicy : public ::testing::TestWithParam<int> {};
+
+TEST_P(SchedulePolicy, EachSensorOncePerCycle) {
+  const int k = GetParam();
+  ExtendedRoundRobin rr(k);
+  std::array<int, data::kNumSensors> counts{};
+  for (int s = 0; s < k; ++s) {
+    if (rr.is_opportunity(s)) {
+      ++counts[static_cast<std::size_t>(rr.default_sensor(s))];
+    }
+  }
+  for (int c : counts) EXPECT_EQ(c, 1);
+}
+
+TEST_P(SchedulePolicy, NoopCountMatches) {
+  const int k = GetParam();
+  ExtendedRoundRobin rr(k);
+  int noops = 0;
+  for (int s = 0; s < k; ++s) {
+    if (!rr.is_opportunity(s)) ++noops;
+  }
+  EXPECT_EQ(noops, k - 3);
+}
+
+TEST_P(SchedulePolicy, OpportunitiesEvenlySpaced) {
+  const int k = GetParam();
+  ExtendedRoundRobin rr(k);
+  int last = -1;
+  for (int s = 0; s < 3 * k; ++s) {
+    if (rr.is_opportunity(s)) {
+      if (last >= 0) {
+        EXPECT_EQ(s - last, rr.gap());
+      }
+      last = s;
+    }
+  }
+}
+
+TEST_P(SchedulePolicy, HarvestSlotsPerAttemptIsCycle) {
+  const int k = GetParam();
+  EXPECT_EQ(ExtendedRoundRobin(k).harvest_slots_per_attempt(), k);
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperCycles, SchedulePolicy,
+                         ::testing::Values(3, 6, 9, 12, 15, 24));
+
+}  // namespace
+}  // namespace origin::core

@@ -1,0 +1,126 @@
+#include "nn/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "nn/activations.hpp"
+#include "nn/conv1d.hpp"
+#include "nn/dense.hpp"
+#include "nn/dropout.hpp"
+#include "nn/pooling.hpp"
+#include "nn/softmax.hpp"
+#include "util/rng.hpp"
+
+namespace origin::nn {
+namespace {
+
+Sequential representative_model(std::uint64_t seed) {
+  util::Rng rng(seed);
+  Sequential m;
+  m.emplace<Conv1D>(3, 5, 4, 2, rng)
+      .emplace<ReLU>()
+      .emplace<MaxPool1D>(2, 1)
+      .emplace<Conv1D>(5, 4, 3, 1, rng)
+      .emplace<ReLU>()
+      .emplace<Flatten>()
+      .emplace<Dense>(4 * ((((20 - 4) / 2 + 1) - 2 + 1) - 3 + 1), 7, rng)
+      .emplace<Dropout>(0.3f)
+      .emplace<Dense>(7, 4, rng)
+      .emplace<Softmax>();
+  return m;
+}
+
+void expect_same_outputs(Sequential& a, Sequential& b,
+                         const std::vector<int>& shape) {
+  util::Rng rng(99);
+  for (int trial = 0; trial < 5; ++trial) {
+    const Tensor x = Tensor::randn(shape, rng, 1.0f);
+    const Tensor ya = a.forward(x, false);
+    const Tensor yb = b.forward(x, false);
+    ASSERT_EQ(ya.shape(), yb.shape());
+    for (std::size_t i = 0; i < ya.size(); ++i) {
+      ASSERT_FLOAT_EQ(ya[i], yb[i]);
+    }
+  }
+}
+
+TEST(Serialize, StringRoundtripPreservesBehaviour) {
+  Sequential m = representative_model(1);
+  Sequential loaded = model_from_string(model_to_string(m));
+  EXPECT_EQ(loaded.layer_count(), m.layer_count());
+  EXPECT_EQ(loaded.param_count(), m.param_count());
+  expect_same_outputs(m, loaded, {3, 20});
+}
+
+TEST(Serialize, FileRoundtrip) {
+  const auto path =
+      (std::filesystem::temp_directory_path() / "origin_model_test.bin").string();
+  Sequential m = representative_model(2);
+  save_model(m, path);
+  Sequential loaded = load_model(path);
+  expect_same_outputs(m, loaded, {3, 20});
+  std::filesystem::remove(path);
+}
+
+TEST(Serialize, LayerKindsPreserved) {
+  Sequential m = representative_model(3);
+  Sequential loaded = model_from_string(model_to_string(m));
+  for (std::size_t i = 0; i < m.layer_count(); ++i) {
+    EXPECT_EQ(loaded.layer(i).kind(), m.layer(i).kind());
+  }
+}
+
+TEST(Serialize, EmptyModelRoundtrips) {
+  Sequential empty;
+  Sequential loaded = model_from_string(model_to_string(empty));
+  EXPECT_EQ(loaded.layer_count(), 0u);
+}
+
+TEST(Serialize, BadMagicThrows) {
+  std::string blob = model_to_string(representative_model(4));
+  blob[0] = 'X';
+  EXPECT_THROW(model_from_string(blob), std::runtime_error);
+}
+
+TEST(Serialize, BadVersionThrows) {
+  std::string blob = model_to_string(representative_model(5));
+  blob[4] = 99;  // version byte
+  EXPECT_THROW(model_from_string(blob), std::runtime_error);
+}
+
+TEST(Serialize, TruncationThrows) {
+  const std::string blob = model_to_string(representative_model(6));
+  for (std::size_t cut : {blob.size() / 4, blob.size() / 2, blob.size() - 3}) {
+    EXPECT_THROW(model_from_string(blob.substr(0, cut)), std::runtime_error);
+  }
+}
+
+TEST(Serialize, MissingFileThrows) {
+  EXPECT_THROW(load_model("/no/such/model.bin"), std::runtime_error);
+}
+
+TEST(Serialize, DropoutRateSurvives) {
+  Sequential m;
+  m.emplace<Dropout>(0.42f);
+  Sequential loaded = model_from_string(model_to_string(m));
+  auto* d = dynamic_cast<Dropout*>(&loaded.layer(0));
+  ASSERT_NE(d, nullptr);
+  EXPECT_FLOAT_EQ(d->rate(), 0.42f);
+}
+
+TEST(Serialize, ConvConfigSurvives) {
+  util::Rng rng(7);
+  Sequential m;
+  m.emplace<Conv1D>(2, 6, 5, 3, rng);
+  Sequential loaded = model_from_string(model_to_string(m));
+  auto* c = dynamic_cast<Conv1D*>(&loaded.layer(0));
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->in_channels(), 2);
+  EXPECT_EQ(c->out_channels(), 6);
+  EXPECT_EQ(c->kernel(), 5);
+  EXPECT_EQ(c->stride(), 3);
+}
+
+}  // namespace
+}  // namespace origin::nn

@@ -1,0 +1,131 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace origin::util {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.add(4.5);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 4.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 4.5);
+  EXPECT_DOUBLE_EQ(s.max(), 4.5);
+}
+
+TEST(RunningStats, KnownMeanAndVariance) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);  // population
+  EXPECT_NEAR(s.sample_variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, MergeMatchesCombined) {
+  RunningStats a, b, all;
+  for (double x : {1.0, 2.0, 3.0}) {
+    a.add(x);
+    all.add(x);
+  }
+  for (double x : {10.0, 20.0}) {
+    b.add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-12);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmptyIsNoop) {
+  RunningStats a, empty;
+  a.add(3.0);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 3.0);
+}
+
+TEST(RunningStats, ResetClears) {
+  RunningStats s;
+  s.add(1.0);
+  s.reset();
+  EXPECT_EQ(s.count(), 0u);
+}
+
+TEST(Stats, MeanVarianceVectors) {
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(mean({3.0}), 3.0);
+  EXPECT_DOUBLE_EQ(mean({1.0, 3.0}), 2.0);
+  EXPECT_DOUBLE_EQ(variance({5.0}), 0.0);
+  EXPECT_DOUBLE_EQ(variance({1.0, 3.0}), 1.0);
+  EXPECT_DOUBLE_EQ(stddev({1.0, 3.0}), 1.0);
+}
+
+TEST(Stats, PercentileEndpoints) {
+  const std::vector<double> v{4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.5), 2.5);
+}
+
+TEST(Stats, PercentileClampsP) {
+  const std::vector<double> v{1.0, 2.0};
+  EXPECT_DOUBLE_EQ(percentile(v, -1.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 2.0), 2.0);
+}
+
+TEST(Stats, PercentileEmpty) {
+  EXPECT_DOUBLE_EQ(percentile({}, 0.5), 0.0);
+}
+
+TEST(Stats, ProbabilityVectorVarianceExtremes) {
+  // One-hot = maximal confidence; uniform = zero variance (max confusion).
+  const double onehot = probability_vector_variance({1.0f, 0.0f, 0.0f, 0.0f});
+  const double uniform =
+      probability_vector_variance({0.25f, 0.25f, 0.25f, 0.25f});
+  EXPECT_GT(onehot, uniform);
+  EXPECT_DOUBLE_EQ(uniform, 0.0);
+  // Analytic: mean 0.25, var = (0.75^2 + 3*0.25^2)/4
+  EXPECT_NEAR(onehot, (0.75 * 0.75 + 3 * 0.0625) / 4.0, 1e-9);
+}
+
+TEST(Stats, ProbabilityVectorVarianceOrdering) {
+  // Sharper distributions must rank higher (the paper's §III-C example).
+  const double sharp = probability_vector_variance({0.94f, 0.01f, 0.02f, 0.01f});
+  const double soft = probability_vector_variance({0.80f, 0.05f, 0.08f, 0.07f});
+  EXPECT_GT(sharp, soft);
+}
+
+TEST(Stats, ProbabilityVectorVarianceEmpty) {
+  EXPECT_DOUBLE_EQ(probability_vector_variance({}), 0.0);
+}
+
+TEST(Stats, ArgmaxBasics) {
+  EXPECT_EQ(argmax(std::vector<float>{1.0f, 5.0f, 3.0f}), 1u);
+  EXPECT_EQ(argmax(std::vector<double>{-1.0, -5.0, -0.5}), 2u);
+  EXPECT_EQ(argmax(std::vector<float>{}), 0u);
+  // First max wins on ties.
+  EXPECT_EQ(argmax(std::vector<float>{2.0f, 2.0f}), 0u);
+}
+
+}  // namespace
+}  // namespace origin::util

@@ -1,0 +1,65 @@
+#include "util/strings.hpp"
+
+#include <gtest/gtest.h>
+
+namespace origin::util {
+namespace {
+
+TEST(Strings, ToLower) {
+  EXPECT_EQ(to_lower("MiXeD Case 123"), "mixed case 123");
+  EXPECT_EQ(to_lower(""), "");
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  hello  "), "hello");
+  EXPECT_EQ(trim("\t\nx\r "), "x");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim("abc"), "abc");
+}
+
+TEST(Strings, Split) {
+  const auto parts = split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "c");
+}
+
+TEST(Strings, SplitNoSeparator) {
+  const auto parts = split("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(Strings, JoinInvertsSplit) {
+  const std::string s = "x|y|z";
+  EXPECT_EQ(join(split(s, '|'), "|"), s);
+}
+
+TEST(Strings, StartsEndsWith) {
+  EXPECT_TRUE(starts_with("origin_models", "origin"));
+  EXPECT_FALSE(starts_with("or", "origin"));
+  EXPECT_TRUE(ends_with("model.bin", ".bin"));
+  EXPECT_FALSE(ends_with("bin", ".bin"));
+  EXPECT_TRUE(starts_with("x", ""));
+  EXPECT_TRUE(ends_with("x", ""));
+}
+
+TEST(Strings, Fnv1aKnownValues) {
+  // FNV-1a 64 reference values.
+  EXPECT_EQ(fnv1a(""), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(fnv1a("a"), 0xaf63dc4c8601ec8cULL);
+}
+
+TEST(Strings, Fnv1aDistinguishes) {
+  EXPECT_NE(fnv1a("config-a"), fnv1a("config-b"));
+}
+
+TEST(Strings, Hex64Format) {
+  EXPECT_EQ(hex64(0), "0000000000000000");
+  EXPECT_EQ(hex64(0xdeadbeefULL), "00000000deadbeef");
+  EXPECT_EQ(hex64(0xffffffffffffffffULL), "ffffffffffffffff");
+}
+
+}  // namespace
+}  // namespace origin::util

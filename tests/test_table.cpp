@@ -1,0 +1,53 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace origin::util {
+namespace {
+
+TEST(AsciiTable, FormatFixedPrecision) {
+  EXPECT_EQ(AsciiTable::format(3.14159, 2), "3.14");
+  EXPECT_EQ(AsciiTable::format(2.0, 0), "2");
+  EXPECT_EQ(AsciiTable::format(-1.5, 1), "-1.5");
+}
+
+TEST(AsciiTable, RendersHeaderAndRows) {
+  AsciiTable t({"policy", "accuracy"});
+  t.add_row({"RR12", "83.88"});
+  const std::string s = t.str();
+  EXPECT_NE(s.find("policy"), std::string::npos);
+  EXPECT_NE(s.find("RR12"), std::string::npos);
+  EXPECT_NE(s.find("83.88"), std::string::npos);
+}
+
+TEST(AsciiTable, NumericRowHelper) {
+  AsciiTable t({"name", "a", "b"});
+  t.add_row("row", {1.234, 5.678}, 1);
+  const std::string s = t.str();
+  EXPECT_NE(s.find("1.2"), std::string::npos);
+  EXPECT_NE(s.find("5.7"), std::string::npos);
+}
+
+TEST(AsciiTable, ShortRowsArePadded) {
+  AsciiTable t({"a", "b", "c"});
+  t.add_row({"only"});
+  EXPECT_NO_THROW(t.str());
+}
+
+TEST(AsciiTable, ColumnsAlign) {
+  AsciiTable t({"x", "yyyy"});
+  t.add_row({"longvalue", "1"});
+  const std::string s = t.str();
+  // Every line between rules must have equal length.
+  std::size_t expected = s.find('\n');
+  std::size_t pos = 0;
+  while (pos < s.size()) {
+    const std::size_t next = s.find('\n', pos);
+    if (next == std::string::npos) break;
+    EXPECT_EQ(next - pos, expected);
+    pos = next + 1;
+  }
+}
+
+}  // namespace
+}  // namespace origin::util

@@ -1,0 +1,121 @@
+#include "nn/tensor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace origin::nn {
+namespace {
+
+TEST(Tensor, DefaultIsEmpty) {
+  Tensor t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_EQ(t.rank(), 0);
+}
+
+TEST(Tensor, ZeroInitialized) {
+  Tensor t({2, 3});
+  EXPECT_EQ(t.size(), 6u);
+  for (std::size_t i = 0; i < t.size(); ++i) EXPECT_EQ(t[i], 0.0f);
+}
+
+TEST(Tensor, ShapeSize) {
+  EXPECT_EQ(Tensor::shape_size({}), 0u);
+  EXPECT_EQ(Tensor::shape_size({5}), 5u);
+  EXPECT_EQ(Tensor::shape_size({2, 3, 4}), 24u);
+  EXPECT_EQ(Tensor::shape_size({2, 0}), 0u);
+  EXPECT_THROW(Tensor::shape_size({-1}), std::invalid_argument);
+}
+
+TEST(Tensor, ConstructWithDataValidatesSize) {
+  EXPECT_NO_THROW(Tensor({2, 2}, {1, 2, 3, 4}));
+  EXPECT_THROW(Tensor({2, 2}, {1, 2, 3}), std::invalid_argument);
+}
+
+TEST(Tensor, FullFillsValue) {
+  const Tensor t = Tensor::full({3}, 2.5f);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_EQ(t[i], 2.5f);
+}
+
+TEST(Tensor, RandnStddev) {
+  util::Rng rng(1);
+  const Tensor t = Tensor::randn({10000}, rng, 0.5f);
+  double sq = 0.0;
+  for (std::size_t i = 0; i < t.size(); ++i) sq += t[i] * t[i];
+  EXPECT_NEAR(sq / static_cast<double>(t.size()), 0.25, 0.02);
+}
+
+TEST(Tensor, RowMajor2DAccess) {
+  Tensor t({2, 3}, {0, 1, 2, 3, 4, 5});
+  EXPECT_EQ(t.at(0, 0), 0.0f);
+  EXPECT_EQ(t.at(0, 2), 2.0f);
+  EXPECT_EQ(t.at(1, 0), 3.0f);
+  EXPECT_EQ(t.at(1, 2), 5.0f);
+}
+
+TEST(Tensor, RowMajor3DAccess) {
+  Tensor t({2, 2, 2}, {0, 1, 2, 3, 4, 5, 6, 7});
+  EXPECT_EQ(t.at(0, 0, 0), 0.0f);
+  EXPECT_EQ(t.at(0, 1, 1), 3.0f);
+  EXPECT_EQ(t.at(1, 0, 1), 5.0f);
+  EXPECT_EQ(t.at(1, 1, 1), 7.0f);
+}
+
+TEST(Tensor, AtWrongRankThrows) {
+  Tensor t({4});
+  EXPECT_THROW(t.at(0, 0), std::logic_error);
+  EXPECT_THROW(t.at(0, 0, 0), std::logic_error);
+}
+
+TEST(Tensor, ReshapePreservesData) {
+  Tensor t({2, 3}, {0, 1, 2, 3, 4, 5});
+  const Tensor r = t.reshaped({6});
+  EXPECT_EQ(r.rank(), 1);
+  EXPECT_EQ(r[4], 4.0f);
+  EXPECT_THROW(t.reshaped({5}), std::invalid_argument);
+}
+
+TEST(Tensor, ElementwiseOps) {
+  Tensor a({3}, {1, 2, 3});
+  Tensor b({3}, {10, 20, 30});
+  a.add(b);
+  EXPECT_EQ(a[2], 33.0f);
+  a.sub(b);
+  EXPECT_EQ(a[2], 3.0f);
+  a.scale(2.0f);
+  EXPECT_EQ(a[0], 2.0f);
+  a.axpy(0.5f, b);
+  EXPECT_EQ(a[1], 4.0f + 10.0f);
+}
+
+TEST(Tensor, ShapeMismatchThrows) {
+  Tensor a({2});
+  Tensor b({3});
+  EXPECT_THROW(a.add(b), std::invalid_argument);
+  EXPECT_THROW(a.sub(b), std::invalid_argument);
+  EXPECT_THROW(a.axpy(1.0f, b), std::invalid_argument);
+}
+
+TEST(Tensor, Reductions) {
+  Tensor t({4}, {-1, 2, -3, 4});
+  EXPECT_EQ(t.sum(), 2.0f);
+  EXPECT_EQ(t.abs_sum(), 10.0f);
+  EXPECT_EQ(t.sq_sum(), 30.0f);
+  EXPECT_EQ(t.max(), 4.0f);
+  EXPECT_EQ(t.argmax(), 3u);
+}
+
+TEST(Tensor, ShapeStr) {
+  EXPECT_EQ(Tensor({2, 3}).shape_str(), "[2x3]");
+  EXPECT_EQ(Tensor({7}).shape_str(), "[7]");
+}
+
+TEST(Tensor, SameShape) {
+  EXPECT_TRUE(Tensor({2, 3}).same_shape(Tensor({2, 3})));
+  EXPECT_FALSE(Tensor({2, 3}).same_shape(Tensor({3, 2})));
+  EXPECT_FALSE(Tensor({6}).same_shape(Tensor({2, 3})));
+}
+
+}  // namespace
+}  // namespace origin::nn

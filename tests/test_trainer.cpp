@@ -1,0 +1,198 @@
+#include "nn/trainer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nn/activations.hpp"
+#include "nn/dense.hpp"
+#include "nn/loss.hpp"
+#include "nn/optimizer.hpp"
+#include "util/rng.hpp"
+
+namespace origin::nn {
+namespace {
+
+/// Two Gaussian blobs in 4-D: linearly separable toy task.
+Samples make_blobs(int per_class, std::uint64_t seed) {
+  util::Rng rng(seed);
+  Samples samples;
+  for (int c = 0; c < 2; ++c) {
+    for (int i = 0; i < per_class; ++i) {
+      Tensor x({4});
+      for (std::size_t d = 0; d < 4; ++d) {
+        x[d] = static_cast<float>(rng.gauss(c == 0 ? -1.0 : 1.0, 0.5));
+      }
+      samples.push_back({std::move(x), c});
+    }
+  }
+  rng.shuffle(samples);
+  return samples;
+}
+
+Sequential blob_model(std::uint64_t seed) {
+  util::Rng rng(seed);
+  Sequential m;
+  m.emplace<Dense>(4, 8, rng).emplace<ReLU>().emplace<Dense>(8, 2, rng);
+  return m;
+}
+
+TEST(Trainer, RejectsBadConfig) {
+  TrainConfig bad;
+  bad.epochs = 0;
+  EXPECT_THROW(Trainer{bad}, std::invalid_argument);
+  bad.epochs = 1;
+  bad.batch_size = 0;
+  EXPECT_THROW(Trainer{bad}, std::invalid_argument);
+}
+
+TEST(Trainer, RejectsEmptyDataset) {
+  auto m = blob_model(1);
+  Trainer t;
+  EXPECT_THROW(t.fit(m, {}), std::invalid_argument);
+}
+
+TEST(Trainer, LearnsSeparableTask) {
+  auto m = blob_model(2);
+  const Samples train = make_blobs(60, 3);
+  TrainConfig cfg;
+  cfg.epochs = 20;
+  cfg.learning_rate = 5e-2;
+  Trainer t(cfg);
+  const auto history = t.fit(m, train);
+  ASSERT_FALSE(history.empty());
+  EXPECT_GT(history.back().accuracy, 0.95);
+  EXPECT_LT(history.back().loss, history.front().loss);
+
+  const Samples test = make_blobs(50, 4);
+  EXPECT_GT(Trainer::evaluate(m, test).accuracy, 0.9);
+}
+
+TEST(Trainer, LossDecreasesMonotonicallyEnough) {
+  auto m = blob_model(5);
+  const Samples train = make_blobs(50, 6);
+  TrainConfig cfg;
+  cfg.epochs = 8;
+  cfg.learning_rate = 2e-2;
+  const auto history = Trainer(cfg).fit(m, train);
+  EXPECT_LT(history.back().loss, 0.8 * history.front().loss);
+}
+
+TEST(Trainer, EarlyStopTruncatesHistory) {
+  auto m = blob_model(7);
+  const Samples train = make_blobs(60, 8);
+  TrainConfig cfg;
+  cfg.epochs = 50;
+  cfg.learning_rate = 5e-2;
+  cfg.early_stop_accuracy = 0.9;
+  const auto history = Trainer(cfg).fit(m, train);
+  EXPECT_LT(history.size(), 50u);
+  EXPECT_GE(history.back().accuracy, 0.9);
+}
+
+TEST(Trainer, DeterministicGivenSeed) {
+  const Samples train = make_blobs(40, 9);
+  auto m1 = blob_model(10);
+  auto m2 = blob_model(10);
+  TrainConfig cfg;
+  cfg.epochs = 3;
+  const auto h1 = Trainer(cfg).fit(m1, train);
+  const auto h2 = Trainer(cfg).fit(m2, train);
+  ASSERT_EQ(h1.size(), h2.size());
+  for (std::size_t i = 0; i < h1.size(); ++i) {
+    EXPECT_DOUBLE_EQ(h1[i].loss, h2[i].loss);
+  }
+}
+
+TEST(Trainer, MixupPathLearns) {
+  auto m = blob_model(11);
+  const Samples train = make_blobs(60, 12);
+  TrainConfig cfg;
+  cfg.epochs = 25;
+  cfg.learning_rate = 5e-2;
+  cfg.mixup_prob = 0.5;
+  Trainer(cfg).fit(m, train);
+  const Samples test = make_blobs(50, 13);
+  EXPECT_GT(Trainer::evaluate(m, test).accuracy, 0.85);
+}
+
+TEST(Trainer, EvaluateEmptyReturnsZero) {
+  auto m = blob_model(14);
+  const auto stats = Trainer::evaluate(m, {});
+  EXPECT_DOUBLE_EQ(stats.accuracy, 0.0);
+  EXPECT_DOUBLE_EQ(stats.loss, 0.0);
+}
+
+TEST(Optimizer, SgdStepReducesLossOnQuadratic) {
+  util::Rng rng(15);
+  Sequential m;
+  m.emplace<Dense>(2, 1, rng);
+  SgdMomentum opt(0.1, 0.0);
+  opt.bind(m);
+  const Tensor x({2}, {1.0f, -1.0f});
+  const Tensor target({1}, {3.0f});
+  double prev = 1e18;
+  for (int i = 0; i < 50; ++i) {
+    const Tensor y = m.forward(x, true);
+    const LossResult res = mse(y, target);
+    m.backward(res.grad);
+    opt.step();
+    if (i > 0) {
+      EXPECT_LE(res.loss, prev + 1e-6);
+    }
+    prev = res.loss;
+  }
+  EXPECT_LT(prev, 1e-3);
+}
+
+TEST(Optimizer, AdamConvergesOnQuadratic) {
+  util::Rng rng(16);
+  Sequential m;
+  m.emplace<Dense>(2, 1, rng);
+  Adam opt(0.05);
+  opt.bind(m);
+  const Tensor x({2}, {0.5f, 2.0f});
+  const Tensor target({1}, {-1.0f});
+  double last = 0.0;
+  for (int i = 0; i < 200; ++i) {
+    const Tensor y = m.forward(x, true);
+    const LossResult res = mse(y, target);
+    m.backward(res.grad);
+    opt.step();
+    last = res.loss;
+  }
+  EXPECT_LT(last, 1e-3);
+}
+
+TEST(Optimizer, StepWithoutBindThrows) {
+  SgdMomentum sgd(0.1);
+  EXPECT_THROW(sgd.step(), std::logic_error);
+  Adam adam(0.1);
+  EXPECT_THROW(adam.step(), std::logic_error);
+}
+
+TEST(Optimizer, StepZeroesGradients) {
+  util::Rng rng(17);
+  Sequential m;
+  m.emplace<Dense>(3, 2, rng);
+  SgdMomentum opt(0.01);
+  opt.bind(m);
+  const Tensor y = m.forward(Tensor({3}, {1, 2, 3}), true);
+  m.backward(Tensor({2}, {1.0f, -1.0f}));
+  opt.step();
+  for (Tensor* g : m.grads()) EXPECT_FLOAT_EQ(g->abs_sum(), 0.0f);
+}
+
+TEST(Loss, MseKnownValue) {
+  const LossResult res = mse(Tensor({2}, {1.0f, 2.0f}), Tensor({2}, {0.0f, 4.0f}));
+  EXPECT_NEAR(res.loss, (1.0 + 4.0) / 2.0, 1e-6);
+  EXPECT_NEAR(res.grad[0], 1.0f, 1e-6);
+  EXPECT_NEAR(res.grad[1], -2.0f, 1e-6);
+}
+
+TEST(Loss, CrossEntropyTargetValidation) {
+  const Tensor logits({3});
+  EXPECT_THROW(softmax_cross_entropy(logits, -1), std::invalid_argument);
+  EXPECT_THROW(softmax_cross_entropy(logits, 3), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace origin::nn
