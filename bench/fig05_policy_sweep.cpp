@@ -3,7 +3,15 @@
 // fully-powered baselines. Fig. 5a = MHEALTH-like, Fig. 5b = PAMAP2-like.
 // Expected shape: RR < AAS < AASR < Origin at a given cycle; accuracy
 // improves with round-robin delay; Origin RR12 competitive with BL-2.
+//
+// The 18 runs per dataset are independent simulations of the same stream
+// seed, so they go through the fleet runtime: rows come back in job order
+// (bit-identical at any thread count) and multicore hosts sweep in a
+// fraction of the sequential time.
 #include "bench_common.hpp"
+
+#include "fleet/fleet_runner.hpp"
+#include "fleet/thread_pool.hpp"
 
 using namespace origin;
 
@@ -11,24 +19,41 @@ namespace {
 
 void run_dataset(data::DatasetKind kind, const char* figure) {
   auto exp = bench::make_experiment(kind);
-  const auto stream = exp.make_stream(data::reference_user());
 
-  util::AsciiTable t(bench::activity_header(exp.spec(), "policy"));
+  std::vector<fleet::FleetJob> jobs;
+  std::vector<std::string> labels;
   for (int cycle : {3, 6, 9, 12}) {
     for (auto pk : {sim::PolicyKind::PlainRR, sim::PolicyKind::AAS,
                     sim::PolicyKind::AASR, sim::PolicyKind::Origin}) {
-      auto policy = exp.make_policy(pk, cycle);
-      const auto r = exp.run_policy(*policy, stream);
-      t.add_row(policy->name(), bench::per_activity_pct(r));
+      fleet::FleetJob job;  // reference user, stream seed offset 0
+      job.policy = pk;
+      job.rr_cycle = cycle;
+      jobs.push_back(job);
+      labels.push_back(exp.make_policy(pk, cycle)->name());
     }
   }
-  const auto bl2 = exp.run_fully_powered(core::BaselineKind::BL2, stream);
-  const auto bl1 = exp.run_fully_powered(core::BaselineKind::BL1, stream);
-  t.add_row("Baseline-2", bench::per_activity_pct(bl2));
-  t.add_row("Baseline-1", bench::per_activity_pct(bl1));
+  for (auto bk : {core::BaselineKind::BL2, core::BaselineKind::BL1}) {
+    fleet::FleetJob job;
+    job.baseline = bk;
+    jobs.push_back(job);
+    labels.push_back(bk == core::BaselineKind::BL2 ? "Baseline-2"
+                                                   : "Baseline-1");
+  }
 
-  std::printf("\n=== %s: policy accuracy sweep (%s) ===\n", figure,
-              to_string(kind));
+  fleet::FleetRunnerConfig runner_config;
+  runner_config.threads = fleet::ThreadPool::hardware_threads();
+  runner_config.keep_sim_results = true;  // rows need per-activity accuracy
+  const auto result = fleet::FleetRunner(exp, runner_config).run(jobs);
+
+  util::AsciiTable t(bench::activity_header(exp.spec(), "policy"));
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    t.add_row(labels[j], bench::per_activity_pct(result.sim_results[j]));
+  }
+
+  std::printf("\n=== %s: policy accuracy sweep (%s, %zu runs in %.1f s on "
+              "%u threads) ===\n",
+              figure, to_string(kind), jobs.size(), result.wall_seconds,
+              runner_config.threads);
   t.print();
 }
 

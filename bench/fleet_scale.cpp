@@ -1,0 +1,98 @@
+// Fleet-runtime scaling bench: users/sec and speedup of a multi-user
+// Origin workload at increasing thread counts, plus the determinism check
+// that makes the parallelism safe to use for paper numbers — the
+// aggregated statistics must be bit-identical at every thread count.
+//
+//   ./build/bench/fleet_scale [--users N] [--slots N] [--threads a,b,c]
+//
+// Defaults: 64 users, 600-slot streams, threads 1,2,4,8. Note the speedup
+// column measures what the host gives us: on a single-core container it
+// stays ~1x by construction; on an 8-core host the 8-thread row is the
+// ROADMAP scale-out datum.
+#include <cstring>
+#include <string>
+
+#include "bench_common.hpp"
+#include "fleet/fleet_runner.hpp"
+#include "fleet/thread_pool.hpp"
+
+using namespace origin;
+
+namespace {
+
+std::vector<unsigned> parse_threads(const char* arg) {
+  std::vector<unsigned> out;
+  std::string s(arg);
+  std::size_t pos = 0;
+  while (pos < s.size()) {
+    const std::size_t comma = s.find(',', pos);
+    const std::string tok = s.substr(pos, comma - pos);
+    out.push_back(static_cast<unsigned>(std::stoul(tok)));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t users = 64;
+  int slots = 600;
+  std::vector<unsigned> thread_counts = {1, 2, 4, 8};
+  for (int i = 1; i + 1 < argc; i += 2) {
+    if (!std::strcmp(argv[i], "--users")) {
+      users = std::stoul(argv[i + 1]);
+    } else if (!std::strcmp(argv[i], "--slots")) {
+      slots = std::stoi(argv[i + 1]);
+    } else if (!std::strcmp(argv[i], "--threads")) {
+      thread_counts = parse_threads(argv[i + 1]);
+    }
+  }
+
+  auto config = bench::default_config(data::DatasetKind::MHealthLike);
+  config.stream_slots = slots;
+  std::printf("[setup] building/loading mhealth-like system (cache: %s)...\n",
+              bench::cache_dir().c_str());
+  sim::Experiment experiment(config);
+
+  fleet::PopulationConfig pop;
+  pop.users = users;
+  std::printf("\n=== fleet_scale: %zu users x %d slots, Origin RR12 "
+              "(host reports %u hardware threads) ===\n",
+              users, slots, fleet::ThreadPool::hardware_threads());
+  const auto jobs = fleet::make_population(pop);
+
+  util::AsciiTable t({"threads", "wall s", "users/s", "speedup",
+                      "acc mean %", "acc std %", "success %"});
+  double base_seconds = 0.0;
+  bool identical = true;
+  fleet::FleetResult reference;
+  for (std::size_t i = 0; i < thread_counts.size(); ++i) {
+    fleet::FleetRunnerConfig runner_config;
+    runner_config.threads = thread_counts[i];
+    const auto r = fleet::FleetRunner(experiment, runner_config).run(jobs);
+    if (i == 0) {
+      base_seconds = r.wall_seconds;
+      reference = r;
+    } else {
+      identical = identical &&
+                  r.aggregate.accuracy.mean() ==
+                      reference.aggregate.accuracy.mean() &&
+                  r.aggregate.accuracy.variance() ==
+                      reference.aggregate.accuracy.variance() &&
+                  r.aggregate.success_rate.mean() ==
+                      reference.aggregate.success_rate.mean();
+    }
+    t.add_row("t=" + std::to_string(thread_counts[i]),
+              {r.wall_seconds, r.users_per_second(),
+               base_seconds / r.wall_seconds,
+               100.0 * r.aggregate.accuracy.mean(),
+               100.0 * r.aggregate.accuracy.stddev(),
+               r.aggregate.success_rate.mean()});
+  }
+  t.print();
+  std::printf("aggregate bit-identical across thread counts: %s\n",
+              identical ? "yes" : "NO — determinism bug");
+  return identical ? 0 : 1;
+}

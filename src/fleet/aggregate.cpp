@@ -1,0 +1,29 @@
+#include "fleet/aggregate.hpp"
+
+#include "sim/metrics.hpp"
+
+namespace origin::fleet {
+
+void FleetAccumulator::add(const sim::SimResult& result) {
+  accuracy.add(result.accuracy.overall());
+  success_rate.add(result.completion.attempt_success_rate());
+  ++jobs;
+  attempts += result.completion.attempts;
+  completions += result.completion.completions;
+}
+
+void FleetAccumulator::merge(const FleetAccumulator& other) {
+  accuracy.merge(other.accuracy);
+  success_rate.merge(other.success_rate);
+  jobs += other.jobs;
+  attempts += other.attempts;
+  completions += other.completions;
+}
+
+FleetAccumulator merge_in_order(const std::vector<FleetAccumulator>& partials) {
+  FleetAccumulator total;
+  for (const auto& p : partials) total.merge(p);
+  return total;
+}
+
+}  // namespace origin::fleet

@@ -1,0 +1,37 @@
+// Mergeable metric accumulators for fleet runs. Each shard fills its own
+// FleetAccumulator (no sharing, no locks); the runner folds the per-shard
+// accumulators in shard-index order, so the final statistics are a pure
+// function of the job list and are bit-identical at any thread count.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/stats.hpp"
+
+namespace origin::sim {
+struct SimResult;
+}
+
+namespace origin::fleet {
+
+struct FleetAccumulator {
+  util::RunningStats accuracy;      // per-run overall top-1, in [0, 1]
+  util::RunningStats success_rate;  // per-run attempt success, percent
+  std::size_t jobs = 0;
+  std::size_t attempts = 0;
+  std::size_t completions = 0;
+
+  /// Folds one finished simulation run into this accumulator.
+  void add(const sim::SimResult& result);
+
+  /// Parallel-combine (RunningStats::merge underneath). Callers must keep
+  /// a deterministic merge order — the runner uses shard index.
+  void merge(const FleetAccumulator& other);
+};
+
+/// Folds per-shard accumulators by ascending index. `partials[i]` must be
+/// shard i's accumulator.
+FleetAccumulator merge_in_order(const std::vector<FleetAccumulator>& partials);
+
+}  // namespace origin::fleet

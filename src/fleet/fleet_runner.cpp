@@ -1,0 +1,110 @@
+#include "fleet/fleet_runner.hpp"
+
+#include <chrono>
+#include <mutex>
+#include <stdexcept>
+#include <utility>
+
+#include "fleet/thread_pool.hpp"
+#include "util/rng.hpp"
+
+namespace origin::fleet {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+}  // namespace
+
+FleetRunner::FleetRunner(const sim::Experiment& experiment,
+                         FleetRunnerConfig config)
+    : experiment_(&experiment), config_(std::move(config)) {}
+
+FleetResult FleetRunner::run(const std::vector<FleetJob>& jobs) const {
+  const auto shards = make_shards(jobs.size(), config_.shard_size);
+
+  FleetResult result;
+  result.jobs.resize(jobs.size());
+  if (config_.keep_sim_results) result.sim_results.resize(jobs.size());
+  result.shard_timings.resize(shards.size());
+  std::vector<FleetAccumulator> partials(shards.size());
+
+  std::mutex progress_mutex;
+  std::size_t shards_done = 0;
+
+  // Every write inside targets a slot owned by this shard alone; only the
+  // progress callback needs serialization.
+  const auto run_shard = [&](std::size_t s) {
+    const Shard& shard = shards[s];
+    const auto t0 = Clock::now();
+    for (std::size_t j = shard.begin; j < shard.end; ++j) {
+      const FleetJob& job = jobs[j];
+      const auto stream = experiment_->make_stream(job.user, job.seed_offset);
+      sim::SimResult sim_result;
+      if (job.baseline) {
+        sim_result = experiment_->run_fully_powered(*job.baseline, stream);
+      } else {
+        auto policy = experiment_->make_policy(job.policy, job.rr_cycle, job.set);
+        sim_result = experiment_->run_policy(*policy, stream, job.set);
+      }
+      result.jobs[j].accuracy = sim_result.accuracy.overall();
+      result.jobs[j].success_rate = sim_result.completion.attempt_success_rate();
+      partials[s].add(sim_result);
+      if (config_.keep_sim_results) {
+        result.sim_results[j] = std::move(sim_result);
+      }
+    }
+    result.shard_timings[s] = {shard.index, shard.size(), seconds_since(t0)};
+    if (config_.progress) {
+      std::lock_guard<std::mutex> lock(progress_mutex);
+      config_.progress(++shards_done, shards.size());
+    }
+  };
+
+  const auto t0 = Clock::now();
+  if (config_.threads <= 1) {
+    // Inline path: same shard layout and merge order, no pool overhead.
+    for (std::size_t s = 0; s < shards.size(); ++s) run_shard(s);
+  } else {
+    ThreadPool pool(config_.threads);
+    pool.run_batch(shards.size(), run_shard);
+  }
+  result.wall_seconds = seconds_since(t0);
+  result.aggregate = merge_in_order(partials);
+  return result;
+}
+
+std::vector<FleetJob> make_population(const PopulationConfig& config) {
+  if (config.runs_per_user <= 0) {
+    throw std::invalid_argument("make_population: runs_per_user <= 0");
+  }
+  std::vector<FleetJob> jobs;
+  jobs.reserve(config.users * static_cast<std::size_t>(config.runs_per_user));
+  for (std::size_t u = 0; u < config.users; ++u) {
+    util::Rng rng(shard_seed(config.root_seed, u));
+    const auto user = config.severity > 0.0
+                          ? data::random_user(static_cast<int>(u), rng,
+                                              config.severity)
+                          : data::reference_user();
+    for (int r = 0; r < config.runs_per_user; ++r) {
+      FleetJob job;
+      job.user = user;
+      // Distinct, reproducible stream per (user, run) pair.
+      job.seed_offset = shard_seed(config.root_seed ^ 0xA11CEULL,
+                                   u * static_cast<std::size_t>(
+                                           config.runs_per_user) +
+                                       static_cast<std::size_t>(r));
+      job.policy = config.policy;
+      job.rr_cycle = config.rr_cycle;
+      job.set = config.set;
+      jobs.push_back(std::move(job));
+    }
+  }
+  return jobs;
+}
+
+}  // namespace origin::fleet

@@ -1,0 +1,63 @@
+// Sharding and seed derivation for fleet runs. Determinism contract: the
+// shard layout is a function of the job count and shard size only — never
+// of the thread count — and every shard's RNG seed is a splitmix64 hash of
+// the root seed and the shard/job index. Threads decide *when* a shard
+// runs, never *what* it computes, so aggregates merged in shard-index
+// order are bit-identical at any parallelism.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace origin::fleet {
+
+/// splitmix64 finalizer (same constants as util::Rng's seed expansion):
+/// a cheap, well-mixed hash from (root, index) to an independent seed.
+constexpr std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Independent child seed for shard/job `index` of a run rooted at `root`.
+constexpr std::uint64_t shard_seed(std::uint64_t root, std::uint64_t index) {
+  return splitmix64(root ^ splitmix64(index));
+}
+
+/// A contiguous slice [begin, end) of the job list, executed by one task.
+struct Shard {
+  std::size_t index = 0;
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  std::size_t size() const { return end - begin; }
+};
+
+/// Wall-clock cost of one shard (observability: load-balance diagnostics).
+struct ShardTiming {
+  std::size_t shard = 0;
+  std::size_t jobs = 0;
+  double seconds = 0.0;
+};
+
+/// Splits `num_jobs` jobs into shards of at most `shard_size` jobs each.
+/// `shard_size` 0 is treated as 1 (one job per shard — maximum stealing
+/// granularity, the default for simulation workloads where one job is
+/// already coarse).
+inline std::vector<Shard> make_shards(std::size_t num_jobs,
+                                      std::size_t shard_size) {
+  if (shard_size == 0) shard_size = 1;
+  std::vector<Shard> shards;
+  shards.reserve((num_jobs + shard_size - 1) / shard_size);
+  for (std::size_t begin = 0; begin < num_jobs; begin += shard_size) {
+    Shard s;
+    s.index = shards.size();
+    s.begin = begin;
+    s.end = begin + shard_size < num_jobs ? begin + shard_size : num_jobs;
+    shards.push_back(s);
+  }
+  return shards;
+}
+
+}  // namespace origin::fleet

@@ -1,0 +1,58 @@
+// Per-worker task deque for the work-stealing pool: the owning worker
+// pushes/pops LIFO at the back (cache-warm, newest first) while thieves
+// steal FIFO from the front (oldest first), which keeps contention at
+// opposite ends of the deque. A mutex per queue is plenty at this
+// granularity — one task here is a whole simulation run, microseconds of
+// queueing against milliseconds-to-seconds of work.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <utility>
+
+namespace origin::fleet {
+
+using Task = std::function<void()>;
+
+class TaskQueue {
+ public:
+  void push(Task task) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    tasks_.push_back(std::move(task));
+  }
+
+  /// Owner end: newest task first. Returns false when empty.
+  bool try_pop(Task& out) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (tasks_.empty()) return false;
+    out = std::move(tasks_.back());
+    tasks_.pop_back();
+    return true;
+  }
+
+  /// Thief end: oldest task first. Returns false when empty.
+  bool try_steal(Task& out) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (tasks_.empty()) return false;
+    out = std::move(tasks_.front());
+    tasks_.pop_front();
+    return true;
+  }
+
+  bool empty() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return tasks_.empty();
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return tasks_.size();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::deque<Task> tasks_;
+};
+
+}  // namespace origin::fleet

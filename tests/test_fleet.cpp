@@ -1,0 +1,160 @@
+#include "fleet/shard.hpp"
+#include "fleet/task_queue.hpp"
+#include "fleet/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+namespace origin::fleet {
+namespace {
+
+TEST(TaskQueue, OwnerPopsLifoThiefStealsFifo) {
+  TaskQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 3; ++i) q.push([&order, i] { order.push_back(i); });
+  EXPECT_EQ(q.size(), 3u);
+
+  Task t;
+  ASSERT_TRUE(q.try_steal(t));
+  t();  // oldest: 0
+  ASSERT_TRUE(q.try_pop(t));
+  t();  // newest remaining: 2
+  ASSERT_TRUE(q.try_pop(t));
+  t();  // 1
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(q.try_pop(t));
+  EXPECT_FALSE(q.try_steal(t));
+  EXPECT_EQ(order, (std::vector<int>{0, 2, 1}));
+}
+
+TEST(Shard, SplitmixIsDeterministicAndWellSpread) {
+  EXPECT_EQ(shard_seed(42, 7), shard_seed(42, 7));
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t i = 0; i < 1000; ++i) seeds.insert(shard_seed(42, i));
+  EXPECT_EQ(seeds.size(), 1000u);  // no collisions over a fleet-sized range
+  EXPECT_NE(shard_seed(42, 0), shard_seed(43, 0));
+}
+
+TEST(Shard, MakeShardsCoversEveryJobOnce) {
+  for (std::size_t jobs : {0u, 1u, 5u, 64u}) {
+    for (std::size_t size : {0u, 1u, 3u, 100u}) {
+      const auto shards = make_shards(jobs, size);
+      std::vector<int> covered(jobs, 0);
+      for (std::size_t s = 0; s < shards.size(); ++s) {
+        EXPECT_EQ(shards[s].index, s);
+        EXPECT_LT(shards[s].begin, shards[s].end);
+        for (std::size_t j = shards[s].begin; j < shards[s].end; ++j) {
+          ++covered[j];
+        }
+      }
+      for (std::size_t j = 0; j < jobs; ++j) EXPECT_EQ(covered[j], 1);
+      if (jobs == 0) {
+        EXPECT_TRUE(shards.empty());
+      }
+    }
+  }
+}
+
+TEST(Shard, LayoutIgnoresThreadCount) {
+  // The determinism contract: shard layout is a function of (jobs,
+  // shard_size) only — nothing else feeds it, by construction.
+  const auto a = make_shards(17, 4);
+  const auto b = make_shards(17, 4);
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_EQ(a.size(), 5u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].begin, b[i].begin);
+    EXPECT_EQ(a[i].end, b[i].end);
+  }
+  EXPECT_EQ(a.back().size(), 1u);  // 17 = 4*4 + 1
+}
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.thread_count(), 4u);
+  constexpr std::size_t kN = 200;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.run_batch(kN, [&](std::size_t i) { ++hits[i]; });
+  for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(ThreadPool, EmptyBatchReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.run_batch(0, [](std::size_t) { FAIL() << "must not be called"; });
+}
+
+TEST(ThreadPool, SingleThreadPoolStillCompletes) {
+  ThreadPool pool(1);
+  std::atomic<int> sum{0};
+  pool.run_batch(10, [&](std::size_t i) { sum += static_cast<int>(i); });
+  EXPECT_EQ(sum.load(), 45);
+}
+
+TEST(ThreadPool, ZeroThreadsClampedToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.thread_count(), 1u);
+}
+
+TEST(ThreadPool, OversubscriptionManyMoreTasksThanThreads) {
+  ThreadPool pool(3);
+  constexpr std::size_t kN = 1000;
+  std::atomic<std::size_t> done{0};
+  pool.run_batch(kN, [&](std::size_t) { ++done; });
+  EXPECT_EQ(done.load(), kN);
+}
+
+TEST(ThreadPool, ExceptionPropagatesToCaller) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.run_batch(50,
+                     [](std::size_t i) {
+                       if (i == 7) throw std::runtime_error("shard 7 broke");
+                     }),
+      std::runtime_error);
+}
+
+TEST(ThreadPool, ExceptionCancelsOutstandingTasks) {
+  // With one worker the tasks run strictly in submission order off the
+  // single queue, so everything after the throwing task must be skipped.
+  ThreadPool pool(1);
+  std::atomic<std::size_t> executed{0};
+  try {
+    pool.run_batch(100, [&](std::size_t i) {
+      if (i == 3) throw std::runtime_error("boom");
+      ++executed;
+    });
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "boom");
+  }
+  EXPECT_LT(executed.load(), 100u);
+}
+
+TEST(ThreadPool, UsableAgainAfterFailedBatch) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.run_batch(
+                   8, [](std::size_t) { throw std::runtime_error("x"); }),
+               std::runtime_error);
+  std::atomic<int> ok{0};
+  pool.run_batch(8, [&](std::size_t) { ++ok; });
+  EXPECT_EQ(ok.load(), 8);
+}
+
+TEST(ThreadPool, SequentialBatchesOnOnePool) {
+  ThreadPool pool(4);
+  long total = 0;
+  for (int batch = 0; batch < 5; ++batch) {
+    std::atomic<long> sum{0};
+    pool.run_batch(64, [&](std::size_t i) { sum += static_cast<long>(i); });
+    total += sum.load();
+  }
+  EXPECT_EQ(total, 5 * (63 * 64 / 2));
+}
+
+}  // namespace
+}  // namespace origin::fleet

@@ -5,6 +5,11 @@
 namespace origin::sim {
 namespace {
 
+struct RunningStatsPair {
+  util::RunningStats accuracy;
+  util::RunningStats success;
+};
+
 core::PipelineConfig micro_pipeline() {
   core::PipelineConfig cfg;
   cfg.train_per_class = 12;
@@ -57,6 +62,38 @@ TEST_F(RepeatTest, PercentHelpers) {
   const auto r = repeat_policy_runs(*experiment_, PolicyKind::AAS, 6, 2);
   EXPECT_NEAR(r.mean_accuracy_pct(), 100.0 * r.accuracy.mean(), 1e-9);
   EXPECT_GE(r.stddev_accuracy_pct(), 0.0);
+}
+
+TEST_F(RepeatTest, MatchesHistoricalSequentialLoopBitForBit) {
+  // The pre-fleet implementation: a sequential loop over stream seed
+  // offsets 1000 + r. The fleet-backed wrapper must reproduce it exactly.
+  RunningStatsPair manual;
+  for (int r = 0; r < 3; ++r) {
+    const auto stream = experiment_->make_stream(
+        data::reference_user(), 1000ULL + static_cast<std::uint64_t>(r));
+    auto policy = experiment_->make_policy(PolicyKind::PlainRR, 6);
+    const auto result = experiment_->run_policy(*policy, stream);
+    manual.accuracy.add(result.accuracy.overall());
+    manual.success.add(result.completion.attempt_success_rate());
+  }
+  const auto wrapped = repeat_policy_runs(*experiment_, PolicyKind::PlainRR, 6, 3);
+  EXPECT_EQ(wrapped.accuracy.mean(), manual.accuracy.mean());
+  EXPECT_EQ(wrapped.accuracy.variance(), manual.accuracy.variance());
+  EXPECT_EQ(wrapped.success_rate.mean(), manual.success.mean());
+  EXPECT_EQ(wrapped.success_rate.variance(), manual.success.variance());
+}
+
+TEST_F(RepeatTest, ThreadCountDoesNotChangeTheNumbers) {
+  const auto t1 =
+      repeat_policy_runs(*experiment_, PolicyKind::PlainRR, 6, 4, ModelSet::BL2,
+                         /*threads=*/1);
+  const auto t4 =
+      repeat_policy_runs(*experiment_, PolicyKind::PlainRR, 6, 4, ModelSet::BL2,
+                         /*threads=*/4);
+  EXPECT_EQ(t1.accuracy.count(), t4.accuracy.count());
+  EXPECT_EQ(t1.accuracy.mean(), t4.accuracy.mean());
+  EXPECT_EQ(t1.accuracy.variance(), t4.accuracy.variance());
+  EXPECT_EQ(t1.success_rate.mean(), t4.success_rate.mean());
 }
 
 TEST_F(RepeatTest, Validation) {

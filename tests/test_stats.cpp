@@ -64,6 +64,54 @@ TEST(RunningStats, MergeWithEmptyIsNoop) {
   EXPECT_DOUBLE_EQ(empty.mean(), 3.0);
 }
 
+TEST(RunningStats, MergeCommutes) {
+  // Parallel-combination requirement: a ⊕ b and b ⊕ a agree (to rounding)
+  // in every moment, so shard merge order only affects the last bits.
+  RunningStats a, b;
+  for (double x : {0.5, 1.5, 2.5, 100.0}) a.add(x);
+  for (double x : {-3.0, 7.0}) b.add(x);
+  RunningStats ab = a, ba = b;
+  ab.merge(b);
+  ba.merge(a);
+  EXPECT_EQ(ab.count(), ba.count());
+  EXPECT_NEAR(ab.mean(), ba.mean(), 1e-12);
+  EXPECT_NEAR(ab.variance(), ba.variance(), 1e-12);
+  EXPECT_DOUBLE_EQ(ab.min(), ba.min());
+  EXPECT_DOUBLE_EQ(ab.max(), ba.max());
+}
+
+TEST(RunningStats, MergeOneSidedCopiesExactly) {
+  // Merging into an empty accumulator must reproduce the source exactly
+  // (bitwise), including min/max — the "first shard" case of a fold.
+  RunningStats src, dst;
+  for (double x : {2.0, 9.0, -4.0}) src.add(x);
+  dst.merge(src);
+  EXPECT_EQ(dst.count(), src.count());
+  EXPECT_EQ(dst.mean(), src.mean());
+  EXPECT_EQ(dst.variance(), src.variance());
+  EXPECT_EQ(dst.min(), src.min());
+  EXPECT_EQ(dst.max(), src.max());
+}
+
+TEST(RunningStats, MergeManyShardsMatchesSequential) {
+  // Fold 100 values split across 7 uneven shards; the merged moments must
+  // match a single sequential pass to floating-point noise.
+  RunningStats sequential;
+  std::vector<RunningStats> shards(7);
+  for (int i = 0; i < 100; ++i) {
+    const double x = 0.37 * i - 11.0 + (i % 5);
+    sequential.add(x);
+    shards[static_cast<std::size_t>((i * i) % 7)].add(x);
+  }
+  RunningStats merged;
+  for (const auto& s : shards) merged.merge(s);
+  EXPECT_EQ(merged.count(), sequential.count());
+  EXPECT_NEAR(merged.mean(), sequential.mean(), 1e-12);
+  EXPECT_NEAR(merged.variance(), sequential.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(merged.min(), sequential.min());
+  EXPECT_DOUBLE_EQ(merged.max(), sequential.max());
+}
+
 TEST(RunningStats, ResetClears) {
   RunningStats s;
   s.add(1.0);
