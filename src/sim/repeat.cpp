@@ -1,37 +1,68 @@
 #include "sim/repeat.hpp"
 
 #include <stdexcept>
+#include <vector>
+
+#include "fleet/fleet_runner.hpp"
 
 namespace origin::sim {
 
-RepeatResult repeat_policy_runs(const Experiment& experiment,
-                                PolicyKind policy_kind, int rr_cycle,
-                                int runs, ModelSet set) {
-  if (runs <= 0) throw std::invalid_argument("repeat_policy_runs: runs <= 0");
+namespace {
+
+/// The historical per-run seeding scheme: run r streams from seed offset
+/// 1000 + r for the reference user. Changing this silently changes every
+/// recorded experiment number, so it is fixed here in one place.
+std::uint64_t repeat_seed_offset(int run) {
+  return 1000ULL + static_cast<std::uint64_t>(run);
+}
+
+RepeatResult run_jobs(const Experiment& experiment,
+                      std::vector<fleet::FleetJob> jobs, unsigned threads) {
+  fleet::FleetRunnerConfig config;
+  config.threads = threads;
+  config.shard_size = 1;
+  const auto fleet_result =
+      fleet::FleetRunner(experiment, config).run(jobs);
+  // Rebuild the stats by adding per-run values in run order: bit-identical
+  // to the pre-fleet sequential loop regardless of thread count.
   RepeatResult out;
-  for (int r = 0; r < runs; ++r) {
-    const auto stream = experiment.make_stream(
-        data::reference_user(), 1000ULL + static_cast<std::uint64_t>(r));
-    auto policy = experiment.make_policy(policy_kind, rr_cycle, set);
-    const auto result = experiment.run_policy(*policy, stream, set);
-    out.accuracy.add(result.accuracy.overall());
-    out.success_rate.add(result.completion.attempt_success_rate());
+  for (const auto& job : fleet_result.jobs) {
+    out.accuracy.add(job.accuracy);
+    out.success_rate.add(job.success_rate);
   }
   return out;
 }
 
-RepeatResult repeat_baseline_runs(const Experiment& experiment,
-                                  core::BaselineKind kind, int runs) {
-  if (runs <= 0) throw std::invalid_argument("repeat_baseline_runs: runs <= 0");
-  RepeatResult out;
+}  // namespace
+
+RepeatResult repeat_policy_runs(const Experiment& experiment,
+                                PolicyKind policy_kind, int rr_cycle,
+                                int runs, ModelSet set, unsigned threads) {
+  if (runs <= 0) throw std::invalid_argument("repeat_policy_runs: runs <= 0");
+  std::vector<fleet::FleetJob> jobs(static_cast<std::size_t>(runs));
   for (int r = 0; r < runs; ++r) {
-    const auto stream = experiment.make_stream(
-        data::reference_user(), 1000ULL + static_cast<std::uint64_t>(r));
-    const auto result = experiment.run_fully_powered(kind, stream);
-    out.accuracy.add(result.accuracy.overall());
-    out.success_rate.add(result.completion.attempt_success_rate());
+    auto& job = jobs[static_cast<std::size_t>(r)];
+    job.user = data::reference_user();
+    job.seed_offset = repeat_seed_offset(r);
+    job.policy = policy_kind;
+    job.rr_cycle = rr_cycle;
+    job.set = set;
   }
-  return out;
+  return run_jobs(experiment, std::move(jobs), threads);
+}
+
+RepeatResult repeat_baseline_runs(const Experiment& experiment,
+                                  core::BaselineKind kind, int runs,
+                                  unsigned threads) {
+  if (runs <= 0) throw std::invalid_argument("repeat_baseline_runs: runs <= 0");
+  std::vector<fleet::FleetJob> jobs(static_cast<std::size_t>(runs));
+  for (int r = 0; r < runs; ++r) {
+    auto& job = jobs[static_cast<std::size_t>(r)];
+    job.user = data::reference_user();
+    job.seed_offset = repeat_seed_offset(r);
+    job.baseline = kind;
+  }
+  return run_jobs(experiment, std::move(jobs), threads);
 }
 
 }  // namespace origin::sim

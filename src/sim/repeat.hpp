@@ -1,6 +1,10 @@
 // Multi-seed experiment repetition: every simulation in this repository is
 // deterministic per seed, so statistical confidence comes from repeating a
-// configuration over independent stream seeds and aggregating.
+// configuration over independent stream seeds and aggregating. Since the
+// fleet runtime landed these are thin wrappers over fleet::FleetRunner —
+// the per-run statistics are rebuilt in run order from the per-job
+// results, so the numbers are bit-identical to the historical sequential
+// loop at every thread count.
 #pragma once
 
 #include "sim/experiment.hpp"
@@ -17,13 +21,18 @@ struct RepeatResult {
 };
 
 /// Runs `policy_kind` over `runs` independently-seeded streams (the same
-/// trained system and trace) and aggregates the per-run metrics.
+/// trained system and trace) and aggregates the per-run metrics. Run r
+/// uses stream seed offset 1000 + r (the historical scheme — seeds are
+/// part of the reproducibility contract). `threads` > 1 distributes the
+/// runs across a fleet pool; the result does not depend on it.
 RepeatResult repeat_policy_runs(const Experiment& experiment,
                                 PolicyKind policy_kind, int rr_cycle,
-                                int runs, ModelSet set = ModelSet::BL2);
+                                int runs, ModelSet set = ModelSet::BL2,
+                                unsigned threads = 1);
 
 /// Same, for a fully-powered baseline.
 RepeatResult repeat_baseline_runs(const Experiment& experiment,
-                                  core::BaselineKind kind, int runs);
+                                  core::BaselineKind kind, int runs,
+                                  unsigned threads = 1);
 
 }  // namespace origin::sim
