@@ -8,8 +8,15 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
 #include <string>
+#include <utility>
+#include <vector>
 
+#include "obs/json.hpp"
+#include "obs/manifest.hpp"
 #include "sim/experiment.hpp"
 #include "util/table.hpp"
 
@@ -53,5 +60,64 @@ inline std::vector<std::string> activity_header(const data::DatasetSpec& spec,
   header.push_back("overall");
   return header;
 }
+
+/// Shared `--json <path>` reporting: scans argv once, and when the flag is
+/// present writes a RunManifest (build provenance, CLI parameters, wall
+/// time, optional metric snapshot) with every printed table attached as
+/// structured rows — the machine-readable half of each figure's output.
+/// Without the flag every call is a no-op, so benches wire it
+/// unconditionally.
+class JsonReport {
+ public:
+  JsonReport(int argc, char** argv, const char* tool) : manifest_(tool) {
+    for (int i = 1; i + 1 < argc; ++i) {
+      if (!std::strcmp(argv[i], "--json")) path_ = argv[i + 1];
+    }
+  }
+
+  explicit operator bool() const { return !path_.empty(); }
+  obs::RunManifest& manifest() { return manifest_; }
+
+  /// Attaches a copy of `table` under `name` (tables are tiny).
+  void add_table(const std::string& name, const util::AsciiTable& table) {
+    if (path_.empty()) return;
+    tables_.emplace_back(name, table);
+  }
+
+  /// Writes the manifest with tables (and metrics, when given) spliced in.
+  void write(const obs::MetricsSnapshot* metrics = nullptr) const {
+    if (path_.empty()) return;
+    obs::JsonWriter w;
+    w.begin_object();
+    for (const auto& [name, table] : tables_) {
+      w.key(name).begin_array();
+      for (const auto& row : table.rows()) {
+        w.begin_object();
+        for (std::size_t c = 0; c < row.size() && c < table.header().size();
+             ++c) {
+          w.kv(table.header()[c], row[c]);
+        }
+        w.end_object();
+      }
+      w.end_array();
+    }
+    w.end_object();
+    // Splice "tables" into the manifest object (same trick the manifest
+    // uses for "metrics").
+    std::string json = manifest_.to_json(metrics);
+    json.pop_back();
+    json += ",\"tables\":" + w.str() + "}\n";
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    if (!out || !(out << json) || !out.flush()) {
+      throw std::runtime_error("JsonReport: cannot write " + path_);
+    }
+    std::printf("[json] wrote %s\n", path_.c_str());
+  }
+
+ private:
+  std::string path_;
+  obs::RunManifest manifest_;
+  std::vector<std::pair<std::string, util::AsciiTable>> tables_;
+};
 
 }  // namespace origin::bench

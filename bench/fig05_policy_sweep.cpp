@@ -17,7 +17,8 @@ using namespace origin;
 
 namespace {
 
-void run_dataset(data::DatasetKind kind, const char* figure) {
+void run_dataset(data::DatasetKind kind, const char* figure,
+                 bench::JsonReport& report) {
   auto exp = bench::make_experiment(kind);
 
   std::vector<fleet::FleetJob> jobs;
@@ -55,12 +56,15 @@ void run_dataset(data::DatasetKind kind, const char* figure) {
               figure, to_string(kind), jobs.size(), result.wall_seconds,
               runner_config.threads);
   t.print();
+  report.add_table(to_string(kind), t);
 }
 
 }  // namespace
 
-int main() {
-  run_dataset(data::DatasetKind::MHealthLike, "Fig. 5a");
-  run_dataset(data::DatasetKind::Pamap2Like, "Fig. 5b");
+int main(int argc, char** argv) {
+  bench::JsonReport report(argc, argv, "fig05_policy_sweep");
+  run_dataset(data::DatasetKind::MHealthLike, "Fig. 5a", report);
+  run_dataset(data::DatasetKind::Pamap2Like, "Fig. 5b", report);
+  report.write();
   return 0;
 }

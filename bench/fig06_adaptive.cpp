@@ -110,7 +110,8 @@ std::vector<double> run_user(const core::TrainedSystem& sys,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonReport report(argc, argv, "fig06_adaptive");
   auto exp = bench::make_experiment(data::DatasetKind::MHealthLike);
   const auto& sys = exp.system();
 
@@ -189,5 +190,10 @@ int main() {
   std::printf("\n=== Fig. 6: adaptive confidence matrix on unseen users (20 dB SNR) ===\n");
   std::printf("(1000 iterations x 10 classifications; only the matrix adapts)\n");
   t.print();
+  report.add_table("fig06", t);
+  report.manifest().set("iterations", kIterations);
+  report.manifest().set("per_iteration", kPerIteration);
+  report.manifest().set("base_pct", base);
+  report.write();
   return 0;
 }

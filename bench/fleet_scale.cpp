@@ -4,6 +4,7 @@
 // aggregated statistics must be bit-identical at every thread count.
 //
 //   ./build/bench/fleet_scale [--users N] [--slots N] [--threads a,b,c]
+//                             [--json out.json]
 //
 // Defaults: 64 users, 600-slot streams, threads 1,2,4,8. Note the speedup
 // column measures what the host gives us: on a single-core container it
@@ -49,6 +50,9 @@ int main(int argc, char** argv) {
       thread_counts = parse_threads(argv[i + 1]);
     }
   }
+  bench::JsonReport report(argc, argv, "fleet_scale");
+  report.manifest().set("users", std::uint64_t{users});
+  report.manifest().set("slots", slots);
 
   auto config = bench::default_config(data::DatasetKind::MHealthLike);
   config.stream_slots = slots;
@@ -67,6 +71,7 @@ int main(int argc, char** argv) {
                       "acc mean %", "acc std %", "success %"});
   double base_seconds = 0.0;
   bool identical = true;
+  double total_seconds = 0.0;
   fleet::FleetResult reference;
   for (std::size_t i = 0; i < thread_counts.size(); ++i) {
     fleet::FleetRunnerConfig runner_config;
@@ -76,14 +81,20 @@ int main(int argc, char** argv) {
       base_seconds = r.wall_seconds;
       reference = r;
     } else {
+      // The two halves of the determinism contract: the Welford
+      // aggregates and every metric flagged deterministic must be
+      // bit-identical at any thread count.
       identical = identical &&
                   r.aggregate.accuracy.mean() ==
                       reference.aggregate.accuracy.mean() &&
                   r.aggregate.accuracy.variance() ==
                       reference.aggregate.accuracy.variance() &&
                   r.aggregate.success_rate.mean() ==
-                      reference.aggregate.success_rate.mean();
+                      reference.aggregate.success_rate.mean() &&
+                  obs::MetricsSnapshot::deterministic_equal(
+                      r.metrics, reference.metrics);
     }
+    total_seconds += r.wall_seconds;
     t.add_row("t=" + std::to_string(thread_counts[i]),
               {r.wall_seconds, r.users_per_second(),
                base_seconds / r.wall_seconds,
@@ -92,7 +103,11 @@ int main(int argc, char** argv) {
                r.aggregate.success_rate.mean()});
   }
   t.print();
-  std::printf("aggregate bit-identical across thread counts: %s\n",
+  std::printf("aggregate + metrics bit-identical across thread counts: %s\n",
               identical ? "yes" : "NO — determinism bug");
+  report.add_table("scaling", t);
+  report.manifest().set("identical", identical);
+  report.manifest().set_wall_seconds(total_seconds);
+  report.write(&reference.metrics);
   return identical ? 0 : 1;
 }

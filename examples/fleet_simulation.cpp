@@ -14,6 +14,11 @@
 //        --rr K           round-robin depth          (default 12)
 //        --slots N        stream length in slots     (default 1000)
 //        --severity S     user deviation severity    (default 0.5)
+//        --trace F        write a Chrome trace_event JSON (open in
+//                         chrome://tracing or https://ui.perfetto.dev):
+//                         job spans per shard lane + the slot-level
+//                         simulator trace of job 0. A run manifest goes
+//                         to F.manifest.json next to it.
 #include <cstdio>
 #include <cstring>
 #include <stdexcept>
@@ -21,6 +26,8 @@
 
 #include "fleet/fleet_runner.hpp"
 #include "fleet/thread_pool.hpp"
+#include "obs/manifest.hpp"
+#include "obs/trace.hpp"
 #include "util/logging.hpp"
 
 using namespace origin;
@@ -47,6 +54,7 @@ int main(int argc, char** argv) {
   fleet::FleetRunnerConfig runner_config;
   runner_config.threads = fleet::ThreadPool::hardware_threads();
   int slots = 1000;
+  std::string trace_path;
   try {
     for (int i = 1; i + 1 < argc; i += 2) {
       if (!std::strcmp(argv[i], "--users")) {
@@ -63,6 +71,8 @@ int main(int argc, char** argv) {
         slots = std::stoi(argv[i + 1]);
       } else if (!std::strcmp(argv[i], "--severity")) {
         pop.severity = std::stod(argv[i + 1]);
+      } else if (!std::strcmp(argv[i], "--trace")) {
+        trace_path = argv[i + 1];
       } else {
         throw std::invalid_argument(std::string("unknown flag ") + argv[i]);
       }
@@ -98,6 +108,8 @@ int main(int argc, char** argv) {
     if (done == total) std::printf("\n");
     std::fflush(stdout);
   };
+  obs::TraceRecorder recorder;
+  if (!trace_path.empty()) runner_config.trace = &recorder;
   const auto result = fleet::FleetRunner(experiment, runner_config).run(jobs);
 
   const auto& agg = result.aggregate;
@@ -116,5 +128,49 @@ int main(int argc, char** argv) {
   std::printf("per-shard wall time:          %.3f s mean (min %.3f, "
               "max %.3f) over %zu shards\n",
               shard_s.mean(), shard_s.min(), shard_s.max(), shard_s.count());
+
+  // Scheduler health from the run's metric snapshot (pool.* metrics are
+  // wall-clock — report-only, never asserted on).
+  const auto& m = result.metrics;
+  for (std::size_t i = 0; i < m.defs.size(); ++i) {
+    if (m.defs[i].name == "pool.steals") {
+      std::printf("pool:                         %llu steals",
+                  static_cast<unsigned long long>(
+                      m.counters[m.defs[i].slot]));
+    } else if (m.defs[i].name == "pool.backoffs") {
+      std::printf(", %llu backoffs",
+                  static_cast<unsigned long long>(
+                      m.counters[m.defs[i].slot]));
+    } else if (m.defs[i].name == "pool.max_queue_depth") {
+      std::printf(", max queue depth %.0f\n",
+                  m.gauges[m.defs[i].slot].value);
+    }
+  }
+
+  if (!trace_path.empty()) {
+    if (!origin::obs::kTraceEnabled) {
+      std::fprintf(stderr,
+                   "fleet_simulation: built with ORIGIN_TRACE=OFF — the "
+                   "trace has no instrumentation events\n");
+    }
+    obs::write_trace(recorder, obs::ChromeTraceSink{}, trace_path);
+    std::printf("trace:                        %zu events -> %s "
+                "(chrome://tracing, ui.perfetto.dev)\n",
+                recorder.size(), trace_path.c_str());
+    obs::RunManifest manifest("fleet_simulation");
+    manifest.set("users", std::uint64_t{pop.users});
+    manifest.set("runs_per_user", pop.runs_per_user);
+    manifest.set("policy", to_string(pop.policy));
+    manifest.set("rr_cycle", pop.rr_cycle);
+    manifest.set("slots", slots);
+    manifest.set("severity", pop.severity);
+    manifest.set("threads", static_cast<int>(runner_config.threads));
+    manifest.set("trace_events", std::uint64_t{recorder.size()});
+    manifest.set("trace_dropped", recorder.dropped());
+    manifest.set_wall_seconds(result.wall_seconds);
+    const std::string manifest_path = trace_path + ".manifest.json";
+    manifest.write(manifest_path, &result.metrics);
+    std::printf("manifest:                     %s\n", manifest_path.c_str());
+  }
   return 0;
 }

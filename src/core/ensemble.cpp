@@ -21,7 +21,7 @@ void validate(const std::vector<Ballot>& ballots, int num_classes) {
 }  // namespace
 
 std::optional<int> majority_vote(const std::vector<Ballot>& ballots,
-                                 int num_classes) {
+                                 int num_classes, VoteDiagnostics* diag) {
   validate(ballots, num_classes);
   if (ballots.empty()) return std::nullopt;
   std::vector<int> counts(static_cast<std::size_t>(num_classes), 0);
@@ -43,11 +43,25 @@ std::optional<int> majority_vote(const std::vector<Ballot>& ballots,
       winner = c;
     }
   }
+  if (diag && winner >= 0) {
+    const auto wi = static_cast<std::size_t>(winner);
+    diag->top_total = static_cast<double>(counts[wi]);
+    diag->second_total = 0.0;
+    diag->tie_break = false;
+    for (int c = 0; c < num_classes; ++c) {
+      const auto ci = static_cast<std::size_t>(c);
+      if (c == winner || counts[ci] == 0) continue;
+      diag->second_total =
+          std::max(diag->second_total, static_cast<double>(counts[ci]));
+      if (counts[ci] == counts[wi]) diag->tie_break = true;
+    }
+  }
   return winner;
 }
 
 std::optional<int> weighted_majority_vote(const std::vector<Ballot>& ballots,
-                                          int num_classes) {
+                                          int num_classes,
+                                          VoteDiagnostics* diag) {
   validate(ballots, num_classes);
   if (ballots.empty()) return std::nullopt;
   std::vector<double> totals(static_cast<std::size_t>(num_classes), 0.0);
@@ -76,6 +90,18 @@ std::optional<int> weighted_majority_vote(const std::vector<Ballot>& ballots,
         (totals[ci] == totals[wi] && heaviest[ci] == heaviest[wi] &&
          best_priority[ci] < best_priority[wi])) {
       winner = c;
+    }
+  }
+  if (diag && winner >= 0) {
+    const auto wi = static_cast<std::size_t>(winner);
+    diag->top_total = totals[wi];
+    diag->second_total = 0.0;
+    diag->tie_break = false;
+    for (int c = 0; c < num_classes; ++c) {
+      const auto ci = static_cast<std::size_t>(c);
+      if (c == winner || !present[ci]) continue;
+      diag->second_total = std::max(diag->second_total, totals[ci]);
+      if (totals[ci] == totals[wi]) diag->tie_break = true;
     }
   }
   return winner;

@@ -18,14 +18,24 @@ struct Ballot {
   double tie_priority = 0.0;
 };
 
+/// Optional forensics of one vote (slot-trace observability): how decisive
+/// the decision was and whether a tie-break rule had to pick the winner.
+struct VoteDiagnostics {
+  double top_total = 0.0;     // winner's summed weight (ballot count when unweighted)
+  double second_total = 0.0;  // best losing class's summed weight
+  bool tie_break = false;     // totals tied; heaviest-ballot/priority decided
+};
+
 /// Unweighted majority vote. Ties are resolved toward the tied class whose
 /// best (lowest) tie_priority ballot wins. Returns nullopt for no ballots.
 std::optional<int> majority_vote(const std::vector<Ballot>& ballots,
-                                 int num_classes);
+                                 int num_classes,
+                                 VoteDiagnostics* diag = nullptr);
 
 /// Weighted majority: class with the largest summed weight; exact ties
 /// resolved by the single heaviest ballot, then by tie_priority.
 std::optional<int> weighted_majority_vote(const std::vector<Ballot>& ballots,
-                                          int num_classes);
+                                          int num_classes,
+                                          VoteDiagnostics* diag = nullptr);
 
 }  // namespace origin::core

@@ -82,6 +82,7 @@ AASPolicy::AASPolicy(ExtendedRoundRobin schedule, RankTable ranks)
     : PlainRRPolicy(schedule), ranks_(std::move(ranks)) {}
 
 int AASPolicy::choose_sensor(const SlotContext& ctx) const {
+  last_fallback_hops_ = 0;
   // Coverage pass (recall-based policies only): refresh the charged sensor
   // whose recalled vote has gone stalest past the deadline.
   int stalest = -1;
@@ -102,13 +103,15 @@ int AASPolicy::choose_sensor(const SlotContext& ctx) const {
   }
   // Anticipated activity = last classified activity (temporal continuity).
   const auto order = ranks_.order(anticipated);
-  for (const auto sensor : order) {
-    if (ctx.nodes[static_cast<std::size_t>(sensor)].can_infer()) {
-      return static_cast<int>(sensor);
+  for (std::size_t hop = 0; hop < order.size(); ++hop) {
+    if (ctx.nodes[static_cast<std::size_t>(order[hop])].can_infer()) {
+      last_fallback_hops_ = static_cast<int>(hop);
+      return static_cast<int>(order[hop]);
     }
   }
   // Nobody has energy; schedule the best-ranked sensor so the failed
   // attempt is accounted against it.
+  last_fallback_hops_ = static_cast<int>(order.size());
   return static_cast<int>(order[0]);
 }
 
@@ -146,7 +149,25 @@ std::optional<int> AASRPolicy::fuse(const net::HostDevice& host,
     std::vector<Ballot> ballots;
     ballots.reserve(recalled.size());
     for (const auto& rb : recalled) ballots.push_back(rb.ballot);
+#if ORIGIN_TRACE_ENABLED
+    if (trace_) {
+      for (const auto& rb : recalled) {
+        const auto& vote = host.vote(static_cast<data::SensorLocation>(rb.sensor));
+        trace_->vote(ctx.slot, ctx.time_s, rb.sensor, rb.ballot.cls,
+                     rb.ballot.weight, vote ? ctx.time_s - vote->timestamp_s : 0.0,
+                     vote && vote->fresh);
+      }
+      VoteDiagnostics diag;
+      fused = majority_vote(ballots, ranks_.num_classes(), &diag);
+      trace_->fusion(ctx.slot, ctx.time_s, fused.value_or(-1), diag.top_total,
+                     diag.second_total, static_cast<int>(ballots.size()),
+                     diag.tie_break);
+    } else {
+      fused = majority_vote(ballots, ranks_.num_classes());
+    }
+#else
     fused = majority_vote(ballots, ranks_.num_classes());
+#endif
   }
   if (fused) last_fused_ = *fused;
   return fused;
@@ -198,13 +219,27 @@ std::optional<int> OriginPolicy::fuse(const net::HostDevice& host,
                confidence_.weight(static_cast<data::SensorLocation>(s), b.cls) *
                std::exp(-std::max(0.0, rel_age_s) / recency_tau_s_);
     b.tie_priority = -vote->timestamp_s;
+    ORIGIN_TRACE(trace_, vote(ctx.slot, ctx.time_s, s, b.cls, b.weight,
+                              ctx.time_s - vote->timestamp_s, vote->fresh));
     ballots.push_back(b);
   }
   std::optional<int> fused;
   if (ballots.empty()) {
     if (last_result_class_ >= 0) fused = last_result_class_;
   } else {
+#if ORIGIN_TRACE_ENABLED
+    if (trace_) {
+      VoteDiagnostics diag;
+      fused = weighted_majority_vote(ballots, ranks_.num_classes(), &diag);
+      trace_->fusion(ctx.slot, ctx.time_s, fused.value_or(-1), diag.top_total,
+                     diag.second_total, static_cast<int>(ballots.size()),
+                     diag.tie_break);
+    } else {
+      fused = weighted_majority_vote(ballots, ranks_.num_classes());
+    }
+#else
     fused = weighted_majority_vote(ballots, ranks_.num_classes());
+#endif
   }
   if (fused) {
     last_fused_ = *fused;

@@ -25,6 +25,7 @@
 #include "core/schedule.hpp"
 #include "net/host.hpp"
 #include "net/message.hpp"
+#include "obs/trace.hpp"
 
 namespace origin::core {
 
@@ -86,7 +87,18 @@ class Policy {
   /// Clears cross-run state; called before each simulation run.
   virtual void reset();
 
+  /// Borrowed slot-trace recorder (nullptr = no tracing). The simulator
+  /// forwards its own recorder here so fusing policies can expose the
+  /// ballots and weights behind each decision.
+  void set_trace(obs::TraceRecorder* trace) { trace_ = trace; }
+
+  /// Energy-fallback hops the most recent plan() took below the
+  /// best-ranked sensor (0 for rotation policies; kNumSensors when every
+  /// candidate lacked energy).
+  virtual int last_plan_fallback_hops() const { return 0; }
+
  protected:
+  obs::TraceRecorder* trace_ = nullptr;
   /// The activity the policy anticipates next (temporal continuity):
   /// the most recent classification the policy trusts. Base policies use
   /// the last raw sensor result; fusing policies use the ensemble output,
@@ -137,6 +149,7 @@ class AASPolicy : public PlainRRPolicy {
   std::vector<int> plan(const SlotContext& ctx) override;
   /// The energy check before activation is integral to AAS (§III-B).
   ExecutionModel execution() const override { return ExecutionModel::WaitCompute; }
+  int last_plan_fallback_hops() const override { return last_fallback_hops_; }
 
  protected:
   /// The sensor to activate for the anticipated activity, honoring energy
@@ -151,6 +164,9 @@ class AASPolicy : public PlainRRPolicy {
   RankTable ranks_;
   /// Infinity = plain AAS (no recall to maintain).
   double coverage_deadline_s_ = std::numeric_limits<double>::infinity();
+  /// Set by choose_sensor (observability): rank positions skipped because
+  /// higher-ranked sensors lacked energy.
+  mutable int last_fallback_hops_ = 0;
 };
 
 /// AAS + Recall: the host answers with a majority vote over the recall

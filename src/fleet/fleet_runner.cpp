@@ -27,54 +27,113 @@ FleetRunner::FleetRunner(const sim::Experiment& experiment,
 FleetResult FleetRunner::run(const std::vector<FleetJob>& jobs) const {
   const auto shards = make_shards(jobs.size(), config_.shard_size);
 
+  // Metric schema for one run: job/attempt counters and the accuracy /
+  // success distributions are pure functions of the job list
+  // (deterministic, bit-identical at any thread count); latencies and the
+  // pool counters are wall-clock and flagged out of bit-identity checks.
+  obs::MetricsRegistry registry;
+  const auto m_jobs = registry.add_counter("fleet.jobs");
+  const auto m_attempts = registry.add_counter("fleet.attempts");
+  const auto m_completions = registry.add_counter("fleet.completions");
+  const auto m_accuracy_pct = registry.add_histogram(
+      "fleet.accuracy_pct", obs::MetricsRegistry::linear_bounds(5.0, 5.0, 20));
+  const auto m_success_pct = registry.add_histogram(
+      "fleet.success_pct", obs::MetricsRegistry::linear_bounds(5.0, 5.0, 20));
+  const auto m_job_seconds = registry.add_histogram(
+      "fleet.job_seconds",
+      obs::MetricsRegistry::exponential_bounds(1e-3, 2.0, 16), false);
+  const auto m_shard_seconds = registry.add_histogram(
+      "fleet.shard_seconds",
+      obs::MetricsRegistry::exponential_bounds(1e-3, 2.0, 16), false);
+  const auto m_steals = registry.add_counter("pool.steals", false);
+  const auto m_backoffs = registry.add_counter("pool.backoffs", false);
+  const auto m_queue_depth = registry.add_gauge("pool.max_queue_depth");
+
   FleetResult result;
   result.jobs.resize(jobs.size());
   if (config_.keep_sim_results) result.sim_results.resize(jobs.size());
   result.shard_timings.resize(shards.size());
   std::vector<FleetAccumulator> partials(shards.size());
+  // One metrics shard per fleet shard plus a trailing one for the
+  // pool-wide counters (merged last, after every worker is quiescent).
+  std::vector<obs::MetricsShard> metric_shards;
+  metric_shards.reserve(shards.size() + 1);
+  for (std::size_t s = 0; s < shards.size() + 1; ++s) {
+    metric_shards.push_back(registry.make_shard());
+  }
 
   std::mutex progress_mutex;
   std::size_t shards_done = 0;
 
+  const auto run_start = Clock::now();
+
   // Every write inside targets a slot owned by this shard alone; only the
-  // progress callback needs serialization.
+  // progress callback needs serialization (the trace recorder locks
+  // internally).
   const auto run_shard = [&](std::size_t s) {
     const Shard& shard = shards[s];
+    obs::MetricsShard& metrics = metric_shards[s];
     const auto t0 = Clock::now();
     for (std::size_t j = shard.begin; j < shard.end; ++j) {
       const FleetJob& job = jobs[j];
+      const auto job_t0 = Clock::now();
+      const double job_wall_t0 = seconds_since(run_start);
       const auto stream = experiment_->make_stream(job.user, job.seed_offset);
       sim::SimResult sim_result;
       if (job.baseline) {
         sim_result = experiment_->run_fully_powered(*job.baseline, stream);
       } else {
         auto policy = experiment_->make_policy(job.policy, job.rr_cycle, job.set);
-        sim_result = experiment_->run_policy(*policy, stream, job.set);
+        // Slot-level tracing of job 0 only — the exemplar run; tracing
+        // every job would just wrap the ring buffer.
+        sim_result = experiment_->run_policy(
+            *policy, stream, job.set, j == 0 ? config_.trace : nullptr);
       }
+      const double job_seconds = seconds_since(job_t0);
       result.jobs[j].accuracy = sim_result.accuracy.overall();
       result.jobs[j].success_rate = sim_result.completion.attempt_success_rate();
+      metrics.inc(m_jobs);
+      metrics.inc(m_attempts, sim_result.completion.attempts);
+      metrics.inc(m_completions, sim_result.completion.completions);
+      metrics.observe(m_accuracy_pct, 100.0 * sim_result.accuracy.overall());
+      metrics.observe(m_success_pct,
+                      sim_result.completion.attempt_success_rate());
+      metrics.observe(m_job_seconds, job_seconds);
+      ORIGIN_TRACE(config_.trace,
+                   job(static_cast<std::int64_t>(j), job_wall_t0, job_seconds,
+                       static_cast<int>(shard.index),
+                       job.baseline ? core::to_string(*job.baseline)
+                                    : sim::to_string(job.policy)));
       partials[s].add(sim_result);
       if (config_.keep_sim_results) {
         result.sim_results[j] = std::move(sim_result);
       }
     }
-    result.shard_timings[s] = {shard.index, shard.size(), seconds_since(t0)};
+    const double shard_seconds = seconds_since(t0);
+    metrics.observe(m_shard_seconds, shard_seconds);
+    result.shard_timings[s] = {shard.index, shard.size(), shard_seconds};
     if (config_.progress) {
       std::lock_guard<std::mutex> lock(progress_mutex);
       config_.progress(++shards_done, shards.size());
     }
   };
 
-  const auto t0 = Clock::now();
   if (config_.threads <= 1) {
     // Inline path: same shard layout and merge order, no pool overhead.
     for (std::size_t s = 0; s < shards.size(); ++s) run_shard(s);
   } else {
     ThreadPool pool(config_.threads);
     pool.run_batch(shards.size(), run_shard);
+    const PoolStats pool_stats = pool.stats();
+    obs::MetricsShard& tail = metric_shards.back();
+    tail.inc(m_steals, pool_stats.steals);
+    tail.inc(m_backoffs, pool_stats.backoffs);
+    tail.set_max(m_queue_depth,
+                 static_cast<double>(pool_stats.max_queue_depth));
   }
-  result.wall_seconds = seconds_since(t0);
+  result.wall_seconds = seconds_since(run_start);
   result.aggregate = merge_in_order(partials);
+  result.metrics = obs::snapshot(registry, obs::merge_in_order(metric_shards));
   return result;
 }
 

@@ -19,6 +19,8 @@
 #include "data/user_profile.hpp"
 #include "fleet/aggregate.hpp"
 #include "fleet/shard.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/experiment.hpp"
 
 namespace origin::fleet {
@@ -54,6 +56,11 @@ struct FleetRunnerConfig {
   /// completion order is nondeterministic — use it for progress only.
   std::function<void(std::size_t shards_done, std::size_t shards_total)>
       progress;
+  /// Borrowed slot/job trace recorder (null-object: nullptr disables
+  /// tracing). Records one Job event per job (track = shard index, wall
+  /// time relative to run start) and, to keep trace volume bounded, the
+  /// full slot-level simulator trace of job 0 only.
+  obs::TraceRecorder* trace = nullptr;
 };
 
 struct FleetResult {
@@ -61,6 +68,12 @@ struct FleetResult {
   std::vector<FleetJobResult> jobs;      // indexed by job
   std::vector<sim::SimResult> sim_results;  // indexed by job, if kept
   std::vector<ShardTiming> shard_timings;   // indexed by shard
+  /// Run metrics, merged in shard-index order from per-shard metric
+  /// shards. Metrics flagged deterministic (job/attempt counters, the
+  /// accuracy and success histograms) are bit-identical across thread
+  /// counts — obs::MetricsSnapshot::deterministic_equal; wall-clock ones
+  /// (latency histograms, pool counters) are not.
+  obs::MetricsSnapshot metrics;
   double wall_seconds = 0.0;
 
   double users_per_second() const {

@@ -53,11 +53,22 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
+PoolStats ThreadPool::stats() const {
+  PoolStats out;
+  out.steals = steals_.load(std::memory_order_relaxed);
+  out.backoffs = backoffs_.load(std::memory_order_relaxed);
+  out.max_queue_depth = max_queue_depth_.load(std::memory_order_relaxed);
+  return out;
+}
+
 bool ThreadPool::try_get_task(std::size_t worker_index, Task& out) {
   if (queues_[worker_index]->try_pop(out)) return true;
   const std::size_t n = queues_.size();
   for (std::size_t k = 1; k < n; ++k) {
-    if (queues_[(worker_index + k) % n]->try_steal(out)) return true;
+    if (queues_[(worker_index + k) % n]->try_steal(out)) {
+      steals_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
   }
   return false;
 }
@@ -70,6 +81,7 @@ void ThreadPool::worker_loop(std::size_t worker_index) {
       task = nullptr;  // release captures before sleeping
       continue;
     }
+    backoffs_.fetch_add(1, std::memory_order_relaxed);
     std::unique_lock<std::mutex> lock(sleep_mutex_);
     if (shutting_down_) return;
     // Bounded wait instead of wakeup-epoch bookkeeping: a task enqueued
@@ -87,6 +99,11 @@ void ThreadPool::run_batch(std::size_t n,
 
   for (std::size_t i = 0; i < n; ++i) {
     const std::size_t target = submit_cursor_++ % queues_.size();
+    const std::size_t depth = queues_[target]->size() + 1;
+    std::uint64_t prev = max_queue_depth_.load(std::memory_order_relaxed);
+    while (prev < depth && !max_queue_depth_.compare_exchange_weak(
+                               prev, depth, std::memory_order_relaxed)) {
+    }
     queues_[target]->push([batch, &fn, i] {
       if (!batch->cancelled.load(std::memory_order_relaxed)) {
         try {

@@ -8,8 +8,10 @@
 // a broken shard fails the whole run promptly instead of burning cores.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -19,6 +21,15 @@
 #include "fleet/task_queue.hpp"
 
 namespace origin::fleet {
+
+/// Scheduler-health counters, accumulated over the pool's lifetime. All
+/// are wall-clock/interleaving dependent — report them, never assert on
+/// them (see obs::MetricDef::deterministic).
+struct PoolStats {
+  std::uint64_t steals = 0;    // tasks taken from a peer's queue
+  std::uint64_t backoffs = 0;  // times a worker found no work and slept
+  std::uint64_t max_queue_depth = 0;  // deepest any queue got at push time
+};
 
 class ThreadPool {
  public:
@@ -41,6 +52,10 @@ class ThreadPool {
   /// std::thread::hardware_concurrency with a floor of 1.
   static unsigned hardware_threads();
 
+  /// Snapshot of the scheduler counters (relaxed reads; exact once the
+  /// pool is quiescent, e.g. after run_batch returns).
+  PoolStats stats() const;
+
  private:
   struct Batch;
 
@@ -49,6 +64,10 @@ class ThreadPool {
 
   std::vector<std::unique_ptr<TaskQueue>> queues_;
   std::vector<std::thread> workers_;
+
+  std::atomic<std::uint64_t> steals_{0};
+  std::atomic<std::uint64_t> backoffs_{0};
+  std::atomic<std::uint64_t> max_queue_depth_{0};
 
   std::mutex sleep_mutex_;
   std::condition_variable sleep_cv_;

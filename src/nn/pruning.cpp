@@ -165,8 +165,8 @@ PruneReport prune_to_energy_budget(Sequential& model,
     const double energy = estimate_cost(model, input_shape, profile).energy_j;
     report.steps.push_back({c.layer_index, model.layer(c.layer_index).kind(),
                             c.unit, c.importance, energy});
-    util::log_debug("prune: layer ", c.layer_index, " unit ", c.unit,
-                    " -> energy ", energy);
+    util::log_kv(util::LogLevel::Debug, "prune.step", "layer", c.layer_index,
+                 "unit", c.unit, "energy_j", energy);
     if (!train.empty() && ++since_tune >= config.fine_tune_every) {
       tuner.fit(model, train);
       since_tune = 0;

@@ -1,5 +1,6 @@
 #include "nn/trainer.hpp"
 
+#include <chrono>
 #include <numeric>
 #include <stdexcept>
 
@@ -29,7 +30,15 @@ std::vector<EpochStats> Trainer::fit(Sequential& model, const Samples& train) {
   history.reserve(static_cast<std::size_t>(config_.epochs));
   double lr = config_.learning_rate;
 
+  using Clock = std::chrono::steady_clock;
+  const auto fit_start = Clock::now();
+  auto seconds_since = [](Clock::time_point t) {
+    return std::chrono::duration<double>(Clock::now() - t).count();
+  };
+
   for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    const auto epoch_start = Clock::now();
+    const double epoch_wall_t0 = seconds_since(fit_start);
     rng.shuffle(order);
     double loss_sum = 0.0;
     std::size_t correct = 0;
@@ -73,9 +82,13 @@ std::vector<EpochStats> Trainer::fit(Sequential& model, const Samples& train) {
     EpochStats stats;
     stats.loss = loss_sum / static_cast<double>(train.size());
     stats.accuracy = static_cast<double>(correct) / static_cast<double>(train.size());
+    stats.seconds = seconds_since(epoch_start);
     history.push_back(stats);
-    util::log_debug("epoch ", epoch, ": loss=", stats.loss,
-                    " acc=", stats.accuracy, " lr=", lr);
+    ORIGIN_TRACE(config_.trace, epoch(epoch, epoch_wall_t0, stats.seconds,
+                                      stats.loss, stats.accuracy));
+    util::log_kv(util::LogLevel::Debug, "trainer.epoch", "epoch", epoch,
+                 "loss", stats.loss, "acc", stats.accuracy, "lr", lr,
+                 "seconds", stats.seconds);
 
     lr *= config_.lr_decay;
     opt.set_learning_rate(lr);

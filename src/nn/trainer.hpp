@@ -8,6 +8,7 @@
 #include "nn/model.hpp"
 #include "nn/optimizer.hpp"
 #include "nn/tensor.hpp"
+#include "obs/trace.hpp"
 #include "util/rng.hpp"
 
 namespace origin::nn {
@@ -23,6 +24,8 @@ using Samples = std::vector<LabeledSample>;
 struct EpochStats {
   double loss = 0.0;
   double accuracy = 0.0;
+  /// Wall time of the epoch (0 for evaluate(), which is one pass).
+  double seconds = 0.0;
 };
 
 struct TrainConfig {
@@ -40,6 +43,10 @@ struct TrainConfig {
   /// both linearly blended with a random partner). Calibrates the softmax
   /// on ambiguous inputs — essential for confidence-weighted ensembles.
   double mixup_prob = 0.0;
+  /// Borrowed trace recorder (null-object: nullptr disables tracing).
+  /// Records one Epoch event per epoch — the loss/accuracy/wall-time
+  /// series next to the simulator and fleet lanes.
+  obs::TraceRecorder* trace = nullptr;
 };
 
 class Trainer {

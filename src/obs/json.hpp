@@ -1,0 +1,64 @@
+// Minimal streaming JSON writer for the observability outputs (metric
+// snapshots, trace files, run manifests, bench --json dumps). Comma
+// placement is tracked with a small nesting stack so call sites read
+// linearly; doubles round-trip (%.17g) because metric bit-identity checks
+// diff these files.
+#pragma once
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace origin::obs {
+
+/// JSON string escaping (quotes, backslash, control characters).
+std::string json_escape(const std::string& s);
+
+/// Canonical number formatting: shortest form preserving the exact double
+/// (never "nan"/"inf", which JSON forbids — those clamp to null).
+std::string json_number(double v);
+
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Key of the next value inside an object.
+  JsonWriter& key(const std::string& name);
+
+  JsonWriter& value(const std::string& v);
+  JsonWriter& value(const char* v);
+  JsonWriter& value(double v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(int v);
+  JsonWriter& value(bool v);
+  JsonWriter& null();
+
+  /// key() + value() in one call.
+  template <typename T>
+  JsonWriter& kv(const std::string& name, const T& v) {
+    key(name);
+    return value(v);
+  }
+
+  std::string str() const { return os_.str(); }
+
+ private:
+  void before_value();
+
+  std::ostringstream os_;
+  /// One frame per open object/array: whether a value was already emitted
+  /// (needs a leading comma) and whether a key is pending.
+  struct Frame {
+    bool has_value = false;
+    bool in_object = false;
+  };
+  std::vector<Frame> stack_;
+  bool key_pending_ = false;
+};
+
+}  // namespace origin::obs

@@ -1,0 +1,64 @@
+// RunManifest: the provenance record written alongside bench/example
+// output — enough to re-run the binary and attribute a number to a build.
+// Build facts (git describe, build type, compiler) are burned in at
+// configure time; the caller adds seeds, policy configuration and wall
+// time, and optionally attaches the run's metric snapshot.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace origin::obs {
+
+struct BuildInfo {
+  std::string git_describe;  // "unknown" outside a git checkout
+  std::string build_type;    // CMAKE_BUILD_TYPE
+  std::string compiler;      // id + version
+  /// Whether the library was compiled with ORIGIN_TRACE=ON.
+  bool trace_enabled = false;
+};
+
+/// The build facts of the linked origin library.
+const BuildInfo& build_info();
+
+class RunManifest {
+ public:
+  /// `tool` is the producing binary ("fleet_scale", "fleet_simulation"...).
+  explicit RunManifest(std::string tool);
+
+  /// Ordered key/value parameters (seeds, flags, policy config). Values
+  /// are recorded as strings; numeric overloads format canonically.
+  void set(const std::string& key, const std::string& value);
+  void set(const std::string& key, const char* value);
+  void set(const std::string& key, double value);
+  void set(const std::string& key, std::uint64_t value);
+  void set(const std::string& key, std::int64_t value);
+  void set(const std::string& key, int value);
+  void set(const std::string& key, bool value);
+
+  void set_wall_seconds(double seconds) { wall_seconds_ = seconds; }
+
+  const std::string& tool() const { return tool_; }
+  const std::vector<std::pair<std::string, std::string>>& params() const {
+    return params_;
+  }
+
+  /// JSON object; `metrics`, when given, is embedded under "metrics".
+  std::string to_json(const MetricsSnapshot* metrics = nullptr) const;
+
+  /// Writes to_json() to `path`; throws std::runtime_error on I/O failure.
+  void write(const std::string& path,
+             const MetricsSnapshot* metrics = nullptr) const;
+
+ private:
+  std::string tool_;
+  std::string started_at_utc_;  // ISO 8601, captured at construction
+  double wall_seconds_ = 0.0;
+  std::vector<std::pair<std::string, std::string>> params_;
+};
+
+}  // namespace origin::obs

@@ -1,0 +1,330 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "obs/json.hpp"
+
+namespace origin::obs {
+
+const char* to_string(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::Counter: return "counter";
+    case MetricKind::Gauge: return "gauge";
+    case MetricKind::Histogram: return "histogram";
+  }
+  return "?";
+}
+
+// ------------------------------------------------------------- registry
+
+MetricId MetricsRegistry::add(MetricDef def) {
+  if (def.name.empty()) {
+    throw std::invalid_argument("MetricsRegistry: empty metric name");
+  }
+  for (const auto& existing : defs_) {
+    if (existing.name == def.name) {
+      throw std::invalid_argument("MetricsRegistry: duplicate metric '" +
+                                  def.name + "'");
+    }
+  }
+  switch (def.kind) {
+    case MetricKind::Counter: def.slot = counters_++; break;
+    case MetricKind::Gauge: def.slot = gauges_++; break;
+    case MetricKind::Histogram: def.slot = histograms_++; break;
+  }
+  defs_.push_back(std::move(def));
+  return defs_.size() - 1;
+}
+
+MetricId MetricsRegistry::add_counter(std::string name, bool deterministic) {
+  MetricDef def;
+  def.name = std::move(name);
+  def.kind = MetricKind::Counter;
+  def.deterministic = deterministic;
+  return add(std::move(def));
+}
+
+MetricId MetricsRegistry::add_gauge(std::string name, bool deterministic) {
+  MetricDef def;
+  def.name = std::move(name);
+  def.kind = MetricKind::Gauge;
+  def.deterministic = deterministic;
+  return add(std::move(def));
+}
+
+MetricId MetricsRegistry::add_histogram(std::string name,
+                                        std::vector<double> upper_bounds,
+                                        bool deterministic) {
+  if (upper_bounds.empty()) {
+    throw std::invalid_argument("MetricsRegistry: histogram '" + name +
+                                "' needs at least one bucket bound");
+  }
+  if (!std::is_sorted(upper_bounds.begin(), upper_bounds.end()) ||
+      std::adjacent_find(upper_bounds.begin(), upper_bounds.end()) !=
+          upper_bounds.end()) {
+    throw std::invalid_argument("MetricsRegistry: histogram '" + name +
+                                "' bounds must be strictly ascending");
+  }
+  MetricDef def;
+  def.name = std::move(name);
+  def.kind = MetricKind::Histogram;
+  def.deterministic = deterministic;
+  def.upper_bounds = std::move(upper_bounds);
+  return add(std::move(def));
+}
+
+MetricId MetricsRegistry::find(const std::string& name) const {
+  for (std::size_t i = 0; i < defs_.size(); ++i) {
+    if (defs_[i].name == name) return i;
+  }
+  throw std::out_of_range("MetricsRegistry: no metric named '" + name + "'");
+}
+
+MetricsShard MetricsRegistry::make_shard() const {
+  MetricsShard shard;
+  shard.registry_ = this;
+  shard.counters_.assign(counters_, 0);
+  shard.gauges_.assign(gauges_, GaugeCell{});
+  shard.histograms_.assign(histograms_, HistogramCell{});
+  for (const auto& def : defs_) {
+    if (def.kind == MetricKind::Histogram) {
+      shard.histograms_[def.slot].buckets.assign(def.upper_bounds.size() + 1,
+                                                 0);
+    }
+  }
+  return shard;
+}
+
+std::vector<double> MetricsRegistry::exponential_bounds(double first,
+                                                        double factor,
+                                                        std::size_t count) {
+  if (first <= 0.0 || factor <= 1.0) {
+    throw std::invalid_argument(
+        "exponential_bounds: need first > 0 and factor > 1");
+  }
+  std::vector<double> bounds;
+  bounds.reserve(count);
+  double b = first;
+  for (std::size_t i = 0; i < count; ++i, b *= factor) bounds.push_back(b);
+  return bounds;
+}
+
+std::vector<double> MetricsRegistry::linear_bounds(double first, double step,
+                                                   std::size_t count) {
+  if (step <= 0.0) throw std::invalid_argument("linear_bounds: step <= 0");
+  std::vector<double> bounds;
+  bounds.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    bounds.push_back(first + step * static_cast<double>(i));
+  }
+  return bounds;
+}
+
+// ---------------------------------------------------------------- shard
+
+const MetricDef& MetricsShard::checked(MetricId id, MetricKind kind) const {
+  if (!registry_) throw std::logic_error("MetricsShard: not bound to a registry");
+  const auto& defs = registry_->defs();
+  if (id >= defs.size()) throw std::out_of_range("MetricsShard: bad metric id");
+  const MetricDef& def = defs[id];
+  if (def.kind != kind) {
+    throw std::logic_error("MetricsShard: metric '" + def.name + "' is a " +
+                           to_string(def.kind) + ", not a " + to_string(kind));
+  }
+  return def;
+}
+
+void MetricsShard::inc(MetricId id, std::uint64_t n) {
+  counters_[checked(id, MetricKind::Counter).slot] += n;
+}
+
+void MetricsShard::set(MetricId id, double v) {
+  GaugeCell& cell = gauges_[checked(id, MetricKind::Gauge).slot];
+  cell.value = v;
+  cell.is_set = true;
+}
+
+void MetricsShard::set_max(MetricId id, double v) {
+  GaugeCell& cell = gauges_[checked(id, MetricKind::Gauge).slot];
+  if (!cell.is_set || v > cell.value) cell.value = v;
+  cell.is_set = true;
+}
+
+void MetricsShard::observe(MetricId id, double v) {
+  const MetricDef& def = checked(id, MetricKind::Histogram);
+  HistogramCell& cell = histograms_[def.slot];
+  std::size_t bucket = def.upper_bounds.size();  // +inf bucket
+  for (std::size_t b = 0; b < def.upper_bounds.size(); ++b) {
+    if (v <= def.upper_bounds[b]) {
+      bucket = b;
+      break;
+    }
+  }
+  ++cell.buckets[bucket];
+  if (cell.count == 0) {
+    cell.min = v;
+    cell.max = v;
+  } else {
+    cell.min = std::min(cell.min, v);
+    cell.max = std::max(cell.max, v);
+  }
+  ++cell.count;
+  cell.sum += v;
+}
+
+void MetricsShard::merge(const MetricsShard& other) {
+  if (registry_ != other.registry_) {
+    throw std::logic_error("MetricsShard::merge: shards from different registries");
+  }
+  for (std::size_t i = 0; i < counters_.size(); ++i) {
+    counters_[i] += other.counters_[i];
+  }
+  for (std::size_t i = 0; i < gauges_.size(); ++i) {
+    // Later shard's value wins when set — with in-order folding this is
+    // "last set in shard order", which is deterministic.
+    if (other.gauges_[i].is_set) gauges_[i] = other.gauges_[i];
+  }
+  for (std::size_t i = 0; i < histograms_.size(); ++i) {
+    HistogramCell& a = histograms_[i];
+    const HistogramCell& b = other.histograms_[i];
+    for (std::size_t k = 0; k < a.buckets.size(); ++k) {
+      a.buckets[k] += b.buckets[k];
+    }
+    if (b.count > 0) {
+      a.min = a.count > 0 ? std::min(a.min, b.min) : b.min;
+      a.max = a.count > 0 ? std::max(a.max, b.max) : b.max;
+      a.count += b.count;
+      a.sum += b.sum;
+    }
+  }
+}
+
+std::uint64_t MetricsShard::counter(MetricId id) const {
+  return counters_[checked(id, MetricKind::Counter).slot];
+}
+
+const GaugeCell& MetricsShard::gauge(MetricId id) const {
+  return gauges_[checked(id, MetricKind::Gauge).slot];
+}
+
+const HistogramCell& MetricsShard::histogram(MetricId id) const {
+  return histograms_[checked(id, MetricKind::Histogram).slot];
+}
+
+MetricsShard merge_in_order(const std::vector<MetricsShard>& shards) {
+  if (shards.empty()) return MetricsShard{};
+  MetricsShard total = shards.front();
+  for (std::size_t i = 1; i < shards.size(); ++i) total.merge(shards[i]);
+  return total;
+}
+
+// ------------------------------------------------------------- snapshot
+
+MetricsSnapshot snapshot(const MetricsRegistry& registry,
+                         const MetricsShard& merged) {
+  MetricsSnapshot snap;
+  snap.defs = registry.defs();
+  for (const auto& def : snap.defs) {
+    switch (def.kind) {
+      case MetricKind::Counter:
+        snap.counters.push_back(merged.counter(registry.find(def.name)));
+        break;
+      case MetricKind::Gauge:
+        snap.gauges.push_back(merged.gauge(registry.find(def.name)));
+        break;
+      case MetricKind::Histogram:
+        snap.histograms.push_back(merged.histogram(registry.find(def.name)));
+        break;
+    }
+  }
+  return snap;
+}
+
+std::string MetricsSnapshot::to_json() const {
+  JsonWriter w;
+  w.begin_object();
+  std::size_t c = 0, g = 0, h = 0;
+  for (const auto& def : defs) {
+    w.key(def.name).begin_object();
+    w.kv("kind", to_string(def.kind));
+    w.kv("deterministic", def.deterministic);
+    switch (def.kind) {
+      case MetricKind::Counter:
+        w.kv("value", counters[c++]);
+        break;
+      case MetricKind::Gauge: {
+        const GaugeCell& cell = gauges[g++];
+        if (cell.is_set) {
+          w.kv("value", cell.value);
+        } else {
+          w.key("value").null();
+        }
+        break;
+      }
+      case MetricKind::Histogram: {
+        const HistogramCell& cell = histograms[h++];
+        w.kv("count", cell.count);
+        w.kv("sum", cell.sum);
+        if (cell.count > 0) {
+          w.kv("min", cell.min);
+          w.kv("max", cell.max);
+        }
+        w.key("upper_bounds").begin_array();
+        for (const double b : def.upper_bounds) w.value(b);
+        w.end_array();
+        w.key("buckets").begin_array();
+        for (const std::uint64_t n : cell.buckets) w.value(n);
+        w.end_array();
+        break;
+      }
+    }
+    w.end_object();
+  }
+  w.end_object();
+  return w.str();
+}
+
+bool MetricsSnapshot::deterministic_equal(const MetricsSnapshot& a,
+                                          const MetricsSnapshot& b) {
+  if (a.defs.size() != b.defs.size()) return false;
+  std::size_t ca = 0, ga = 0, ha = 0;
+  for (std::size_t i = 0; i < a.defs.size(); ++i) {
+    const MetricDef& da = a.defs[i];
+    const MetricDef& db = b.defs[i];
+    if (da.name != db.name || da.kind != db.kind ||
+        da.deterministic != db.deterministic) {
+      return false;
+    }
+    switch (da.kind) {
+      case MetricKind::Counter: {
+        const std::size_t s = ca++;
+        if (da.deterministic && a.counters[s] != b.counters[s]) return false;
+        break;
+      }
+      case MetricKind::Gauge: {
+        const std::size_t s = ga++;
+        if (da.deterministic &&
+            (a.gauges[s].is_set != b.gauges[s].is_set ||
+             a.gauges[s].value != b.gauges[s].value)) {
+          return false;
+        }
+        break;
+      }
+      case MetricKind::Histogram: {
+        const std::size_t s = ha++;
+        if (!da.deterministic) break;
+        const HistogramCell& x = a.histograms[s];
+        const HistogramCell& y = b.histograms[s];
+        if (x.count != y.count || x.sum != y.sum || x.buckets != y.buckets ||
+            (x.count > 0 && (x.min != y.min || x.max != y.max))) {
+          return false;
+        }
+        break;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace origin::obs

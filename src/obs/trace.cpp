@@ -1,0 +1,506 @@
+#include "obs/trace.hpp"
+
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+#include <utility>
+
+#include "obs/json.hpp"
+
+namespace origin::obs {
+
+const char* to_string(EventKind kind) {
+  switch (kind) {
+    case EventKind::Schedule: return "schedule";
+    case EventKind::Energy: return "energy";
+    case EventKind::Attempt: return "attempt";
+    case EventKind::Vote: return "vote";
+    case EventKind::Fusion: return "fusion";
+    case EventKind::Output: return "output";
+    case EventKind::Job: return "job";
+    case EventKind::Epoch: return "epoch";
+    case EventKind::Mark: return "mark";
+  }
+  return "?";
+}
+
+const char* to_string(AttemptOutcome outcome) {
+  switch (outcome) {
+    case AttemptOutcome::Completed: return "completed";
+    case AttemptOutcome::SkippedNoEnergy: return "skipped_no_energy";
+    case AttemptOutcome::DiedMidway: return "died_midway";
+    case AttemptOutcome::InProgress: return "in_progress";
+  }
+  return "?";
+}
+
+// --------------------------------------------------------------- recorder
+
+TraceRecorder::TraceRecorder(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {
+  ring_.reserve(capacity_);
+}
+
+void TraceRecorder::record(TraceEvent event) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (count_ < capacity_) {
+    if (ring_.size() < capacity_) {
+      ring_.push_back(std::move(event));
+    } else {
+      ring_[(start_ + count_) % capacity_] = std::move(event);
+    }
+    ++count_;
+  } else {
+    // Full: overwrite the oldest slot and advance the window.
+    ring_[start_] = std::move(event);
+    start_ = (start_ + 1) % capacity_;
+    ++dropped_;
+  }
+}
+
+void TraceRecorder::schedule(std::int64_t slot, double t0_s, double dur_s,
+                             const std::vector<int>& sensors,
+                             int fallback_hops) {
+  TraceEvent e;
+  e.kind = EventKind::Schedule;
+  e.slot = slot;
+  e.t0_s = t0_s;
+  e.dur_s = dur_s;
+  e.count = fallback_hops;
+  std::string label;
+  for (const int s : sensors) {
+    if (!label.empty()) label += ',';
+    label += 's' + std::to_string(s);
+  }
+  e.label = std::move(label);
+  if (!sensors.empty()) e.track = sensors.front();
+  record(std::move(e));
+}
+
+void TraceRecorder::energy(std::int64_t slot, double t0_s, int sensor,
+                           double stored_j, double cost_j) {
+  TraceEvent e;
+  e.kind = EventKind::Energy;
+  e.slot = slot;
+  e.t0_s = t0_s;
+  e.track = sensor;
+  e.value = stored_j;
+  e.aux = cost_j;
+  record(std::move(e));
+}
+
+void TraceRecorder::attempt(std::int64_t slot, double t0_s, double dur_s,
+                            int sensor, AttemptOutcome outcome, int cls,
+                            double confidence, double stored_j) {
+  TraceEvent e;
+  e.kind = EventKind::Attempt;
+  e.slot = slot;
+  e.t0_s = t0_s;
+  e.dur_s = dur_s;
+  e.track = sensor;
+  e.outcome = static_cast<std::uint8_t>(outcome);
+  e.cls = cls;
+  e.value = stored_j;
+  e.aux = confidence;
+  record(std::move(e));
+}
+
+void TraceRecorder::vote(std::int64_t slot, double t0_s, int sensor, int cls,
+                         double weight, double age_s, bool fresh) {
+  TraceEvent e;
+  e.kind = EventKind::Vote;
+  e.slot = slot;
+  e.t0_s = t0_s;
+  e.track = sensor;
+  e.cls = cls;
+  e.value = weight;
+  e.aux = age_s;
+  e.flag = fresh;
+  record(std::move(e));
+}
+
+void TraceRecorder::fusion(std::int64_t slot, double t0_s, int cls,
+                           double top_total, double second_total, int ballots,
+                           bool tie_break) {
+  TraceEvent e;
+  e.kind = EventKind::Fusion;
+  e.slot = slot;
+  e.t0_s = t0_s;
+  e.cls = cls;
+  e.value = top_total;
+  e.aux = second_total;
+  e.count = ballots;
+  e.flag = tie_break;
+  record(std::move(e));
+}
+
+void TraceRecorder::output(std::int64_t slot, double t0_s, double dur_s,
+                           int predicted, int truth) {
+  TraceEvent e;
+  e.kind = EventKind::Output;
+  e.slot = slot;
+  e.t0_s = t0_s;
+  e.dur_s = dur_s;
+  e.cls = predicted;
+  e.count = truth;
+  e.flag = predicted == truth;
+  record(std::move(e));
+}
+
+void TraceRecorder::job(std::int64_t job_index, double t0_s, double dur_s,
+                        int shard, std::string label) {
+  TraceEvent e;
+  e.kind = EventKind::Job;
+  e.slot = job_index;
+  e.t0_s = t0_s;
+  e.dur_s = dur_s;
+  e.track = shard;
+  e.label = std::move(label);
+  record(std::move(e));
+}
+
+void TraceRecorder::epoch(std::int64_t epoch_index, double t0_s, double dur_s,
+                          double loss, double accuracy) {
+  TraceEvent e;
+  e.kind = EventKind::Epoch;
+  e.slot = epoch_index;
+  e.t0_s = t0_s;
+  e.dur_s = dur_s;
+  e.value = loss;
+  e.aux = accuracy;
+  record(std::move(e));
+}
+
+void TraceRecorder::mark(double t0_s, std::string label) {
+  TraceEvent e;
+  e.kind = EventKind::Mark;
+  e.t0_s = t0_s;
+  e.label = std::move(label);
+  record(std::move(e));
+}
+
+std::vector<TraceEvent> TraceRecorder::events() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<TraceEvent> out;
+  out.reserve(count_);
+  for (std::size_t i = 0; i < count_; ++i) {
+    out.push_back(ring_[(start_ + i) % capacity_]);
+  }
+  return out;
+}
+
+std::size_t TraceRecorder::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return count_;
+}
+
+std::uint64_t TraceRecorder::dropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return dropped_;
+}
+
+void TraceRecorder::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ring_.clear();
+  start_ = 0;
+  count_ = 0;
+  dropped_ = 0;
+}
+
+// ------------------------------------------------------------------ JSONL
+
+void JsonlSink::write(const std::vector<TraceEvent>& events,
+                      std::uint64_t dropped, std::ostream& os) const {
+  {
+    JsonWriter w;
+    w.begin_object();
+    w.kv("type", "header");
+    w.kv("events", static_cast<std::uint64_t>(events.size()));
+    w.kv("dropped", dropped);
+    w.end_object();
+    os << w.str() << '\n';
+  }
+  for (const TraceEvent& e : events) {
+    JsonWriter w;
+    w.begin_object();
+    w.kv("kind", to_string(e.kind));
+    w.kv("slot", e.slot);
+    w.kv("t0_s", e.t0_s);
+    if (e.dur_s != 0.0) w.kv("dur_s", e.dur_s);
+    switch (e.kind) {
+      case EventKind::Schedule:
+        w.kv("sensors", e.label);
+        w.kv("fallback_hops", e.count);
+        break;
+      case EventKind::Energy:
+        w.kv("sensor", e.track);
+        w.kv("stored_j", e.value);
+        w.kv("cost_j", e.aux);
+        break;
+      case EventKind::Attempt:
+        w.kv("sensor", e.track);
+        w.kv("outcome", to_string(static_cast<AttemptOutcome>(e.outcome)));
+        w.kv("cls", e.cls);
+        w.kv("confidence", e.aux);
+        w.kv("stored_j", e.value);
+        break;
+      case EventKind::Vote:
+        w.kv("sensor", e.track);
+        w.kv("cls", e.cls);
+        w.kv("weight", e.value);
+        w.kv("age_s", e.aux);
+        w.kv("fresh", e.flag);
+        break;
+      case EventKind::Fusion:
+        w.kv("cls", e.cls);
+        w.kv("top_total", e.value);
+        w.kv("second_total", e.aux);
+        w.kv("ballots", e.count);
+        w.kv("tie_break", e.flag);
+        break;
+      case EventKind::Output:
+        w.kv("predicted", e.cls);
+        w.kv("truth", e.count);
+        w.kv("correct", e.flag);
+        break;
+      case EventKind::Job:
+        w.kv("shard", e.track);
+        w.kv("label", e.label);
+        break;
+      case EventKind::Epoch:
+        w.kv("loss", e.value);
+        w.kv("accuracy", e.aux);
+        break;
+      case EventKind::Mark:
+        w.kv("label", e.label);
+        break;
+    }
+    w.end_object();
+    os << w.str() << '\n';
+  }
+}
+
+// ----------------------------------------------------------- Chrome trace
+
+namespace {
+
+/// Lane assignment for the trace viewer. Simulator events share pid 1 with
+/// one tid per sensor plus dedicated lanes for scheduling and the fused
+/// output; fleet jobs get pid 2 with one tid per shard; trainer epochs
+/// pid 3.
+constexpr int kPidRun = 0;
+constexpr int kPidSim = 1;
+constexpr int kPidFleet = 2;
+constexpr int kPidTrainer = 3;
+constexpr int kTidSchedule = 100;
+constexpr int kTidFusion = 101;
+constexpr int kTidOutput = 102;
+
+struct Lane {
+  int pid = kPidRun;
+  int tid = 0;
+};
+
+Lane lane_of(const TraceEvent& e) {
+  switch (e.kind) {
+    case EventKind::Schedule: return {kPidSim, kTidSchedule};
+    case EventKind::Energy: return {kPidSim, e.track};
+    case EventKind::Attempt: return {kPidSim, e.track};
+    case EventKind::Vote: return {kPidSim, e.track};
+    case EventKind::Fusion: return {kPidSim, kTidFusion};
+    case EventKind::Output: return {kPidSim, kTidOutput};
+    case EventKind::Job: return {kPidFleet, e.track};
+    case EventKind::Epoch: return {kPidTrainer, 0};
+    case EventKind::Mark: return {kPidRun, 0};
+  }
+  return {};
+}
+
+std::string lane_thread_name(const Lane& lane) {
+  if (lane.pid == kPidSim) {
+    if (lane.tid == kTidSchedule) return "schedule";
+    if (lane.tid == kTidFusion) return "fusion";
+    if (lane.tid == kTidOutput) return "output";
+    return "sensor " + std::to_string(lane.tid);
+  }
+  if (lane.pid == kPidFleet) return "shard " + std::to_string(lane.tid);
+  if (lane.pid == kPidTrainer) return "epochs";
+  return "run";
+}
+
+const char* pid_name(int pid) {
+  switch (pid) {
+    case kPidSim: return "simulator";
+    case kPidFleet: return "fleet";
+    case kPidTrainer: return "trainer";
+    default: return "run";
+  }
+}
+
+void common_fields(JsonWriter& w, const char* name, const char* ph,
+                   const Lane& lane, double ts_us) {
+  w.kv("name", name);
+  w.kv("ph", ph);
+  w.kv("pid", lane.pid);
+  w.kv("tid", lane.tid);
+  w.kv("ts", ts_us);
+}
+
+}  // namespace
+
+void ChromeTraceSink::write(const std::vector<TraceEvent>& events,
+                            std::uint64_t dropped, std::ostream& os) const {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("displayTimeUnit", "ms");
+  w.kv("origin_dropped_events", dropped);
+  w.key("traceEvents").begin_array();
+
+  // Name every (pid, tid) lane we are about to emit, plus the processes.
+  std::vector<std::pair<int, int>> lanes_seen;
+  std::vector<int> pids_seen;
+  for (const TraceEvent& e : events) {
+    const Lane lane = lane_of(e);
+    if (e.kind == EventKind::Energy) {
+      // Counter series are keyed by name, not tid; only the pid matters.
+      bool have_pid = false;
+      for (const int p : pids_seen) have_pid = have_pid || p == lane.pid;
+      if (!have_pid) pids_seen.push_back(lane.pid);
+      continue;
+    }
+    bool seen = false;
+    for (const auto& l : lanes_seen) {
+      seen = seen || (l.first == lane.pid && l.second == lane.tid);
+    }
+    if (!seen) lanes_seen.push_back({lane.pid, lane.tid});
+    bool have_pid = false;
+    for (const int p : pids_seen) have_pid = have_pid || p == lane.pid;
+    if (!have_pid) pids_seen.push_back(lane.pid);
+  }
+  for (const int pid : pids_seen) {
+    w.begin_object();
+    w.kv("name", "process_name");
+    w.kv("ph", "M");
+    w.kv("pid", pid);
+    w.key("args").begin_object().kv("name", pid_name(pid)).end_object();
+    w.end_object();
+  }
+  for (const auto& [pid, tid] : lanes_seen) {
+    w.begin_object();
+    w.kv("name", "thread_name");
+    w.kv("ph", "M");
+    w.kv("pid", pid);
+    w.kv("tid", tid);
+    w.key("args")
+        .begin_object()
+        .kv("name", lane_thread_name({pid, tid}))
+        .end_object();
+    w.end_object();
+  }
+
+  for (const TraceEvent& e : events) {
+    const Lane lane = lane_of(e);
+    const double ts_us = e.t0_s * 1e6;
+    const double dur_us = e.dur_s * 1e6;
+    w.begin_object();
+    switch (e.kind) {
+      case EventKind::Schedule:
+        common_fields(w, "plan", "X", lane, ts_us);
+        w.kv("dur", dur_us);
+        w.key("args").begin_object();
+        w.kv("slot", e.slot);
+        w.kv("sensors", e.label);
+        w.kv("fallback_hops", e.count);
+        w.end_object();
+        break;
+      case EventKind::Energy:
+        common_fields(
+            w, ("stored_j.sensor" + std::to_string(e.track)).c_str(), "C",
+            lane, ts_us);
+        w.key("args").begin_object();
+        w.kv("J", e.value);
+        w.end_object();
+        break;
+      case EventKind::Attempt: {
+        const auto outcome = static_cast<AttemptOutcome>(e.outcome);
+        common_fields(w, to_string(outcome), "X", lane, ts_us);
+        w.kv("dur", dur_us);
+        w.key("args").begin_object();
+        w.kv("slot", e.slot);
+        w.kv("cls", e.cls);
+        w.kv("confidence", e.aux);
+        w.kv("stored_j", e.value);
+        w.end_object();
+        break;
+      }
+      case EventKind::Vote:
+        common_fields(w, "vote", "i", lane, ts_us);
+        w.kv("s", "t");
+        w.key("args").begin_object();
+        w.kv("slot", e.slot);
+        w.kv("cls", e.cls);
+        w.kv("weight", e.value);
+        w.kv("age_s", e.aux);
+        w.kv("fresh", e.flag);
+        w.end_object();
+        break;
+      case EventKind::Fusion:
+        common_fields(w, "fusion", "i", lane, ts_us);
+        w.kv("s", "t");
+        w.key("args").begin_object();
+        w.kv("slot", e.slot);
+        w.kv("cls", e.cls);
+        w.kv("top_total", e.value);
+        w.kv("second_total", e.aux);
+        w.kv("ballots", e.count);
+        w.kv("tie_break", e.flag);
+        w.end_object();
+        break;
+      case EventKind::Output:
+        common_fields(w, e.flag ? "correct" : "wrong", "X", lane, ts_us);
+        w.kv("dur", dur_us);
+        w.key("args").begin_object();
+        w.kv("slot", e.slot);
+        w.kv("predicted", e.cls);
+        w.kv("truth", e.count);
+        w.end_object();
+        break;
+      case EventKind::Job:
+        common_fields(w, e.label.empty() ? "job" : e.label.c_str(), "X", lane,
+                      ts_us);
+        w.kv("dur", dur_us);
+        w.key("args").begin_object();
+        w.kv("job", e.slot);
+        w.end_object();
+        break;
+      case EventKind::Epoch:
+        common_fields(w, "epoch", "X", lane, ts_us);
+        w.kv("dur", dur_us);
+        w.key("args").begin_object();
+        w.kv("epoch", e.slot);
+        w.kv("loss", e.value);
+        w.kv("accuracy", e.aux);
+        w.end_object();
+        break;
+      case EventKind::Mark:
+        common_fields(w, e.label.empty() ? "mark" : e.label.c_str(), "i",
+                      lane, ts_us);
+        w.kv("s", "g");
+        break;
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  os << w.str() << '\n';
+}
+
+void write_trace(const TraceRecorder& recorder, const TraceSink& sink,
+                 const std::string& path) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("write_trace: cannot open " + path);
+  sink.write(recorder.events(), recorder.dropped(), os);
+  if (!os) throw std::runtime_error("write_trace: write failed for " + path);
+}
+
+}  // namespace origin::obs

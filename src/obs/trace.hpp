@@ -1,0 +1,160 @@
+// TraceRecorder: slot-level event capture for simulator/fleet/trainer
+// forensics. Events land in a bounded ring buffer (oldest dropped first,
+// drop count kept) behind one mutex — recording is per-slot or per-job,
+// coarse enough that contention is negligible. Pluggable sinks render the
+// buffer as JSONL (grep/jq-friendly) or Chrome trace_event JSON (opens in
+// chrome://tracing and Perfetto).
+//
+// Instrumentation sites use the ORIGIN_TRACE(recorder, call) macro: a null
+// recorder skips the call (null-object pattern — the uninstrumented path
+// allocates nothing), and building with -DORIGIN_TRACE=OFF compiles the
+// call sites out entirely. The recorder library itself stays functional in
+// both configurations so its tests always run.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#ifndef ORIGIN_TRACE_ENABLED
+#define ORIGIN_TRACE_ENABLED 1
+#endif
+
+#if ORIGIN_TRACE_ENABLED
+#define ORIGIN_TRACE(recorder, call) \
+  do {                               \
+    if (recorder) (recorder)->call;  \
+  } while (0)
+#else
+#define ORIGIN_TRACE(recorder, call) \
+  do {                               \
+    (void)(recorder);                \
+  } while (0)
+#endif
+
+namespace origin::obs {
+
+inline constexpr bool kTraceEnabled = ORIGIN_TRACE_ENABLED != 0;
+
+enum class EventKind : std::uint8_t {
+  Schedule,  // plan for one slot: which sensors attempt, fallback hops
+  Energy,    // one node's stored energy at slot start (counter series)
+  Attempt,   // one sensor's attempt and its completion/failure cause
+  Vote,      // one ballot entering fusion (fresh or recalled), with weight
+  Fusion,    // fusion diagnostics: winning/runner-up weight totals, ties
+  Output,    // the slot's fused system output vs. ground truth
+  Job,       // fleet: one simulation job's wall-clock span
+  Epoch,     // trainer: one epoch's loss/accuracy/wall time
+  Mark,      // generic instant
+};
+
+const char* to_string(EventKind kind);
+
+/// Why an attempt ended the way it did (mirrors net::NodeCounters).
+enum class AttemptOutcome : std::uint8_t {
+  Completed,
+  SkippedNoEnergy,  // wait-compute: stored energy below the inference cost
+  DiedMidway,       // charge ran out mid-inference (progress kept on NVP)
+  InProgress,       // eager attempt still accumulating checkpointed work
+};
+
+const char* to_string(AttemptOutcome outcome);
+
+/// One fixed-size event. Field meaning depends on `kind`; unused fields
+/// stay at their defaults. `track` selects the Chrome trace lane (sensor
+/// index for sim events, shard index for jobs).
+struct TraceEvent {
+  EventKind kind = EventKind::Mark;
+  std::uint8_t outcome = 0;  // AttemptOutcome for Attempt events
+  bool flag = false;         // Vote: fresh; Fusion: tie-break; Output: correct
+  int track = 0;
+  std::int64_t slot = -1;  // sim slot / job index / epoch index
+  double t0_s = 0.0;       // start time (sim time; wall time for Job/Epoch)
+  double dur_s = 0.0;      // span (0 for instants)
+  int cls = -1;            // predicted/fused class where meaningful
+  double value = 0.0;      // stored J / vote weight / top total / loss
+  double aux = 0.0;        // cost J / vote age s / runner-up total / accuracy
+  int count = 0;           // sensors planned / fallback hops / ballots
+  std::string label;       // sensor list, job label, ...
+};
+
+class TraceRecorder {
+ public:
+  explicit TraceRecorder(std::size_t capacity = 1 << 16);
+
+  void record(TraceEvent event);
+
+  // Typed helpers for the instrumented layers --------------------------
+  void schedule(std::int64_t slot, double t0_s, double dur_s,
+                const std::vector<int>& sensors, int fallback_hops);
+  void energy(std::int64_t slot, double t0_s, int sensor, double stored_j,
+              double cost_j);
+  void attempt(std::int64_t slot, double t0_s, double dur_s, int sensor,
+               AttemptOutcome outcome, int cls, double confidence,
+               double stored_j);
+  void vote(std::int64_t slot, double t0_s, int sensor, int cls, double weight,
+            double age_s, bool fresh);
+  void fusion(std::int64_t slot, double t0_s, int cls, double top_total,
+              double second_total, int ballots, bool tie_break);
+  void output(std::int64_t slot, double t0_s, double dur_s, int predicted,
+              int truth);
+  void job(std::int64_t job_index, double t0_s, double dur_s, int shard,
+           std::string label);
+  void epoch(std::int64_t epoch_index, double t0_s, double dur_s, double loss,
+             double accuracy);
+  void mark(double t0_s, std::string label);
+
+  /// Events currently buffered, oldest first.
+  std::vector<TraceEvent> events() const;
+  std::size_t size() const;
+  std::size_t capacity() const { return capacity_; }
+  /// Events overwritten because the ring was full.
+  std::uint64_t dropped() const;
+  void clear();
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> ring_;   // ring_[ (start_ + i) % capacity_ ]
+  std::size_t start_ = 0;
+  std::size_t count_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+// ------------------------------------------------------------------ sinks
+
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  /// Renders `events` (oldest first; `dropped` were lost to the ring).
+  virtual void write(const std::vector<TraceEvent>& events,
+                     std::uint64_t dropped, std::ostream& os) const = 0;
+};
+
+/// One JSON object per line; first line is a header with the drop count.
+class JsonlSink : public TraceSink {
+ public:
+  void write(const std::vector<TraceEvent>& events, std::uint64_t dropped,
+             std::ostream& os) const override;
+};
+
+/// Chrome trace_event JSON ({"traceEvents": [...]}): spans as "X" duration
+/// events, energy as "C" counter series, votes/marks as instants. Lanes
+/// (pid/tid) are named via metadata so Perfetto shows "simulator/chest",
+/// "fleet/shard 3", etc. Timestamps are microseconds (sim time for
+/// simulator events, wall time since run start for jobs/epochs).
+class ChromeTraceSink : public TraceSink {
+ public:
+  void write(const std::vector<TraceEvent>& events, std::uint64_t dropped,
+             std::ostream& os) const override;
+};
+
+/// Drains `recorder` through `sink` into `path`. Throws std::runtime_error
+/// if the file cannot be written.
+void write_trace(const TraceRecorder& recorder, const TraceSink& sink,
+                 const std::string& path);
+
+}  // namespace origin::obs

@@ -100,12 +100,14 @@ std::unique_ptr<core::Policy> Experiment::make_policy(PolicyKind kind,
 }
 
 SimResult Experiment::run_policy(core::Policy& policy,
-                                 const data::Stream& stream,
-                                 ModelSet set) const {
+                                 const data::Stream& stream, ModelSet set,
+                                 obs::TraceRecorder* trace) const {
+  SimulatorConfig config = sim_config_;
+  config.trace = trace;
   Simulator simulator(system_.spec,
                       set == ModelSet::Relaxed ? system_.relaxed_copy()
                                                : system_.bl2_copy(),
-                      &trace_, &policy, sim_config_);
+                      &trace_, &policy, config);
   return simulator.run(stream);
 }
 

@@ -77,8 +77,11 @@ class Experiment {
 
   /// Runs `policy` over `stream` on harvested energy with the given model
   /// set (the default matches §IV-C: Origin deploys the BL-2 networks).
+  /// `trace`, when given, records the slot-level event stream of the run
+  /// (see obs::TraceRecorder).
   SimResult run_policy(core::Policy& policy, const data::Stream& stream,
-                       ModelSet set = ModelSet::BL2) const;
+                       ModelSet set = ModelSet::BL2,
+                       obs::TraceRecorder* trace = nullptr) const;
 
   /// Fully-powered baseline (steady supply, majority voting every slot).
   SimResult run_fully_powered(core::BaselineKind kind,

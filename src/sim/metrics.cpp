@@ -1,6 +1,7 @@
 #include "sim/metrics.hpp"
 
 #include <stdexcept>
+#include <string>
 
 namespace origin::sim {
 
@@ -62,6 +63,27 @@ double CompletionStats::attempt_success_rate() const {
   return attempts ? 100.0 * static_cast<double>(completions) /
                         static_cast<double>(attempts)
                   : 0.0;
+}
+
+void SimResult::validate(std::size_t slots_simulated) const {
+  if (outputs.size() != slots_simulated) {
+    throw std::logic_error(
+        "SimResult::validate: outputs.size() = " +
+        std::to_string(outputs.size()) + " but " +
+        std::to_string(slots_simulated) + " slots were simulated");
+  }
+  if (completion.slots != slots_simulated) {
+    throw std::logic_error(
+        "SimResult::validate: completion.slots = " +
+        std::to_string(completion.slots) + " but " +
+        std::to_string(slots_simulated) + " slots were simulated");
+  }
+  if (accuracy.total() != slots_simulated) {
+    throw std::logic_error(
+        "SimResult::validate: accuracy.total() = " +
+        std::to_string(accuracy.total()) + " but " +
+        std::to_string(slots_simulated) + " slots were simulated");
+  }
 }
 
 }  // namespace origin::sim

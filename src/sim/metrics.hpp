@@ -66,6 +66,13 @@ struct SimResult {
   /// Per-slot fused prediction (-1 = no output) — per-slot analyses and
   /// the Fig. 6 per-iteration accuracy series.
   std::vector<int> outputs;
+
+  /// Consistency check for consumers that index `outputs` by slot (e.g.
+  /// output_transitions and the Fig. 6 series): the result must carry
+  /// exactly one output and one accuracy record per simulated slot.
+  /// Throws std::logic_error on mismatch — a silent truncation here would
+  /// corrupt every per-slot analysis downstream.
+  void validate(std::size_t slots_simulated) const;
 };
 
 }  // namespace origin::sim

@@ -51,6 +51,7 @@ SimResult Simulator::run(const data::Stream& stream) {
 
   net::HostDevice host;
   policy_->reset();
+  policy_->set_trace(config_.trace);
   std::array<double, data::kNumSensors> last_success_s;
   last_success_s.fill(-std::numeric_limits<double>::infinity());
 
@@ -81,9 +82,18 @@ SimResult Simulator::run(const data::Stream& stream) {
       ctx.nodes[si].cost_j = nodes[si].inference_energy_j();
       ctx.nodes[si].vote_age_s = t0 - last_success_s[si];
       ctx.nodes[si].alive = !nodes[si].failed();
+      ORIGIN_TRACE(config_.trace,
+                   energy(static_cast<std::int64_t>(i), t0, s,
+                          ctx.nodes[si].stored_j, ctx.nodes[si].cost_j));
     }
 
     const std::vector<int> attempts = policy_->plan(ctx);
+#if ORIGIN_TRACE_ENABLED
+    if (config_.trace && !attempts.empty()) {
+      config_.trace->schedule(static_cast<std::int64_t>(i), t0, slot_s,
+                              attempts, policy_->last_plan_fallback_hops());
+    }
+#endif
     std::size_t completed = 0;
     for (int s : attempts) {
       if (s < 0 || s >= data::kNumSensors) {
@@ -92,6 +102,10 @@ SimResult Simulator::run(const data::Stream& stream) {
       const auto si = static_cast<std::size_t>(s);
       ++result.scheduled[si];
       const nn::Tensor& window = slot.windows[si];
+#if ORIGIN_TRACE_ENABLED
+      const double stored_before = nodes[si].stored_j();
+      const net::NodeCounters counters_before = nodes[si].counters();
+#endif
       std::optional<net::Classification> outcome;
       switch (policy_->execution()) {
         case core::ExecutionModel::WaitCompute:
@@ -104,6 +118,25 @@ SimResult Simulator::run(const data::Stream& stream) {
           outcome = nodes[si].attempt_deadline(window);
           break;
       }
+#if ORIGIN_TRACE_ENABLED
+      if (config_.trace) {
+        // Completion/failure cause, derived from the node's own counters
+        // so the trace can never disagree with the Fig. 1 statistics.
+        const net::NodeCounters& after = nodes[si].counters();
+        obs::AttemptOutcome cause = obs::AttemptOutcome::InProgress;
+        if (outcome) {
+          cause = obs::AttemptOutcome::Completed;
+        } else if (after.skipped_no_energy > counters_before.skipped_no_energy) {
+          cause = obs::AttemptOutcome::SkippedNoEnergy;
+        } else if (after.died_midway > counters_before.died_midway) {
+          cause = obs::AttemptOutcome::DiedMidway;
+        }
+        config_.trace->attempt(static_cast<std::int64_t>(i), t0, slot_s, s,
+                               cause, outcome ? outcome->predicted_class : -1,
+                               outcome ? outcome->confidence : 0.0,
+                               stored_before);
+      }
+#endif
       if (outcome) {
         ++completed;
         last_success_s[si] = t1;
@@ -129,6 +162,8 @@ SimResult Simulator::run(const data::Stream& stream) {
 
     const auto fused = policy_->fuse(host, ctx);
     const int predicted = fused.value_or(-1);
+    ORIGIN_TRACE(config_.trace, output(static_cast<std::int64_t>(i), t0,
+                                       slot_s, predicted, slot.label));
     result.outputs.push_back(predicted);
     result.accuracy.record(slot.label, predicted);
     if (predicted != previous_output && predicted >= 0 && previous_output >= 0) {
@@ -141,6 +176,7 @@ SimResult Simulator::run(const data::Stream& stream) {
     result.node_counters[static_cast<std::size_t>(s)] =
         nodes[static_cast<std::size_t>(s)].counters();
   }
+  result.validate(stream.slots.size());
   return result;
 }
 

@@ -12,6 +12,7 @@
 #include "data/dataset.hpp"
 #include "energy/power_trace.hpp"
 #include "net/sensor_node.hpp"
+#include "obs/trace.hpp"
 #include "sim/metrics.hpp"
 
 namespace origin::sim {
@@ -28,6 +29,11 @@ struct SimulatorConfig {
   /// Failure injection (reliability experiments, paper Discussion): node
   /// `i` dies permanently at `node_failure_at_s[i]` seconds into the run.
   std::array<std::optional<double>, data::kNumSensors> node_failure_at_s{};
+  /// Borrowed slot-trace recorder (null-object: nullptr disables tracing
+  /// and the slot loop allocates nothing for it). Captures schedule
+  /// decisions + fallback hops, per-node energy, attempt outcomes with
+  /// their failure cause, votes/weights and the fused output per slot.
+  obs::TraceRecorder* trace = nullptr;
 };
 
 class Simulator {

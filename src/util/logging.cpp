@@ -2,11 +2,15 @@
 
 #include <atomic>
 #include <cstdio>
+#include <mutex>
+#include <utility>
 
 namespace origin::util {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::Warn};
+std::mutex g_emit_mutex;       // serializes emission and guards g_sink
+LogSink g_sink;                // empty -> stderr default
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -23,8 +27,19 @@ const char* level_name(LogLevel level) {
 void set_log_level(LogLevel level) { g_level.store(level); }
 LogLevel log_level() { return g_level.load(); }
 
+LogSink set_log_sink(LogSink sink) {
+  std::lock_guard<std::mutex> lock(g_emit_mutex);
+  std::swap(g_sink, sink);
+  return sink;
+}
+
 void log(LogLevel level, const std::string& message) {
   if (level < g_level.load()) return;
+  std::lock_guard<std::mutex> lock(g_emit_mutex);
+  if (g_sink) {
+    g_sink(level, message);
+    return;
+  }
   std::fprintf(stderr, "[%s] %s\n", level_name(level), message.c_str());
 }
 

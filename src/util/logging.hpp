@@ -1,7 +1,9 @@
 // Tiny leveled logger. Defaults to Warn so library code stays quiet in
-// tests/benches; examples raise it to Info.
+// tests/benches; examples raise it to Info. Emission is serialized behind
+// one mutex, so concurrent fleet workers never interleave lines.
 #pragma once
 
+#include <functional>
 #include <sstream>
 #include <string>
 
@@ -12,6 +14,13 @@ enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
 void set_log_level(LogLevel level);
 LogLevel log_level();
 
+/// Replaces the default stderr writer; nullptr restores it. The sink runs
+/// under the logger's mutex with level filtering already applied, so it
+/// needs no locking of its own. The previous sink is returned (restore it
+/// when done — tests capture output this way).
+using LogSink = std::function<void(LogLevel, const std::string&)>;
+LogSink set_log_sink(LogSink sink);
+
 void log(LogLevel level, const std::string& message);
 
 namespace detail {
@@ -21,7 +30,29 @@ std::string concat(Args&&... args) {
   (os << ... << args);
   return os.str();
 }
+
+inline void append_kv(std::ostringstream&) {}
+template <typename Value, typename... Rest>
+void append_kv(std::ostringstream& os, const char* key, Value&& value,
+               Rest&&... rest) {
+  os << ' ' << key << '=' << value;
+  append_kv(os, std::forward<Rest>(rest)...);
+}
 }  // namespace detail
+
+/// Structured line: `event key=value key=value ...`. Keys are literal
+/// strings, values go through operator<<; grep- and cut-friendly, and the
+/// shape every structured call site shares.
+template <typename... Args>
+void log_kv(LogLevel level, const char* event, Args&&... args) {
+  static_assert(sizeof...(Args) % 2 == 0,
+                "log_kv takes key/value pairs after the event name");
+  if (log_level() > level) return;
+  std::ostringstream os;
+  os << event;
+  detail::append_kv(os, std::forward<Args>(args)...);
+  log(level, os.str());
+}
 
 template <typename... Args>
 void log_debug(Args&&... args) {

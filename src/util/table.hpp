@@ -20,6 +20,10 @@ class AsciiTable {
   std::string str() const;
   void print() const;
 
+  /// Structured access for machine-readable dumps (bench --json).
+  const std::vector<std::string>& header() const { return header_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
   static std::string format(double v, int precision = 2);
 
  private:

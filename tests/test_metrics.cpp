@@ -71,5 +71,31 @@ TEST(CompletionStats, EmptyIsZeroNotNan) {
   EXPECT_DOUBLE_EQ(s.attempt_success_rate(), 0.0);
 }
 
+// Regression: a SimResult whose per-slot outputs went out of sync with the
+// slot count (silent truncation) must fail validation loudly.
+TEST(SimResultValidate, DetectsTruncatedOutputs) {
+  SimResult r;
+  r.accuracy = AccuracyTracker(3);
+  r.outputs = {0, 1};
+  r.completion.slots = 2;
+  r.accuracy.record(0, 0);
+  r.accuracy.record(1, 1);
+  EXPECT_NO_THROW(r.validate(2));
+  EXPECT_THROW(r.validate(3), std::logic_error);
+
+  SimResult truncated = r;
+  truncated.outputs.pop_back();
+  EXPECT_THROW(truncated.validate(2), std::logic_error);
+}
+
+TEST(SimResultValidate, DetectsSlotCountMismatch) {
+  SimResult r;
+  r.accuracy = AccuracyTracker(3);
+  r.outputs = {0};
+  r.completion.slots = 2;  // bookkeeping drifted from reality
+  r.accuracy.record(0, 0);
+  EXPECT_THROW(r.validate(1), std::logic_error);
+}
+
 }  // namespace
 }  // namespace origin::sim
