@@ -4,12 +4,16 @@
 // aggregated statistics must be bit-identical at every thread count.
 //
 //   ./build/bench/fleet_scale [--users N] [--slots N] [--threads a,b,c]
-//                             [--json out.json]
+//                             [--batch N] [--json out.json]
 //
-// Defaults: 64 users, 600-slot streams, threads 1,2,4,8. Note the speedup
-// column measures what the host gives us: on a single-core container it
-// stays ~1x by construction; on an 8-core host the 8-thread row is the
-// ROADMAP scale-out datum.
+// Defaults: 64 users, 600-slot streams, threads 1,2,4,8, batch 0 (off).
+// `--batch N` turns on in-shard batching: each shard classifies N
+// consecutive stream windows per (sensor, net) in one im2row+GEMM call
+// (FleetRunnerConfig::batch_slots); results stay bit-identical — the
+// determinism check below runs with whatever batch setting is active.
+// Note the speedup column measures what the host gives us: on a
+// single-core container it stays ~1x by construction; on an 8-core host
+// the 8-thread row is the ROADMAP scale-out datum.
 #include <cstring>
 #include <string>
 
@@ -40,6 +44,7 @@ std::vector<unsigned> parse_threads(const char* arg) {
 int main(int argc, char** argv) {
   std::size_t users = 64;
   int slots = 600;
+  int batch = 0;
   std::vector<unsigned> thread_counts = {1, 2, 4, 8};
   for (int i = 1; i + 1 < argc; i += 2) {
     if (!std::strcmp(argv[i], "--users")) {
@@ -48,11 +53,14 @@ int main(int argc, char** argv) {
       slots = std::stoi(argv[i + 1]);
     } else if (!std::strcmp(argv[i], "--threads")) {
       thread_counts = parse_threads(argv[i + 1]);
+    } else if (!std::strcmp(argv[i], "--batch")) {
+      batch = std::stoi(argv[i + 1]);
     }
   }
   bench::JsonReport report(argc, argv, "fleet_scale");
   report.manifest().set("users", std::uint64_t{users});
   report.manifest().set("slots", slots);
+  report.manifest().set("batch", batch);
 
   auto config = bench::default_config(data::DatasetKind::MHealthLike);
   config.stream_slots = slots;
@@ -62,13 +70,17 @@ int main(int argc, char** argv) {
 
   fleet::PopulationConfig pop;
   pop.users = users;
-  std::printf("\n=== fleet_scale: %zu users x %d slots, Origin RR12 "
-              "(host reports %u hardware threads) ===\n",
-              users, slots, fleet::ThreadPool::hardware_threads());
+  std::printf("\n=== fleet_scale: %zu users x %d slots, Origin RR12, "
+              "batch %d (host reports %u hardware threads) ===\n",
+              users, slots, batch, fleet::ThreadPool::hardware_threads());
   const auto jobs = fleet::make_population(pop);
+  // Simulated slots per fleet run — the per-slot and windows/s columns
+  // normalize wall time by the work actually done.
+  const double total_slots =
+      static_cast<double>(jobs.size()) * static_cast<double>(slots);
 
-  util::AsciiTable t({"threads", "wall s", "users/s", "speedup",
-                      "acc mean %", "acc std %", "success %"});
+  util::AsciiTable t({"threads", "wall s", "users/s", "speedup", "slot us",
+                      "windows/s", "acc mean %", "acc std %", "success %"});
   double base_seconds = 0.0;
   bool identical = true;
   double total_seconds = 0.0;
@@ -76,6 +88,7 @@ int main(int argc, char** argv) {
   for (std::size_t i = 0; i < thread_counts.size(); ++i) {
     fleet::FleetRunnerConfig runner_config;
     runner_config.threads = thread_counts[i];
+    runner_config.batch_slots = batch;
     const auto r = fleet::FleetRunner(experiment, runner_config).run(jobs);
     if (i == 0) {
       base_seconds = r.wall_seconds;
@@ -95,9 +108,13 @@ int main(int argc, char** argv) {
                       r.metrics, reference.metrics);
     }
     total_seconds += r.wall_seconds;
+    const double slot_us =
+        total_slots > 0.0 ? 1e6 * r.wall_seconds / total_slots : 0.0;
+    const double windows_per_s =
+        r.wall_seconds > 0.0 ? total_slots / r.wall_seconds : 0.0;
     t.add_row("t=" + std::to_string(thread_counts[i]),
               {r.wall_seconds, r.users_per_second(),
-               base_seconds / r.wall_seconds,
+               base_seconds / r.wall_seconds, slot_us, windows_per_s,
                100.0 * r.aggregate.accuracy.mean(),
                100.0 * r.aggregate.accuracy.stddev(),
                r.aggregate.success_rate.mean()});

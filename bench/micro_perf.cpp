@@ -1,14 +1,23 @@
 // Microbenchmarks (google-benchmark): inference latency of the deployed
-// networks, window synthesis, scheduler and ensemble arithmetic — the
-// per-slot costs of the simulator and, proportionally, of a real host.
+// networks (BL-1 and pruned BL-2), batched prediction throughput, the
+// im2row+GEMM kernel against the naive conv loops, window synthesis,
+// scheduler and ensemble arithmetic — the per-slot costs of the simulator
+// and, proportionally, of a real host. `--json <path>` dumps every
+// measured row through the shared bench::JsonReport manifest.
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <vector>
+
+#include "bench_common.hpp"
 #include "core/ensemble.hpp"
 #include "core/pipeline.hpp"
 #include "core/policy.hpp"
 #include "data/dataset.hpp"
 #include "energy/power_trace.hpp"
+#include "nn/conv1d.hpp"
 #include "nn/energy_model.hpp"
+#include "nn/pruning.hpp"
 #include "util/rng.hpp"
 
 using namespace origin;
@@ -18,6 +27,28 @@ namespace {
 nn::Sequential deployed_net() {
   const auto spec = data::dataset_spec(data::DatasetKind::MHealthLike);
   return core::make_bl1_architecture(spec, 42);
+}
+
+/// BL-2-like network: the BL-1 architecture pruned to 45% of its
+/// per-inference energy (no fine-tuning — latency depends on shape only).
+nn::Sequential pruned_net() {
+  auto net = deployed_net();
+  nn::PruneConfig cfg;
+  cfg.energy_budget_j =
+      0.45 * nn::estimate_cost(net, {6, 64}).energy_j;
+  nn::prune_to_energy_budget(net, {6, 64}, nn::ComputeProfile{}, nn::Samples{},
+                             cfg);
+  return net;
+}
+
+std::vector<nn::Tensor> random_windows(std::size_t count, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<nn::Tensor> windows;
+  windows.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    windows.push_back(nn::Tensor::randn({6, 64}, rng, 1.0f));
+  }
+  return windows;
 }
 
 void BM_InferenceBL1(benchmark::State& state) {
@@ -30,6 +61,16 @@ void BM_InferenceBL1(benchmark::State& state) {
 }
 BENCHMARK(BM_InferenceBL1);
 
+void BM_InferenceBL2(benchmark::State& state) {
+  auto net = pruned_net();
+  util::Rng rng(4);
+  const nn::Tensor x = nn::Tensor::randn({6, 64}, rng, 1.0f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net.predict(x));
+  }
+}
+BENCHMARK(BM_InferenceBL2);
+
 void BM_InferenceForwardTrain(benchmark::State& state) {
   auto net = deployed_net();
   util::Rng rng(2);
@@ -39,6 +80,45 @@ void BM_InferenceForwardTrain(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_InferenceForwardTrain);
+
+/// Batched classification of N windows per call (the fleet runtime's
+/// in-shard fast path). items/s = windows/s.
+void BM_PredictBatch(benchmark::State& state) {
+  auto net = deployed_net();
+  const auto windows =
+      random_windows(static_cast<std::size_t>(state.range(0)), 6);
+  std::vector<const nn::Tensor*> ptrs;
+  for (const auto& w : windows) ptrs.push_back(&w);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net.predict_batch(ptrs.data(), ptrs.size()));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(windows.size()));
+}
+BENCHMARK(BM_PredictBatch)->Arg(8)->Arg(32)->Arg(128);
+
+/// The kernel path (im2row + blocked GEMM) of one mid-network conv stage.
+void BM_Im2RowGemm(benchmark::State& state) {
+  util::Rng rng(7);
+  nn::Conv1D conv(20, 32, 5, 1, rng);
+  const nn::Tensor x = nn::Tensor::randn({20, 30}, rng, 1.0f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(conv.forward(x, false));
+  }
+}
+BENCHMARK(BM_Im2RowGemm);
+
+/// The same conv stage through the naive reference loops — the before/
+/// after pair for the kernel layer (see EXPERIMENTS.md).
+void BM_NaiveConv(benchmark::State& state) {
+  util::Rng rng(7);
+  nn::Conv1D conv(20, 32, 5, 1, rng);
+  const nn::Tensor x = nn::Tensor::randn({20, 30}, rng, 1.0f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(conv.forward_reference(x));
+  }
+}
+BENCHMARK(BM_NaiveConv);
 
 void BM_WindowSynthesis(benchmark::State& state) {
   const auto spec = data::dataset_spec(data::DatasetKind::MHealthLike);
@@ -104,6 +184,65 @@ void BM_PowerTraceEnergyLookup(benchmark::State& state) {
 }
 BENCHMARK(BM_PowerTraceEnergyLookup);
 
+/// Console reporter that also captures each run's numbers so the custom
+/// main below can feed them to bench::JsonReport.
+class CaptureReporter : public benchmark::ConsoleReporter {
+ public:
+  struct Row {
+    std::string name;
+    double real_ns;
+    double cpu_ns;
+    std::int64_t iterations;
+  };
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const auto& run : runs) {
+      if (run.error_occurred) continue;
+      rows_.push_back({run.benchmark_name(), run.GetAdjustedRealTime(),
+                       run.GetAdjustedCPUTime(),
+                       static_cast<std::int64_t>(run.iterations)});
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  const std::vector<Row>& rows() const { return rows_; }
+
+ private:
+  std::vector<Row> rows_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  origin::bench::JsonReport report(argc, argv, "micro_perf");
+  // Strip `--json <path>` before benchmark::Initialize — google-benchmark
+  // rejects flags it does not own.
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (i + 1 < argc && !std::strcmp(argv[i], "--json")) {
+      ++i;
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  int bench_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&bench_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, args.data())) {
+    return 1;
+  }
+  CaptureReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  if (report) {
+    util::AsciiTable table({"benchmark", "real_ns", "cpu_ns", "iterations"});
+    for (const auto& row : reporter.rows()) {
+      table.add_row({row.name, util::AsciiTable::format(row.real_ns, 1),
+                     util::AsciiTable::format(row.cpu_ns, 1),
+                     std::to_string(row.iterations)});
+    }
+    report.add_table("micro_perf", table);
+    report.write();
+  }
+  return 0;
+}

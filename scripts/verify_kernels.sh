@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Verify the inference-kernel layer (src/nn/kernels) in two builds:
+#
+#   Release             — the configuration the paper numbers run in; the
+#                         bit-identity suites must pass at full optimisation
+#                         (im2row + blocked GEMM vs the reference loops,
+#                         batched predict vs per-sample, batched fleet runs
+#                         vs unbatched).
+#   ASan (Release+ASan) — the same suites under -fsanitize=address: the
+#                         thread-local scratch arenas, panel packing and
+#                         batched scatter paths must be free of OOB access
+#                         and leaks across shape changes and batch resizes.
+#
+# Both gates run the kernel suite (label nn) and the fleet/concurrency
+# suites (labels fleet and obs-fleet) — `-L 'nn|fleet'` is a regex OR;
+# repeating -L would intersect.
+#
+# Usage: scripts/verify_kernels.sh [generator-args...]
+# Build trees go to build-kernels-release/ and build-kernels-asan/.
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$repo"
+
+jobs="$(nproc 2>/dev/null || echo 2)"
+
+verify_config() {
+  local sanitizer="$1" dir="$2"
+  shift 2
+  echo "=== kernels: sanitizer='${sanitizer:-none}' (${dir}) ==="
+  cmake -B "$dir" -S "$repo" -DORIGIN_SANITIZE="$sanitizer" "$@" >/dev/null
+  cmake --build "$dir" -j "$jobs" --target \
+      test_kernels test_simulator test_fleet test_fleet_runner test_obs
+  ctest --test-dir "$dir" -L 'nn|fleet' --output-on-failure -j "$jobs"
+  # The simulator's batching bit-identity cases are in the unlabeled
+  # simulator suite; run that binary directly in both gates too.
+  "$dir/tests/test_simulator" \
+      --gtest_filter='*Batched*' --gtest_brief=1
+}
+
+verify_config ""        "build-kernels-release" "$@"
+verify_config "address" "build-kernels-asan"    "$@"
+echo "=== inference kernels verified (Release + ASan) ==="

@@ -81,13 +81,15 @@ FleetResult FleetRunner::run(const std::vector<FleetJob>& jobs) const {
       const auto stream = experiment_->make_stream(job.user, job.seed_offset);
       sim::SimResult sim_result;
       if (job.baseline) {
-        sim_result = experiment_->run_fully_powered(*job.baseline, stream);
+        sim_result = experiment_->run_fully_powered(*job.baseline, stream,
+                                                    config_.batch_slots);
       } else {
         auto policy = experiment_->make_policy(job.policy, job.rr_cycle, job.set);
         // Slot-level tracing of job 0 only — the exemplar run; tracing
         // every job would just wrap the ring buffer.
         sim_result = experiment_->run_policy(
-            *policy, stream, job.set, j == 0 ? config_.trace : nullptr);
+            *policy, stream, job.set, j == 0 ? config_.trace : nullptr,
+            config_.batch_slots);
       }
       const double job_seconds = seconds_since(job_t0);
       result.jobs[j].accuracy = sim_result.accuracy.overall();

@@ -46,7 +46,7 @@ bool SensorNode::can_infer() const {
 }
 
 std::optional<Classification> SensorNode::attempt_wait_compute(
-    const nn::Tensor& window) {
+    const nn::Tensor& window, const Classification* precomputed) {
   ++counters_.attempts;
   if (failed_) {
     ++counters_.skipped_no_energy;
@@ -58,11 +58,13 @@ std::optional<Classification> SensorNode::attempt_wait_compute(
   }
   counters_.consumed_j += total_cost_j_;
   ++counters_.completions;
+  if (precomputed) return *precomputed;
   return make_classification(model_.predict_proba(window));
 }
 
 std::optional<Classification> SensorNode::attempt_eager(
-    const nn::Tensor& window, double start_threshold_frac) {
+    const nn::Tensor& window, double start_threshold_frac,
+    const Classification* precomputed) {
   ++counters_.attempts;
   if (failed_) {
     ++counters_.skipped_no_energy;
@@ -77,6 +79,11 @@ std::optional<Classification> SensorNode::attempt_eager(
     }
     nvp_.begin_task(total_cost_j_);
     pending_window_ = window;
+    // Capture the begin-slot result here: a later resume call passes the
+    // *current* slot's precomputed value, which does not classify the
+    // pending window.
+    pending_result_ =
+        precomputed ? std::optional<Classification>(*precomputed) : std::nullopt;
   }
   const double allowance = capacitor_.stored_j();
   const auto advance = nvp_.advance(allowance);
@@ -89,18 +96,27 @@ std::optional<Classification> SensorNode::attempt_eager(
       if (!nvp_.config().enabled) {
         nvp_.abort_task();
         pending_window_.reset();
+        pending_result_.reset();
       }
     }
     return std::nullopt;
   }
   ++counters_.completions;
+  if (pending_result_) {
+    const Classification out = *pending_result_;
+    pending_window_.reset();
+    pending_result_.reset();
+    return out;
+  }
   nn::Tensor input = pending_window_ ? *pending_window_ : window;
   pending_window_.reset();
+  pending_result_.reset();
   return make_classification(model_.predict_proba(input));
 }
 
 std::optional<Classification> SensorNode::attempt_deadline(
-    const nn::Tensor& window, double start_threshold_frac) {
+    const nn::Tensor& window, double start_threshold_frac,
+    const Classification* precomputed) {
   ++counters_.attempts;
   if (failed_) {
     ++counters_.skipped_no_energy;
@@ -113,6 +129,7 @@ std::optional<Classification> SensorNode::attempt_deadline(
   if (capacitor_.try_draw(total_cost_j_)) {
     counters_.consumed_j += total_cost_j_;
     ++counters_.completions;
+    if (precomputed) return *precomputed;
     return make_classification(model_.predict_proba(window));
   }
   // Started but cannot make the deadline: everything stored burns on

@@ -74,23 +74,36 @@ class SensorNode {
 
   /// Wait-compute attempt: runs the inference only if the full energy is
   /// available; otherwise records a skip and returns nullopt.
-  std::optional<Classification> attempt_wait_compute(const nn::Tensor& window);
+  ///
+  /// `precomputed`, when non-null, is the classification of `window` by
+  /// this node's model (from a batched predict_proba_batch pass over a
+  /// block of the stream). Classification is a pure function of (model,
+  /// window) and the energy bookkeeping is analytic, so supplying it
+  /// changes which call computes the result, never the result itself —
+  /// all counters and outputs stay bit-identical.
+  std::optional<Classification> attempt_wait_compute(
+      const nn::Tensor& window, const Classification* precomputed = nullptr);
 
   /// Eager attempt: starts/continues regardless of the stored energy
   /// (above a small start threshold), drawing what is there. A volatile
   /// core loses partial progress; an NVP core checkpoints it and resumes
   /// on the *original* window at the next attempt. Returns the
   /// classification when the inference completes this call.
-  std::optional<Classification> attempt_eager(const nn::Tensor& window,
-                                              double start_threshold_frac = 0.1);
+  /// `precomputed` must classify `window`; it is captured alongside the
+  /// window when a task begins, so a resumed task completes with its
+  /// *original* window's result.
+  std::optional<Classification> attempt_eager(
+      const nn::Tensor& window, double start_threshold_frac = 0.1,
+      const Classification* precomputed = nullptr);
 
   /// Deadline attempt (the conventional ensemble of Fig. 1a): the
   /// inference must finish within this slot. If the stored energy is below
   /// the start threshold it "cannot start"; if it starts but the charge
   /// runs out the partial work is discarded — stale results are worthless
   /// to a per-slot ensemble, NVP or not.
-  std::optional<Classification> attempt_deadline(const nn::Tensor& window,
-                                                 double start_threshold_frac = 0.1);
+  std::optional<Classification> attempt_deadline(
+      const nn::Tensor& window, double start_threshold_frac = 0.1,
+      const Classification* precomputed = nullptr);
 
   /// Inference on a fully-powered bench supply (baselines); no energy
   /// bookkeeping.
@@ -117,6 +130,9 @@ class SensorNode {
   /// Window the in-flight eager task was started on (NVP resumes finish
   /// the *original* input, which may be stale by then — as on hardware).
   std::optional<nn::Tensor> pending_window_;
+  /// Precomputed classification of pending_window_, captured at task
+  /// begin when the caller runs batched inference ahead of the attempts.
+  std::optional<Classification> pending_result_;
 };
 
 }  // namespace origin::net

@@ -1,9 +1,16 @@
 #include "nn/activations.hpp"
 
+#include <cstring>
+#include <stdexcept>
+
 namespace origin::nn {
 
-Tensor ReLU::forward(const Tensor& input, bool /*train*/) {
-  last_input_ = input;
+Tensor ReLU::forward(const Tensor& input, bool train) {
+  if (train) {
+    last_input_ = input;
+  } else {
+    last_input_ = Tensor();
+  }
   Tensor out = input;
   for (auto& v : out.vec()) {
     if (v < 0.0f) v = 0.0f;
@@ -11,7 +18,23 @@ Tensor ReLU::forward(const Tensor& input, bool /*train*/) {
   return out;
 }
 
+void ReLU::forward_batch(const Tensor* const* inputs, std::size_t count,
+                         Tensor* outputs) {
+  for (std::size_t b = 0; b < count; ++b) {
+    outputs[b].reset_shape(inputs[b]->shape());
+    const float* x = inputs[b]->data();
+    float* y = outputs[b].data();
+    const std::size_t n = inputs[b]->size();
+    for (std::size_t i = 0; i < n; ++i) y[i] = x[i] < 0.0f ? 0.0f : x[i];
+  }
+}
+
 Tensor ReLU::backward(const Tensor& grad_output) {
+  if (last_input_.size() != grad_output.size()) {
+    throw std::logic_error(
+        "ReLU::backward: no cached input — call forward(x, train=true) "
+        "before backward (the inference path retains nothing)");
+  }
   Tensor grad = grad_output;
   for (std::size_t i = 0; i < grad.size(); ++i) {
     if (last_input_[i] <= 0.0f) grad[i] = 0.0f;
@@ -24,6 +47,15 @@ std::unique_ptr<Layer> ReLU::clone() const { return std::make_unique<ReLU>(); }
 Tensor Flatten::forward(const Tensor& input, bool /*train*/) {
   last_shape_ = input.shape();
   return input.reshaped({static_cast<int>(input.size())});
+}
+
+void Flatten::forward_batch(const Tensor* const* inputs, std::size_t count,
+                            Tensor* outputs) {
+  for (std::size_t b = 0; b < count; ++b) {
+    outputs[b].reset_shape({static_cast<int>(inputs[b]->size())});
+    std::memcpy(outputs[b].data(), inputs[b]->data(),
+                sizeof(float) * inputs[b]->size());
+  }
 }
 
 Tensor Flatten::backward(const Tensor& grad_output) {

@@ -7,8 +7,11 @@ namespace origin::nn {
 
 class ReLU : public Layer {
  public:
+  /// Caches the input for backward() only when train == true.
   Tensor forward(const Tensor& input, bool train) override;
   Tensor backward(const Tensor& grad_output) override;
+  void forward_batch(const Tensor* const* inputs, std::size_t count,
+                     Tensor* outputs) override;
   std::string kind() const override { return "relu"; }
   std::unique_ptr<Layer> clone() const override;
   std::vector<int> output_shape(const std::vector<int>& input) const override {
@@ -24,6 +27,8 @@ class Flatten : public Layer {
  public:
   Tensor forward(const Tensor& input, bool train) override;
   Tensor backward(const Tensor& grad_output) override;
+  void forward_batch(const Tensor* const* inputs, std::size_t count,
+                     Tensor* outputs) override;
   std::string kind() const override { return "flatten"; }
   std::unique_ptr<Layer> clone() const override;
   std::vector<int> output_shape(const std::vector<int>& input) const override;

@@ -1,9 +1,11 @@
 #include "nn/conv1d.hpp"
 
 #include <cmath>
+#include <cstring>
 #include <sstream>
 #include <stdexcept>
 
+#include "nn/kernels.hpp"
 #include "util/rng.hpp"
 
 namespace origin::nn {
@@ -34,18 +36,78 @@ Conv1D::Conv1D(int in_channels, int out_channels, int kernel, int stride,
   weight_ = Tensor::randn({cout_, cin_, k_}, rng, std::sqrt(2.0f / fan_in));
 }
 
-Tensor Conv1D::forward(const Tensor& input, bool /*train*/) {
+int Conv1D::checked_out_length(const Tensor& input) const {
   if (input.rank() != 2 || input.dim(0) != cin_) {
     throw std::invalid_argument("Conv1D::forward: expected [" +
                                 std::to_string(cin_) + ", L] input, got " +
                                 input.shape_str());
   }
-  const int in_len = input.dim(1);
-  const int out_len = out_length(in_len, k_, stride_);
+  const int out_len = out_length(input.dim(1), k_, stride_);
   if (out_len <= 0) {
     throw std::invalid_argument("Conv1D::forward: input shorter than kernel");
   }
-  last_input_ = input;
+  return out_len;
+}
+
+Tensor Conv1D::forward(const Tensor& input, bool train) {
+  const int out_len = checked_out_length(input);
+  if (train) {
+    last_input_ = input;
+  } else {
+    last_input_ = Tensor();
+  }
+  Tensor out({cout_, out_len});
+  const int kd = cin_ * k_;
+  float* panel = kernels::scratch(kernels::Slot::Panel,
+                                  static_cast<std::size_t>(kd) * out_len);
+  kernels::im2row(input.data(), cin_, input.dim(1), k_, stride_, out_len,
+                  panel, static_cast<std::size_t>(out_len));
+  kernels::gemm_bias(weight_.data(), bias_.data(), panel, out.data(), cout_,
+                     kd, out_len);
+  return out;
+}
+
+void Conv1D::forward_batch(const Tensor* const* inputs, std::size_t count,
+                           Tensor* outputs) {
+  if (count == 0) return;
+  const int out_len = checked_out_length(*inputs[0]);
+  const int in_len = inputs[0]->dim(1);
+  for (std::size_t b = 1; b < count; ++b) {
+    if (inputs[b]->rank() != 2 || inputs[b]->dim(0) != cin_ ||
+        inputs[b]->dim(1) != in_len) {
+      throw std::invalid_argument(
+          "Conv1D::forward_batch: mixed input shapes in batch");
+    }
+  }
+  // One wide panel [kd, count*out_len] with sample b at column offset
+  // b*out_len, one GEMM, then per-sample rows copied out. Each output
+  // element accumulates in the same j order as the single-sample path.
+  const int kd = cin_ * k_;
+  const std::size_t n = count * static_cast<std::size_t>(out_len);
+  float* panel = kernels::scratch(kernels::Slot::Panel,
+                                  static_cast<std::size_t>(kd) * n);
+  for (std::size_t b = 0; b < count; ++b) {
+    kernels::im2row(inputs[b]->data(), cin_, in_len, k_, stride_, out_len,
+                    panel + b * static_cast<std::size_t>(out_len), n);
+  }
+  float* stage = kernels::scratch(kernels::Slot::Stage,
+                                  static_cast<std::size_t>(cout_) * n);
+  kernels::gemm_bias(weight_.data(), bias_.data(), panel, stage, cout_, kd,
+                     static_cast<int>(n));
+  for (std::size_t b = 0; b < count; ++b) {
+    outputs[b].reset_shape({cout_, out_len});
+    float* dst = outputs[b].data();
+    for (int co = 0; co < cout_; ++co) {
+      std::memcpy(dst + static_cast<std::size_t>(co) * out_len,
+                  stage + static_cast<std::size_t>(co) * n +
+                      b * static_cast<std::size_t>(out_len),
+                  sizeof(float) * static_cast<std::size_t>(out_len));
+    }
+  }
+}
+
+Tensor Conv1D::forward_reference(const Tensor& input) const {
+  const int out_len = checked_out_length(input);
   Tensor out({cout_, out_len});
   for (int co = 0; co < cout_; ++co) {
     const float b = bias_[static_cast<std::size_t>(co)];
@@ -64,6 +126,11 @@ Tensor Conv1D::forward(const Tensor& input, bool /*train*/) {
 }
 
 Tensor Conv1D::backward(const Tensor& grad_output) {
+  if (last_input_.empty()) {
+    throw std::logic_error(
+        "Conv1D::backward: no cached input — call forward(x, train=true) "
+        "before backward (the inference path retains nothing)");
+  }
   const int in_len = last_input_.dim(1);
   const int out_len = out_length(in_len, k_, stride_);
   if (grad_output.rank() != 2 || grad_output.dim(0) != cout_ ||

@@ -17,8 +17,21 @@ class Conv1D : public Layer {
          util::Rng& rng);
   Conv1D(int in_channels, int out_channels, int kernel, int stride);
 
+  /// Inference path (train == false) runs im2row + blocked GEMM
+  /// (nn/kernels.hpp) and retains nothing; the training path additionally
+  /// caches the input for backward(). Both produce outputs bit-identical
+  /// to forward_reference().
   Tensor forward(const Tensor& input, bool train) override;
   Tensor backward(const Tensor& grad_output) override;
+
+  /// Batched inference over same-shape windows: one im2row panel + one
+  /// GEMM for the whole batch. Bit-identical to per-sample forward.
+  void forward_batch(const Tensor* const* inputs, std::size_t count,
+                     Tensor* outputs) override;
+
+  /// The original quadruple loop, kept as the accumulation-order reference
+  /// the kernel path must match bit-for-bit (tests/test_kernels.cpp).
+  Tensor forward_reference(const Tensor& input) const;
 
   std::vector<Tensor*> params() override { return {&weight_, &bias_}; }
   std::vector<Tensor*> grads() override { return {&grad_weight_, &grad_bias_}; }
@@ -49,6 +62,9 @@ class Conv1D : public Layer {
   static int out_length(int in_length, int kernel, int stride);
 
  private:
+  /// Validates the [cin, L] input shape and returns the output length.
+  int checked_out_length(const Tensor& input) const;
+
   int cin_ = 0;
   int cout_ = 0;
   int k_ = 0;

@@ -4,6 +4,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "nn/kernels.hpp"
 #include "util/rng.hpp"
 
 namespace origin::nn {
@@ -26,15 +27,65 @@ Dense::Dense(int in_features, int out_features, util::Rng& rng)
   weight_ = Tensor::randn({out_, in_}, rng, stddev);
 }
 
-Tensor Dense::forward(const Tensor& input, bool /*train*/) {
+Tensor Dense::forward(const Tensor& input, bool train) {
   if (static_cast<int>(input.size()) != in_) {
     throw std::invalid_argument("Dense::forward: expected " + std::to_string(in_) +
                                 " features, got " + std::to_string(input.size()));
   }
-  last_input_ = input.rank() == 1 ? input : input.reshaped({in_});
+  if (train) {
+    last_input_ = input.rank() == 1 ? input : input.reshaped({in_});
+  } else {
+    last_input_ = Tensor();
+  }
+  Tensor out({out_});
+  kernels::matvec_bias(weight_.data(), bias_.data(), input.data(), out.data(),
+                       out_, in_);
+  return out;
+}
+
+void Dense::forward_batch(const Tensor* const* inputs, std::size_t count,
+                          Tensor* outputs) {
+  if (count == 0) return;
+  for (std::size_t b = 0; b < count; ++b) {
+    if (static_cast<int>(inputs[b]->size()) != in_) {
+      throw std::invalid_argument("Dense::forward_batch: expected " +
+                                  std::to_string(in_) + " features, got " +
+                                  std::to_string(inputs[b]->size()));
+    }
+  }
+  // Column-wise input panel [in, count] -> staged GEMM output [out, count]
+  // -> scatter column b to outputs[b]. Per-output accumulation runs over i
+  // in order, exactly as matvec_bias does for a single sample.
+  float* panel = kernels::scratch(kernels::Slot::Panel,
+                                  static_cast<std::size_t>(in_) * count);
+  for (std::size_t b = 0; b < count; ++b) {
+    const float* x = inputs[b]->data();
+    for (int i = 0; i < in_; ++i) {
+      panel[static_cast<std::size_t>(i) * count + b] = x[i];
+    }
+  }
+  float* stage = kernels::scratch(kernels::Slot::Stage,
+                                  static_cast<std::size_t>(out_) * count);
+  kernels::gemm_bias(weight_.data(), bias_.data(), panel, stage, out_, in_,
+                     static_cast<int>(count));
+  for (std::size_t b = 0; b < count; ++b) {
+    outputs[b].reset_shape({out_});
+    float* dst = outputs[b].data();
+    for (int o = 0; o < out_; ++o) {
+      dst[o] = stage[static_cast<std::size_t>(o) * count + b];
+    }
+  }
+}
+
+Tensor Dense::forward_reference(const Tensor& input) const {
+  if (static_cast<int>(input.size()) != in_) {
+    throw std::invalid_argument("Dense::forward_reference: expected " +
+                                std::to_string(in_) + " features, got " +
+                                std::to_string(input.size()));
+  }
   Tensor out({out_});
   const float* w = weight_.data();
-  const float* x = last_input_.data();
+  const float* x = input.data();
   for (int o = 0; o < out_; ++o) {
     float acc = bias_[static_cast<std::size_t>(o)];
     const float* wrow = w + static_cast<std::size_t>(o) * static_cast<std::size_t>(in_);
@@ -45,6 +96,11 @@ Tensor Dense::forward(const Tensor& input, bool /*train*/) {
 }
 
 Tensor Dense::backward(const Tensor& grad_output) {
+  if (last_input_.empty()) {
+    throw std::logic_error(
+        "Dense::backward: no cached input — call forward(x, train=true) "
+        "before backward (the inference path retains nothing)");
+  }
   if (static_cast<int>(grad_output.size()) != out_) {
     throw std::invalid_argument("Dense::backward: gradient size mismatch");
   }

@@ -16,8 +16,22 @@ class Dense : public Layer {
   /// Uninitialized-parameter constructor for deserialization.
   Dense(int in_features, int out_features);
 
+  /// Inference path (train == false) runs the row-blocked matvec kernel
+  /// (nn/kernels.hpp) and retains nothing; the training path additionally
+  /// caches the input for backward(). Both match forward_reference()
+  /// bit-for-bit.
   Tensor forward(const Tensor& input, bool train) override;
   Tensor backward(const Tensor& grad_output) override;
+
+  /// Batched inference: inputs packed column-wise into an [in, count]
+  /// panel and multiplied in one GEMM — each weight row is read once for
+  /// the whole batch. Bit-identical to per-sample forward.
+  void forward_batch(const Tensor* const* inputs, std::size_t count,
+                     Tensor* outputs) override;
+
+  /// The original row-by-row loop, kept as the accumulation-order
+  /// reference the kernel path must match bit-for-bit.
+  Tensor forward_reference(const Tensor& input) const;
 
   std::vector<Tensor*> params() override { return {&weight_, &bias_}; }
   std::vector<Tensor*> grads() override { return {&grad_weight_, &grad_bias_}; }

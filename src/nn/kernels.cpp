@@ -1,0 +1,144 @@
+#include "nn/kernels.hpp"
+
+#include <cstring>
+#include <vector>
+
+namespace origin::nn::kernels {
+
+namespace {
+
+struct Workspace {
+  std::vector<float> slots[static_cast<int>(Slot::kCount)];
+};
+
+Workspace& workspace() {
+  thread_local Workspace ws;
+  return ws;
+}
+
+// Register tile: MR rows x NR columns of C in flight. NR is a multiple of
+// the SSE width so the column loop vectorizes; MR x NR accumulators fit
+// the register file with room for the A broadcasts and P row loads.
+constexpr int kMR = 4;
+constexpr int kNR = 8;
+
+}  // namespace
+
+float* scratch(Slot slot, std::size_t count) {
+  std::vector<float>& buf = workspace().slots[static_cast<int>(slot)];
+  if (buf.size() < count) buf.resize(count);
+  return buf.data();
+}
+
+void im2row(const float* x, int cin, int in_len, int kernel, int stride,
+            int out_len, float* panel, std::size_t ldp) {
+  for (int ci = 0; ci < cin; ++ci) {
+    const float* xrow = x + static_cast<std::size_t>(ci) * in_len;
+    for (int kk = 0; kk < kernel; ++kk) {
+      float* prow = panel + (static_cast<std::size_t>(ci) * kernel + kk) * ldp;
+      if (stride == 1) {
+        // Unit stride: row j is a contiguous slice of the input row.
+        std::memcpy(prow, xrow + kk, sizeof(float) * static_cast<std::size_t>(out_len));
+      } else {
+        for (int t = 0; t < out_len; ++t) prow[t] = xrow[t * stride + kk];
+      }
+    }
+  }
+}
+
+void gemm_bias(const float* a, const float* bias, const float* p, float* c,
+               int m, int kd, int n) {
+  const std::size_t lda = static_cast<std::size_t>(kd);
+  const std::size_t ldp = static_cast<std::size_t>(n);
+  int i = 0;
+  for (; i + kMR <= m; i += kMR) {
+    const float* a0 = a + static_cast<std::size_t>(i) * lda;
+    int j = 0;
+    for (; j + kNR <= n; j += kNR) {
+      float acc[kMR][kNR];
+      for (int r = 0; r < kMR; ++r) {
+        for (int q = 0; q < kNR; ++q) acc[r][q] = bias[i + r];
+      }
+      const float* prow = p + j;
+      for (int k = 0; k < kd; ++k, prow += ldp) {
+        for (int r = 0; r < kMR; ++r) {
+          const float av = a0[static_cast<std::size_t>(r) * lda + k];
+          for (int q = 0; q < kNR; ++q) acc[r][q] += av * prow[q];
+        }
+      }
+      for (int r = 0; r < kMR; ++r) {
+        float* crow = c + static_cast<std::size_t>(i + r) * ldp + j;
+        for (int q = 0; q < kNR; ++q) crow[q] = acc[r][q];
+      }
+    }
+    for (; j < n; ++j) {
+      // Column remainder: still kMR rows per pass over P's column.
+      float acc[kMR];
+      for (int r = 0; r < kMR; ++r) acc[r] = bias[i + r];
+      for (int k = 0; k < kd; ++k) {
+        const float pv = p[static_cast<std::size_t>(k) * ldp + j];
+        for (int r = 0; r < kMR; ++r) {
+          acc[r] += a0[static_cast<std::size_t>(r) * lda + k] * pv;
+        }
+      }
+      for (int r = 0; r < kMR; ++r) {
+        c[static_cast<std::size_t>(i + r) * ldp + j] = acc[r];
+      }
+    }
+  }
+  for (; i < m; ++i) {
+    const float* arow = a + static_cast<std::size_t>(i) * lda;
+    float* crow = c + static_cast<std::size_t>(i) * ldp;
+    int j = 0;
+    for (; j + kNR <= n; j += kNR) {
+      float acc[kNR];
+      for (int q = 0; q < kNR; ++q) acc[q] = bias[i];
+      const float* prow = p + j;
+      for (int k = 0; k < kd; ++k, prow += ldp) {
+        const float av = arow[k];
+        for (int q = 0; q < kNR; ++q) acc[q] += av * prow[q];
+      }
+      for (int q = 0; q < kNR; ++q) crow[j + q] = acc[q];
+    }
+    for (; j < n; ++j) {
+      float acc = bias[i];
+      for (int k = 0; k < kd; ++k) {
+        acc += arow[k] * p[static_cast<std::size_t>(k) * ldp + j];
+      }
+      crow[j] = acc;
+    }
+  }
+}
+
+void matvec_bias(const float* a, const float* bias, const float* x, float* y,
+                 int m, int kd) {
+  const std::size_t lda = static_cast<std::size_t>(kd);
+  int i = 0;
+  for (; i + kMR <= m; i += kMR) {
+    const float* r0 = a + static_cast<std::size_t>(i) * lda;
+    const float* r1 = r0 + lda;
+    const float* r2 = r1 + lda;
+    const float* r3 = r2 + lda;
+    float acc0 = bias[i], acc1 = bias[i + 1], acc2 = bias[i + 2],
+          acc3 = bias[i + 3];
+    for (int k = 0; k < kd; ++k) {
+      const float xv = x[k];
+      acc0 += r0[k] * xv;
+      acc1 += r1[k] * xv;
+      acc2 += r2[k] * xv;
+      acc3 += r3[k] * xv;
+    }
+    y[i] = acc0;
+    y[i + 1] = acc1;
+    y[i + 2] = acc2;
+    y[i + 3] = acc3;
+  }
+  for (; i < m; ++i) {
+    const float* row = a + static_cast<std::size_t>(i) * lda;
+    float acc = bias[i];
+    for (int k = 0; k < kd; ++k) acc += row[k] * x[k];
+    y[i] = acc;
+  }
+}
+
+}  // namespace origin::nn::kernels

@@ -1,0 +1,55 @@
+// Inference kernels: im2row packing + cache-blocked GEMM/matvec, and the
+// per-thread scratch workspace the inference path allocates from.
+//
+// Accumulation-order contract (load-bearing for the fleet determinism
+// guarantees, see DESIGN.md): every output element is produced by ONE
+// float accumulator initialized with the bias and updated strictly in
+// packed-row order j = 0..kd-1, exactly the (ci-major, then kernel-tap)
+// order of the reference loops in Conv1D::forward_reference /
+// Dense::forward_reference. Blocking and unrolling only regroup *which*
+// output elements are in flight together — never the per-element order —
+// so kernel outputs are bit-identical to the reference loops, and batched
+// calls are bit-identical to repeated single-sample calls.
+#pragma once
+
+#include <cstddef>
+
+namespace origin::nn::kernels {
+
+/// Scratch slots of the per-thread workspace. Layers run sequentially on
+/// a thread, so each slot has at most one live user at a time; distinct
+/// slots exist for buffers that are alive simultaneously inside one
+/// batched layer call (input panel vs. staged GEMM output).
+enum class Slot : int {
+  Panel = 0,   // packed im2row / dense input panel
+  Stage,       // staged GEMM output (batched conv/dense)
+  kCount,
+};
+
+/// Borrowed pointer to `count` floats of thread-local scratch for `slot`.
+/// Contents are unspecified; valid until the next request for the same
+/// slot on the same thread. Never returns nullptr (count 0 gives a valid
+/// empty buffer).
+float* scratch(Slot slot, std::size_t count);
+
+/// im2row packing of a [cin, in_len] row-major signal for a valid
+/// convolution with the given kernel/stride: writes
+///   panel[(ci*kernel + kk) * ldp + t] = x[ci*in_len + t*stride + kk]
+/// for t in [0, out_len). `ldp` is the panel's leading dimension (row
+/// length), >= out_len; a batched caller packs sample b at column offset
+/// b*out_len of a wide panel with ldp = batch*out_len.
+void im2row(const float* x, int cin, int in_len, int kernel, int stride,
+            int out_len, float* panel, std::size_t ldp);
+
+/// C[m x n] = broadcast(bias[m]) + A[m x kd] * P[kd x n], all row-major
+/// and dense. Register-tiled over rows/columns; the j loop over kd is
+/// innermost-sequential per output element (see contract above).
+void gemm_bias(const float* a, const float* bias, const float* p, float* c,
+               int m, int kd, int n);
+
+/// y[m] = bias[m] + A[m x kd] * x[kd] — the n == 1 GEMM, row-blocked so
+/// one pass over x feeds several rows. Same per-element order contract.
+void matvec_bias(const float* a, const float* bias, const float* x, float* y,
+                 int m, int kd);
+
+}  // namespace origin::nn::kernels

@@ -1,5 +1,12 @@
 #include "nn/layer.hpp"
 
-// Interface-only translation unit: anchors the vtable for Layer so the
-// library has a home for its typeinfo.
-namespace origin::nn {}
+namespace origin::nn {
+
+void Layer::forward_batch(const Tensor* const* inputs, std::size_t count,
+                          Tensor* outputs) {
+  for (std::size_t i = 0; i < count; ++i) {
+    outputs[i] = forward(*inputs[i], /*train=*/false);
+  }
+}
+
+}  // namespace origin::nn

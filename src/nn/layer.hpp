@@ -20,10 +20,23 @@ class Layer {
  public:
   virtual ~Layer() = default;
 
-  /// `train` enables training-only behaviour (dropout masking).
+  /// `train` enables training-only behaviour (dropout masking) and decides
+  /// whether the layer caches what backward() needs. Inference calls
+  /// (train == false) retain nothing — in particular not the input tensor.
   virtual Tensor forward(const Tensor& input, bool train) = 0;
-  /// Gradient w.r.t. the input of the most recent forward().
+  /// Gradient w.r.t. the input of the most recent forward(train=true).
+  /// Throws std::logic_error if no training forward preceded it (the
+  /// inference path drops the cached state backward depends on).
   virtual Tensor backward(const Tensor& grad_output) = 0;
+
+  /// Batched inference forward: outputs[i] = forward(*inputs[i], false)
+  /// for i in [0, count), bit-identically, writing into the caller's
+  /// output tensors (reusing their storage via Tensor::reset_shape — the
+  /// batched path's activation arena). The default loops over forward();
+  /// layers where batching pays (conv, dense, pooling, softmax,
+  /// element-wise) override it with packed kernels.
+  virtual void forward_batch(const Tensor* const* inputs, std::size_t count,
+                             Tensor* outputs);
 
   /// Learnable parameters and their gradient accumulators; same order.
   virtual std::vector<Tensor*> params() { return {}; }

@@ -48,6 +48,84 @@ int Sequential::predict(const Tensor& input) {
   return static_cast<int>(forward(input, false).argmax());
 }
 
+namespace {
+
+/// Ping/pong activation buffers for batched inference, reused across calls
+/// on the same thread so steady-state classification allocates nothing.
+struct BatchArena {
+  std::vector<Tensor> ping;
+  std::vector<Tensor> pong;
+  std::vector<const Tensor*> in_ptrs;
+};
+
+BatchArena& batch_arena() {
+  thread_local BatchArena arena;
+  return arena;
+}
+
+}  // namespace
+
+void Sequential::forward_batch_inference(const Tensor* const* inputs,
+                                         std::size_t count, Tensor* outputs) {
+  if (count == 0) return;
+  if (layers_.empty()) {
+    for (std::size_t b = 0; b < count; ++b) outputs[b] = *inputs[b];
+    return;
+  }
+  if (layers_.size() == 1) {
+    layers_[0]->forward_batch(inputs, count, outputs);
+    return;
+  }
+  BatchArena& arena = batch_arena();
+  if (arena.ping.size() < count) arena.ping.resize(count);
+  if (arena.pong.size() < count) arena.pong.resize(count);
+  arena.in_ptrs.resize(count);
+
+  layers_[0]->forward_batch(inputs, count, arena.ping.data());
+  Tensor* cur = arena.ping.data();
+  Tensor* nxt = arena.pong.data();
+  for (std::size_t li = 1; li + 1 < layers_.size(); ++li) {
+    for (std::size_t b = 0; b < count; ++b) arena.in_ptrs[b] = &cur[b];
+    layers_[li]->forward_batch(arena.in_ptrs.data(), count, nxt);
+    std::swap(cur, nxt);
+  }
+  for (std::size_t b = 0; b < count; ++b) arena.in_ptrs[b] = &cur[b];
+  layers_.back()->forward_batch(arena.in_ptrs.data(), count, outputs);
+}
+
+std::vector<std::vector<float>> Sequential::predict_proba_batch(
+    const Tensor* const* inputs, std::size_t count) {
+  std::vector<Tensor> logits(count);
+  forward_batch_inference(inputs, count, logits.data());
+  std::vector<std::vector<float>> out(count);
+  for (std::size_t b = 0; b < count; ++b) out[b] = softmax(logits[b].vec());
+  return out;
+}
+
+std::vector<std::vector<float>> Sequential::predict_proba_batch(
+    std::span<const Tensor> inputs) {
+  std::vector<const Tensor*> ptrs(inputs.size());
+  for (std::size_t i = 0; i < inputs.size(); ++i) ptrs[i] = &inputs[i];
+  return predict_proba_batch(ptrs.data(), ptrs.size());
+}
+
+std::vector<int> Sequential::predict_batch(const Tensor* const* inputs,
+                                           std::size_t count) {
+  std::vector<Tensor> logits(count);
+  forward_batch_inference(inputs, count, logits.data());
+  std::vector<int> out(count);
+  for (std::size_t b = 0; b < count; ++b) {
+    out[b] = static_cast<int>(logits[b].argmax());
+  }
+  return out;
+}
+
+std::vector<int> Sequential::predict_batch(std::span<const Tensor> inputs) {
+  std::vector<const Tensor*> ptrs(inputs.size());
+  for (std::size_t i = 0; i < inputs.size(); ++i) ptrs[i] = &inputs[i];
+  return predict_batch(ptrs.data(), ptrs.size());
+}
+
 std::vector<Tensor*> Sequential::params() {
   std::vector<Tensor*> out;
   for (auto& layer : layers_) {

@@ -3,6 +3,7 @@
 #pragma once
 
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -36,6 +37,25 @@ class Sequential {
   std::vector<float> predict_proba(const Tensor& input);
   /// Top-1 class for the input.
   int predict(const Tensor& input);
+
+  /// Batched inference over same-shape inputs: each layer processes the
+  /// whole batch via forward_batch (one im2row panel / GEMM for conv and
+  /// dense), double-buffering activations through thread-local arenas so
+  /// steady-state classification allocates nothing per window. Outputs are
+  /// bit-identical to calling forward(input, false) per sample.
+  void forward_batch_inference(const Tensor* const* inputs, std::size_t count,
+                               Tensor* outputs);
+
+  /// Batched predict_proba; element b matches predict_proba(inputs[b])
+  /// bit-for-bit.
+  std::vector<std::vector<float>> predict_proba_batch(
+      const Tensor* const* inputs, std::size_t count);
+  std::vector<std::vector<float>> predict_proba_batch(
+      std::span<const Tensor> inputs);
+  /// Batched top-1 prediction; element b matches predict(inputs[b]).
+  std::vector<int> predict_batch(const Tensor* const* inputs,
+                                 std::size_t count);
+  std::vector<int> predict_batch(std::span<const Tensor> inputs);
 
   std::size_t layer_count() const { return layers_.size(); }
   Layer& layer(std::size_t i) { return *layers_[i]; }

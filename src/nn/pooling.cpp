@@ -17,7 +17,7 @@ int MaxPool1D::out_length(int in_length, int pool, int stride) {
   return (in_length - pool) / stride + 1;
 }
 
-Tensor MaxPool1D::forward(const Tensor& input, bool /*train*/) {
+Tensor MaxPool1D::forward(const Tensor& input, bool train) {
   if (input.rank() != 2) {
     throw std::invalid_argument("MaxPool1D::forward: expected rank-2 input");
   }
@@ -27,30 +27,83 @@ Tensor MaxPool1D::forward(const Tensor& input, bool /*train*/) {
   if (out_len <= 0) {
     throw std::invalid_argument("MaxPool1D::forward: input shorter than window");
   }
-  in_shape_ = input.shape();
+  if (train) {
+    in_shape_ = input.shape();
+    argmax_.assign(
+        static_cast<std::size_t>(channels) * static_cast<std::size_t>(out_len),
+        0);
+  } else {
+    in_shape_.clear();
+    argmax_.clear();
+  }
   Tensor out({channels, out_len});
-  argmax_.assign(static_cast<std::size_t>(channels) * static_cast<std::size_t>(out_len), 0);
+  const float* x = input.data();
+  float* y = out.data();
   for (int c = 0; c < channels; ++c) {
+    const float* row = x + static_cast<std::size_t>(c) * static_cast<std::size_t>(in_len);
     for (int t = 0; t < out_len; ++t) {
       const int base = t * stride_;
-      float best = input.at(c, base);
+      float best = row[base];
       int best_idx = base;
       for (int p = 1; p < pool_; ++p) {
-        const float v = input.at(c, base + p);
+        const float v = row[base + p];
         if (v > best) {
           best = v;
           best_idx = base + p;
         }
       }
-      out.at(c, t) = best;
-      argmax_[static_cast<std::size_t>(c) * static_cast<std::size_t>(out_len) +
-              static_cast<std::size_t>(t)] = best_idx;
+      y[static_cast<std::size_t>(c) * static_cast<std::size_t>(out_len) +
+        static_cast<std::size_t>(t)] = best;
+      if (train) {
+        argmax_[static_cast<std::size_t>(c) * static_cast<std::size_t>(out_len) +
+                static_cast<std::size_t>(t)] = best_idx;
+      }
     }
   }
   return out;
 }
 
+void MaxPool1D::forward_batch(const Tensor* const* inputs, std::size_t count,
+                              Tensor* outputs) {
+  for (std::size_t b = 0; b < count; ++b) {
+    if (inputs[b]->rank() != 2) {
+      throw std::invalid_argument(
+          "MaxPool1D::forward_batch: expected rank-2 input");
+    }
+    const int channels = inputs[b]->dim(0);
+    const int in_len = inputs[b]->dim(1);
+    const int out_len = out_length(in_len, pool_, stride_);
+    if (out_len <= 0) {
+      throw std::invalid_argument(
+          "MaxPool1D::forward_batch: input shorter than window");
+    }
+    outputs[b].reset_shape({channels, out_len});
+    const float* x = inputs[b]->data();
+    float* y = outputs[b].data();
+    for (int c = 0; c < channels; ++c) {
+      const float* row =
+          x + static_cast<std::size_t>(c) * static_cast<std::size_t>(in_len);
+      float* orow =
+          y + static_cast<std::size_t>(c) * static_cast<std::size_t>(out_len);
+      for (int t = 0; t < out_len; ++t) {
+        const int base = t * stride_;
+        float best = row[base];
+        // Strict `>` keeps first-max-wins semantics, same as forward().
+        for (int p = 1; p < pool_; ++p) {
+          if (row[base + p] > best) best = row[base + p];
+        }
+        orow[t] = best;
+      }
+    }
+  }
+}
+
 Tensor MaxPool1D::backward(const Tensor& grad_output) {
+  if (in_shape_.size() != 2) {
+    throw std::logic_error(
+        "MaxPool1D::backward: no cached argmax — call forward(x, train=true) "
+        "before backward (the inference path retains nothing)");
+  }
   const int channels = in_shape_[0];
   const int in_len = in_shape_[1];
   const int out_len = out_length(in_len, pool_, stride_);

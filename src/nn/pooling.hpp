@@ -10,8 +10,11 @@ class MaxPool1D : public Layer {
   /// Non-overlapping pooling when stride == pool (the default).
   explicit MaxPool1D(int pool, int stride = 0);
 
+  /// Records argmax indices for backward() only when train == true.
   Tensor forward(const Tensor& input, bool train) override;
   Tensor backward(const Tensor& grad_output) override;
+  void forward_batch(const Tensor* const* inputs, std::size_t count,
+                     Tensor* outputs) override;
   std::string kind() const override { return "maxpool1d"; }
   std::string describe() const override;
   std::unique_ptr<Layer> clone() const override;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
 
 namespace origin::nn {
 
@@ -18,13 +19,44 @@ std::vector<float> softmax(const std::vector<float>& logits) {
   return out;
 }
 
-Tensor Softmax::forward(const Tensor& input, bool /*train*/) {
+Tensor Softmax::forward(const Tensor& input, bool train) {
   Tensor out(input.shape(), softmax(input.vec()));
-  last_output_ = out;
+  if (train) {
+    last_output_ = out;
+  } else {
+    last_output_ = Tensor();
+  }
   return out;
 }
 
+void Softmax::forward_batch(const Tensor* const* inputs, std::size_t count,
+                            Tensor* outputs) {
+  for (std::size_t b = 0; b < count; ++b) {
+    const Tensor& in = *inputs[b];
+    outputs[b].reset_shape(in.shape());
+    const float* x = in.data();
+    float* y = outputs[b].data();
+    const std::size_t n = in.size();
+    if (n == 0) continue;
+    // Same max-shift / exp / normalize sequence as the free function, so
+    // results match per-sample forward bit-for-bit.
+    float m = x[0];
+    for (std::size_t i = 1; i < n; ++i) m = std::max(m, x[i]);
+    float sum = 0.0f;
+    for (std::size_t i = 0; i < n; ++i) {
+      y[i] = std::exp(x[i] - m);
+      sum += y[i];
+    }
+    for (std::size_t i = 0; i < n; ++i) y[i] /= sum;
+  }
+}
+
 Tensor Softmax::backward(const Tensor& grad_output) {
+  if (last_output_.size() != grad_output.size()) {
+    throw std::logic_error(
+        "Softmax::backward: no cached output — call forward(x, train=true) "
+        "before backward (the inference path retains nothing)");
+  }
   // dL/dx_i = y_i * (dL/dy_i - sum_j dL/dy_j * y_j)
   const auto& y = last_output_;
   float dot = 0.0f;

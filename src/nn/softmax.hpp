@@ -10,8 +10,11 @@ namespace origin::nn {
 
 class Softmax : public Layer {
  public:
+  /// Caches the output for backward() only when train == true.
   Tensor forward(const Tensor& input, bool train) override;
   Tensor backward(const Tensor& grad_output) override;
+  void forward_batch(const Tensor* const* inputs, std::size_t count,
+                     Tensor* outputs) override;
   std::string kind() const override { return "softmax"; }
   std::unique_ptr<Layer> clone() const override;
   std::vector<int> output_shape(const std::vector<int>& input) const override {

@@ -75,6 +75,11 @@ Tensor Tensor::reshaped(std::vector<int> shape) const {
   return Tensor(std::move(shape), data_);
 }
 
+void Tensor::reset_shape(std::vector<int> shape) {
+  shape_ = std::move(shape);
+  data_.resize(shape_size(shape_));
+}
+
 void Tensor::fill(float value) {
   std::fill(data_.begin(), data_.end(), value);
 }

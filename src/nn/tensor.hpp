@@ -50,6 +50,12 @@ class Tensor {
   /// must match). Throws std::invalid_argument otherwise.
   Tensor reshaped(std::vector<int> shape) const;
 
+  /// Re-shapes this tensor in place, reusing its storage (the arena
+  /// primitive of the batched inference path: repeated calls with the same
+  /// shape never reallocate). Element values are unspecified afterwards —
+  /// the caller overwrites them.
+  void reset_shape(std::vector<int> shape);
+
   void fill(float value);
   void zero() { fill(0.0f); }
 

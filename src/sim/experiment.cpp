@@ -1,7 +1,9 @@
 #include "sim/experiment.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <vector>
 
 namespace origin::sim {
 
@@ -101,9 +103,11 @@ std::unique_ptr<core::Policy> Experiment::make_policy(PolicyKind kind,
 
 SimResult Experiment::run_policy(core::Policy& policy,
                                  const data::Stream& stream, ModelSet set,
-                                 obs::TraceRecorder* trace) const {
+                                 obs::TraceRecorder* trace,
+                                 int batch_slots) const {
   SimulatorConfig config = sim_config_;
   config.trace = trace;
+  config.batch_slots = batch_slots;
   Simulator simulator(system_.spec,
                       set == ModelSet::Relaxed ? system_.relaxed_copy()
                                                : system_.bl2_copy(),
@@ -112,7 +116,8 @@ SimResult Experiment::run_policy(core::Policy& policy,
 }
 
 SimResult Experiment::run_fully_powered(core::BaselineKind kind,
-                                        const data::Stream& stream) const {
+                                        const data::Stream& stream,
+                                        int batch_slots) const {
   // Baseline-1: the original (unpruned) networks on an unconstrained
   // steady supply — every sensor classifies every window.
   //
@@ -130,7 +135,51 @@ SimResult Experiment::run_fully_powered(core::BaselineKind kind,
   SimResult result;
   result.accuracy = AccuracyTracker(system_.spec.num_classes());
 
+  // Batched classification: one predict_proba_batch call per (sensor,
+  // block of consecutive windows). Bit-identical to per-slot
+  // predict_proba, so the vote sequence below is unchanged.
+  const std::size_t block = batch_slots > 1
+                                ? static_cast<std::size_t>(batch_slots)
+                                : 0;
+
   if (kind == core::BaselineKind::BL1) {
+    if (block > 0) {
+      std::vector<const nn::Tensor*> ptrs;
+      std::array<std::vector<std::vector<float>>, data::kNumSensors> probas;
+      for (std::size_t b0 = 0; b0 < stream.slots.size(); b0 += block) {
+        const std::size_t b1 = std::min(b0 + block, stream.slots.size());
+        for (int s = 0; s < data::kNumSensors; ++s) {
+          const auto si = static_cast<std::size_t>(s);
+          ptrs.clear();
+          for (std::size_t i = b0; i < b1; ++i) {
+            ptrs.push_back(&stream.slots[i].windows[si]);
+          }
+          probas[si] = models[si].predict_proba_batch(ptrs.data(), ptrs.size());
+        }
+        for (std::size_t i = b0; i < b1; ++i) {
+          // Same ballot construction as FullyPoweredBaseline::classify_slot:
+          // every sensor votes with weight 1.0, ties broken by sensor order.
+          std::vector<core::Ballot> ballots;
+          ballots.reserve(data::kNumSensors);
+          for (int s = 0; s < data::kNumSensors; ++s) {
+            const auto cls = net::make_classification(
+                probas[static_cast<std::size_t>(s)][i - b0]);
+            ballots.push_back(
+                {cls.predicted_class, 1.0, static_cast<double>(s)});
+          }
+          const int predicted =
+              core::majority_vote(ballots, system_.spec.num_classes()).value();
+          result.outputs.push_back(predicted);
+          result.accuracy.record(stream.slots[i].label, predicted);
+          ++result.completion.slots;
+          result.completion.attempts += data::kNumSensors;
+          result.completion.completions += data::kNumSensors;
+          ++result.completion.slots_all_completed;
+          ++result.completion.slots_some_completed;
+        }
+      }
+      return result;
+    }
     for (const auto& slot : stream.slots) {
       const int predicted = baseline.classify_slot(slot.windows);
       result.outputs.push_back(predicted);
@@ -147,15 +196,44 @@ SimResult Experiment::run_fully_powered(core::BaselineKind kind,
   const int period = std::max(1, static_cast<int>(std::lround(config_.energy_ratio)));
   const int stagger =
       config_.bl2_staggered ? std::max(1, period / data::kNumSensors) : 0;
+  // Per-sensor block cache for the duty-cycled BL-2 path: classify only
+  // the sensor's scheduled slots within each block, in one batched call.
+  std::array<std::vector<std::vector<float>>, data::kNumSensors> bl2_cache;
+  std::array<std::vector<std::size_t>, data::kNumSensors> bl2_cache_slots;
+  std::size_t cache_b0 = 0, cache_b1 = 0;
   std::array<net::Classification, data::kNumSensors> votes;
   for (std::size_t i = 0; i < stream.slots.size(); ++i) {
     const auto& slot = stream.slots[i];
     ++result.completion.slots;
+    if (block > 0 && i >= cache_b1) {
+      cache_b0 = i;
+      cache_b1 = std::min(i + block, stream.slots.size());
+      std::vector<const nn::Tensor*> ptrs;
+      for (int s = 0; s < data::kNumSensors; ++s) {
+        const auto si = static_cast<std::size_t>(s);
+        ptrs.clear();
+        bl2_cache_slots[si].clear();
+        for (std::size_t j = cache_b0; j < cache_b1; ++j) {
+          if (static_cast<int>(j) % period == (s * stagger) % period) {
+            bl2_cache_slots[si].push_back(j);
+            ptrs.push_back(&stream.slots[j].windows[si]);
+          }
+        }
+        bl2_cache[si] = models[si].predict_proba_batch(ptrs.data(), ptrs.size());
+      }
+    }
     for (int s = 0; s < data::kNumSensors; ++s) {
       const auto si = static_cast<std::size_t>(s);
       if (static_cast<int>(i) % period == (s * stagger) % period) {
-        votes[si] = net::make_classification(
-            models[si].predict_proba(slot.windows[si]));
+        if (block > 0) {
+          const auto& slots = bl2_cache_slots[si];
+          const std::size_t pos = static_cast<std::size_t>(
+              std::lower_bound(slots.begin(), slots.end(), i) - slots.begin());
+          votes[si] = net::make_classification(bl2_cache[si][pos]);
+        } else {
+          votes[si] = net::make_classification(
+              models[si].predict_proba(slot.windows[si]));
+        }
         ++result.completion.attempts;
         ++result.completion.completions;
         ++result.scheduled[si];

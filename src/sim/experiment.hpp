@@ -78,14 +78,21 @@ class Experiment {
   /// Runs `policy` over `stream` on harvested energy with the given model
   /// set (the default matches §IV-C: Origin deploys the BL-2 networks).
   /// `trace`, when given, records the slot-level event stream of the run
-  /// (see obs::TraceRecorder).
+  /// (see obs::TraceRecorder). `batch_slots` > 1 turns on in-shard
+  /// batching (SimulatorConfig::batch_slots); results are bit-identical
+  /// either way.
   SimResult run_policy(core::Policy& policy, const data::Stream& stream,
                        ModelSet set = ModelSet::BL2,
-                       obs::TraceRecorder* trace = nullptr) const;
+                       obs::TraceRecorder* trace = nullptr,
+                       int batch_slots = 0) const;
 
   /// Fully-powered baseline (steady supply, majority voting every slot).
+  /// `batch_slots` > 1 classifies blocks of consecutive windows per sensor
+  /// in one batched call; outputs are bit-identical to the slot-by-slot
+  /// path.
   SimResult run_fully_powered(core::BaselineKind kind,
-                              const data::Stream& stream) const;
+                              const data::Stream& stream,
+                              int batch_slots = 0) const;
 
  private:
   ExperimentConfig config_;

@@ -1,5 +1,6 @@
 #include "sim/simulator.hpp"
 
+#include <algorithm>
 #include <limits>
 #include <stdexcept>
 
@@ -60,6 +61,40 @@ SimResult Simulator::run(const data::Stream& stream) {
   const double slot_s = spec_.slot_seconds();
   int previous_output = -1;
 
+  // In-shard batching state: per-sensor cache of classifications for one
+  // block of consecutive slots, filled lazily by a single batched forward
+  // the first time an attempt lands in the block (see SimulatorConfig).
+  const std::size_t block = config_.batch_slots > 1
+                                ? static_cast<std::size_t>(config_.batch_slots)
+                                : 0;
+  struct BlockCache {
+    std::size_t begin = 0;
+    std::size_t end = 0;  // cache covers slots [begin, end); empty if ==
+    std::vector<net::Classification> results;
+  };
+  std::array<BlockCache, data::kNumSensors> block_cache;
+  std::vector<const nn::Tensor*> block_windows;
+  const auto precomputed_for = [&](std::size_t sensor, std::size_t slot_idx)
+      -> const net::Classification* {
+    if (block == 0) return nullptr;
+    BlockCache& cache = block_cache[sensor];
+    if (slot_idx < cache.begin || slot_idx >= cache.end) {
+      cache.begin = (slot_idx / block) * block;
+      cache.end = std::min(cache.begin + block, stream.slots.size());
+      block_windows.clear();
+      for (std::size_t j = cache.begin; j < cache.end; ++j) {
+        block_windows.push_back(&stream.slots[j].windows[sensor]);
+      }
+      const auto probas = nodes[sensor].model().predict_proba_batch(
+          block_windows.data(), block_windows.size());
+      cache.results.clear();
+      for (const auto& p : probas) {
+        cache.results.push_back(net::make_classification(p));
+      }
+    }
+    return &cache.results[slot_idx - cache.begin];
+  };
+
   for (std::size_t i = 0; i < stream.slots.size(); ++i) {
     const auto& slot = stream.slots[i];
     const double t0 = static_cast<double>(i) * slot_s;
@@ -106,16 +141,17 @@ SimResult Simulator::run(const data::Stream& stream) {
       const double stored_before = nodes[si].stored_j();
       const net::NodeCounters counters_before = nodes[si].counters();
 #endif
+      const net::Classification* precomputed = precomputed_for(si, i);
       std::optional<net::Classification> outcome;
       switch (policy_->execution()) {
         case core::ExecutionModel::WaitCompute:
-          outcome = nodes[si].attempt_wait_compute(window);
+          outcome = nodes[si].attempt_wait_compute(window, precomputed);
           break;
         case core::ExecutionModel::EagerNvp:
-          outcome = nodes[si].attempt_eager(window);
+          outcome = nodes[si].attempt_eager(window, 0.1, precomputed);
           break;
         case core::ExecutionModel::Deadline:
-          outcome = nodes[si].attempt_deadline(window);
+          outcome = nodes[si].attempt_deadline(window, 0.1, precomputed);
           break;
       }
 #if ORIGIN_TRACE_ENABLED

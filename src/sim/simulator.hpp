@@ -34,6 +34,16 @@ struct SimulatorConfig {
   /// decisions + fallback hops, per-node energy, attempt outcomes with
   /// their failure cause, votes/weights and the fused output per slot.
   obs::TraceRecorder* trace = nullptr;
+  /// In-shard batching: classify blocks of this many consecutive stream
+  /// windows per sensor in one predict_proba_batch call (im2row + GEMM
+  /// over the whole block), lazily on the first attempt that touches a
+  /// block. Classification is a pure function of (model, window) and the
+  /// energy accounting is analytic, so every counter, vote and metric is
+  /// bit-identical to the unbatched run. 0 or 1 disables batching.
+  /// Trade-off: under sparse schedules a block may classify windows no
+  /// attempt ever completes on, so total model executions can exceed
+  /// completed inferences — which is why this is opt-in.
+  int batch_slots = 0;
 };
 
 class Simulator {

@@ -28,7 +28,9 @@ double loss_of(Sequential& model, const Tensor& input, int target) {
 void check_param_gradients(Sequential& model, const Tensor& input, int target,
                            double eps = 1e-3, double tol = 2e-2) {
   model.zero_grads();
-  const Tensor logits = model.forward(input, /*train=*/false);
+  // train=true so layers cache what backward() needs (none of the models
+  // under test contain Dropout, so results match the inference path).
+  const Tensor logits = model.forward(input, /*train=*/true);
   model.backward(softmax_cross_entropy(logits, target).grad);
 
   const auto params = model.params();
@@ -59,7 +61,7 @@ void check_input_gradient(Sequential& model, Tensor input, int target,
   std::vector<Tensor> activations;
   activations.push_back(x);
   for (std::size_t l = 0; l < model.layer_count(); ++l) {
-    activations.push_back(model.layer(l).forward(activations.back(), false));
+    activations.push_back(model.layer(l).forward(activations.back(), true));
   }
   Tensor g = softmax_cross_entropy(activations.back(), target).grad;
   for (std::size_t l = model.layer_count(); l-- > 0;) {
@@ -151,7 +153,7 @@ TEST(GradCheck, SoftmaxLayerJacobian) {
   // Standalone softmax layer backward against MSE-style upstream gradient.
   Softmax sm;
   const Tensor x = random_input({5}, 7);
-  Tensor y = sm.forward(x, false);
+  Tensor y = sm.forward(x, true);
   const Tensor upstream({5}, {0.3f, -0.2f, 0.5f, 0.1f, -0.7f});
   const Tensor g = sm.backward(upstream);
 

@@ -73,7 +73,9 @@ TEST(LayerNorm, GradCheckFullModel) {
   const int target = 1;
 
   m.zero_grads();
-  const Tensor logits = m.forward(x, false);
+  // train=true so layers cache what backward() needs (no Dropout here, so
+  // results match the inference path).
+  const Tensor logits = m.forward(x, true);
   m.backward(softmax_cross_entropy(logits, target).grad);
 
   const auto params = m.params();

@@ -159,5 +159,60 @@ TEST_F(SimulatorTest, InferenceEnergyReflectsModels) {
   for (double c : costs) EXPECT_GT(c, 0.0);
 }
 
+void expect_same_result(const SimResult& a, const SimResult& b) {
+  EXPECT_EQ(a.outputs, b.outputs);
+  EXPECT_EQ(a.scheduled, b.scheduled);
+  EXPECT_EQ(a.completion.attempts, b.completion.attempts);
+  EXPECT_EQ(a.completion.completions, b.completion.completions);
+  EXPECT_EQ(a.completion.slots_all_completed, b.completion.slots_all_completed);
+  EXPECT_EQ(a.accuracy.overall(), b.accuracy.overall());
+  for (std::size_t s = 0; s < a.node_counters.size(); ++s) {
+    EXPECT_EQ(a.node_counters[s].attempts, b.node_counters[s].attempts);
+    EXPECT_EQ(a.node_counters[s].completions, b.node_counters[s].completions);
+    EXPECT_EQ(a.node_counters[s].skipped_no_energy,
+              b.node_counters[s].skipped_no_energy);
+    EXPECT_EQ(a.node_counters[s].died_midway, b.node_counters[s].died_midway);
+    EXPECT_EQ(a.node_counters[s].consumed_j, b.node_counters[s].consumed_j);
+  }
+}
+
+TEST_F(SimulatorTest, BatchedClassificationBitIdentical) {
+  // In-shard batching must not change a single output, counter or joule,
+  // under any execution model (eager NVP, deadline, wait-compute) or any
+  // block size — including blocks that do not divide the stream length.
+  const auto cfg = scaled_config(6);
+  const auto run_with = [&](auto make_policy, int batch_slots) {
+    auto policy = make_policy();
+    SimulatorConfig c = cfg;
+    c.batch_slots = batch_slots;
+    return Simulator(spec_, tiny_models(spec_), &trace_, &policy, c)
+        .run(stream_);
+  };
+  const auto eager = [&] {
+    return core::PlainRRPolicy{core::ExtendedRoundRobin(6)};
+  };
+  const auto deadline = [&] {
+    return core::NaiveAllPolicy(spec_.num_classes());
+  };
+  const auto wait = [&] {
+    return core::AASPolicy(core::ExtendedRoundRobin(6),
+                           core::RankTable(spec_.num_classes()));
+  };
+  for (int batch : {4, 32, 7}) {
+    {
+      SCOPED_TRACE("eager batch=" + std::to_string(batch));
+      expect_same_result(run_with(eager, 0), run_with(eager, batch));
+    }
+    {
+      SCOPED_TRACE("deadline batch=" + std::to_string(batch));
+      expect_same_result(run_with(deadline, 0), run_with(deadline, batch));
+    }
+    {
+      SCOPED_TRACE("wait-compute batch=" + std::to_string(batch));
+      expect_same_result(run_with(wait, 0), run_with(wait, batch));
+    }
+  }
+}
+
 }  // namespace
 }  // namespace origin::sim
