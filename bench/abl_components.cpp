@@ -8,7 +8,8 @@
 
 using namespace origin;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonReport report(argc, argv, "abl_components");
   auto exp = bench::make_experiment(data::DatasetKind::MHealthLike);
   const auto stream = exp.make_stream(data::reference_user());
 
@@ -40,6 +41,7 @@ int main() {
                                            r.completion.attempt_success_rate()});
     }
     t.print();
+    report.add_table("component_buildup", t);
   }
 
   std::printf("\n=== Ablation: recall horizon (Origin RR12) ===\n");
@@ -54,6 +56,7 @@ int main() {
                 {100.0 * r.accuracy.overall()});
     }
     t.print();
+    report.add_table("recall_horizon", t);
   }
 
   std::printf("\n=== Ablation: recency decay tau (Origin RR12) ===\n");
@@ -66,6 +69,7 @@ int main() {
       t.add_row(util::AsciiTable::format(tau, 1), {100.0 * r.accuracy.overall()});
     }
     t.print();
+    report.add_table("recency_tau", t);
   }
 
   std::printf("\n=== Ablation: Baseline-2 ensemble schedule ===\n");
@@ -81,6 +85,8 @@ int main() {
     t.add_row("staggered duty cycle (stronger variant)",
               {100.0 * stag.accuracy.overall()});
     t.print();
+    report.add_table("bl2_schedule", t);
   }
+  report.write();
   return 0;
 }

@@ -6,7 +6,8 @@
 
 using namespace origin;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonReport report(argc, argv, "abl_energy");
   std::printf("\n=== Ablation: NVP vs volatile core (plain RR3, eager) ===\n");
   {
     util::AsciiTable t({"core", "attempt success %", "overall acc %"});
@@ -22,6 +23,7 @@ int main() {
                  util::AsciiTable::format(100.0 * r.accuracy.overall())});
     }
     t.print();
+    report.add_table("nvp", t);
   }
 
   std::printf("\n=== Ablation: capacitor headroom (Origin RR12) ===\n");
@@ -39,6 +41,7 @@ int main() {
                  util::AsciiTable::format(100.0 * r.accuracy.overall())});
     }
     t.print();
+    report.add_table("capacitor_headroom", t);
   }
 
   std::printf("\n=== Ablation: harvest scarcity (energy ratio = slots of average harvest per inference) ===\n");
@@ -61,6 +64,7 @@ int main() {
                  util::AsciiTable::format(100.0 * ro.accuracy.overall())});
     }
     t.print();
+    report.add_table("harvest_scarcity", t);
   }
 
   std::printf("\n=== Harvest trace statistics ===\n");
@@ -75,6 +79,8 @@ int main() {
                util::AsciiTable::format(trace.duty_cycle(0.2e-6), 3)});
     t.add_row({"duration [s]", util::AsciiTable::format(trace.duration_s(), 0)});
     t.print();
+    report.add_table("trace_stats", t);
   }
+  report.write();
   return 0;
 }

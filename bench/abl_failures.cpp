@@ -10,7 +10,8 @@
 
 using namespace origin;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonReport report(argc, argv, "abl_failures");
   auto exp = bench::make_experiment(data::DatasetKind::MHealthLike);
   const auto stream = exp.make_stream(data::reference_user());
   const double half_s = 0.5 * stream.duration_s();
@@ -55,6 +56,7 @@ int main() {
                  util::AsciiTable::format(a[0]), util::AsciiTable::format(a[1])});
     }
     t.print();
+    report.add_table("sensor_failure", t);
     std::printf("(graceful degradation: the scheduler reroutes to the survivors)\n");
   }
 
@@ -76,6 +78,7 @@ int main() {
                  util::AsciiTable::format(100.0 * r.accuracy.overall())});
     }
     t.print();
+    report.add_table("battery_hybrid", t);
   }
 
   std::printf("\n=== Ablation: self-paced schedule (\"RR policy fit for the EH source\") ===\n");
@@ -98,6 +101,8 @@ int main() {
                  util::AsciiTable::format(100.0 * r.accuracy.overall())});
     }
     t.print();
+    report.add_table("self_paced", t);
   }
+  report.write();
   return 0;
 }

@@ -8,7 +8,8 @@
 
 using namespace origin;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonReport report(argc, argv, "abl_pruning");
   auto exp = bench::make_experiment(data::DatasetKind::MHealthLike);
   auto& sys = exp.system();
   const auto stream = exp.make_stream(data::reference_user());
@@ -39,6 +40,7 @@ int main() {
           sys.sensors[si].bl2_cost);
     }
     t.print();
+    report.add_table("pruning_outcomes", t);
   }
 
   std::printf("\n=== Deployed on harvested energy ===\n");
@@ -54,6 +56,8 @@ int main() {
       }
     }
     t.print();
+    report.add_table("deployed", t);
   }
+  report.write();
   return 0;
 }

@@ -9,7 +9,8 @@
 
 using namespace origin;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonReport report(argc, argv, "abl_quantization");
   auto exp = bench::make_experiment(data::DatasetKind::MHealthLike);
   auto& sys = exp.system();
   const auto stream = exp.make_stream(data::reference_user());
@@ -64,6 +65,8 @@ int main() {
     evaluate(("int" + std::to_string(bits)).c_str(), bits);
   }
   t.print();
+  report.add_table("quantization", t);
+  report.write();
   std::printf("(quantization lowers the harvest needed per inference; below\n"
               " ~4 bits the accuracy loss outweighs the energy gain)\n");
   return 0;

@@ -14,10 +14,12 @@
 // Note the speedup column measures what the host gives us: on a
 // single-core container it stays ~1x by construction; on an 8-core host
 // the 8-thread row is the ROADMAP scale-out datum.
+#include <algorithm>
 #include <cstring>
 #include <string>
 
 #include "bench_common.hpp"
+#include "data/stream_cursor.hpp"
 #include "fleet/fleet_runner.hpp"
 #include "fleet/thread_pool.hpp"
 
@@ -122,8 +124,25 @@ int main(int argc, char** argv) {
   t.print();
   std::printf("aggregate + metrics bit-identical across thread counts: %s\n",
               identical ? "yes" : "NO — determinism bug");
+  // Per-job stream working set: a materialized Stream holds every slot's
+  // three windows for the whole run; the pooled cursor holds only its
+  // recycled ring (sized for the batching block).
+  const auto& spec = experiment.system().spec;
+  const double slot_kib =
+      static_cast<double>(data::kNumSensors) * sizeof(float) *
+      static_cast<double>(spec.channels) *
+      static_cast<double>(spec.window_len) / 1024.0;
+  const int ring =
+      std::max(data::StreamCursor::kDefaultRingCapacity, batch);
+  const double materialized_kib = static_cast<double>(slots) * slot_kib;
+  const double ring_kib = static_cast<double>(ring) * slot_kib;
+  std::printf("per-job stream memory: %.0f KiB materialized -> %.0f KiB "
+              "cursor ring (%d slots, reused across jobs)\n",
+              materialized_kib, ring_kib, ring);
   report.add_table("scaling", t);
   report.manifest().set("identical", identical);
+  report.manifest().set("stream_kib_materialized", materialized_kib);
+  report.manifest().set("stream_kib_cursor_ring", ring_kib);
   report.manifest().set_wall_seconds(total_seconds);
   report.write(&reference.metrics);
   return identical ? 0 : 1;

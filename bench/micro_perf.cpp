@@ -14,6 +14,7 @@
 #include "core/pipeline.hpp"
 #include "core/policy.hpp"
 #include "data/dataset.hpp"
+#include "data/stream_cursor.hpp"
 #include "energy/power_trace.hpp"
 #include "nn/conv1d.hpp"
 #include "nn/energy_model.hpp"
@@ -130,6 +131,70 @@ void BM_WindowSynthesis(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_WindowSynthesis);
+
+/// The preserved oracle loop — the before/after pair for the synthesis
+/// kernel (see EXPERIMENTS.md; the two are bit-identical by test).
+void BM_WindowSynthesisReference(benchmark::State& state) {
+  const auto spec = data::dataset_spec(data::DatasetKind::MHealthLike);
+  const data::SignalModel model(spec, data::reference_user());
+  util::Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.synthesize_window_reference(
+        data::Activity::Running, data::SensorLocation::LeftAnkle, 0.0, rng));
+  }
+}
+BENCHMARK(BM_WindowSynthesisReference);
+
+/// N slots (3 windows each) synthesized into pooled buffers — the stream
+/// generator's steady state: zero allocation after warm-up. items/s =
+/// windows/s.
+void BM_WindowSynthesisBatch(benchmark::State& state) {
+  const auto spec = data::dataset_spec(data::DatasetKind::MHealthLike);
+  const data::SignalModel model(spec, data::reference_user());
+  util::Rng rng(3);
+  std::array<nn::Tensor, data::kNumSensors> slot;
+  const int slots = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    for (int i = 0; i < slots; ++i) {
+      const auto style =
+          data::draw_shared_style(spec, data::Activity::Running, rng, 0.33);
+      model.synthesize_slot(slot, data::Activity::Running, 0.5 * i, rng,
+                            style);
+      benchmark::DoNotOptimize(slot[0].data());
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * slots * data::kNumSensors);
+}
+BENCHMARK(BM_WindowSynthesisBatch)->Arg(8)->Arg(32);
+
+/// Materializing a full stream up front — what every job paid pre-cursor.
+void BM_StreamMaterialize(benchmark::State& state) {
+  const auto spec = data::dataset_spec(data::DatasetKind::MHealthLike);
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        data::make_stream(spec, 120, data::reference_user(), seed++));
+  }
+  state.SetItemsProcessed(state.iterations() * 120 * data::kNumSensors);
+}
+BENCHMARK(BM_StreamMaterialize);
+
+/// The same stream consumed through a recycled cursor ring (the fleet
+/// runtime's per-job setup + drain): O(ring) working set, no per-job
+/// stream allocation.
+void BM_StreamCursorDrain(benchmark::State& state) {
+  const auto spec = data::dataset_spec(data::DatasetKind::MHealthLike);
+  data::StreamCursor cursor(spec, 120);
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    cursor.rebind(data::reference_user(), seed++);
+    for (std::size_t i = 0; i < cursor.size(); ++i) {
+      benchmark::DoNotOptimize(cursor.slot(i));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 120 * data::kNumSensors);
+}
+BENCHMARK(BM_StreamCursorDrain);
 
 void BM_MajorityVote(benchmark::State& state) {
   const std::vector<core::Ballot> ballots = {

@@ -7,7 +7,8 @@
 
 using namespace origin;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonReport report(argc, argv, "tab01_origin_vs_baselines");
   auto exp = bench::make_experiment(data::DatasetKind::MHealthLike);
   const auto stream = exp.make_stream(data::reference_user());
   const auto& spec = exp.spec();
@@ -33,5 +34,7 @@ int main() {
   std::printf("(Origin runs on harvested energy only; both baselines on a steady supply.\n"
               " BL-2 operates at the same average power as the harvest; BL-1 is unconstrained.)\n");
   t.print();
+  report.add_table("table1", t);
+  report.write();
   return 0;
 }

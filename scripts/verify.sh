@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# Consolidated verification — one entry point for every bit-identity gate
+# the paper numbers depend on:
+#
+#   data    — the data-path suite (label `data`: synthesis kernel vs the
+#             preserved oracle, stream cursor vs materialized stream,
+#             golden checksums + RNG draw-order pins) in Release and
+#             Release+ASan. Guards the tentpole contract: fast synthesis
+#             must be bit-identical to the reference, so every downstream
+#             accuracy number is unchanged.
+#   kernels — scripts/verify_kernels.sh (inference kernels + fleet
+#             concurrency suites, Release + ASan).
+#   trace   — scripts/verify_trace.sh (-DORIGIN_TRACE=ON/OFF builds).
+#   all     — everything above (default).
+#
+# Usage: scripts/verify.sh [data|kernels|trace|all] [generator-args...]
+# The data gate reuses the build-kernels-{release,asan}/ trees so a full
+# `all` run configures each tree once.
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$repo"
+
+gate="${1:-all}"
+if [ "$#" -gt 0 ]; then shift; fi
+
+jobs="$(nproc 2>/dev/null || echo 2)"
+
+verify_data_config() {
+  local sanitizer="$1" dir="$2"
+  shift 2
+  echo "=== data: sanitizer='${sanitizer:-none}' (${dir}) ==="
+  cmake -B "$dir" -S "$repo" -DORIGIN_SANITIZE="$sanitizer" "$@" >/dev/null
+  cmake --build "$dir" -j "$jobs" --target \
+      test_data_golden test_stream_cursor test_signal_model test_dataset
+  ctest --test-dir "$dir" -L data --output-on-failure -j "$jobs"
+}
+
+verify_data() {
+  verify_data_config ""        "build-kernels-release" "$@"
+  verify_data_config "address" "build-kernels-asan"    "$@"
+  echo "=== data path verified (Release + ASan) ==="
+}
+
+case "$gate" in
+  data)    verify_data "$@" ;;
+  kernels) "$repo/scripts/verify_kernels.sh" "$@" ;;
+  trace)   "$repo/scripts/verify_trace.sh" "$@" ;;
+  all)
+    verify_data "$@"
+    "$repo/scripts/verify_kernels.sh" "$@"
+    "$repo/scripts/verify_trace.sh" "$@"
+    echo "=== all verification gates passed ==="
+    ;;
+  *)
+    echo "usage: scripts/verify.sh [data|kernels|trace|all] [generator-args...]" >&2
+    exit 2
+    ;;
+esac

@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
-#include "data/noise.hpp"
+#include "data/stream_cursor.hpp"
 
 namespace origin::data {
 
@@ -32,85 +32,19 @@ nn::Samples make_training_set(const DatasetSpec& spec, SensorLocation loc,
 Stream make_stream(const DatasetSpec& spec, int num_slots,
                    const UserProfile& user, std::uint64_t seed,
                    const StreamConfig& config) {
-  if (num_slots <= 0) throw std::invalid_argument("make_stream: num_slots <= 0");
-  util::Rng rng(seed);
+  // One generator, two consumption modes: the slot state machine (smooth
+  // style anchors, ambiguous episodes, per-sensor synthesis) lives in
+  // StreamCursor; materializing is just draining it. A cursor consumed
+  // on demand therefore yields this stream's slots bit for bit.
+  StreamCursor cursor(spec, num_slots, user, seed, config,
+                      /*ring_capacity=*/1);
   Stream stream;
   stream.spec = spec;
   stream.user = user;
-
-  const double slot_s = spec.slot_seconds();
-  const double total_s =
-      static_cast<double>(num_slots) * slot_s + spec.window_seconds();
-  const ActivityMarkov markov(spec, config.markov);
-  stream.segments = markov.generate(total_s, rng);
-
-  const SignalModel model(spec, user);
+  stream.segments = cursor.segments();
   stream.slots.reserve(static_cast<std::size_t>(num_slots));
-
-  // Smooth style process: anchors drawn i.i.d. (matching the training
-  // distribution's marginals) and linearly interpolated, so form drifts
-  // over seconds instead of jumping per window.
-  const int anchor_gap = std::max(1, config.style_anchor_slots);
-  double u_prev = rng.uniform(0.8, 2.4), u_next = rng.uniform(0.8, 2.4);
-  double g_prev = rng.gauss(), g_next = rng.gauss();
-
-  // Episodic whole-body ambiguity (a few-second shuffle, then clean form).
-  bool amb_active = false;
-  SharedStyle episode;  // holds ambiguous_with/mix while an episode runs
-  Activity episode_activity = Activity::Walking;
-
-  for (int i = 0; i < num_slots; ++i) {
-    SlotSample slot;
-    slot.t0_s = static_cast<double>(i) * slot_s;
-    // Ground truth at the window midpoint: a window straddling an activity
-    // boundary is labeled with the dominant (midpoint) activity.
-    slot.activity =
-        activity_at(stream.segments, slot.t0_s + 0.5 * spec.window_seconds());
-    slot.label = spec.class_of(slot.activity);
-
-    if (i % anchor_gap == 0 && i > 0) {
-      u_prev = u_next;
-      g_prev = g_next;
-      u_next = rng.uniform(0.8, 2.4);
-      g_next = rng.gauss();
-    }
-    const double frac = static_cast<double>(i % anchor_gap) / anchor_gap;
-
-    // Ambiguous-episode state machine (exponential dwell approximated per
-    // slot). An episode ends early if the activity itself changes.
-    if (amb_active &&
-        (episode_activity != slot.activity ||
-         rng.bernoulli(std::min(1.0, slot_s / config.ambiguous_len_s)))) {
-      amb_active = false;
-    }
-    if (!amb_active &&
-        rng.bernoulli(std::min(1.0, slot_s / config.ambiguous_gap_s))) {
-      SharedStyle fresh = draw_shared_style(spec, slot.activity, rng, 1.0);
-      if (fresh.ambiguous_with) {
-        amb_active = true;
-        episode = fresh;
-        episode_activity = slot.activity;
-      }
-    }
-
-    // One execution style per instant, shared by every sensor on the body:
-    // a sloppy half-step is sloppy at the chest, ankle and wrist alike.
-    SharedStyle style;
-    style.blend_u = u_prev + (u_next - u_prev) * frac;
-    style.cadence_g = g_prev + (g_next - g_prev) * frac;
-    if (amb_active) {
-      style.ambiguous_with = episode.ambiguous_with;
-      style.ambiguity_mix = episode.ambiguity_mix;
-    }
-    slot.ambiguous = style.ambiguous_with.has_value();
-
-    for (int s = 0; s < kNumSensors; ++s) {
-      const auto loc = static_cast<SensorLocation>(s);
-      nn::Tensor w = model.window(slot.activity, loc, slot.t0_s, rng, style);
-      if (config.snr_db) add_gaussian_noise_snr(w, *config.snr_db, rng);
-      slot.windows[static_cast<std::size_t>(s)] = std::move(w);
-    }
-    stream.slots.push_back(std::move(slot));
+  for (std::size_t i = 0; i < cursor.size(); ++i) {
+    stream.slots.push_back(cursor.slot(i));
   }
   return stream;
 }

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <vector>
+
+#include "util/det_math.hpp"
 
 namespace origin::data {
 
@@ -209,9 +212,190 @@ SharedStyle draw_shared_style(const DatasetSpec& spec, Activity a,
   return s;
 }
 
+namespace {
+
+// Signature table, computed once per process. The reference path derives a
+// signature from its fixed seed on every call; the kernel path looks it up
+// here along with the per-channel harmonic phase products (1.7*phase,
+// 0.6*phase) the inner loop would otherwise recompute per sample. Products
+// of the same doubles in the same order, so cached and inline values agree
+// bit for bit.
+struct SignatureEntry {
+  ActivitySignature sig;
+  std::array<double, kImuChannels> phase2{};  // 1.7 * phase
+  std::array<double, kImuChannels> phase3{};  // 0.6 * phase
+};
+
+const SignatureEntry& cached_signature(Activity a, SensorLocation loc) {
+  static const auto table = [] {
+    std::array<SignatureEntry, kNumActivityKinds * kNumSensors> t{};
+    for (int ai = 0; ai < kNumActivityKinds; ++ai) {
+      for (int li = 0; li < kNumSensors; ++li) {
+        auto& e = t[static_cast<std::size_t>(ai * kNumSensors + li)];
+        e.sig = signature(static_cast<Activity>(ai),
+                          static_cast<SensorLocation>(li));
+        for (std::size_t c = 0; c < kImuChannels; ++c) {
+          e.phase2[c] = 1.7 * e.sig.phase[c];
+          e.phase3[c] = 0.6 * e.sig.phase[c];
+        }
+      }
+    }
+    return t;
+  }();
+  return table[static_cast<std::size_t>(static_cast<int>(a) * kNumSensors +
+                                        static_cast<int>(loc))];
+}
+
+}  // namespace
+
 nn::Tensor SignalModel::window(Activity a, SensorLocation loc, double t0_s,
                                util::Rng& rng,
                                std::optional<SharedStyle> style) const {
+  nn::Tensor out;
+  synthesize_window(out, a, loc, t0_s, rng, std::move(style));
+  return out;
+}
+
+void SignalModel::synthesize_slot(std::array<nn::Tensor, kNumSensors>& out,
+                                  Activity a, double t0_s, util::Rng& rng,
+                                  const SharedStyle& style) const {
+  for (int s = 0; s < kNumSensors; ++s) {
+    synthesize_window(out[static_cast<std::size_t>(s)], a,
+                      static_cast<SensorLocation>(s), t0_s, rng, style);
+  }
+}
+
+void SignalModel::synthesize_window(nn::Tensor& out, Activity a,
+                                    SensorLocation loc, double t0_s,
+                                    util::Rng& rng,
+                                    std::optional<SharedStyle> style) const {
+  // Per-window setup: identical draws, in identical order, to the
+  // reference (style?, window_phase, wobble — then per-sample noise).
+  const SignatureEntry& entry_main = cached_signature(a, loc);
+  const SignatureEntry& entry_alt =
+      cached_signature(confusable_neighbor(a, loc), loc);
+  const ActivitySignature& main = entry_main.sig;
+  const ActivitySignature& alt = entry_alt.sig;
+  const SharedStyle st = style ? *style : draw_shared_style(spec_, a, rng);
+  const double weakness = 1.0 - distinctiveness(a, loc);
+  const double beta =
+      std::clamp(weakness * st.blend_u + user_.style_shift * 0.5, 0.0, 0.95);
+
+  const double fs = static_cast<double>(spec_.sample_rate_hz);
+  const double jitter = 1.0 + st.cadence_g * (0.05 + 0.10 * weakness);
+  const double f_main = main.fundamental_hz * user_.freq_scale * jitter;
+  const double f_alt = alt.fundamental_hz * user_.freq_scale * jitter;
+  const double window_phase = rng.uniform(0.0, kTwoPi);
+  const double wobble = std::max(0.3, rng.gauss(1.0, 0.10));
+  const double sigma =
+      noise_sigma(loc) * user_.noise_scale *
+      user_.placement_noise[static_cast<std::size_t>(loc)] *
+      (1.0 + 2.5 * weakness);
+
+  const bool ambiguous = st.ambiguous_with && *st.ambiguous_with != a;
+  const SignatureEntry& entry_amb =
+      ambiguous ? cached_signature(*st.ambiguous_with, loc) : entry_main;
+  const ActivitySignature& amb = entry_amb.sig;
+  const double f_amb =
+      ambiguous ? amb.fundamental_hz * user_.freq_scale * jitter : f_main;
+  const double mix = ambiguous ? st.ambiguity_mix : 0.0;
+
+  // Hoisted per-window invariants. Each matches a subtree of the
+  // reference's expression parse (e.g. `kTwoPi * f * t` associates as
+  // `(kTwoPi*f)*t`, `amp_scale * wobble * (...)` as `(amp_scale*wobble)*(...)`,
+  // `(1.0-beta)*v_main`, `(1.0-mix)*v`), so precomputing them is exact.
+  const double amp = user_.amp_scale * wobble;
+  const double omega_main = kTwoPi * f_main;
+  const double omega_alt = kTwoPi * f_alt;
+  const double omega_amb = kTwoPi * f_amb;
+  const double blend_main = 1.0 - beta;
+  const double keep = 1.0 - mix;
+
+  const int len = spec_.window_len;
+  out.reset_shape({spec_.channels, len});
+  float* out_data = out.data();
+
+  // Shared time grid: element-wise identical to the reference's per-sample
+  // `t0_s + i/fs`, computed once per window instead of once per channel.
+  thread_local std::vector<double> t_grid;
+  thread_local std::vector<double> clean;
+  t_grid.resize(static_cast<std::size_t>(len));
+  clean.resize(static_cast<std::size_t>(len));
+  for (int i = 0; i < len; ++i) {
+    t_grid[static_cast<std::size_t>(i)] =
+        t0_s + static_cast<double>(i) / fs;
+  }
+
+  for (int c = 0; c < spec_.channels; ++c) {
+    const auto ci = static_cast<std::size_t>(c);
+    const double ph = window_phase + user_phase_[ci];
+    const double m_dc = main.dc[ci], m_a1 = main.amp1[ci],
+                 m_a2 = main.amp2[ci], m_a3 = main.amp3[ci];
+    const double m_p1 = main.phase[ci], m_p2 = entry_main.phase2[ci],
+                 m_p3 = entry_main.phase3[ci];
+    const double a_dc = alt.dc[ci], a_a1 = alt.amp1[ci], a_a2 = alt.amp2[ci],
+                 a_a3 = alt.amp3[ci];
+    const double a_p1 = alt.phase[ci], a_p2 = entry_alt.phase2[ci],
+                 a_p3 = entry_alt.phase3[ci];
+
+    // Pass 1: the deterministic waveform — no RNG, no branches, pure
+    // double arithmetic over the shared grid, so it autovectorizes.
+    if (!ambiguous) {
+      for (int i = 0; i < len; ++i) {
+        const double t = t_grid[static_cast<std::size_t>(i)];
+        const double wm = omega_main * t + ph;
+        const double v_main =
+            m_dc + amp * ((m_a1 * util::det_sin(wm + m_p1) +
+                           m_a2 * util::det_sin(2.0 * wm + m_p2)) +
+                          m_a3 * util::det_sin(3.0 * wm + m_p3));
+        const double wa = omega_alt * t + ph;
+        const double v_alt =
+            a_dc + amp * ((a_a1 * util::det_sin(wa + a_p1) +
+                           a_a2 * util::det_sin(2.0 * wa + a_p2)) +
+                          a_a3 * util::det_sin(3.0 * wa + a_p3));
+        clean[static_cast<std::size_t>(i)] =
+            blend_main * v_main + beta * v_alt;
+      }
+    } else {
+      const double b_dc = amb.dc[ci], b_a1 = amb.amp1[ci],
+                   b_a2 = amb.amp2[ci], b_a3 = amb.amp3[ci];
+      const double b_p1 = amb.phase[ci], b_p2 = entry_amb.phase2[ci],
+                   b_p3 = entry_amb.phase3[ci];
+      for (int i = 0; i < len; ++i) {
+        const double t = t_grid[static_cast<std::size_t>(i)];
+        const double wm = omega_main * t + ph;
+        const double v_main =
+            m_dc + amp * ((m_a1 * util::det_sin(wm + m_p1) +
+                           m_a2 * util::det_sin(2.0 * wm + m_p2)) +
+                          m_a3 * util::det_sin(3.0 * wm + m_p3));
+        const double wa = omega_alt * t + ph;
+        const double v_alt =
+            a_dc + amp * ((a_a1 * util::det_sin(wa + a_p1) +
+                           a_a2 * util::det_sin(2.0 * wa + a_p2)) +
+                          a_a3 * util::det_sin(3.0 * wa + a_p3));
+        const double wb = omega_amb * t + ph;
+        const double v_amb =
+            b_dc + amp * ((b_a1 * util::det_sin(wb + b_p1) +
+                           b_a2 * util::det_sin(2.0 * wb + b_p2)) +
+                          b_a3 * util::det_sin(3.0 * wb + b_p3));
+        clean[static_cast<std::size_t>(i)] =
+            keep * (blend_main * v_main + beta * v_alt) + mix * v_amb;
+      }
+    }
+
+    // Pass 2: sensor noise, drawn in the reference's channel-major order.
+    float* row = out_data + static_cast<std::size_t>(c) *
+                                static_cast<std::size_t>(len);
+    for (int i = 0; i < len; ++i) {
+      row[i] = static_cast<float>(clean[static_cast<std::size_t>(i)] +
+                                  rng.gauss(0.0, sigma));
+    }
+  }
+}
+
+nn::Tensor SignalModel::synthesize_window_reference(
+    Activity a, SensorLocation loc, double t0_s, util::Rng& rng,
+    std::optional<SharedStyle> style) const {
   const ActivitySignature main = signature(a, loc);
   const ActivitySignature alt = signature(confusable_neighbor(a, loc), loc);
   const SharedStyle st = style ? *style : draw_shared_style(spec_, a, rng);
@@ -251,14 +435,16 @@ nn::Tensor SignalModel::window(Activity a, SensorLocation loc, double t0_s,
       ambiguous ? amb.fundamental_hz * user_.freq_scale * jitter : f_main;
   const double mix = ambiguous ? st.ambiguity_mix : 0.0;
 
+  // util::det_sin, not std::sin: libm is not bit-portable, and the kernel
+  // path this function is the oracle for must match it exactly.
   auto sig_value = [&](const ActivitySignature& sig, double f, double ph,
                        double t, std::size_t ci) {
     const double w = kTwoPi * f * t + ph;
     return sig.dc[ci] +
            user_.amp_scale * wobble *
-               (sig.amp1[ci] * std::sin(w + sig.phase[ci]) +
-                sig.amp2[ci] * std::sin(2.0 * w + 1.7 * sig.phase[ci]) +
-                sig.amp3[ci] * std::sin(3.0 * w + 0.6 * sig.phase[ci]));
+               (sig.amp1[ci] * util::det_sin(w + sig.phase[ci]) +
+                sig.amp2[ci] * util::det_sin(2.0 * w + 1.7 * sig.phase[ci]) +
+                sig.amp3[ci] * util::det_sin(3.0 * w + 0.6 * sig.phase[ci]));
   };
 
   nn::Tensor out({spec_.channels, spec_.window_len});

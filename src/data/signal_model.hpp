@@ -76,6 +76,17 @@ SharedStyle draw_shared_style(const DatasetSpec& spec, Activity a,
                               util::Rng& rng, double p_ambiguous = 0.33);
 
 /// Synthesizes windows of IMU data for one user.
+///
+/// Two implementations share one bit-identity contract:
+///   - `synthesize_window_reference` is the original scalar loop, kept
+///     verbatim as the test oracle;
+///   - `synthesize_window` (and `window`, which routes to it) is the fast
+///     kernel path: cached per-(activity, location) signature tables, a
+///     shared time grid, per-window invariants hoisted out of the inner
+///     loop, and branchless util::det_sin sinusoids evaluated in
+///     vectorizable passes. It preserves the oracle's exact FP
+///     accumulation order and RNG draw order, so outputs are identical
+///     bit for bit (pinned by tests/test_data_golden.cpp).
 class SignalModel {
  public:
   SignalModel(DatasetSpec spec, UserProfile user);
@@ -87,6 +98,27 @@ class SignalModel {
   nn::Tensor window(Activity a, SensorLocation loc, double t0_s,
                     util::Rng& rng,
                     std::optional<SharedStyle> style = std::nullopt) const;
+
+  /// Fast path into a caller-provided buffer: `out` is reshaped in place
+  /// (pooled callers never reallocate in steady state) and every element
+  /// overwritten. Bit-identical to `synthesize_window_reference` under
+  /// the same RNG state.
+  void synthesize_window(nn::Tensor& out, Activity a, SensorLocation loc,
+                         double t0_s, util::Rng& rng,
+                         std::optional<SharedStyle> style = std::nullopt) const;
+
+  /// All three sensors of one slot under one shared style, filling the
+  /// caller's buffers. RNG draw order is sensor 0, 1, 2 — exactly the
+  /// stream generator's loop.
+  void synthesize_slot(std::array<nn::Tensor, kNumSensors>& out, Activity a,
+                       double t0_s, util::Rng& rng,
+                       const SharedStyle& style) const;
+
+  /// The original implementation, preserved as the bit-identity oracle
+  /// for the kernel path (and benchmarked as the pre-kernel baseline).
+  nn::Tensor synthesize_window_reference(
+      Activity a, SensorLocation loc, double t0_s, util::Rng& rng,
+      std::optional<SharedStyle> style = std::nullopt) const;
 
   const DatasetSpec& spec() const { return spec_; }
   const UserProfile& user() const { return user_; }

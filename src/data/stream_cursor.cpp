@@ -1,0 +1,125 @@
+#include "data/stream_cursor.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "data/noise.hpp"
+
+namespace origin::data {
+
+StreamCursor::StreamCursor(DatasetSpec spec, int num_slots,
+                           StreamConfig config, int ring_capacity)
+    : spec_(std::move(spec)), config_(config), num_slots_(num_slots) {
+  if (num_slots_ <= 0) {
+    throw std::invalid_argument("StreamCursor: num_slots <= 0");
+  }
+  ring_.resize(static_cast<std::size_t>(std::max(1, ring_capacity)));
+}
+
+StreamCursor::StreamCursor(DatasetSpec spec, int num_slots,
+                           const UserProfile& user, std::uint64_t seed,
+                           StreamConfig config, int ring_capacity)
+    : StreamCursor(std::move(spec), num_slots, config, ring_capacity) {
+  rebind(user, seed);
+}
+
+void StreamCursor::rebind(const UserProfile& user, std::uint64_t seed) {
+  user_ = user;
+  seed_ = seed;
+  model_.emplace(spec_, user_);
+  rng_ = util::Rng(seed_);
+
+  // Same draw sequence as make_stream: the Markov activity segments come
+  // out of the stream RNG first, then everything per-slot.
+  const double total_s = static_cast<double>(num_slots_) * spec_.slot_seconds() +
+                         spec_.window_seconds();
+  const ActivityMarkov markov(spec_, config_.markov);
+  segments_ = markov.generate(total_s, rng_);
+  rng_checkpoint_ = rng_;
+  reset();
+}
+
+void StreamCursor::reset() {
+  if (!model_) {
+    throw std::logic_error("StreamCursor::reset: no stream bound");
+  }
+  rng_ = rng_checkpoint_;
+  next_ = 0;
+  anchor_gap_ = std::max(1, config_.style_anchor_slots);
+  u_prev_ = rng_.uniform(0.8, 2.4);
+  u_next_ = rng_.uniform(0.8, 2.4);
+  g_prev_ = rng_.gauss();
+  g_next_ = rng_.gauss();
+  amb_active_ = false;
+  episode_ = SharedStyle{};
+  episode_activity_ = Activity::Walking;
+}
+
+const SlotSample& StreamCursor::slot(std::size_t i) {
+  if (i >= size()) {
+    throw std::out_of_range("StreamCursor::slot: index past end of stream");
+  }
+  if (!model_) {
+    throw std::logic_error("StreamCursor::slot: rebind() a stream first");
+  }
+  if (i + ring_.size() < next_) {
+    throw std::logic_error(
+        "StreamCursor::slot: slot recycled (increase ring_capacity)");
+  }
+  while (next_ <= i) advance();
+  return ring_[i % ring_.size()];
+}
+
+void StreamCursor::advance() {
+  // One iteration of the make_stream slot loop, drawing from rng_ in the
+  // exact same order; see dataset.cpp for the rationale of each step.
+  const int i = static_cast<int>(next_);
+  const double slot_s = spec_.slot_seconds();
+  SlotSample& slot = ring_[next_ % ring_.size()];
+  slot.t0_s = static_cast<double>(i) * slot_s;
+  slot.activity =
+      activity_at(segments_, slot.t0_s + 0.5 * spec_.window_seconds());
+  slot.label = spec_.class_of(slot.activity);
+
+  if (i % anchor_gap_ == 0 && i > 0) {
+    u_prev_ = u_next_;
+    g_prev_ = g_next_;
+    u_next_ = rng_.uniform(0.8, 2.4);
+    g_next_ = rng_.gauss();
+  }
+  const double frac = static_cast<double>(i % anchor_gap_) / anchor_gap_;
+
+  if (amb_active_ &&
+      (episode_activity_ != slot.activity ||
+       rng_.bernoulli(std::min(1.0, slot_s / config_.ambiguous_len_s)))) {
+    amb_active_ = false;
+  }
+  if (!amb_active_ &&
+      rng_.bernoulli(std::min(1.0, slot_s / config_.ambiguous_gap_s))) {
+    SharedStyle fresh = draw_shared_style(spec_, slot.activity, rng_, 1.0);
+    if (fresh.ambiguous_with) {
+      amb_active_ = true;
+      episode_ = fresh;
+      episode_activity_ = slot.activity;
+    }
+  }
+
+  SharedStyle style;
+  style.blend_u = u_prev_ + (u_next_ - u_prev_) * frac;
+  style.cadence_g = g_prev_ + (g_next_ - g_prev_) * frac;
+  if (amb_active_) {
+    style.ambiguous_with = episode_.ambiguous_with;
+    style.ambiguity_mix = episode_.ambiguity_mix;
+  }
+  slot.ambiguous = style.ambiguous_with.has_value();
+
+  for (int s = 0; s < kNumSensors; ++s) {
+    const auto loc = static_cast<SensorLocation>(s);
+    nn::Tensor& w = slot.windows[static_cast<std::size_t>(s)];
+    model_->synthesize_window(w, slot.activity, loc, slot.t0_s, rng_, style);
+    if (config_.snr_db) add_gaussian_noise_snr(w, *config_.snr_db, rng_);
+  }
+  ++next_;
+}
+
+}  // namespace origin::data

@@ -18,6 +18,46 @@ double seconds_since(Clock::time_point t0) {
   return std::chrono::duration<double>(Clock::now() - t0).count();
 }
 
+/// Per-worker reusable state: one stream cursor (the pooled ring of slot
+/// buffers) plus lazily created deployed-network copies per model set.
+/// A job's result is a pure function of the job spec — which scratch
+/// instance serves it never shows in the output — so scratches are handed
+/// out by a freelist instead of being rebuilt per job: after warm-up a
+/// worker allocates nothing per job.
+struct WorkerScratch {
+  std::optional<data::StreamCursor> cursor;
+  std::optional<std::array<nn::Sequential, data::kNumSensors>> bl1;
+  std::optional<std::array<nn::Sequential, data::kNumSensors>> bl2;
+  std::optional<std::array<nn::Sequential, data::kNumSensors>> relaxed;
+};
+
+class ScratchPool {
+ public:
+  std::unique_ptr<WorkerScratch> acquire() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (free_.empty()) return std::make_unique<WorkerScratch>();
+    auto out = std::move(free_.back());
+    free_.pop_back();
+    return out;
+  }
+  void release(std::unique_ptr<WorkerScratch> scratch) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    free_.push_back(std::move(scratch));
+  }
+
+ private:
+  std::mutex mutex_;
+  std::vector<std::unique_ptr<WorkerScratch>> free_;
+};
+
+template <typename Make>
+std::array<nn::Sequential, data::kNumSensors>& ensure_models(
+    std::optional<std::array<nn::Sequential, data::kNumSensors>>& slot,
+    Make make) {
+  if (!slot) slot.emplace(make());
+  return *slot;
+}
+
 }  // namespace
 
 FleetRunner::FleetRunner(const sim::Experiment& experiment,
@@ -64,6 +104,9 @@ FleetResult FleetRunner::run(const std::vector<FleetJob>& jobs) const {
 
   std::mutex progress_mutex;
   std::size_t shards_done = 0;
+  ScratchPool scratch_pool;
+  const int ring_capacity =
+      std::max(data::StreamCursor::kDefaultRingCapacity, config_.batch_slots);
 
   const auto run_start = Clock::now();
 
@@ -73,22 +116,47 @@ FleetResult FleetRunner::run(const std::vector<FleetJob>& jobs) const {
   const auto run_shard = [&](std::size_t s) {
     const Shard& shard = shards[s];
     obs::MetricsShard& metrics = metric_shards[s];
+    auto scratch = scratch_pool.acquire();
     const auto t0 = Clock::now();
     for (std::size_t j = shard.begin; j < shard.end; ++j) {
       const FleetJob& job = jobs[j];
       const auto job_t0 = Clock::now();
       const double job_wall_t0 = seconds_since(run_start);
-      const auto stream = experiment_->make_stream(job.user, job.seed_offset);
+      // Streaming + pooled hot path: re-target the worker's cursor at this
+      // job's stream (ring buffers reused, working set O(ring) instead of
+      // a materialized O(slots) stream) and borrow the worker's model
+      // copies instead of copying the system's per job.
+      if (scratch->cursor) {
+        experiment_->rebind_cursor(*scratch->cursor, job.user, job.seed_offset);
+      } else {
+        scratch->cursor.emplace(experiment_->make_cursor(
+            job.user, job.seed_offset, std::nullopt, ring_capacity));
+      }
+      data::StreamCursor& cursor = *scratch->cursor;
       sim::SimResult sim_result;
       if (job.baseline) {
-        sim_result = experiment_->run_fully_powered(*job.baseline, stream,
-                                                    config_.batch_slots);
+        auto& models =
+            *job.baseline == core::BaselineKind::BL1
+                ? ensure_models(scratch->bl1,
+                                [&] { return experiment_->system().bl1_copy(); })
+                : ensure_models(scratch->bl2, [&] {
+                    return experiment_->system().bl2_copy();
+                  });
+        sim_result = experiment_->run_fully_powered(*job.baseline, models,
+                                                    cursor, config_.batch_slots);
       } else {
         auto policy = experiment_->make_policy(job.policy, job.rr_cycle, job.set);
+        auto& models =
+            job.set == sim::ModelSet::Relaxed
+                ? ensure_models(scratch->relaxed,
+                                [&] { return experiment_->system().relaxed_copy(); })
+                : ensure_models(scratch->bl2, [&] {
+                    return experiment_->system().bl2_copy();
+                  });
         // Slot-level tracing of job 0 only — the exemplar run; tracing
         // every job would just wrap the ring buffer.
         sim_result = experiment_->run_policy(
-            *policy, stream, job.set, j == 0 ? config_.trace : nullptr,
+            *policy, models, cursor, j == 0 ? config_.trace : nullptr,
             config_.batch_slots);
       }
       const double job_seconds = seconds_since(job_t0);
@@ -112,6 +180,7 @@ FleetResult FleetRunner::run(const std::vector<FleetJob>& jobs) const {
       }
     }
     const double shard_seconds = seconds_since(t0);
+    scratch_pool.release(std::move(scratch));
     metrics.observe(m_shard_seconds, shard_seconds);
     result.shard_timings[s] = {shard.index, shard.size(), shard_seconds};
     if (config_.progress) {

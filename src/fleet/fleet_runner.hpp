@@ -3,11 +3,15 @@
 // shard against the shared immutable trained system of one Experiment,
 // and aggregates through mergeable accumulators.
 //
-// Determinism contract: a job's result depends only on the job itself
-// (streams, policies and model copies are created per job), the shard
-// layout depends only on the job count and shard size, and per-shard
-// accumulators merge in shard-index order — so both the per-job results
-// and the aggregate are bit-identical across thread counts.
+// Determinism contract: a job's result depends only on the job itself,
+// the shard layout depends only on the job count and shard size, and
+// per-shard accumulators merge in shard-index order — so both the per-job
+// results and the aggregate are bit-identical across thread counts.
+// Workers reuse pooled scratch (a stream cursor's ring buffers, model
+// copies) across jobs, but scratch carries no cross-job state a run
+// observes: cursors rebind per job, policies are fresh per job, and model
+// weights are never mutated — which scratch served a job never shows in
+// its result.
 #pragma once
 
 #include <cstdint>

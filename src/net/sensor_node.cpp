@@ -4,13 +4,35 @@
 
 namespace origin::net {
 
+namespace {
+nn::Sequential* require_model(nn::Sequential* model) {
+  if (!model) throw std::invalid_argument("SensorNode: null model");
+  return model;
+}
+}  // namespace
+
 SensorNode::SensorNode(data::SensorLocation location, nn::Sequential model,
                        const std::vector<int>& input_shape,
                        energy::Harvester harvester,
                        const SensorNodeConfig& config)
+    : SensorNode(location, nullptr, input_shape, harvester, config,
+                 std::make_unique<nn::Sequential>(std::move(model))) {}
+
+SensorNode::SensorNode(data::SensorLocation location, nn::Sequential* model,
+                       const std::vector<int>& input_shape,
+                       energy::Harvester harvester,
+                       const SensorNodeConfig& config)
+    : SensorNode(location, model, input_shape, harvester, config, nullptr) {}
+
+SensorNode::SensorNode(data::SensorLocation location, nn::Sequential* model,
+                       const std::vector<int>& input_shape,
+                       energy::Harvester harvester,
+                       const SensorNodeConfig& config,
+                       std::unique_ptr<nn::Sequential> owned)
     : location_(location),
-      model_(std::move(model)),
-      cost_(nn::estimate_cost(model_, input_shape, config.compute)),
+      owned_model_(std::move(owned)),
+      model_(require_model(owned_model_ ? owned_model_.get() : model)),
+      cost_(nn::estimate_cost(*model_, input_shape, config.compute)),
       harvester_(harvester),
       capacitor_(1.0),  // placeholder, re-built below once cost is known
       nvp_(config.nvp),
@@ -59,7 +81,7 @@ std::optional<Classification> SensorNode::attempt_wait_compute(
   counters_.consumed_j += total_cost_j_;
   ++counters_.completions;
   if (precomputed) return *precomputed;
-  return make_classification(model_.predict_proba(window));
+  return make_classification(model_->predict_proba(window));
 }
 
 std::optional<Classification> SensorNode::attempt_eager(
@@ -111,7 +133,7 @@ std::optional<Classification> SensorNode::attempt_eager(
   nn::Tensor input = pending_window_ ? *pending_window_ : window;
   pending_window_.reset();
   pending_result_.reset();
-  return make_classification(model_.predict_proba(input));
+  return make_classification(model_->predict_proba(input));
 }
 
 std::optional<Classification> SensorNode::attempt_deadline(
@@ -130,7 +152,7 @@ std::optional<Classification> SensorNode::attempt_deadline(
     counters_.consumed_j += total_cost_j_;
     ++counters_.completions;
     if (precomputed) return *precomputed;
-    return make_classification(model_.predict_proba(window));
+    return make_classification(model_->predict_proba(window));
   }
   // Started but cannot make the deadline: everything stored burns on
   // partial work that the slot-synchronous ensemble cannot use.
@@ -140,7 +162,7 @@ std::optional<Classification> SensorNode::attempt_deadline(
 }
 
 Classification SensorNode::classify(const nn::Tensor& window) {
-  return make_classification(model_.predict_proba(window));
+  return make_classification(model_->predict_proba(window));
 }
 
 }  // namespace origin::net

@@ -4,6 +4,7 @@
 // and the NVP core into the unit the scheduling policies reason about.
 #pragma once
 
+#include <memory>
 #include <optional>
 
 #include "data/activity.hpp"
@@ -49,6 +50,13 @@ class SensorNode {
   /// `harvester`'s trace must outlive the node. The model is copied in
   /// (each node owns its deployed network).
   SensorNode(data::SensorLocation location, nn::Sequential model,
+             const std::vector<int>& input_shape,
+             energy::Harvester harvester, const SensorNodeConfig& config);
+
+  /// Borrowing form for pooled hot paths (the fleet runner constructs
+  /// three nodes per job): `model` must outlive the node and not be used
+  /// concurrently — inference mutates layer activation caches.
+  SensorNode(data::SensorLocation location, nn::Sequential* model,
              const std::vector<int>& input_shape,
              energy::Harvester harvester, const SensorNodeConfig& config);
 
@@ -111,13 +119,21 @@ class SensorNode {
 
   const NodeCounters& counters() const { return counters_; }
   const energy::NvpCore& nvp() const { return nvp_; }
-  nn::Sequential& model() { return model_; }
-  const nn::Sequential& model() const { return model_; }
+  nn::Sequential& model() { return *model_; }
+  const nn::Sequential& model() const { return *model_; }
   const energy::Harvester& harvester() const { return harvester_; }
 
  private:
+  SensorNode(data::SensorLocation location, nn::Sequential* model,
+             const std::vector<int>& input_shape, energy::Harvester harvester,
+             const SensorNodeConfig& config,
+             std::unique_ptr<nn::Sequential> owned);
+
   data::SensorLocation location_;
-  nn::Sequential model_;
+  /// Set when this node owns its network (by-value ctor); the heap slot
+  /// keeps model_ stable across moves.
+  std::unique_ptr<nn::Sequential> owned_model_;
+  nn::Sequential* model_ = nullptr;  // owned_model_.get() or borrowed
   nn::InferenceCost cost_;
   double total_cost_j_ = 0.0;  // compute + result TX
   energy::Harvester harvester_;

@@ -69,6 +69,23 @@ data::Stream Experiment::make_stream(const data::UserProfile& user,
                            config_.stream_seed + seed_offset, stream_config);
 }
 
+data::StreamCursor Experiment::make_cursor(const data::UserProfile& user,
+                                           std::uint64_t seed_offset,
+                                           std::optional<double> snr_db,
+                                           int ring_capacity) const {
+  data::StreamConfig stream_config;
+  stream_config.snr_db = snr_db;
+  return data::StreamCursor(system_.spec, config_.stream_slots, user,
+                            config_.stream_seed + seed_offset, stream_config,
+                            ring_capacity);
+}
+
+void Experiment::rebind_cursor(data::StreamCursor& cursor,
+                               const data::UserProfile& user,
+                               std::uint64_t seed_offset) const {
+  cursor.rebind(user, config_.stream_seed + seed_offset);
+}
+
 std::unique_ptr<core::Policy> Experiment::make_policy(PolicyKind kind,
                                                       int rr_cycle,
                                                       ModelSet set) const {
@@ -105,19 +122,50 @@ SimResult Experiment::run_policy(core::Policy& policy,
                                  const data::Stream& stream, ModelSet set,
                                  obs::TraceRecorder* trace,
                                  int batch_slots) const {
+  data::StreamSlotSource source(stream);
+  return run_policy(policy, source, set, trace, batch_slots);
+}
+
+SimResult Experiment::run_policy(core::Policy& policy,
+                                 data::SlotSource& source, ModelSet set,
+                                 obs::TraceRecorder* trace,
+                                 int batch_slots) const {
+  auto models = set == ModelSet::Relaxed ? system_.relaxed_copy()
+                                         : system_.bl2_copy();
+  return run_policy(policy, models, source, trace, batch_slots);
+}
+
+SimResult Experiment::run_policy(
+    core::Policy& policy,
+    std::array<nn::Sequential, data::kNumSensors>& models,
+    data::SlotSource& source, obs::TraceRecorder* trace,
+    int batch_slots) const {
   SimulatorConfig config = sim_config_;
   config.trace = trace;
   config.batch_slots = batch_slots;
-  Simulator simulator(system_.spec,
-                      set == ModelSet::Relaxed ? system_.relaxed_copy()
-                                               : system_.bl2_copy(),
-                      &trace_, &policy, config);
-  return simulator.run(stream);
+  Simulator simulator(system_.spec, &models, &trace_, &policy, config);
+  return simulator.run(source);
 }
 
 SimResult Experiment::run_fully_powered(core::BaselineKind kind,
                                         const data::Stream& stream,
                                         int batch_slots) const {
+  data::StreamSlotSource source(stream);
+  return run_fully_powered(kind, source, batch_slots);
+}
+
+SimResult Experiment::run_fully_powered(core::BaselineKind kind,
+                                        data::SlotSource& source,
+                                        int batch_slots) const {
+  auto models = kind == core::BaselineKind::BL1 ? system_.bl1_copy()
+                                                : system_.bl2_copy();
+  return run_fully_powered(kind, models, source, batch_slots);
+}
+
+SimResult Experiment::run_fully_powered(
+    core::BaselineKind kind,
+    std::array<nn::Sequential, data::kNumSensors>& models,
+    data::SlotSource& source, int batch_slots) const {
   // Baseline-1: the original (unpruned) networks on an unconstrained
   // steady supply — every sensor classifies every window.
   //
@@ -127,8 +175,6 @@ SimResult Experiment::run_fully_powered(core::BaselineKind kind,
   // power, which sustains one inference per `energy_ratio` slots per
   // sensor. Sensors run on a fixed staggered duty cycle; the host keeps
   // each sensor's most recent result and majority-votes naively.
-  auto models = kind == core::BaselineKind::BL1 ? system_.bl1_copy()
-                                                : system_.bl2_copy();
   core::FullyPoweredBaseline baseline(
       {&models[0], &models[1], &models[2]}, system_.spec.num_classes(),
       to_string(kind));
@@ -141,18 +187,22 @@ SimResult Experiment::run_fully_powered(core::BaselineKind kind,
   const std::size_t block = batch_slots > 1
                                 ? static_cast<std::size_t>(batch_slots)
                                 : 0;
+  if (block > source.lookback()) {
+    throw std::invalid_argument(
+        "run_fully_powered: batch_slots exceeds the source's lookback window");
+  }
 
   if (kind == core::BaselineKind::BL1) {
     if (block > 0) {
       std::vector<const nn::Tensor*> ptrs;
       std::array<std::vector<std::vector<float>>, data::kNumSensors> probas;
-      for (std::size_t b0 = 0; b0 < stream.slots.size(); b0 += block) {
-        const std::size_t b1 = std::min(b0 + block, stream.slots.size());
+      for (std::size_t b0 = 0; b0 < source.size(); b0 += block) {
+        const std::size_t b1 = std::min(b0 + block, source.size());
         for (int s = 0; s < data::kNumSensors; ++s) {
           const auto si = static_cast<std::size_t>(s);
           ptrs.clear();
           for (std::size_t i = b0; i < b1; ++i) {
-            ptrs.push_back(&stream.slots[i].windows[si]);
+            ptrs.push_back(&source.slot(i).windows[si]);
           }
           probas[si] = models[si].predict_proba_batch(ptrs.data(), ptrs.size());
         }
@@ -170,7 +220,7 @@ SimResult Experiment::run_fully_powered(core::BaselineKind kind,
           const int predicted =
               core::majority_vote(ballots, system_.spec.num_classes()).value();
           result.outputs.push_back(predicted);
-          result.accuracy.record(stream.slots[i].label, predicted);
+          result.accuracy.record(source.slot(i).label, predicted);
           ++result.completion.slots;
           result.completion.attempts += data::kNumSensors;
           result.completion.completions += data::kNumSensors;
@@ -180,7 +230,8 @@ SimResult Experiment::run_fully_powered(core::BaselineKind kind,
       }
       return result;
     }
-    for (const auto& slot : stream.slots) {
+    for (std::size_t i = 0; i < source.size(); ++i) {
+      const data::SlotSample& slot = source.slot(i);
       const int predicted = baseline.classify_slot(slot.windows);
       result.outputs.push_back(predicted);
       result.accuracy.record(slot.label, predicted);
@@ -202,12 +253,12 @@ SimResult Experiment::run_fully_powered(core::BaselineKind kind,
   std::array<std::vector<std::size_t>, data::kNumSensors> bl2_cache_slots;
   std::size_t cache_b0 = 0, cache_b1 = 0;
   std::array<net::Classification, data::kNumSensors> votes;
-  for (std::size_t i = 0; i < stream.slots.size(); ++i) {
-    const auto& slot = stream.slots[i];
+  for (std::size_t i = 0; i < source.size(); ++i) {
+    const data::SlotSample& slot = source.slot(i);
     ++result.completion.slots;
     if (block > 0 && i >= cache_b1) {
       cache_b0 = i;
-      cache_b1 = std::min(i + block, stream.slots.size());
+      cache_b1 = std::min(i + block, source.size());
       std::vector<const nn::Tensor*> ptrs;
       for (int s = 0; s < data::kNumSensors; ++s) {
         const auto si = static_cast<std::size_t>(s);
@@ -216,7 +267,7 @@ SimResult Experiment::run_fully_powered(core::BaselineKind kind,
         for (std::size_t j = cache_b0; j < cache_b1; ++j) {
           if (static_cast<int>(j) % period == (s * stagger) % period) {
             bl2_cache_slots[si].push_back(j);
-            ptrs.push_back(&stream.slots[j].windows[si]);
+            ptrs.push_back(&source.slot(j).windows[si]);
           }
         }
         bl2_cache[si] = models[si].predict_proba_batch(ptrs.data(), ptrs.size());

@@ -72,6 +72,20 @@ class Experiment {
                            std::uint64_t seed_offset = 0,
                            std::optional<double> snr_db = std::nullopt) const;
 
+  /// Streaming counterpart of make_stream: a cursor yielding the same
+  /// slots bit for bit from a pooled ring (working set O(ring), not
+  /// O(slots)). `ring_capacity` must cover the batch block it will be
+  /// consumed with.
+  data::StreamCursor make_cursor(
+      const data::UserProfile& user, std::uint64_t seed_offset = 0,
+      std::optional<double> snr_db = std::nullopt,
+      int ring_capacity = data::StreamCursor::kDefaultRingCapacity) const;
+
+  /// Re-targets a pooled cursor at another (user, seed_offset) stream,
+  /// reusing its ring buffers — the fleet runner's per-job reset.
+  void rebind_cursor(data::StreamCursor& cursor, const data::UserProfile& user,
+                     std::uint64_t seed_offset = 0) const;
+
   std::unique_ptr<core::Policy> make_policy(PolicyKind kind, int rr_cycle,
                                             ModelSet set = ModelSet::BL2) const;
 
@@ -86,6 +100,23 @@ class Experiment {
                        obs::TraceRecorder* trace = nullptr,
                        int batch_slots = 0) const;
 
+  /// Streaming variant: consumes any SlotSource (e.g. a cursor from
+  /// make_cursor). Bit-identical to the Stream overload.
+  SimResult run_policy(core::Policy& policy, data::SlotSource& source,
+                       ModelSet set = ModelSet::BL2,
+                       obs::TraceRecorder* trace = nullptr,
+                       int batch_slots = 0) const;
+
+  /// Pooled variant: runs on caller-owned deployed networks instead of
+  /// copying the system's per call. `models` must match the intended
+  /// ModelSet (e.g. system().bl2_copy() reused across jobs) and not be
+  /// shared across threads — inference mutates activation caches.
+  SimResult run_policy(core::Policy& policy,
+                       std::array<nn::Sequential, data::kNumSensors>& models,
+                       data::SlotSource& source,
+                       obs::TraceRecorder* trace = nullptr,
+                       int batch_slots = 0) const;
+
   /// Fully-powered baseline (steady supply, majority voting every slot).
   /// `batch_slots` > 1 classifies blocks of consecutive windows per sensor
   /// in one batched call; outputs are bit-identical to the slot-by-slot
@@ -93,6 +124,18 @@ class Experiment {
   SimResult run_fully_powered(core::BaselineKind kind,
                               const data::Stream& stream,
                               int batch_slots = 0) const;
+
+  /// Streaming variant of the baseline runner.
+  SimResult run_fully_powered(core::BaselineKind kind,
+                              data::SlotSource& source,
+                              int batch_slots = 0) const;
+
+  /// Pooled variant: `models` are the deployed networks for `kind`
+  /// (bl1_copy()/bl2_copy()), reused across calls by the caller.
+  SimResult run_fully_powered(
+      core::BaselineKind kind,
+      std::array<nn::Sequential, data::kNumSensors>& models,
+      data::SlotSource& source, int batch_slots = 0) const;
 
  private:
   ExperimentConfig config_;

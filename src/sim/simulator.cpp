@@ -11,10 +11,25 @@ Simulator::Simulator(const data::DatasetSpec& spec,
                      const energy::PowerTrace* trace, core::Policy* policy,
                      SimulatorConfig config)
     : spec_(spec),
-      models_(std::move(models)),
+      owned_models_(std::move(models)),
+      models_(&*owned_models_),
       trace_(trace),
       policy_(policy),
       config_(config) {
+  if (!trace_) throw std::invalid_argument("Simulator: null trace");
+  if (!policy_) throw std::invalid_argument("Simulator: null policy");
+}
+
+Simulator::Simulator(const data::DatasetSpec& spec,
+                     std::array<nn::Sequential, data::kNumSensors>* models,
+                     const energy::PowerTrace* trace, core::Policy* policy,
+                     SimulatorConfig config)
+    : spec_(spec),
+      models_(models),
+      trace_(trace),
+      policy_(policy),
+      config_(config) {
+  if (!models_) throw std::invalid_argument("Simulator: null models");
   if (!trace_) throw std::invalid_argument("Simulator: null trace");
   if (!policy_) throw std::invalid_argument("Simulator: null policy");
 }
@@ -24,7 +39,7 @@ std::array<double, data::kNumSensors> Simulator::inference_energy_j() const {
   for (int s = 0; s < data::kNumSensors; ++s) {
     const auto si = static_cast<std::size_t>(s);
     const auto cost = nn::estimate_cost(
-        models_[si], {spec_.channels, spec_.window_len}, config_.node.compute);
+        (*models_)[si], {spec_.channels, spec_.window_len}, config_.node.compute);
     net::Message msg;
     out[si] = cost.energy_j + config_.node.radio.tx_energy_j(msg);
   }
@@ -32,12 +47,24 @@ std::array<double, data::kNumSensors> Simulator::inference_energy_j() const {
 }
 
 SimResult Simulator::run(const data::Stream& stream) {
-  if (stream.slots.empty()) throw std::invalid_argument("Simulator::run: empty stream");
-  if (stream.spec.num_classes() != spec_.num_classes()) {
+  data::StreamSlotSource source(stream);
+  return run(source);
+}
+
+SimResult Simulator::run(data::SlotSource& source) {
+  if (source.size() == 0) throw std::invalid_argument("Simulator::run: empty stream");
+  if (source.spec().num_classes() != spec_.num_classes()) {
     throw std::invalid_argument("Simulator::run: stream/spec class mismatch");
   }
+  if (config_.batch_slots > 1 &&
+      static_cast<std::size_t>(config_.batch_slots) > source.lookback()) {
+    throw std::invalid_argument(
+        "Simulator::run: batch_slots exceeds the source's lookback window");
+  }
 
-  // Fresh nodes per run.
+  // Fresh nodes per run, borrowing the deployed networks (the networks
+  // carry no cross-run state the simulator observes — attempts only run
+  // forward passes).
   std::vector<net::SensorNode> nodes;
   nodes.reserve(data::kNumSensors);
   for (int s = 0; s < data::kNumSensors; ++s) {
@@ -45,7 +72,7 @@ SimResult Simulator::run(const data::Stream& stream) {
     energy::Harvester harvester(trace_, config_.harvester_efficiency,
                                 config_.harvest_scale[si],
                                 config_.harvest_offset_s[si]);
-    nodes.emplace_back(static_cast<data::SensorLocation>(s), models_[si],
+    nodes.emplace_back(static_cast<data::SensorLocation>(s), &(*models_)[si],
                        std::vector<int>{spec_.channels, spec_.window_len},
                        harvester, config_.node);
   }
@@ -80,10 +107,12 @@ SimResult Simulator::run(const data::Stream& stream) {
     BlockCache& cache = block_cache[sensor];
     if (slot_idx < cache.begin || slot_idx >= cache.end) {
       cache.begin = (slot_idx / block) * block;
-      cache.end = std::min(cache.begin + block, stream.slots.size());
+      cache.end = std::min(cache.begin + block, source.size());
       block_windows.clear();
       for (std::size_t j = cache.begin; j < cache.end; ++j) {
-        block_windows.push_back(&stream.slots[j].windows[sensor]);
+        // May synthesize forward (a cursor source); the whole block stays
+        // within the source's lookback window, so earlier pointers hold.
+        block_windows.push_back(&source.slot(j).windows[sensor]);
       }
       const auto probas = nodes[sensor].model().predict_proba_batch(
           block_windows.data(), block_windows.size());
@@ -95,8 +124,8 @@ SimResult Simulator::run(const data::Stream& stream) {
     return &cache.results[slot_idx - cache.begin];
   };
 
-  for (std::size_t i = 0; i < stream.slots.size(); ++i) {
-    const auto& slot = stream.slots[i];
+  for (std::size_t i = 0; i < source.size(); ++i) {
+    const data::SlotSample& slot = source.slot(i);
     const double t0 = static_cast<double>(i) * slot_s;
     const double t1 = t0 + slot_s;
 
@@ -212,7 +241,7 @@ SimResult Simulator::run(const data::Stream& stream) {
     result.node_counters[static_cast<std::size_t>(s)] =
         nodes[static_cast<std::size_t>(s)].counters();
   }
-  result.validate(stream.slots.size());
+  result.validate(source.size());
   return result;
 }
 

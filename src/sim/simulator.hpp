@@ -10,6 +10,7 @@
 
 #include "core/policy.hpp"
 #include "data/dataset.hpp"
+#include "data/stream_cursor.hpp"
 #include "energy/power_trace.hpp"
 #include "net/sensor_node.hpp"
 #include "obs/trace.hpp"
@@ -56,15 +57,33 @@ class Simulator {
             const energy::PowerTrace* trace, core::Policy* policy,
             SimulatorConfig config = {});
 
+  /// Borrowing form for pooled hot paths: `models` must outlive the
+  /// simulator and not be used concurrently (inference mutates layer
+  /// activation caches). Results are identical to the owning form — the
+  /// simulator never mutates weights, only runs forward passes.
+  Simulator(const data::DatasetSpec& spec,
+            std::array<nn::Sequential, data::kNumSensors>* models,
+            const energy::PowerTrace* trace, core::Policy* policy,
+            SimulatorConfig config = {});
+
   /// Runs the policy over the stream; nodes and the host start fresh.
   SimResult run(const data::Stream& stream);
+
+  /// Streaming form: consumes any SlotSource (e.g. a data::StreamCursor,
+  /// whose working set is the ring, not the whole stream). Forward-only
+  /// access; requires source.lookback() >= batch_slots so a batching
+  /// block is never recycled while in use. Bit-identical to running over
+  /// the materialized stream.
+  SimResult run(data::SlotSource& source);
 
   /// Per-inference energy of each deployed node (compute + TX).
   std::array<double, data::kNumSensors> inference_energy_j() const;
 
  private:
   data::DatasetSpec spec_;
-  std::array<nn::Sequential, data::kNumSensors> models_;
+  /// Engaged when this simulator owns its networks (by-value ctor).
+  std::optional<std::array<nn::Sequential, data::kNumSensors>> owned_models_;
+  std::array<nn::Sequential, data::kNumSensors>* models_;
   const energy::PowerTrace* trace_;
   core::Policy* policy_;
   SimulatorConfig config_;
