@@ -22,10 +22,7 @@
 
 namespace origin::bench {
 
-inline std::string cache_dir() {
-  if (const char* env = std::getenv("ORIGIN_CACHE_DIR")) return env;
-  return "origin_models";
-}
+inline std::string cache_dir() { return core::default_cache_dir(); }
 
 inline sim::ExperimentConfig default_config(data::DatasetKind kind) {
   sim::ExperimentConfig cfg;

@@ -17,9 +17,14 @@
 #include "data/stream_cursor.hpp"
 #include "energy/power_trace.hpp"
 #include "nn/conv1d.hpp"
+#include "nn/dense.hpp"
 #include "nn/energy_model.hpp"
+#include "nn/loss.hpp"
+#include "nn/optimizer.hpp"
 #include "nn/pruning.hpp"
 #include "util/rng.hpp"
+
+#include <numeric>
 
 using namespace origin;
 
@@ -120,6 +125,133 @@ void BM_NaiveConv(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_NaiveConv);
+
+/// One training epoch of the BL-1 chest net over 128 windows — the
+/// naive/reference/kernels triple in the EXPERIMENTS.md training table.
+/// All paths produce bit-identical weights by test.
+nn::Samples train_windows(std::size_t count, std::uint64_t seed) {
+  util::Rng rng(seed);
+  nn::Samples samples;
+  for (std::size_t i = 0; i < count; ++i) {
+    samples.push_back(
+        {nn::Tensor::randn({6, 64}, rng, 1.0f), static_cast<int>(rng.below(6))});
+  }
+  return samples;
+}
+
+nn::TrainConfig one_epoch_config(bool use_kernels) {
+  nn::TrainConfig cfg;
+  cfg.epochs = 1;
+  cfg.batch_size = 16;
+  cfg.learning_rate = 8e-3;
+  cfg.use_kernels = use_kernels;
+  return cfg;
+}
+
+/// The pre-kernel trainer epoch: per-sample forward, naive per-layer
+/// backward loops (backward_reference on conv/dense — the verbatim old
+/// Conv1D/Dense::backward), optimizer step every 16 samples. This is the
+/// "before" row of the training table in EXPERIMENTS.md.
+void BM_TrainEpochNaiveBackward(benchmark::State& state) {
+  const auto train = train_windows(128, 11);
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto net = deployed_net();
+    state.ResumeTiming();
+    nn::SgdMomentum opt(8e-3, 0.9, 1e-4);
+    opt.bind(net);
+    net.zero_grads();
+    util::Rng rng(42);
+    std::vector<std::size_t> order(train.size());
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    rng.shuffle(order);
+    std::size_t in_batch = 0;
+    for (std::size_t idx : order) {
+      const auto& s = train[idx];
+      const nn::Tensor logits = net.forward(s.input, /*train=*/true);
+      auto res = nn::softmax_cross_entropy(logits, s.label);
+      nn::Tensor g = res.grad;
+      g.scale(1.0f / 16.0f);
+      for (int i = static_cast<int>(net.layer_count()) - 1; i >= 0; --i) {
+        if (auto* c = dynamic_cast<nn::Conv1D*>(&net.layer(i))) {
+          g = c->backward_reference(g);
+        } else if (auto* d = dynamic_cast<nn::Dense*>(&net.layer(i))) {
+          g = d->backward_reference(g);
+        } else {
+          g = net.layer(i).backward(g);
+        }
+      }
+      if (++in_batch == 16) {
+        opt.step();
+        in_batch = 0;
+      }
+    }
+    if (in_batch > 0) opt.step();
+    benchmark::DoNotOptimize(net.param_count());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(train.size()));
+}
+BENCHMARK(BM_TrainEpochNaiveBackward)->Unit(benchmark::kMillisecond);
+
+/// fit_reference: still per-sample, but Conv1D/Dense::backward now run on
+/// the GEMM kernels — isolates the kernel-rewrite share of the speedup.
+void BM_TrainEpochReference(benchmark::State& state) {
+  const auto train = train_windows(128, 11);
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto net = deployed_net();  // fresh weights per run, untimed
+    state.ResumeTiming();
+    nn::Trainer(one_epoch_config(false)).fit(net, train);
+    benchmark::DoNotOptimize(net.param_count());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(train.size()));
+}
+BENCHMARK(BM_TrainEpochReference)->Unit(benchmark::kMillisecond);
+
+void BM_TrainEpochKernels(benchmark::State& state) {
+  const auto train = train_windows(128, 11);
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto net = deployed_net();
+    state.ResumeTiming();
+    nn::Trainer(one_epoch_config(true)).fit(net, train);
+    benchmark::DoNotOptimize(net.param_count());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(train.size()));
+}
+BENCHMARK(BM_TrainEpochKernels)->Unit(benchmark::kMillisecond);
+
+/// The full nine-net training stage (3 BL-1 fits + 6 prune variants) on a
+/// micro config, cold cache. Serial/parallel is the wall-clock pair for
+/// the pipeline fan-out; the model files are byte-identical by test.
+void run_pipeline_train(int threads) {
+  core::PipelineConfig cfg;
+  cfg.train_per_class = 24;
+  cfg.calib_per_class = 6;
+  cfg.test_per_class = 6;
+  cfg.train.epochs = 3;
+  cfg.seed = 555;
+  cfg.use_cache = false;
+  cfg.train_threads = threads;
+  core::TrainedSystem system;
+  core::train_system(system, cfg);
+  benchmark::DoNotOptimize(system.sensors[0].bl1.param_count());
+}
+
+void BM_PipelineTrainSerial(benchmark::State& state) {
+  for (auto _ : state) run_pipeline_train(1);
+}
+BENCHMARK(BM_PipelineTrainSerial)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+void BM_PipelineTrainParallel(benchmark::State& state) {
+  for (auto _ : state) run_pipeline_train(0);  // 0 = hardware threads
+}
+BENCHMARK(BM_PipelineTrainParallel)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
 
 void BM_WindowSynthesis(benchmark::State& state) {
   const auto spec = data::dataset_spec(data::DatasetKind::MHealthLike);

@@ -10,10 +10,15 @@
 #             accuracy number is unchanged.
 #   kernels — scripts/verify_kernels.sh (inference kernels + fleet
 #             concurrency suites, Release + ASan).
+#   train   — the training-path suite (label `nn`, which includes
+#             test_train_kernels: backward kernels vs the naive oracle,
+#             batched fit vs fit_reference, parallel train_system byte
+#             identity) in Release and Release+ASan, plus a cold-cache
+#             serial-vs-parallel pipeline determinism diff.
 #   trace   — scripts/verify_trace.sh (-DORIGIN_TRACE=ON/OFF builds).
 #   all     — everything above (default).
 #
-# Usage: scripts/verify.sh [data|kernels|trace|all] [generator-args...]
+# Usage: scripts/verify.sh [data|kernels|train|trace|all] [generator-args...]
 # The data gate reuses the build-kernels-{release,asan}/ trees so a full
 # `all` run configures each tree once.
 set -euo pipefail
@@ -42,18 +47,40 @@ verify_data() {
   echo "=== data path verified (Release + ASan) ==="
 }
 
+verify_train_config() {
+  local sanitizer="$1" dir="$2"
+  shift 2
+  echo "=== train: sanitizer='${sanitizer:-none}' (${dir}) ==="
+  cmake -B "$dir" -S "$repo" -DORIGIN_SANITIZE="$sanitizer" "$@" >/dev/null
+  cmake --build "$dir" -j "$jobs" --target test_kernels test_train_kernels
+  ctest --test-dir "$dir" -L nn --output-on-failure -j "$jobs"
+}
+
+verify_train() {
+  verify_train_config ""        "build-kernels-release" "$@"
+  verify_train_config "address" "build-kernels-asan"    "$@"
+  # Cold-cache determinism: the parallel pipeline must write byte-identical
+  # model files to a serial run (also covered by TrainSystemParallel.*;
+  # repeated here against the Release tree as a standalone gate).
+  ctest --test-dir "build-kernels-release" \
+      -R "TrainSystemParallel" --output-on-failure
+  echo "=== training path verified (Release + ASan + parallel determinism) ==="
+}
+
 case "$gate" in
   data)    verify_data "$@" ;;
   kernels) "$repo/scripts/verify_kernels.sh" "$@" ;;
+  train)   verify_train "$@" ;;
   trace)   "$repo/scripts/verify_trace.sh" "$@" ;;
   all)
     verify_data "$@"
     "$repo/scripts/verify_kernels.sh" "$@"
+    verify_train "$@"
     "$repo/scripts/verify_trace.sh" "$@"
     echo "=== all verification gates passed ==="
     ;;
   *)
-    echo "usage: scripts/verify.sh [data|kernels|trace|all] [generator-args...]" >&2
+    echo "usage: scripts/verify.sh [data|kernels|train|trace|all] [generator-args...]" >&2
     exit 2
     ;;
 esac

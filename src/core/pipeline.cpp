@@ -1,8 +1,15 @@
 #include "core/pipeline.hpp"
 
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdlib>
 #include <filesystem>
 #include <sstream>
+#include <stdexcept>
+#include <vector>
 
+#include "fleet/thread_pool.hpp"
 #include "nn/activations.hpp"
 #include "nn/conv1d.hpp"
 #include "nn/dense.hpp"
@@ -17,8 +24,12 @@ namespace origin::core {
 namespace {
 
 // Bump when the architecture or the synthetic data generator changes in a
-// way that invalidates cached weights.
-constexpr int kArchVersion = 5;
+// way that invalidates cached weights. v6: the data-path kernel rewrite
+// swapped libm sin for util::det_sin in window synthesis (<2e-11 absolute
+// error, deliberately bit-portable but not bit-identical to libm), which
+// changes the synthetic training streams — v5 caches hold libm-era weights
+// that no committed code can reproduce.
+constexpr int kArchVersion = 6;
 
 nn::Samples training_set_for(const PipelineConfig& config,
                              const data::DatasetSpec& spec,
@@ -28,7 +39,32 @@ nn::Samples training_set_for(const PipelineConfig& config,
                                  config.seed ^ salt);
 }
 
+/// Writes to `<path>.tmp.<pid>` then renames over `path`. rename(2) within
+/// one directory is atomic on POSIX, so readers (and concurrent trainers
+/// racing on a cold cache) only ever see a complete model file.
+void save_model_atomic(const nn::Sequential& model,
+                       const std::filesystem::path& path) {
+  const std::filesystem::path tmp =
+      path.string() + ".tmp." + std::to_string(::getpid());
+  nn::save_model(model, tmp.string());
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::error_code ignore;
+    std::filesystem::remove(tmp, ignore);
+    throw std::runtime_error("pipeline: failed to rename " + tmp.string() +
+                             " -> " + path.string() + ": " + ec.message());
+  }
+}
+
 }  // namespace
+
+std::string default_cache_dir() {
+  if (const char* env = std::getenv("ORIGIN_CACHE_DIR"); env && *env != '\0') {
+    return env;
+  }
+  return "origin_models";
+}
 
 std::array<nn::Sequential*, data::kNumSensors> TrainedSystem::bl1_models() {
   return {&sensors[0].bl1, &sensors[1].bl1, &sensors[2].bl1};
@@ -107,103 +143,167 @@ std::vector<double> per_class_accuracy(nn::Sequential& model,
   return acc;
 }
 
-TrainedSystem build_system(const PipelineConfig& config) {
-  TrainedSystem system;
+void train_system(TrainedSystem& system, const PipelineConfig& config) {
   system.spec = data::dataset_spec(config.kind);
   const std::vector<int> input_shape = {system.spec.channels,
                                         system.spec.window_len};
   const std::string key = pipeline_cache_key(config);
   const std::filesystem::path cache_dir(config.cache_dir);
 
+  struct SensorPaths {
+    std::filesystem::path bl1, bl2, rlx;
+  };
+  std::array<SensorPaths, data::kNumSensors> paths;
+  std::vector<int> pending;  // sensors that missed the cache
+
+  // Stage 0 (serial): cache lookup per sensor location.
   for (int s = 0; s < data::kNumSensors; ++s) {
     const auto si = static_cast<std::size_t>(s);
     const auto loc = static_cast<data::SensorLocation>(s);
     SensorSystem& bundle = system.sensors[si];
-
-    const std::filesystem::path bl1_path =
-        cache_dir / (key + "_" + to_string(loc) + "_bl1.bin");
-    const std::filesystem::path bl2_path =
-        cache_dir / (key + "_" + to_string(loc) + "_bl2.bin");
-    const std::filesystem::path rlx_path =
-        cache_dir / (key + "_" + to_string(loc) + "_rlx.bin");
+    paths[si] = {cache_dir / (key + "_" + to_string(loc) + "_bl1.bin"),
+                 cache_dir / (key + "_" + to_string(loc) + "_bl2.bin"),
+                 cache_dir / (key + "_" + to_string(loc) + "_rlx.bin")};
 
     bool loaded = false;
-    if (config.use_cache && std::filesystem::exists(bl1_path) &&
-        std::filesystem::exists(bl2_path) && std::filesystem::exists(rlx_path)) {
+    if (config.use_cache && std::filesystem::exists(paths[si].bl1) &&
+        std::filesystem::exists(paths[si].bl2) &&
+        std::filesystem::exists(paths[si].rlx)) {
       try {
-        bundle.bl1 = nn::load_model(bl1_path.string());
-        bundle.bl2 = nn::load_model(bl2_path.string());
-        bundle.relaxed = nn::load_model(rlx_path.string());
+        bundle.bl1 = nn::load_model(paths[si].bl1.string());
+        bundle.bl2 = nn::load_model(paths[si].bl2.string());
+        bundle.relaxed = nn::load_model(paths[si].rlx.string());
         loaded = true;
         util::log_info("pipeline: loaded cached models for ", to_string(loc));
       } catch (const std::exception& e) {
         util::log_warn("pipeline: cache load failed (", e.what(), "); retraining");
       }
     }
+    if (!loaded) pending.push_back(s);
+  }
 
-    if (!loaded) {
-      const nn::Samples train = training_set_for(
-          config, system.spec, loc, config.train_per_class, 0x7123ULL + si);
+  if (!pending.empty()) {
+    // Per-pending-sensor state shared between the two training stages.
+    struct SensorWork {
+      nn::Samples train;
+      nn::Samples tune_subset;
+      double bl1_energy = 0.0;
+    };
+    std::vector<SensorWork> work(pending.size());
+
+    // Stage A: BL-1 fit per pending location. Each task draws from its own
+    // RNGs (data salt 0x7123+s, arch seed seed+31s, trainer shuffle_seed,
+    // dropout seed arch^0xD120), so tasks share no mutable state and the
+    // trained weights are independent of scheduling.
+    auto fit_bl1 = [&](std::size_t k) {
+      const int s = pending[k];
+      const auto si = static_cast<std::size_t>(s);
+      const auto loc = static_cast<data::SensorLocation>(s);
+      SensorSystem& bundle = system.sensors[si];
+      SensorWork& w = work[k];
+      w.train = training_set_for(config, system.spec, loc,
+                                 config.train_per_class, 0x7123ULL + si);
       bundle.bl1 = make_bl1_architecture(
           system.spec, config.seed + 31ULL * static_cast<std::uint64_t>(s));
       nn::Trainer trainer(config.train);
-      trainer.fit(bundle.bl1, train);
+      trainer.fit(bundle.bl1, w.train);
       // Low-rate polish pass, mirroring the recovery fit the pruned nets
       // receive, so the BL-1/BL-2 comparison isolates the pruning.
       nn::TrainConfig polish = config.train;
       polish.epochs = 3;
       polish.learning_rate = 2e-3;
       polish.early_stop_accuracy = 0.995;
-      nn::Trainer(polish).fit(bundle.bl1, train);
+      nn::Trainer(polish).fit(bundle.bl1, w.train);
 
-      const double bl1_energy =
+      w.bl1_energy =
           nn::estimate_cost(bundle.bl1, input_shape, config.profile).energy_j;
       // Interleaved fine-tuning runs on a subset for speed; a full
       // recovery fit follows once the budget is met.
-      const nn::Samples tune_subset(
-          train.begin(),
-          train.begin() + static_cast<std::ptrdiff_t>(
-                              std::min<std::size_t>(train.size(), 600)));
-      auto prune_variant = [&](double fraction, const char* tag) {
-        nn::Sequential net = bundle.bl1;
-        nn::PruneConfig prune;
-        prune.energy_budget_j = fraction * bl1_energy;
-        prune.fine_tune_every = 10;
-        prune.fine_tune.epochs = 1;
-        prune.fine_tune.learning_rate = 2e-3;
-        prune.fine_tune.shuffle_seed = config.seed ^ 0xF17EULL;
-        const auto report = nn::prune_to_energy_budget(
-            net, input_shape, config.profile, tune_subset, prune);
-        nn::TrainConfig recover = config.train;
-        recover.epochs = 3;
-        recover.learning_rate = 2e-3;
-        recover.early_stop_accuracy = 0.995;
-        nn::Trainer(recover).fit(net, train);
-        util::log_info("pipeline: pruned ", to_string(loc), " [", tag, "] ",
-                       report.params_before, " -> ", report.params_after,
-                       " params, energy ", report.energy_before_j, " -> ",
-                       report.energy_after_j);
-        return net;
-      };
-      bundle.bl2 = prune_variant(config.bl2_budget_fraction, "bl2");
-      bundle.relaxed = prune_variant(config.relaxed_budget_fraction, "relaxed");
+      w.tune_subset.assign(
+          w.train.begin(),
+          w.train.begin() + static_cast<std::ptrdiff_t>(
+                                std::min<std::size_t>(w.train.size(), 600)));
+    };
 
-      if (config.use_cache) {
-        std::error_code ec;
-        std::filesystem::create_directories(cache_dir, ec);
-        if (!ec) {
-          nn::save_model(bundle.bl1, bl1_path.string());
-          nn::save_model(bundle.bl2, bl2_path.string());
-          nn::save_model(bundle.relaxed, rlx_path.string());
+    // Stage B: six prune variants (two per pending location). Copying BL-1
+    // resets the Dropout RNG via Layer::clone, so each variant's fine-tune
+    // stream is fixed regardless of which worker ran what before it.
+    auto fit_variant = [&](std::size_t v) {
+      const std::size_t k = v / 2;
+      const int s = pending[k];
+      const auto si = static_cast<std::size_t>(s);
+      const auto loc = static_cast<data::SensorLocation>(s);
+      SensorSystem& bundle = system.sensors[si];
+      const SensorWork& w = work[k];
+      const bool is_relaxed = (v % 2) != 0;
+      const double fraction = is_relaxed ? config.relaxed_budget_fraction
+                                         : config.bl2_budget_fraction;
+
+      nn::Sequential net = bundle.bl1;
+      nn::PruneConfig prune;
+      prune.energy_budget_j = fraction * w.bl1_energy;
+      prune.fine_tune_every = 10;
+      prune.fine_tune.epochs = 1;
+      prune.fine_tune.learning_rate = 2e-3;
+      prune.fine_tune.shuffle_seed = config.seed ^ 0xF17EULL;
+      const auto report = nn::prune_to_energy_budget(
+          net, input_shape, config.profile, w.tune_subset, prune);
+      nn::TrainConfig recover = config.train;
+      recover.epochs = 3;
+      recover.learning_rate = 2e-3;
+      recover.early_stop_accuracy = 0.995;
+      nn::Trainer(recover).fit(net, w.train);
+      util::log_info("pipeline: pruned ", to_string(loc), " [",
+                     is_relaxed ? "relaxed" : "bl2", "] ",
+                     report.params_before, " -> ", report.params_after,
+                     " params, energy ", report.energy_before_j, " -> ",
+                     report.energy_after_j);
+      (is_relaxed ? bundle.relaxed : bundle.bl2) = std::move(net);
+    };
+
+    const unsigned threads =
+        config.train_threads > 0 ? static_cast<unsigned>(config.train_threads)
+                                 : fleet::ThreadPool::hardware_threads();
+    if (threads > 1) {
+      // Two flat run_batch calls — the pool is not reentrant, so the
+      // variant fan-out cannot be nested inside the BL-1 tasks.
+      fleet::ThreadPool pool(std::min<unsigned>(
+          threads, static_cast<unsigned>(pending.size()) * 2u));
+      pool.run_batch(pending.size(), fit_bl1);
+      pool.run_batch(pending.size() * 2, fit_variant);
+    } else {
+      for (std::size_t k = 0; k < pending.size(); ++k) fit_bl1(k);
+      for (std::size_t v = 0; v < pending.size() * 2; ++v) fit_variant(v);
+    }
+
+    // Serial atomic saves once all training is done.
+    if (config.use_cache) {
+      std::error_code ec;
+      std::filesystem::create_directories(cache_dir, ec);
+      if (!ec) {
+        for (std::size_t k = 0; k < pending.size(); ++k) {
+          const auto si = static_cast<std::size_t>(pending[k]);
+          save_model_atomic(system.sensors[si].bl1, paths[si].bl1);
+          save_model_atomic(system.sensors[si].bl2, paths[si].bl2);
+          save_model_atomic(system.sensors[si].relaxed, paths[si].rlx);
         }
       }
     }
+  }
 
+  for (int s = 0; s < data::kNumSensors; ++s) {
+    const auto si = static_cast<std::size_t>(s);
+    SensorSystem& bundle = system.sensors[si];
     bundle.bl1_cost = nn::estimate_cost(bundle.bl1, input_shape, config.profile);
     bundle.bl2_cost = nn::estimate_cost(bundle.bl2, input_shape, config.profile);
     bundle.relaxed_cost =
         nn::estimate_cost(bundle.relaxed, input_shape, config.profile);
   }
+}
+
+TrainedSystem build_system(const PipelineConfig& config) {
+  TrainedSystem system;
+  train_system(system, config);
 
   // Calibration: rank table + confidence matrix from held-out windows,
   // separately for the strict (BL-2) and relaxed model sets.

@@ -18,6 +18,10 @@
 
 namespace origin::core {
 
+/// Model-cache directory shared by the pipeline and the bench harness:
+/// $ORIGIN_CACHE_DIR when set and non-empty, "origin_models" otherwise.
+std::string default_cache_dir();
+
 struct PipelineConfig {
   data::DatasetKind kind = data::DatasetKind::MHealthLike;
   int train_per_class = 260;
@@ -35,8 +39,13 @@ struct PipelineConfig {
   /// cycle-average power — a larger, more accurate network.
   double relaxed_budget_fraction = 0.80;
   std::uint64_t seed = 20210201;  // DATE'21
-  std::string cache_dir = "origin_models";
+  std::string cache_dir = default_cache_dir();
   bool use_cache = true;
+  /// Worker threads for training the nine (location × variant) nets
+  /// (0 = hardware concurrency). Excluded from the cache key: every net
+  /// trains from its own derived seed on its own data, so the model files
+  /// are byte-identical at any thread count.
+  int train_threads = 0;
 
   PipelineConfig() {
     train.epochs = 12;
@@ -83,6 +92,15 @@ struct TrainedSystem {
 /// The per-sensor CNN architecture (Ha & Choi-style) before pruning.
 nn::Sequential make_bl1_architecture(const data::DatasetSpec& spec,
                                      std::uint64_t seed);
+
+/// Trains (or loads from cache) the nine per-sensor nets and their cost
+/// estimates into `system` — the training stage of build_system, exposed
+/// so benches can time it in isolation. Cache lookups and saves are
+/// serial; the training work fans out over config.train_threads workers
+/// (two flat stages: three BL-1 fits, then six prune variants). Saves are
+/// atomic (temp file + rename), so a crashed or concurrent run never
+/// leaves a torn model file.
+void train_system(TrainedSystem& system, const PipelineConfig& config);
 
 /// Trains (or loads from cache) the full system.
 TrainedSystem build_system(const PipelineConfig& config);

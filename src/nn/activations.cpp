@@ -6,6 +6,7 @@
 namespace origin::nn {
 
 Tensor ReLU::forward(const Tensor& input, bool train) {
+  batch_count_ = 0;
   if (train) {
     last_input_ = input;
   } else {
@@ -42,6 +43,44 @@ Tensor ReLU::backward(const Tensor& grad_output) {
   return grad;
 }
 
+void ReLU::forward_batch_train(const Tensor* const* inputs, std::size_t count,
+                               Tensor* outputs) {
+  last_input_ = Tensor();
+  if (batch_inputs_.size() < count) batch_inputs_.resize(count);
+  for (std::size_t b = 0; b < count; ++b) {
+    batch_inputs_[b].reset_shape(inputs[b]->shape());
+    std::memcpy(batch_inputs_[b].data(), inputs[b]->data(),
+                sizeof(float) * inputs[b]->size());
+    outputs[b].reset_shape(inputs[b]->shape());
+    const float* x = inputs[b]->data();
+    float* y = outputs[b].data();
+    const std::size_t n = inputs[b]->size();
+    for (std::size_t i = 0; i < n; ++i) y[i] = x[i] < 0.0f ? 0.0f : x[i];
+  }
+  batch_count_ = count;
+}
+
+void ReLU::backward_batch(const Tensor* const* grad_outputs, std::size_t count,
+                          Tensor* grad_inputs) {
+  if (batch_count_ == 0 || count != batch_count_) {
+    throw std::logic_error(
+        "ReLU::backward_batch: no cached batch — call forward_batch_train "
+        "with the same batch first");
+  }
+  for (std::size_t b = 0; b < count; ++b) {
+    const Tensor& x = batch_inputs_[b];
+    if (x.size() != grad_outputs[b]->size()) {
+      throw std::invalid_argument("ReLU::backward_batch: size mismatch");
+    }
+    grad_inputs[b].reset_shape(x.shape());
+    const float* gy = grad_outputs[b]->data();
+    float* gx = grad_inputs[b].data();
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      gx[i] = x[i] <= 0.0f ? 0.0f : gy[i];
+    }
+  }
+}
+
 std::unique_ptr<Layer> ReLU::clone() const { return std::make_unique<ReLU>(); }
 
 Tensor Flatten::forward(const Tensor& input, bool /*train*/) {
@@ -60,6 +99,34 @@ void Flatten::forward_batch(const Tensor* const* inputs, std::size_t count,
 
 Tensor Flatten::backward(const Tensor& grad_output) {
   return grad_output.reshaped(last_shape_);
+}
+
+void Flatten::forward_batch_train(const Tensor* const* inputs,
+                                  std::size_t count, Tensor* outputs) {
+  if (count == 0) return;
+  last_shape_ = inputs[0]->shape();
+  for (std::size_t b = 0; b < count; ++b) {
+    if (inputs[b]->shape() != last_shape_) {
+      throw std::invalid_argument(
+          "Flatten::forward_batch_train: mixed input shapes in batch");
+    }
+    outputs[b].reset_shape({static_cast<int>(inputs[b]->size())});
+    std::memcpy(outputs[b].data(), inputs[b]->data(),
+                sizeof(float) * inputs[b]->size());
+  }
+}
+
+void Flatten::backward_batch(const Tensor* const* grad_outputs,
+                             std::size_t count, Tensor* grad_inputs) {
+  const std::size_t n = Tensor::shape_size(last_shape_);
+  for (std::size_t b = 0; b < count; ++b) {
+    if (grad_outputs[b]->size() != n) {
+      throw std::invalid_argument("Flatten::backward_batch: size mismatch");
+    }
+    grad_inputs[b].reset_shape(last_shape_);
+    std::memcpy(grad_inputs[b].data(), grad_outputs[b]->data(),
+                sizeof(float) * n);
+  }
 }
 
 std::unique_ptr<Layer> Flatten::clone() const {

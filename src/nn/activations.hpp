@@ -12,6 +12,11 @@ class ReLU : public Layer {
   Tensor backward(const Tensor& grad_output) override;
   void forward_batch(const Tensor* const* inputs, std::size_t count,
                      Tensor* outputs) override;
+  bool supports_batch_train() const override { return true; }
+  void forward_batch_train(const Tensor* const* inputs, std::size_t count,
+                           Tensor* outputs) override;
+  void backward_batch(const Tensor* const* grad_outputs, std::size_t count,
+                      Tensor* grad_inputs) override;
   std::string kind() const override { return "relu"; }
   std::unique_ptr<Layer> clone() const override;
   std::vector<int> output_shape(const std::vector<int>& input) const override {
@@ -20,6 +25,9 @@ class ReLU : public Layer {
 
  private:
   Tensor last_input_;
+  /// Batched-training cache: per-sample input copies (storage reused).
+  std::vector<Tensor> batch_inputs_;
+  std::size_t batch_count_ = 0;
 };
 
 /// Flatten any-rank input to rank-1; backward restores the original shape.
@@ -29,6 +37,13 @@ class Flatten : public Layer {
   Tensor backward(const Tensor& grad_output) override;
   void forward_batch(const Tensor* const* inputs, std::size_t count,
                      Tensor* outputs) override;
+  /// The batch must be same-shape (the trainer's minibatches are), so one
+  /// cached shape serves every sample's backward reshape.
+  bool supports_batch_train() const override { return true; }
+  void forward_batch_train(const Tensor* const* inputs, std::size_t count,
+                           Tensor* outputs) override;
+  void backward_batch(const Tensor* const* grad_outputs, std::size_t count,
+                      Tensor* grad_inputs) override;
   std::string kind() const override { return "flatten"; }
   std::unique_ptr<Layer> clone() const override;
   std::vector<int> output_shape(const std::vector<int>& input) const override;

@@ -51,6 +51,7 @@ int Conv1D::checked_out_length(const Tensor& input) const {
 
 Tensor Conv1D::forward(const Tensor& input, bool train) {
   const int out_len = checked_out_length(input);
+  train_count_ = 0;
   if (train) {
     last_input_ = input;
   } else {
@@ -137,6 +138,36 @@ Tensor Conv1D::backward(const Tensor& grad_output) {
       grad_output.dim(1) != out_len) {
     throw std::invalid_argument("Conv1D::backward: gradient shape mismatch");
   }
+  // Re-pack the cached input (the grad-weight GEMM reads the same panel
+  // the forward used); grad_output is already the [cout, out_len] panel.
+  const int kd = cin_ * k_;
+  float* panel = kernels::scratch(kernels::Slot::Panel,
+                                  static_cast<std::size_t>(kd) * out_len);
+  kernels::im2row(last_input_.data(), cin_, in_len, k_, stride_, out_len,
+                  panel, static_cast<std::size_t>(out_len));
+  const float* g = grad_output.data();
+  kernels::row_sum_acc(g, grad_bias_.data(), cout_, out_len,
+                       static_cast<std::size_t>(out_len));
+  kernels::gemm_acc_nt(g, panel, grad_weight_.data(), cout_, kd, out_len);
+  Tensor grad_in({cin_, in_len});
+  kernels::conv1d_grad_input(weight_.data(), g, grad_in.data(), cin_, cout_,
+                             k_, stride_, in_len, out_len,
+                             static_cast<std::size_t>(out_len));
+  return grad_in;
+}
+
+Tensor Conv1D::backward_reference(const Tensor& grad_output) {
+  if (last_input_.empty()) {
+    throw std::logic_error(
+        "Conv1D::backward: no cached input — call forward(x, train=true) "
+        "before backward (the inference path retains nothing)");
+  }
+  const int in_len = last_input_.dim(1);
+  const int out_len = out_length(in_len, k_, stride_);
+  if (grad_output.rank() != 2 || grad_output.dim(0) != cout_ ||
+      grad_output.dim(1) != out_len) {
+    throw std::invalid_argument("Conv1D::backward: gradient shape mismatch");
+  }
   Tensor grad_in({cin_, in_len});
   for (int co = 0; co < cout_; ++co) {
     for (int t = 0; t < out_len; ++t) {
@@ -152,6 +183,95 @@ Tensor Conv1D::backward(const Tensor& grad_output) {
     }
   }
   return grad_in;
+}
+
+void Conv1D::forward_batch_train(const Tensor* const* inputs,
+                                 std::size_t count, Tensor* outputs) {
+  if (count == 0) {
+    train_count_ = 0;
+    return;
+  }
+  const int out_len = checked_out_length(*inputs[0]);
+  const int in_len = inputs[0]->dim(1);
+  for (std::size_t b = 1; b < count; ++b) {
+    if (inputs[b]->rank() != 2 || inputs[b]->dim(0) != cin_ ||
+        inputs[b]->dim(1) != in_len) {
+      throw std::invalid_argument(
+          "Conv1D::forward_batch_train: mixed input shapes in batch");
+    }
+  }
+  last_input_ = Tensor();
+  // Same wide panel + GEMM as the inference batch (sample b at column
+  // offset b*out_len), but the panel lives in a member: backward_batch
+  // reads it after every downstream layer has used the scratch slots.
+  const int kd = cin_ * k_;
+  const std::size_t n = count * static_cast<std::size_t>(out_len);
+  train_panel_.resize(static_cast<std::size_t>(kd) * n);
+  for (std::size_t b = 0; b < count; ++b) {
+    kernels::im2row(inputs[b]->data(), cin_, in_len, k_, stride_, out_len,
+                    train_panel_.data() + b * static_cast<std::size_t>(out_len),
+                    n);
+  }
+  float* stage = kernels::scratch(kernels::Slot::Stage,
+                                  static_cast<std::size_t>(cout_) * n);
+  kernels::gemm_bias(weight_.data(), bias_.data(), train_panel_.data(), stage,
+                     cout_, kd, static_cast<int>(n));
+  for (std::size_t b = 0; b < count; ++b) {
+    outputs[b].reset_shape({cout_, out_len});
+    float* dst = outputs[b].data();
+    for (int co = 0; co < cout_; ++co) {
+      std::memcpy(dst + static_cast<std::size_t>(co) * out_len,
+                  stage + static_cast<std::size_t>(co) * n +
+                      b * static_cast<std::size_t>(out_len),
+                  sizeof(float) * static_cast<std::size_t>(out_len));
+    }
+  }
+  train_count_ = count;
+  train_in_len_ = in_len;
+}
+
+void Conv1D::backward_batch(const Tensor* const* grad_outputs,
+                            std::size_t count, Tensor* grad_inputs) {
+  if (train_count_ == 0 || count != train_count_) {
+    throw std::logic_error(
+        "Conv1D::backward_batch: no cached batch — call "
+        "forward_batch_train with the same batch first");
+  }
+  const int in_len = train_in_len_;
+  const int out_len = out_length(in_len, k_, stride_);
+  const std::size_t n = count * static_cast<std::size_t>(out_len);
+  for (std::size_t b = 0; b < count; ++b) {
+    if (grad_outputs[b]->rank() != 2 || grad_outputs[b]->dim(0) != cout_ ||
+        grad_outputs[b]->dim(1) != out_len) {
+      throw std::invalid_argument(
+          "Conv1D::backward_batch: gradient shape mismatch");
+    }
+  }
+  // Wide grad panel mirroring the input panel's column layout, so the
+  // grad-weight GEMM's j order (sample-major, t-ascending) reproduces the
+  // reference's per-sample sequential accumulation.
+  float* g = kernels::scratch(kernels::Slot::Panel,
+                              static_cast<std::size_t>(cout_) * n);
+  for (std::size_t b = 0; b < count; ++b) {
+    const float* src = grad_outputs[b]->data();
+    for (int co = 0; co < cout_; ++co) {
+      std::memcpy(g + static_cast<std::size_t>(co) * n +
+                      b * static_cast<std::size_t>(out_len),
+                  src + static_cast<std::size_t>(co) * out_len,
+                  sizeof(float) * static_cast<std::size_t>(out_len));
+    }
+  }
+  const int kd = cin_ * k_;
+  kernels::row_sum_acc(g, grad_bias_.data(), cout_, static_cast<int>(n), n);
+  kernels::gemm_acc_nt(g, train_panel_.data(), grad_weight_.data(), cout_, kd,
+                       static_cast<int>(n));
+  for (std::size_t b = 0; b < count; ++b) {
+    grad_inputs[b].reset_shape({cin_, in_len});
+    kernels::conv1d_grad_input(weight_.data(),
+                               g + b * static_cast<std::size_t>(out_len),
+                               grad_inputs[b].data(), cin_, cout_, k_, stride_,
+                               in_len, out_len, n);
+  }
 }
 
 std::string Conv1D::describe() const {

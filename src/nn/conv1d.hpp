@@ -22,6 +22,9 @@ class Conv1D : public Layer {
   /// caches the input for backward(). Both produce outputs bit-identical
   /// to forward_reference().
   Tensor forward(const Tensor& input, bool train) override;
+  /// Kernel-backed backward: grad-bias row reduction + grad-weight GEMM
+  /// over the re-packed im2row panel + the order-preserving transposed
+  /// correlation for grad-input. Bit-identical to backward_reference().
   Tensor backward(const Tensor& grad_output) override;
 
   /// Batched inference over same-shape windows: one im2row panel + one
@@ -29,9 +32,25 @@ class Conv1D : public Layer {
   void forward_batch(const Tensor* const* inputs, std::size_t count,
                      Tensor* outputs) override;
 
+  /// Batched training: the forward keeps the wide im2row panel alive in a
+  /// member (thread-local scratch would be clobbered by the next layer) so
+  /// backward_batch can run one grad-weight GEMM for the whole minibatch.
+  /// Gradients end bit-identical to per-sample forward/backward in order.
+  bool supports_batch_train() const override { return true; }
+  void forward_batch_train(const Tensor* const* inputs, std::size_t count,
+                           Tensor* outputs) override;
+  void backward_batch(const Tensor* const* grad_outputs, std::size_t count,
+                      Tensor* grad_inputs) override;
+
   /// The original quadruple loop, kept as the accumulation-order reference
   /// the kernel path must match bit-for-bit (tests/test_kernels.cpp).
   Tensor forward_reference(const Tensor& input) const;
+
+  /// The original backward quadruple loop, kept verbatim as the gradient
+  /// accumulation-order oracle (tests/test_train_kernels.cpp). Accumulates
+  /// into the same grad tensors and consumes the same forward(train=true)
+  /// cache as backward().
+  Tensor backward_reference(const Tensor& grad_output);
 
   std::vector<Tensor*> params() override { return {&weight_, &bias_}; }
   std::vector<Tensor*> grads() override { return {&grad_weight_, &grad_bias_}; }
@@ -74,6 +93,11 @@ class Conv1D : public Layer {
   Tensor grad_weight_;
   Tensor grad_bias_;
   Tensor last_input_;   // [cin, L]
+  /// Batched-training cache: the wide im2row panel [cin*k, count*out_len]
+  /// of the last forward_batch_train, plus its geometry.
+  std::vector<float> train_panel_;
+  std::size_t train_count_ = 0;
+  int train_in_len_ = 0;
 };
 
 }  // namespace origin::nn

@@ -32,6 +32,7 @@ Tensor Dense::forward(const Tensor& input, bool train) {
     throw std::invalid_argument("Dense::forward: expected " + std::to_string(in_) +
                                 " features, got " + std::to_string(input.size()));
   }
+  train_count_ = 0;
   if (train) {
     last_input_ = input.rank() == 1 ? input : input.reshaped({in_});
   } else {
@@ -104,6 +105,26 @@ Tensor Dense::backward(const Tensor& grad_output) {
   if (static_cast<int>(grad_output.size()) != out_) {
     throw std::invalid_argument("Dense::backward: gradient size mismatch");
   }
+  // The count == 1 case of the batched kernels: x and gy already are the
+  // [in, 1] / [out, 1] panels, and grad_in is the [in, 1] output panel.
+  Tensor grad_in({in_});
+  const float* gy = grad_output.data();
+  kernels::row_sum_acc(gy, grad_bias_.data(), out_, 1, 1);
+  kernels::gemm_acc_nt(gy, last_input_.data(), grad_weight_.data(), out_, in_,
+                       1);
+  kernels::gemm_tn(weight_.data(), gy, grad_in.data(), in_, out_, 1);
+  return grad_in;
+}
+
+Tensor Dense::backward_reference(const Tensor& grad_output) {
+  if (last_input_.empty()) {
+    throw std::logic_error(
+        "Dense::backward: no cached input — call forward(x, train=true) "
+        "before backward (the inference path retains nothing)");
+  }
+  if (static_cast<int>(grad_output.size()) != out_) {
+    throw std::invalid_argument("Dense::backward: gradient size mismatch");
+  }
   Tensor grad_in({in_});
   const float* w = weight_.data();
   const float* x = last_input_.data();
@@ -120,6 +141,84 @@ Tensor Dense::backward(const Tensor& grad_output) {
     }
   }
   return grad_in;
+}
+
+void Dense::forward_batch_train(const Tensor* const* inputs, std::size_t count,
+                                Tensor* outputs) {
+  if (count == 0) {
+    train_count_ = 0;
+    return;
+  }
+  for (std::size_t b = 0; b < count; ++b) {
+    if (static_cast<int>(inputs[b]->size()) != in_) {
+      throw std::invalid_argument("Dense::forward_batch_train: expected " +
+                                  std::to_string(in_) + " features, got " +
+                                  std::to_string(inputs[b]->size()));
+    }
+  }
+  last_input_ = Tensor();
+  // Same column-wise panel + GEMM as the inference batch, but the panel
+  // lives in a member: backward_batch's grad-weight GEMM reduces over the
+  // sample axis of this exact panel.
+  train_panel_.resize(static_cast<std::size_t>(in_) * count);
+  for (std::size_t b = 0; b < count; ++b) {
+    const float* x = inputs[b]->data();
+    for (int i = 0; i < in_; ++i) {
+      train_panel_[static_cast<std::size_t>(i) * count + b] = x[i];
+    }
+  }
+  float* stage = kernels::scratch(kernels::Slot::Stage,
+                                  static_cast<std::size_t>(out_) * count);
+  kernels::gemm_bias(weight_.data(), bias_.data(), train_panel_.data(), stage,
+                     out_, in_, static_cast<int>(count));
+  for (std::size_t b = 0; b < count; ++b) {
+    outputs[b].reset_shape({out_});
+    float* dst = outputs[b].data();
+    for (int o = 0; o < out_; ++o) {
+      dst[o] = stage[static_cast<std::size_t>(o) * count + b];
+    }
+  }
+  train_count_ = count;
+}
+
+void Dense::backward_batch(const Tensor* const* grad_outputs,
+                           std::size_t count, Tensor* grad_inputs) {
+  if (train_count_ == 0 || count != train_count_) {
+    throw std::logic_error(
+        "Dense::backward_batch: no cached batch — call "
+        "forward_batch_train with the same batch first");
+  }
+  for (std::size_t b = 0; b < count; ++b) {
+    if (static_cast<int>(grad_outputs[b]->size()) != out_) {
+      throw std::invalid_argument(
+          "Dense::backward_batch: gradient size mismatch");
+    }
+  }
+  // Grad panel [out, count] mirroring the input panel's column layout:
+  // the grad-weight GEMM and bias reduction then run over the sample axis
+  // in sample order — the reference's sequential per-sample accumulation.
+  float* gp = kernels::scratch(kernels::Slot::Panel,
+                               static_cast<std::size_t>(out_) * count);
+  for (std::size_t b = 0; b < count; ++b) {
+    const float* gy = grad_outputs[b]->data();
+    for (int o = 0; o < out_; ++o) {
+      gp[static_cast<std::size_t>(o) * count + b] = gy[o];
+    }
+  }
+  kernels::row_sum_acc(gp, grad_bias_.data(), out_, static_cast<int>(count),
+                       count);
+  kernels::gemm_acc_nt(gp, train_panel_.data(), grad_weight_.data(), out_, in_,
+                       static_cast<int>(count));
+  float* gxp = kernels::scratch(kernels::Slot::Stage,
+                                static_cast<std::size_t>(in_) * count);
+  kernels::gemm_tn(weight_.data(), gp, gxp, in_, out_, static_cast<int>(count));
+  for (std::size_t b = 0; b < count; ++b) {
+    grad_inputs[b].reset_shape({in_});
+    float* dst = grad_inputs[b].data();
+    for (int i = 0; i < in_; ++i) {
+      dst[i] = gxp[static_cast<std::size_t>(i) * count + b];
+    }
+  }
 }
 
 std::string Dense::describe() const {

@@ -21,6 +21,8 @@ class Dense : public Layer {
   /// caches the input for backward(). Both match forward_reference()
   /// bit-for-bit.
   Tensor forward(const Tensor& input, bool train) override;
+  /// Kernel-backed backward: grad-weight rank-1 GEMM + transposed matvec
+  /// for grad-input. Bit-identical to backward_reference().
   Tensor backward(const Tensor& grad_output) override;
 
   /// Batched inference: inputs packed column-wise into an [in, count]
@@ -29,9 +31,23 @@ class Dense : public Layer {
   void forward_batch(const Tensor* const* inputs, std::size_t count,
                      Tensor* outputs) override;
 
+  /// Batched training: the forward keeps the [in, count] input panel in a
+  /// member so backward_batch can run the grad-weight GEMM (reduction over
+  /// the sample axis, in sample order) and the transposed grad-input GEMM
+  /// for the whole minibatch. Bit-identical to per-sample calls in order.
+  bool supports_batch_train() const override { return true; }
+  void forward_batch_train(const Tensor* const* inputs, std::size_t count,
+                           Tensor* outputs) override;
+  void backward_batch(const Tensor* const* grad_outputs, std::size_t count,
+                      Tensor* grad_inputs) override;
+
   /// The original row-by-row loop, kept as the accumulation-order
   /// reference the kernel path must match bit-for-bit.
   Tensor forward_reference(const Tensor& input) const;
+
+  /// The original backward loop, kept verbatim as the gradient
+  /// accumulation-order oracle (tests/test_train_kernels.cpp).
+  Tensor backward_reference(const Tensor& grad_output);
 
   std::vector<Tensor*> params() override { return {&weight_, &bias_}; }
   std::vector<Tensor*> grads() override { return {&grad_weight_, &grad_bias_}; }
@@ -66,6 +82,10 @@ class Dense : public Layer {
   Tensor grad_weight_;  // [out, in]
   Tensor grad_bias_;    // [out]
   Tensor last_input_;   // [in]
+  /// Batched-training cache: the [in, count] input panel of the last
+  /// forward_batch_train (sample b in column b).
+  std::vector<float> train_panel_;
+  std::size_t train_count_ = 0;
 };
 
 }  // namespace origin::nn

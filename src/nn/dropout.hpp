@@ -13,6 +13,14 @@ class Dropout : public Layer {
 
   Tensor forward(const Tensor& input, bool train) override;
   Tensor backward(const Tensor& grad_output) override;
+  /// Batched training draws the per-element keep masks in sample order
+  /// b = 0..count-1, so the RNG stream is exactly the one `count`
+  /// single-sample training forwards would consume.
+  bool supports_batch_train() const override { return true; }
+  void forward_batch_train(const Tensor* const* inputs, std::size_t count,
+                           Tensor* outputs) override;
+  void backward_batch(const Tensor* const* grad_outputs, std::size_t count,
+                      Tensor* grad_inputs) override;
   std::string kind() const override { return "dropout"; }
   std::string describe() const override;
   std::unique_ptr<Layer> clone() const override;
@@ -27,6 +35,11 @@ class Dropout : public Layer {
   float rate_ = 0.0f;
   util::Rng rng_;
   std::vector<float> mask_;
+  /// Batched-training cache: sample-major masks ([b][i] flat; empty when
+  /// the last batched forward was a no-op, i.e. rate == 0).
+  std::vector<float> batch_mask_;
+  std::size_t batch_count_ = 0;
+  std::size_t batch_n_ = 0;
 };
 
 }  // namespace origin::nn

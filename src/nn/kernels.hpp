@@ -1,5 +1,6 @@
-// Inference kernels: im2row packing + cache-blocked GEMM/matvec, and the
-// per-thread scratch workspace the inference path allocates from.
+// Inference + training kernels: im2row packing, cache-blocked GEMM/matvec
+// and their backward counterparts, plus the per-thread scratch workspace
+// the fast paths allocate from.
 //
 // Accumulation-order contract (load-bearing for the fleet determinism
 // guarantees, see DESIGN.md): every output element is produced by ONE
@@ -10,6 +11,16 @@
 // output elements are in flight together — never the per-element order —
 // so kernel outputs are bit-identical to the reference loops, and batched
 // calls are bit-identical to repeated single-sample calls.
+//
+// The backward kernels extend the same contract to gradients: a gradient
+// accumulator starts from its *current* value (grads accumulate across a
+// minibatch) and receives contributions in exactly the order of
+// Conv1D::backward_reference / Dense::backward_reference — sample-major
+// across a batch, then the reference loop-nest order within each sample.
+// Because a float store/load round-trip is exact, chaining per-sample
+// updates through memory (the reference) equals keeping the accumulator
+// in a register across the whole batch (the kernels), so trained weights
+// are bit-identical whichever path ran.
 #pragma once
 
 #include <cstddef>
@@ -51,5 +62,38 @@ void gemm_bias(const float* a, const float* bias, const float* p, float* c,
 /// one pass over x feeds several rows. Same per-element order contract.
 void matvec_bias(const float* a, const float* bias, const float* x, float* y,
                  int m, int kd);
+
+/// C[m x n] += A[m x kd] * B[n x kd]^T, all row-major (A rows and B rows
+/// both contiguous along the reduction). The grad-weight GEMM: each C
+/// element is one accumulator seeded from its current value and updated
+/// over k = 0..kd-1 in order — with the batch (or batch x time) axis as
+/// the reduction, that is exactly backward_reference's sample-major
+/// accumulation into the persistent gradient tensors.
+void gemm_acc_nt(const float* a, const float* b, float* c, int m, int n,
+                 int kd);
+
+/// C[m x n] = A[kd x m]^T * P[kd x n] (no bias, accumulators start at 0,
+/// k = 0..kd-1 in order per element). The grad-input GEMM for Dense: with
+/// A = W [out x in] and P the packed grad-output panel [out x batch],
+/// each input-gradient element accumulates over the out axis in ascending
+/// order, exactly as backward_reference's `o` loop does.
+void gemm_tn(const float* a, const float* p, float* c, int m, int kd, int n);
+
+/// y[i] += sum_j a[i*lda + j] for j = 0..n-1 in order — the bias-gradient
+/// row reduction (one accumulator per row, seeded from y's current value).
+void row_sum_acc(const float* a, float* y, int m, int n, std::size_t lda);
+
+/// Gradient w.r.t. the input of a valid 1-D convolution, ONE sample:
+///   gx[ci*in_len + p] = sum over (co asc, t asc with p == t*stride + kk)
+///                       of gy[co, t] * w[(co*cin + ci)*kernel + kk]
+/// with gx's accumulators starting at 0 and contributions applied in
+/// exactly backward_reference's (co-major, t-ascending) per-element order
+/// — a transposed-kernel correlation that must NOT be reassociated into a
+/// col2im scatter. `gy` row co starts at gy + co*ldg (wide-panel batched
+/// callers pass ldg > out_len). Overwrites gx (no accumulation across
+/// calls); stride 1 takes a vectorizable interior fast path.
+void conv1d_grad_input(const float* w, const float* gy, float* gx, int cin,
+                       int cout, int kernel, int stride, int in_len,
+                       int out_len, std::size_t ldg);
 
 }  // namespace origin::nn::kernels

@@ -1,5 +1,7 @@
 #include "nn/layer.hpp"
 
+#include <stdexcept>
+
 namespace origin::nn {
 
 void Layer::forward_batch(const Tensor* const* inputs, std::size_t count,
@@ -7,6 +9,20 @@ void Layer::forward_batch(const Tensor* const* inputs, std::size_t count,
   for (std::size_t i = 0; i < count; ++i) {
     outputs[i] = forward(*inputs[i], /*train=*/false);
   }
+}
+
+void Layer::forward_batch_train(const Tensor* const* /*inputs*/,
+                                std::size_t /*count*/, Tensor* /*outputs*/) {
+  throw std::logic_error("Layer::forward_batch_train: " + kind() +
+                         " has no batched training path (check "
+                         "supports_batch_train() before calling)");
+}
+
+void Layer::backward_batch(const Tensor* const* /*grad_outputs*/,
+                           std::size_t /*count*/, Tensor* /*grad_inputs*/) {
+  throw std::logic_error("Layer::backward_batch: " + kind() +
+                         " has no batched training path (check "
+                         "supports_batch_train() before calling)");
 }
 
 }  // namespace origin::nn

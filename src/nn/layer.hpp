@@ -38,6 +38,31 @@ class Layer {
   virtual void forward_batch(const Tensor* const* inputs, std::size_t count,
                              Tensor* outputs);
 
+  /// True when the layer implements the batched training pair below. The
+  /// trainer's minibatch fast path requires every layer to support it and
+  /// otherwise falls back to per-sample backprop, so exotic layers stay
+  /// trainable without a batched backward.
+  virtual bool supports_batch_train() const { return false; }
+
+  /// Batched training forward over same-shape samples: outputs[b] must be
+  /// bit-identical to forward(*inputs[b], train=true), and any stochastic
+  /// layer must consume its RNG in sample order b = 0..count-1 so the draw
+  /// sequence matches `count` consecutive single-sample calls. Caches
+  /// whatever backward_batch() needs (replacing any single-sample cache).
+  /// Default throws std::logic_error — query supports_batch_train() first.
+  virtual void forward_batch_train(const Tensor* const* inputs,
+                                   std::size_t count, Tensor* outputs);
+
+  /// Batched backward for the most recent forward_batch_train: writes the
+  /// per-sample input gradients and accumulates parameter gradients so
+  /// that every gradient element ends bit-identical to count sequential
+  /// backward() calls in sample order (the kernels add contributions
+  /// sample-major per element; a float store/load chain is exact, so the
+  /// interleaving of *elements* may differ, the per-element order never).
+  /// Default throws std::logic_error.
+  virtual void backward_batch(const Tensor* const* grad_outputs,
+                              std::size_t count, Tensor* grad_inputs);
+
   /// Learnable parameters and their gradient accumulators; same order.
   virtual std::vector<Tensor*> params() { return {}; }
   virtual std::vector<Tensor*> grads() { return {}; }

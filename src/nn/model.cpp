@@ -93,6 +93,62 @@ void Sequential::forward_batch_inference(const Tensor* const* inputs,
   layers_.back()->forward_batch(arena.in_ptrs.data(), count, outputs);
 }
 
+bool Sequential::supports_batch_train() const {
+  for (const auto& layer : layers_) {
+    if (!layer->supports_batch_train()) return false;
+  }
+  return true;
+}
+
+void Sequential::forward_batch_train(const Tensor* const* inputs,
+                                     std::size_t count, Tensor* outputs) {
+  if (count == 0) return;
+  if (layers_.empty()) {
+    for (std::size_t b = 0; b < count; ++b) outputs[b] = *inputs[b];
+    return;
+  }
+  if (layers_.size() == 1) {
+    layers_[0]->forward_batch_train(inputs, count, outputs);
+    return;
+  }
+  BatchArena& arena = batch_arena();
+  if (arena.ping.size() < count) arena.ping.resize(count);
+  if (arena.pong.size() < count) arena.pong.resize(count);
+  arena.in_ptrs.resize(count);
+
+  layers_[0]->forward_batch_train(inputs, count, arena.ping.data());
+  Tensor* cur = arena.ping.data();
+  Tensor* nxt = arena.pong.data();
+  for (std::size_t li = 1; li + 1 < layers_.size(); ++li) {
+    for (std::size_t b = 0; b < count; ++b) arena.in_ptrs[b] = &cur[b];
+    layers_[li]->forward_batch_train(arena.in_ptrs.data(), count, nxt);
+    std::swap(cur, nxt);
+  }
+  for (std::size_t b = 0; b < count; ++b) arena.in_ptrs[b] = &cur[b];
+  layers_.back()->forward_batch_train(arena.in_ptrs.data(), count, outputs);
+}
+
+void Sequential::backward_batch(const Tensor* const* grad_logits,
+                                std::size_t count) {
+  if (count == 0 || layers_.empty()) return;
+  // Layers cache whatever their backward needs as members during
+  // forward_batch_train, so the arena can be reused for gradients here.
+  BatchArena& arena = batch_arena();
+  if (arena.ping.size() < count) arena.ping.resize(count);
+  if (arena.pong.size() < count) arena.pong.resize(count);
+  arena.in_ptrs.resize(count);
+
+  Tensor* cur = arena.ping.data();
+  Tensor* nxt = arena.pong.data();
+  layers_.back()->backward_batch(grad_logits, count, cur);
+  for (std::size_t li = layers_.size() - 1; li > 0; --li) {
+    for (std::size_t b = 0; b < count; ++b) arena.in_ptrs[b] = &cur[b];
+    layers_[li - 1]->backward_batch(arena.in_ptrs.data(), count, nxt);
+    std::swap(cur, nxt);
+  }
+  // The input gradient (now in cur) is discarded, matching backward().
+}
+
 std::vector<std::vector<float>> Sequential::predict_proba_batch(
     const Tensor* const* inputs, std::size_t count) {
   std::vector<Tensor> logits(count);

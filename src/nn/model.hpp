@@ -46,6 +46,24 @@ class Sequential {
   void forward_batch_inference(const Tensor* const* inputs, std::size_t count,
                                Tensor* outputs);
 
+  /// True when every layer implements the batched training pair — the
+  /// precondition for forward_batch_train/backward_batch (the trainer
+  /// falls back to per-sample backprop otherwise).
+  bool supports_batch_train() const;
+
+  /// Batched training forward: outputs[b] is bit-identical to
+  /// forward(*inputs[b], train=true) called in sample order (stochastic
+  /// layers consume their RNG sample-major). Each layer caches what its
+  /// backward_batch needs.
+  void forward_batch_train(const Tensor* const* inputs, std::size_t count,
+                           Tensor* outputs);
+
+  /// Batched backward for the most recent forward_batch_train: after it
+  /// returns, every parameter-gradient element is bit-identical to `count`
+  /// sequential backward(grad_logits[b]) calls in sample order. The input
+  /// gradient is discarded, as in backward().
+  void backward_batch(const Tensor* const* grad_logits, std::size_t count);
+
   /// Batched predict_proba; element b matches predict_proba(inputs[b])
   /// bit-for-bit.
   std::vector<std::vector<float>> predict_proba_batch(

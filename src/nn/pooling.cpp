@@ -27,6 +27,7 @@ Tensor MaxPool1D::forward(const Tensor& input, bool train) {
   if (out_len <= 0) {
     throw std::invalid_argument("MaxPool1D::forward: input shorter than window");
   }
+  batch_count_ = 0;
   if (train) {
     in_shape_ = input.shape();
     argmax_.assign(
@@ -93,6 +94,101 @@ void MaxPool1D::forward_batch(const Tensor* const* inputs, std::size_t count,
           if (row[base + p] > best) best = row[base + p];
         }
         orow[t] = best;
+      }
+    }
+  }
+}
+
+void MaxPool1D::forward_batch_train(const Tensor* const* inputs,
+                                    std::size_t count, Tensor* outputs) {
+  if (count == 0) {
+    batch_count_ = 0;
+    return;
+  }
+  if (inputs[0]->rank() != 2) {
+    throw std::invalid_argument(
+        "MaxPool1D::forward_batch_train: expected rank-2 input");
+  }
+  const int channels = inputs[0]->dim(0);
+  const int in_len = inputs[0]->dim(1);
+  const int out_len = out_length(in_len, pool_, stride_);
+  if (out_len <= 0) {
+    throw std::invalid_argument(
+        "MaxPool1D::forward_batch_train: input shorter than window");
+  }
+  for (std::size_t b = 1; b < count; ++b) {
+    if (inputs[b]->rank() != 2 || inputs[b]->dim(0) != channels ||
+        inputs[b]->dim(1) != in_len) {
+      throw std::invalid_argument(
+          "MaxPool1D::forward_batch_train: mixed input shapes in batch");
+    }
+  }
+  in_shape_ = {channels, in_len};
+  argmax_.clear();
+  const std::size_t per_sample = static_cast<std::size_t>(channels) *
+                                 static_cast<std::size_t>(out_len);
+  batch_argmax_.assign(count * per_sample, 0);
+  for (std::size_t b = 0; b < count; ++b) {
+    outputs[b].reset_shape({channels, out_len});
+    const float* x = inputs[b]->data();
+    float* y = outputs[b].data();
+    int* amax = batch_argmax_.data() + b * per_sample;
+    for (int c = 0; c < channels; ++c) {
+      const float* row =
+          x + static_cast<std::size_t>(c) * static_cast<std::size_t>(in_len);
+      for (int t = 0; t < out_len; ++t) {
+        const int base = t * stride_;
+        float best = row[base];
+        int best_idx = base;
+        for (int p = 1; p < pool_; ++p) {
+          const float v = row[base + p];
+          if (v > best) {
+            best = v;
+            best_idx = base + p;
+          }
+        }
+        y[static_cast<std::size_t>(c) * static_cast<std::size_t>(out_len) +
+          static_cast<std::size_t>(t)] = best;
+        amax[static_cast<std::size_t>(c) * static_cast<std::size_t>(out_len) +
+             static_cast<std::size_t>(t)] = best_idx;
+      }
+    }
+  }
+  batch_count_ = count;
+}
+
+void MaxPool1D::backward_batch(const Tensor* const* grad_outputs,
+                               std::size_t count, Tensor* grad_inputs) {
+  if (batch_count_ == 0 || count != batch_count_ || in_shape_.size() != 2) {
+    throw std::logic_error(
+        "MaxPool1D::backward_batch: no cached batch — call "
+        "forward_batch_train with the same batch first");
+  }
+  const int channels = in_shape_[0];
+  const int in_len = in_shape_[1];
+  const int out_len = out_length(in_len, pool_, stride_);
+  const std::size_t per_sample = static_cast<std::size_t>(channels) *
+                                 static_cast<std::size_t>(out_len);
+  for (std::size_t b = 0; b < count; ++b) {
+    if (grad_outputs[b]->rank() != 2 || grad_outputs[b]->dim(0) != channels ||
+        grad_outputs[b]->dim(1) != out_len) {
+      throw std::invalid_argument(
+          "MaxPool1D::backward_batch: gradient shape mismatch");
+    }
+    grad_inputs[b].reset_shape({channels, in_len});
+    grad_inputs[b].zero();
+    const float* gy = grad_outputs[b]->data();
+    float* gx = grad_inputs[b].data();
+    const int* amax = batch_argmax_.data() + b * per_sample;
+    for (int c = 0; c < channels; ++c) {
+      const std::size_t crow = static_cast<std::size_t>(c) *
+                               static_cast<std::size_t>(in_len);
+      for (int t = 0; t < out_len; ++t) {
+        const std::size_t oi =
+            static_cast<std::size_t>(c) * static_cast<std::size_t>(out_len) +
+            static_cast<std::size_t>(t);
+        // argmax indices are within-row positions, as in backward().
+        gx[crow + static_cast<std::size_t>(amax[oi])] += gy[oi];
       }
     }
   }

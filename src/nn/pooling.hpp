@@ -15,6 +15,11 @@ class MaxPool1D : public Layer {
   Tensor backward(const Tensor& grad_output) override;
   void forward_batch(const Tensor* const* inputs, std::size_t count,
                      Tensor* outputs) override;
+  bool supports_batch_train() const override { return true; }
+  void forward_batch_train(const Tensor* const* inputs, std::size_t count,
+                           Tensor* outputs) override;
+  void backward_batch(const Tensor* const* grad_outputs, std::size_t count,
+                      Tensor* grad_inputs) override;
   std::string kind() const override { return "maxpool1d"; }
   std::string describe() const override;
   std::unique_ptr<Layer> clone() const override;
@@ -30,6 +35,10 @@ class MaxPool1D : public Layer {
   int stride_ = 2;
   std::vector<int> argmax_;  // flat index into the input per output element
   std::vector<int> in_shape_;
+  /// Batched-training cache: per-sample argmax indices, sample-major
+  /// ([b][c][t] flat; every sample shares in_shape_).
+  std::vector<int> batch_argmax_;
+  std::size_t batch_count_ = 0;
 };
 
 }  // namespace origin::nn

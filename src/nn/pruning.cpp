@@ -155,6 +155,13 @@ PruneReport prune_to_energy_budget(Sequential& model,
   report.energy_before_j = estimate_cost(model, input_shape, profile).energy_j;
   report.params_before = model.param_count();
 
+  // Each tuner.fit() below builds a fresh SgdMomentum bound to the model's
+  // current tensors, so momentum restarts from zero at every fine-tune.
+  // That is intentional, not an oversight: pruning surgery changes the
+  // parameter shapes between fits, which would invalidate any carried-over
+  // velocity tensors — and the restart is baked into every cached model
+  // (kArchVersion), so carrying state across fits would silently change
+  // trained weights and break cache-key bit-identity.
   Trainer tuner(config.fine_tune);
   int since_tune = 0;
   while (estimate_cost(model, input_shape, profile).energy_j >
