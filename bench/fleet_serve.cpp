@@ -1,0 +1,181 @@
+// Sustained serving throughput + latency for the src/serve subsystem, and
+// the subsystem's two hard guarantees, asserted (non-zero exit on any
+// divergence):
+//
+//   1. Bit-identity across thread counts: the completed-session log
+//      (per-slot outputs, checksums) and every deterministic metric are
+//      identical at --threads 1/2/8.
+//   2. Bit-identity across a snapshot/restore split: serving N ticks,
+//      snapshotting, restoring into a fresh process and serving the rest
+//      equals the uninterrupted run.
+//
+// Reported: sustained users/sec and slots/sec per thread count, and
+// p50/p99 per-slot service latency from the serve.step_seconds histogram.
+//
+// Flags: --users N, --slots N, --arrival-rate R, --shards N, --json PATH.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "serve/serve_loop.hpp"
+#include "util/table.hpp"
+
+using namespace origin;
+
+namespace {
+
+struct RunOutput {
+  std::vector<serve::CompletedSession> completed;
+  obs::MetricsSnapshot metrics;
+  double wall_seconds = 0.0;
+};
+
+RunOutput drain_loop(serve::ServeLoop& loop) {
+  const auto begin = std::chrono::steady_clock::now();
+  loop.drain(/*chunk=*/32);
+  RunOutput out;
+  out.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - begin)
+          .count();
+  out.completed = loop.completed_sessions();
+  out.metrics = loop.metrics();
+  return out;
+}
+
+bool same_completed(const std::vector<serve::CompletedSession>& a,
+                    const std::vector<serve::CompletedSession>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].id != b[i].id || a[i].completed_tick != b[i].completed_tick ||
+        a[i].outputs_fnv1a != b[i].outputs_fnv1a ||
+        a[i].outputs != b[i].outputs || a[i].accuracy != b[i].accuracy ||
+        a[i].success_rate != b[i].success_rate) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  serve::ServeConfig base;
+  base.users = 24;
+  int slots = 600;
+  for (int i = 1; i + 1 < argc; i += 2) {
+    if (!std::strcmp(argv[i], "--users")) {
+      base.users = std::strtoul(argv[i + 1], nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--slots")) {
+      slots = std::atoi(argv[i + 1]);
+    } else if (!std::strcmp(argv[i], "--arrival-rate")) {
+      base.arrival_rate_hz = std::atof(argv[i + 1]);
+    } else if (!std::strcmp(argv[i], "--shards")) {
+      base.shards = std::strtoul(argv[i + 1], nullptr, 10);
+    }
+  }
+
+  bench::JsonReport report(argc, argv, "fleet_serve");
+  report.manifest().set("users", std::uint64_t{base.users});
+  report.manifest().set("slots", slots);
+  report.manifest().set("arrival_rate_hz", base.arrival_rate_hz);
+  report.manifest().set("shards", std::uint64_t{base.shards});
+
+  auto config = bench::default_config(data::DatasetKind::MHealthLike);
+  config.stream_slots = slots;
+  std::printf("[setup] building/loading mhealth system (cache: %s)...\n",
+              bench::cache_dir().c_str());
+  sim::Experiment experiment(config);
+
+  std::printf("\nopen-loop serving: %zu users, %d-slot sessions, "
+              "%.1f arrivals/s, %zu shards\n\n",
+              base.users, slots, base.arrival_rate_hz, base.shards);
+
+  util::AsciiTable table(
+      {"threads", "wall s", "users/s", "slots/s", "p50 us", "p99 us"});
+  bool ok = true;
+  RunOutput reference;
+  obs::MetricsSnapshot reference_metrics;
+  for (unsigned threads : {1u, 2u, 8u}) {
+    serve::ServeConfig cfg = base;
+    cfg.threads = threads;
+    serve::ServeLoop loop(experiment, cfg);
+    RunOutput out = drain_loop(loop);
+
+    const auto* step = out.metrics.find("serve.step_seconds");
+    const auto& cell = out.metrics.histograms[step->slot];
+    const double slots_served = static_cast<double>(cell.count);
+    table.add_row(
+        {std::to_string(threads), util::AsciiTable::format(out.wall_seconds, 2),
+         util::AsciiTable::format(
+             static_cast<double>(base.users) / out.wall_seconds, 2),
+         util::AsciiTable::format(slots_served / out.wall_seconds, 0),
+         util::AsciiTable::format(
+             1e6 * obs::histogram_quantile(cell, step->upper_bounds, 0.5), 1),
+         util::AsciiTable::format(
+             1e6 * obs::histogram_quantile(cell, step->upper_bounds, 0.99),
+             1)});
+
+    if (threads == 1) {
+      reference = std::move(out);
+    } else {
+      if (!same_completed(reference.completed, out.completed)) {
+        std::fprintf(stderr,
+                     "FAIL: completed log diverges at threads=%u\n", threads);
+        ok = false;
+      }
+      if (!obs::MetricsSnapshot::deterministic_equal(reference.metrics,
+                                                     out.metrics)) {
+        std::fprintf(stderr,
+                     "FAIL: deterministic metrics diverge at threads=%u\n",
+                     threads);
+        ok = false;
+      }
+    }
+  }
+  table.print();
+  report.add_table("serving", table);
+
+  // Snapshot-split check: half the virtual timeline, save, restore into a
+  // fresh loop (different thread count on purpose), serve the rest.
+  const std::string snap_path = "fleet_serve_bench.snap";
+  {
+    serve::ServeConfig cfg = base;
+    cfg.threads = 2;
+    serve::ServeLoop first(experiment, cfg);
+    const std::uint64_t half =
+        first.arrivals().last_tick() / 2 + 1;
+    first.tick(half);
+    first.save(snap_path);
+
+    cfg.threads = 8;
+    serve::ServeLoop second(experiment, cfg);
+    second.restore(snap_path);
+    second.drain(32);
+
+    const bool log_ok =
+        same_completed(reference.completed, second.completed_sessions());
+    const bool metrics_ok = obs::MetricsSnapshot::deterministic_equal(
+        reference.metrics, second.metrics());
+    std::printf("\nsnapshot split at tick %llu: completed log %s, "
+                "deterministic metrics %s\n",
+                static_cast<unsigned long long>(half),
+                log_ok ? "bit-identical" : "DIVERGED",
+                metrics_ok ? "bit-identical" : "DIVERGED");
+    if (!log_ok || !metrics_ok) ok = false;
+    std::remove(snap_path.c_str());
+  }
+
+  report.manifest().set("bit_identical", ok);
+  report.write(&reference.metrics);
+  if (!ok) {
+    std::fprintf(stderr, "fleet_serve: bit-identity check FAILED\n");
+    return 1;
+  }
+  std::printf("bit-identity: completed logs and deterministic metrics equal "
+              "across threads 1/2/8 and the snapshot split\n");
+  return 0;
+}

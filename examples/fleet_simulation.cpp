@@ -7,44 +7,18 @@
 //   cmake -B build -G Ninja && cmake --build build
 //   ./build/examples/fleet_simulation --users 32 --threads 4 --policy origin
 //
-// Flags: --users N        population size            (default 16)
-//        --runs-per-user N  independent streams each (default 1)
-//        --threads N      worker threads             (default hardware)
-//        --policy P       naive|rr|aas|aasr|origin   (default origin)
-//        --rr K           round-robin depth          (default 12)
-//        --slots N        stream length in slots     (default 1000)
-//        --severity S     user deviation severity    (default 0.5)
-//        --trace F        write a Chrome trace_event JSON (open in
-//                         chrome://tracing or https://ui.perfetto.dev):
-//                         job spans per shard lane + the slot-level
-//                         simulator trace of job 0. A run manifest goes
-//                         to F.manifest.json next to it.
+// Run with --help for the full flag list.
 #include <cstdio>
-#include <cstring>
-#include <stdexcept>
 #include <string>
 
 #include "fleet/fleet_runner.hpp"
 #include "fleet/thread_pool.hpp"
 #include "obs/manifest.hpp"
 #include "obs/trace.hpp"
+#include "util/args.hpp"
 #include "util/logging.hpp"
 
 using namespace origin;
-
-namespace {
-
-sim::PolicyKind parse_policy(const std::string& name) {
-  for (auto kind : {sim::PolicyKind::Naive, sim::PolicyKind::PlainRR,
-                    sim::PolicyKind::AAS, sim::PolicyKind::AASR,
-                    sim::PolicyKind::Origin}) {
-    if (name == to_string(kind)) return kind;
-  }
-  throw std::invalid_argument("unknown --policy '" + name +
-                              "' (naive|rr|aas|aasr|origin)");
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
   util::set_log_level(util::LogLevel::Info);
@@ -54,31 +28,28 @@ int main(int argc, char** argv) {
   fleet::FleetRunnerConfig runner_config;
   runner_config.threads = fleet::ThreadPool::hardware_threads();
   int slots = 1000;
+  std::string policy_name = to_string(pop.policy);
   std::string trace_path;
+
+  util::ArgParser args("fleet_simulation",
+                       "batch-simulate a user population on a thread pool");
+  args.add("users", &pop.users, "population size");
+  args.add("runs-per-user", &pop.runs_per_user,
+           "independent streams per user");
+  args.add("threads", &runner_config.threads, "worker threads");
+  args.add("policy", &policy_name, "naive|rr|aas|aasr|origin");
+  args.add("rr", &pop.rr_cycle, "round-robin depth");
+  args.add("slots", &slots, "stream length in slots");
+  args.add("severity", &pop.severity, "user deviation severity");
+  args.add("trace", &trace_path,
+           "write a Chrome trace_event JSON (chrome://tracing, "
+           "ui.perfetto.dev) + run manifest");
   try {
-    for (int i = 1; i + 1 < argc; i += 2) {
-      if (!std::strcmp(argv[i], "--users")) {
-        pop.users = std::stoul(argv[i + 1]);
-      } else if (!std::strcmp(argv[i], "--runs-per-user")) {
-        pop.runs_per_user = std::stoi(argv[i + 1]);
-      } else if (!std::strcmp(argv[i], "--threads")) {
-        runner_config.threads = static_cast<unsigned>(std::stoul(argv[i + 1]));
-      } else if (!std::strcmp(argv[i], "--policy")) {
-        pop.policy = parse_policy(argv[i + 1]);
-      } else if (!std::strcmp(argv[i], "--rr")) {
-        pop.rr_cycle = std::stoi(argv[i + 1]);
-      } else if (!std::strcmp(argv[i], "--slots")) {
-        slots = std::stoi(argv[i + 1]);
-      } else if (!std::strcmp(argv[i], "--severity")) {
-        pop.severity = std::stod(argv[i + 1]);
-      } else if (!std::strcmp(argv[i], "--trace")) {
-        trace_path = argv[i + 1];
-      } else {
-        throw std::invalid_argument(std::string("unknown flag ") + argv[i]);
-      }
-    }
+    if (!args.parse(argc, argv)) return 0;
+    pop.policy = sim::parse_policy_kind(policy_name);
   } catch (const std::exception& e) {
-    std::fprintf(stderr, "fleet_simulation: %s\n", e.what());
+    std::fprintf(stderr, "fleet_simulation: %s\n%s", e.what(),
+                 args.usage().c_str());
     return 2;
   }
 
@@ -132,19 +103,14 @@ int main(int argc, char** argv) {
   // Scheduler health from the run's metric snapshot (pool.* metrics are
   // wall-clock — report-only, never asserted on).
   const auto& m = result.metrics;
-  for (std::size_t i = 0; i < m.defs.size(); ++i) {
-    if (m.defs[i].name == "pool.steals") {
-      std::printf("pool:                         %llu steals",
-                  static_cast<unsigned long long>(
-                      m.counters[m.defs[i].slot]));
-    } else if (m.defs[i].name == "pool.backoffs") {
-      std::printf(", %llu backoffs",
-                  static_cast<unsigned long long>(
-                      m.counters[m.defs[i].slot]));
-    } else if (m.defs[i].name == "pool.max_queue_depth") {
-      std::printf(", max queue depth %.0f\n",
-                  m.gauges[m.defs[i].slot].value);
-    }
+  if (m.find("pool.steals") != nullptr) {
+    std::printf("pool:                         %llu steals, %llu backoffs, "
+                "max queue depth %.0f\n",
+                static_cast<unsigned long long>(
+                    m.counter_value("pool.steals")),
+                static_cast<unsigned long long>(
+                    m.counter_value("pool.backoffs")),
+                m.gauge_value("pool.max_queue_depth").value);
   }
 
   if (!trace_path.empty()) {

@@ -16,9 +16,14 @@
 #             identity) in Release and Release+ASan, plus a cold-cache
 #             serial-vs-parallel pipeline determinism diff.
 #   trace   — scripts/verify_trace.sh (-DORIGIN_TRACE=ON/OFF builds).
+#   serve   — the serving-subsystem suite (label `serve`: bit-identity
+#             across thread counts and snapshot/restore splits, the HTTP
+#             endpoint) in Release and Release+ASan, plus an end-to-end
+#             smoke: boot examples/fleet_serve on an ephemeral port and
+#             curl the JSON/JSONL routes.
 #   all     — everything above (default).
 #
-# Usage: scripts/verify.sh [data|kernels|train|trace|all] [generator-args...]
+# Usage: scripts/verify.sh [data|kernels|train|trace|serve|all] [generator-args...]
 # The data gate reuses the build-kernels-{release,asan}/ trees so a full
 # `all` run configures each tree once.
 set -euo pipefail
@@ -67,20 +72,68 @@ verify_train() {
   echo "=== training path verified (Release + ASan + parallel determinism) ==="
 }
 
+verify_serve_config() {
+  local sanitizer="$1" dir="$2"
+  shift 2
+  echo "=== serve: sanitizer='${sanitizer:-none}' (${dir}) ==="
+  cmake -B "$dir" -S "$repo" -DORIGIN_SANITIZE="$sanitizer" "$@" >/dev/null
+  cmake --build "$dir" -j "$jobs" --target \
+      test_serve test_serve_snapshot
+  ctest --test-dir "$dir" -L serve --output-on-failure -j "$jobs"
+}
+
+verify_serve() {
+  verify_serve_config ""        "build-kernels-release" "$@"
+  verify_serve_config "address" "build-kernels-asan"    "$@"
+  # End-to-end smoke: boot the serving example on a kernel-assigned
+  # ephemeral port (no fixed port to collide with), then curl the JSON
+  # and JSONL routes while it lingers.
+  cmake --build "build-kernels-release" -j "$jobs" --target fleet_serve
+  local out="build-kernels-release/serve_smoke.log"
+  rm -f "$out"
+  ( cd build-kernels-release && \
+    ./examples/fleet_serve --users 4 --slots 60 --linger-s 45 \
+        > serve_smoke.log 2>&1 ) &
+  local pid=$!
+  local port=""
+  for _ in $(seq 1 300); do
+    port="$(sed -n 's#^serving on http://127.0.0.1:\([0-9]*\)$#\1#p' "$out" \
+        2>/dev/null || true)"
+    [ -n "$port" ] && break
+    sleep 1
+  done
+  if [ -z "$port" ]; then
+    echo "serve smoke: server never reported a port" >&2
+    cat "$out" >&2 || true
+    kill "$pid" 2>/dev/null || true
+    exit 1
+  fi
+  curl -fsS --max-time 10 "http://127.0.0.1:${port}/healthz" \
+      | grep -q '"status":"ok"'
+  curl -fsS --max-time 10 "http://127.0.0.1:${port}/status" \
+      | grep -q '"slots_served"'
+  curl -fsS --max-time 10 "http://127.0.0.1:${port}/results?tail=3" \
+      | grep -q '"predicted"'
+  wait "$pid"
+  echo "=== serve verified (Release + ASan + HTTP smoke on port ${port}) ==="
+}
+
 case "$gate" in
   data)    verify_data "$@" ;;
   kernels) "$repo/scripts/verify_kernels.sh" "$@" ;;
   train)   verify_train "$@" ;;
   trace)   "$repo/scripts/verify_trace.sh" "$@" ;;
+  serve)   verify_serve "$@" ;;
   all)
     verify_data "$@"
     "$repo/scripts/verify_kernels.sh" "$@"
     verify_train "$@"
     "$repo/scripts/verify_trace.sh" "$@"
+    verify_serve "$@"
     echo "=== all verification gates passed ==="
     ;;
   *)
-    echo "usage: scripts/verify.sh [data|kernels|train|trace|all] [generator-args...]" >&2
+    echo "usage: scripts/verify.sh [data|kernels|train|trace|serve|all] [generator-args...]" >&2
     exit 2
     ;;
 esac

@@ -97,6 +97,12 @@ class Policy {
   /// candidate lacked energy).
   virtual int last_plan_fallback_hops() const { return 0; }
 
+  /// Snapshot surface (serve/): the anticipated-class memory that must
+  /// survive a serving-process restart for a restored session to plan
+  /// identically. restore_last_result_class is for restore only.
+  int last_result_class() const { return last_result_class_; }
+  void restore_last_result_class(int cls) { last_result_class_ = cls; }
+
  protected:
   obs::TraceRecorder* trace_ = nullptr;
   /// The activity the policy anticipates next (temporal continuity):
@@ -187,6 +193,11 @@ class AASRPolicy : public AASPolicy {
   double recall_horizon_s() const { return recall_horizon_s_; }
 
   void reset() override;
+
+  /// Snapshot surface (serve/): the fused-output memory, alongside the
+  /// base class's last_result_class.
+  int last_fused() const { return last_fused_; }
+  void restore_last_fused(int cls) { last_fused_ = cls; }
 
  protected:
   /// Fusing policies anticipate from the ensemble output.

@@ -28,6 +28,12 @@ class Capacitor {
   /// Applies leakage over `dt_s` seconds.
   void leak(double dt_s);
 
+  /// Overwrites the stored energy (snapshot restore), clamped to
+  /// [0, capacity].
+  void restore_stored(double joules) {
+    stored_ = joules < 0.0 ? 0.0 : (joules > capacity_ ? capacity_ : joules);
+  }
+
   double stored_j() const { return stored_; }
   double capacity_j() const { return capacity_; }
   double leakage_w() const { return leakage_; }

@@ -18,6 +18,16 @@ struct NvpConfig {
   double restore_j = 0.05e-6;
 };
 
+/// The mutable execution state of an NvpCore — what a session snapshot
+/// must persist to resume a suspended task in another process.
+struct NvpState {
+  bool active = false;
+  double total_j = 0.0;
+  double progress_j = 0.0;
+  std::uint64_t checkpoints = 0;
+  std::uint64_t restores = 0;
+};
+
 class NvpCore {
  public:
   explicit NvpCore(NvpConfig config = {});
@@ -50,6 +60,22 @@ class NvpCore {
 
   std::uint64_t checkpoints() const { return checkpoints_; }
   std::uint64_t restores() const { return restores_; }
+
+  NvpState state() const {
+    return NvpState{active_, total_j_, progress_j_, checkpoints_, restores_};
+  }
+  /// Overwrites the execution state (snapshot restore). Progress outside
+  /// [0, total_j] is a corrupt snapshot.
+  void restore(const NvpState& state) {
+    if (state.progress_j < 0.0 || state.progress_j > state.total_j) {
+      throw std::invalid_argument("NvpCore::restore: corrupt progress");
+    }
+    active_ = state.active;
+    total_j_ = state.total_j;
+    progress_j_ = state.progress_j;
+    checkpoints_ = state.checkpoints;
+    restores_ = state.restores;
+  }
 
  private:
   NvpConfig config_;

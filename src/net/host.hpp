@@ -30,6 +30,13 @@ class HostDevice {
   /// Marks every stored vote as stale (start of a new slot).
   void age_votes();
 
+  /// Overwrites one sensor's buffer entry wholesale (snapshot restore) —
+  /// including an empty entry, unlike update_vote.
+  void restore_vote(data::SensorLocation sensor,
+                    const std::optional<RecalledVote>& vote) {
+    votes_[static_cast<std::size_t>(sensor)] = vote;
+  }
+
   const std::optional<RecalledVote>& vote(data::SensorLocation sensor) const;
   const std::array<std::optional<RecalledVote>, data::kNumSensors>& votes() const {
     return votes_;

@@ -165,4 +165,24 @@ Classification SensorNode::classify(const nn::Tensor& window) {
   return make_classification(model_->predict_proba(window));
 }
 
+SensorNodeState SensorNode::snapshot_state() const {
+  SensorNodeState state;
+  state.stored_j = capacitor_.stored_j();
+  state.failed = failed_;
+  state.counters = counters_;
+  state.nvp = nvp_.state();
+  state.pending_window = pending_window_;
+  state.pending_result = pending_result_;
+  return state;
+}
+
+void SensorNode::restore_state(const SensorNodeState& state) {
+  capacitor_.restore_stored(state.stored_j);
+  failed_ = state.failed;
+  counters_ = state.counters;
+  nvp_.restore(state.nvp);
+  pending_window_ = state.pending_window;
+  pending_result_ = state.pending_result;
+}
+
 }  // namespace origin::net

@@ -45,6 +45,21 @@ struct NodeCounters {
   double consumed_j = 0.0;
 };
 
+/// The full mutable state of a SensorNode — everything a serving-session
+/// snapshot must persist so a restored node continues bit-identically.
+/// Static configuration (model, costs, harvester binding) is rebuilt from
+/// the serve config, not stored.
+struct SensorNodeState {
+  double stored_j = 0.0;
+  bool failed = false;
+  NodeCounters counters;
+  energy::NvpState nvp;
+  /// In-flight eager task: the window it was started on and (when the
+  /// caller ran batched inference) its precomputed classification.
+  std::optional<nn::Tensor> pending_window;
+  std::optional<Classification> pending_result;
+};
+
 class SensorNode {
  public:
   /// `harvester`'s trace must outlive the node. The model is copied in
@@ -119,6 +134,12 @@ class SensorNode {
 
   const NodeCounters& counters() const { return counters_; }
   const energy::NvpCore& nvp() const { return nvp_; }
+
+  /// Snapshot/restore of the node's mutable state (see SensorNodeState).
+  /// restore_state overwrites it wholesale; the node must have been built
+  /// with the same configuration the snapshot was taken under.
+  SensorNodeState snapshot_state() const;
+  void restore_state(const SensorNodeState& state);
   nn::Sequential& model() { return *model_; }
   const nn::Sequential& model() const { return *model_; }
   const energy::Harvester& harvester() const { return harvester_; }

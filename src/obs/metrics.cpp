@@ -285,6 +285,60 @@ std::string MetricsSnapshot::to_json() const {
   return w.str();
 }
 
+const MetricDef* MetricsSnapshot::find(const std::string& name) const {
+  for (const auto& def : defs) {
+    if (def.name == name) return &def;
+  }
+  return nullptr;
+}
+
+std::uint64_t MetricsSnapshot::counter_value(const std::string& name) const {
+  const MetricDef* def = find(name);
+  if (!def || def->kind != MetricKind::Counter) {
+    throw std::out_of_range("MetricsSnapshot: no counter '" + name + "'");
+  }
+  return counters[def->slot];
+}
+
+const GaugeCell& MetricsSnapshot::gauge_value(const std::string& name) const {
+  const MetricDef* def = find(name);
+  if (!def || def->kind != MetricKind::Gauge) {
+    throw std::out_of_range("MetricsSnapshot: no gauge '" + name + "'");
+  }
+  return gauges[def->slot];
+}
+
+const HistogramCell& MetricsSnapshot::histogram_value(
+    const std::string& name) const {
+  const MetricDef* def = find(name);
+  if (!def || def->kind != MetricKind::Histogram) {
+    throw std::out_of_range("MetricsSnapshot: no histogram '" + name + "'");
+  }
+  return histograms[def->slot];
+}
+
+double histogram_quantile(const HistogramCell& cell,
+                          const std::vector<double>& upper_bounds, double q) {
+  if (cell.count == 0) return 0.0;
+  if (q <= 0.0) return cell.min;
+  if (q >= 1.0) return cell.max;
+  const double rank = q * static_cast<double>(cell.count);
+  std::uint64_t cumulative = 0;
+  for (std::size_t b = 0; b < cell.buckets.size(); ++b) {
+    const std::uint64_t in_bucket = cell.buckets[b];
+    if (in_bucket == 0) continue;
+    const double below = static_cast<double>(cumulative);
+    cumulative += in_bucket;
+    if (static_cast<double>(cumulative) < rank) continue;
+    if (b >= upper_bounds.size()) return cell.max;  // +inf bucket
+    const double lower = b == 0 ? 0.0 : upper_bounds[b - 1];
+    const double upper = upper_bounds[b];
+    const double frac = (rank - below) / static_cast<double>(in_bucket);
+    return lower + (upper - lower) * (frac < 0.0 ? 0.0 : frac);
+  }
+  return cell.max;
+}
+
 bool MetricsSnapshot::deterministic_equal(const MetricsSnapshot& a,
                                           const MetricsSnapshot& b) {
   if (a.defs.size() != b.defs.size()) return false;

@@ -126,11 +126,27 @@ struct MetricsSnapshot {
 
   std::string to_json() const;
 
+  /// Definition of a metric by name, or nullptr if absent. The value
+  /// lives at def->slot of the store matching def->kind.
+  const MetricDef* find(const std::string& name) const;
+  /// Convenience lookups by name; throw std::out_of_range when the metric
+  /// is absent or of another kind.
+  std::uint64_t counter_value(const std::string& name) const;
+  const GaugeCell& gauge_value(const std::string& name) const;
+  const HistogramCell& histogram_value(const std::string& name) const;
+
   /// Bitwise equality over the deterministic metrics only — the assertion
   /// fleet_scale runs across thread counts.
   static bool deterministic_equal(const MetricsSnapshot& a,
                                   const MetricsSnapshot& b);
 };
+
+/// Quantile estimate from a fixed-bucket histogram (q in [0, 1]), with
+/// linear interpolation inside the containing bucket — the usual
+/// Prometheus-style estimate for p50/p99 latency reporting. The +inf
+/// bucket clamps to the observed max; an empty histogram returns 0.
+double histogram_quantile(const HistogramCell& cell,
+                          const std::vector<double>& upper_bounds, double q);
 
 MetricsSnapshot snapshot(const MetricsRegistry& registry,
                          const MetricsShard& merged);

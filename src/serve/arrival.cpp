@@ -1,0 +1,27 @@
+#include "serve/arrival.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace origin::serve {
+
+ArrivalSchedule::ArrivalSchedule(const ArrivalConfig& config) {
+  if (config.rate_per_s <= 0.0) {
+    throw std::invalid_argument("ArrivalSchedule: rate_per_s <= 0");
+  }
+  if (config.slot_seconds <= 0.0) {
+    throw std::invalid_argument("ArrivalSchedule: slot_seconds <= 0");
+  }
+  util::Rng rng(config.seed);
+  ticks_.reserve(config.users);
+  double t = 0.0;
+  for (std::size_t i = 0; i < config.users; ++i) {
+    t += rng.exponential(1.0 / config.rate_per_s);
+    ticks_.push_back(
+        static_cast<std::uint64_t>(std::floor(t / config.slot_seconds)));
+  }
+}
+
+}  // namespace origin::serve

@@ -1,0 +1,39 @@
+// Open-loop arrival schedule for the serving loop: session start times
+// are drawn from a seeded Poisson process over the *virtual* clock (one
+// tick = one stream slot), precomputed before serving starts. Open-loop
+// means arrivals never wait on processing — a slow server falls behind
+// the schedule instead of thinning it — and the seeded draw makes the
+// whole workload a pure function of the config, so serving results are
+// bit-identical at any thread count and across snapshot/restore splits.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace origin::serve {
+
+struct ArrivalConfig {
+  /// Total sessions the process will admit.
+  std::size_t users = 64;
+  /// Mean session arrivals per second of virtual time.
+  double rate_per_s = 4.0;
+  std::uint64_t seed = 0x0A221BA1ULL;
+  /// Virtual seconds per tick (= the stream's slot stride).
+  double slot_seconds = 0.5;
+};
+
+class ArrivalSchedule {
+ public:
+  explicit ArrivalSchedule(const ArrivalConfig& config);
+
+  std::size_t size() const { return ticks_.size(); }
+  /// Tick at which session `i` becomes admissible (non-decreasing in i).
+  std::uint64_t tick(std::size_t i) const { return ticks_.at(i); }
+  std::uint64_t last_tick() const { return ticks_.empty() ? 0 : ticks_.back(); }
+
+ private:
+  std::vector<std::uint64_t> ticks_;
+};
+
+}  // namespace origin::serve

@@ -1,0 +1,171 @@
+#include "serve/endpoint.hpp"
+
+#include <cstdlib>
+
+#include "obs/json.hpp"
+
+namespace origin::serve {
+
+namespace {
+
+HttpResponse json_ok(std::string body) {
+  body.push_back('\n');
+  return {200, "application/json", std::move(body)};
+}
+
+HttpResponse error(int status, const std::string& message) {
+  obs::JsonWriter w;
+  w.begin_object().kv("error", message).end_object();
+  return {status, "application/json", w.str() + "\n"};
+}
+
+void session_summary_fields(obs::JsonWriter& w, const SessionSummary& s) {
+  w.kv("id", s.id);
+  w.kv("arrival_tick", s.arrival_tick);
+  w.kv("slots_done", s.slots_done);
+  w.kv("slots_total", s.slots_total);
+  w.kv("accuracy", s.accuracy);
+  w.kv("attempts", s.attempts);
+  w.kv("completions", s.completions);
+  w.key("stored_j").begin_array();
+  for (double j : s.stored_j) w.value(j);
+  w.end_array();
+}
+
+}  // namespace
+
+std::string slot_record_json(const SlotRecord& record) {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.kv("seq", record.seq);
+  w.kv("tick", record.tick);
+  w.kv("session", record.session);
+  w.kv("slot", static_cast<std::uint64_t>(record.slot));
+  w.kv("predicted", static_cast<int>(record.predicted));
+  w.kv("label", static_cast<int>(record.label));
+  w.end_object();
+  return w.str();
+}
+
+std::string completed_session_json(const CompletedSession& record) {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.kv("id", record.id);
+  w.kv("arrival_tick", record.arrival_tick);
+  w.kv("completed_tick", record.completed_tick);
+  w.kv("slots", record.slots);
+  w.kv("accuracy", record.accuracy);
+  w.kv("success_rate", record.success_rate);
+  w.kv("harvested_j", record.harvested_j);
+  w.kv("consumed_j", record.consumed_j);
+  w.kv("outputs_fnv1a", record.outputs_fnv1a);
+  w.end_object();
+  return w.str();
+}
+
+ServeEndpoint::ServeEndpoint(const ServeLoop& loop,
+                             const obs::RunManifest* manifest)
+    : loop_(&loop), manifest_(manifest) {}
+
+HttpResponse ServeEndpoint::handle(const HttpRequest& request) const {
+  if (request.method != "GET") {
+    return error(405, "only GET is supported");
+  }
+  const std::string& path = request.path;
+
+  if (path == "/healthz") {
+    const ServeLoop::Status status = loop_->status();
+    obs::JsonWriter w;
+    w.begin_object();
+    w.kv("status", "ok");
+    w.kv("now", status.now);
+    w.kv("done", loop_->done());
+    w.end_object();
+    return json_ok(w.str());
+  }
+
+  if (path == "/status") {
+    const ServeLoop::Status status = loop_->status();
+    obs::JsonWriter w;
+    w.begin_object();
+    w.kv("now", status.now);
+    w.kv("admitted", status.admitted);
+    w.kv("active", status.active);
+    w.kv("completed", status.completed);
+    w.kv("slots_served", status.slots_served);
+    w.kv("users", static_cast<std::uint64_t>(loop_->config().users));
+    w.kv("done", loop_->done());
+    w.end_object();
+    return json_ok(w.str());
+  }
+
+  if (path == "/metrics") {
+    return json_ok(loop_->metrics().to_json());
+  }
+
+  if (path == "/manifest") {
+    if (manifest_ == nullptr) return error(404, "no manifest attached");
+    return json_ok(manifest_->to_json());
+  }
+
+  if (path == "/sessions") {
+    obs::JsonWriter w;
+    w.begin_array();
+    for (const SessionSummary& summary : loop_->session_summaries()) {
+      w.begin_object();
+      session_summary_fields(w, summary);
+      w.end_object();
+    }
+    w.end_array();
+    return json_ok(w.str());
+  }
+
+  if (path.rfind("/sessions/", 0) == 0) {
+    const std::string id_str = path.substr(std::string("/sessions/").size());
+    char* end = nullptr;
+    const unsigned long long id = std::strtoull(id_str.c_str(), &end, 10);
+    if (id_str.empty() || end == nullptr || *end != '\0') {
+      return error(400, "bad session id");
+    }
+    const auto summary = loop_->session_summary(id);
+    if (!summary) return error(404, "no active session " + id_str);
+    obs::JsonWriter w;
+    w.begin_object();
+    session_summary_fields(w, *summary);
+    w.end_object();
+    return json_ok(w.str());
+  }
+
+  if (path == "/results") {
+    const std::string tail_str = query_param(request.query, "tail", "64");
+    char* end = nullptr;
+    const unsigned long long tail = std::strtoull(tail_str.c_str(), &end, 10);
+    if (tail_str.empty() || end == nullptr || *end != '\0') {
+      return error(400, "bad tail");
+    }
+    std::string body;
+    for (const SlotRecord& record : loop_->recent_results(tail)) {
+      body += slot_record_json(record);
+      body.push_back('\n');
+    }
+    return {200, "application/x-ndjson", std::move(body)};
+  }
+
+  if (path == "/completed") {
+    std::string body;
+    for (const CompletedSession& record : loop_->completed_sessions()) {
+      body += completed_session_json(record);
+      body.push_back('\n');
+    }
+    return {200, "application/x-ndjson", std::move(body)};
+  }
+
+  return error(404, "no route " + path);
+}
+
+std::unique_ptr<HttpServer> ServeEndpoint::serve(std::uint16_t port) const {
+  return std::make_unique<HttpServer>(
+      [this](const HttpRequest& request) { return handle(request); }, port);
+}
+
+}  // namespace origin::serve

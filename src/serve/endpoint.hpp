@@ -1,0 +1,53 @@
+// ServeEndpoint: the HTTP/JSONL query surface over a running ServeLoop.
+// Object endpoints return single JSON documents; the streaming endpoints
+// (/results, /completed) return line-delimited JSON (application/x-ndjson)
+// so consumers can tail them with standard line tooling. handle() is a
+// pure function of the published loop state — tests drive it without a
+// socket; serve() binds it to an HttpServer.
+//
+// Routes (GET only):
+//   /healthz            liveness + virtual clock
+//   /status             admission/completion counters
+//   /metrics            MetricsRegistry snapshot (deterministic + wall)
+//   /manifest           the run's provenance manifest
+//   /sessions           active-session summaries (JSON array)
+//   /sessions/<id>      one session's summary (404 once completed/evicted)
+//   /results?tail=N     most recent served slots, one JSON object per line
+//   /completed          completed-session log, one JSON object per line
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "obs/manifest.hpp"
+#include "serve/http.hpp"
+#include "serve/serve_loop.hpp"
+
+namespace origin::serve {
+
+class ServeEndpoint {
+ public:
+  /// `loop` must outlive the endpoint; `manifest` (optional, borrowed)
+  /// backs /manifest.
+  explicit ServeEndpoint(const ServeLoop& loop,
+                         const obs::RunManifest* manifest = nullptr);
+
+  /// Routes one request against the loop's current published state.
+  HttpResponse handle(const HttpRequest& request) const;
+
+  /// Starts an HttpServer on 127.0.0.1:`port` (0 = ephemeral) dispatching
+  /// to handle().
+  std::unique_ptr<HttpServer> serve(std::uint16_t port = 0) const;
+
+ private:
+  const ServeLoop* loop_;
+  const obs::RunManifest* manifest_;
+};
+
+/// One /results line (also used by the bench's JSONL dump).
+std::string slot_record_json(const SlotRecord& record);
+
+/// One /completed line.
+std::string completed_session_json(const CompletedSession& record);
+
+}  // namespace origin::serve

@@ -1,0 +1,259 @@
+#include "serve/serve_loop.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+
+#include "data/user_profile.hpp"
+#include "fleet/shard.hpp"
+#include "util/rng.hpp"
+
+namespace origin::serve {
+
+namespace {
+double seconds_since(std::chrono::steady_clock::time_point begin) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       begin)
+      .count();
+}
+}  // namespace
+
+ServeLoop::ServeLoop(const sim::Experiment& experiment, ServeConfig config)
+    : experiment_(&experiment),
+      config_(std::move(config)),
+      arrivals_([&] {
+        ArrivalConfig arrival;
+        arrival.users = config_.users;
+        arrival.rate_per_s = config_.arrival_rate_hz;
+        arrival.seed = config_.arrival_seed;
+        arrival.slot_seconds = experiment.spec().slot_seconds();
+        return arrival;
+      }()) {
+  if (config_.shards == 0) {
+    throw std::invalid_argument("ServeLoop: shards == 0");
+  }
+  if (config_.batch_slots > config_.ring_capacity) {
+    throw std::invalid_argument(
+        "ServeLoop: batch_slots exceeds ring_capacity");
+  }
+
+  admitted_id_ = registry_.add_counter("serve.sessions.admitted");
+  completed_id_ = registry_.add_counter("serve.sessions.completed");
+  slots_id_ = registry_.add_counter("serve.slots.served");
+  accuracy_pct_id_ = registry_.add_histogram(
+      "serve.accuracy_pct", obs::MetricsRegistry::linear_bounds(5, 5, 20));
+  success_pct_id_ = registry_.add_histogram(
+      "serve.success_rate_pct", obs::MetricsRegistry::linear_bounds(5, 5, 20));
+  step_seconds_id_ = registry_.add_histogram(
+      "serve.step_seconds",
+      obs::MetricsRegistry::exponential_bounds(1e-6, 2.0, 20),
+      /*deterministic=*/false);
+  tick_seconds_id_ = registry_.add_histogram(
+      "serve.tick_seconds",
+      obs::MetricsRegistry::exponential_bounds(1e-4, 2.0, 20),
+      /*deterministic=*/false);
+  det_metrics_ = registry_.make_shard();
+  loop_wall_metrics_ = registry_.make_shard();
+
+  shards_.reserve(config_.shards);
+  for (std::size_t i = 0; i < config_.shards; ++i) {
+    shards_.push_back(
+        std::make_unique<SessionShard>(experiment, config_.set));
+    shards_.back()->set_wall_metrics(registry_.make_shard());
+  }
+  if (config_.threads > 1) {
+    pool_ = std::make_unique<fleet::ThreadPool>(config_.threads);
+  }
+
+  std::lock_guard<std::mutex> lock(publish_mutex_);
+  rebuild_published_locked();
+}
+
+SessionSpec ServeLoop::make_spec(std::uint64_t id) const {
+  SessionSpec spec;
+  spec.id = id;
+  spec.arrival_tick = arrivals_.tick(id);
+  // Same per-user derivation as fleet::make_population (runs_per_user = 1):
+  // a serving session and the batch job for the same (seed, user index)
+  // simulate the same stream.
+  util::Rng rng(fleet::shard_seed(config_.population_seed, id));
+  spec.user = config_.severity > 0.0
+                  ? data::random_user(static_cast<int>(id), rng,
+                                      config_.severity)
+                  : data::reference_user();
+  spec.seed_offset =
+      fleet::shard_seed(config_.population_seed ^ 0xA11CEULL, id);
+  spec.policy = config_.policy;
+  spec.rr_cycle = config_.rr_cycle;
+  spec.set = config_.set;
+  return spec;
+}
+
+Session& ServeLoop::admit_session(std::uint64_t id) {
+  SessionShard& shard = *shards_[id % config_.shards];
+  shard.admit(std::make_unique<Session>(*experiment_, make_spec(id),
+                                        shard.models(), config_.ring_capacity,
+                                        config_.batch_slots));
+  return *shard.active().back();
+}
+
+void ServeLoop::tick(std::uint64_t n) {
+  if (n == 0) return;
+  const auto begin = std::chrono::steady_clock::now();
+  const std::uint64_t to = now_ + n;
+
+  // Serial admission in id order (arrival ticks are non-decreasing).
+  std::uint64_t admitted_delta = 0;
+  while (next_admit_ < arrivals_.size() &&
+         arrivals_.tick(next_admit_) < to) {
+    admit_session(next_admit_);
+    ++next_admit_;
+    ++admitted_delta;
+  }
+
+  // Serve every shard over [now_, to). Threads decide when a shard runs,
+  // never what it computes — the publish fold below is shard-ordered.
+  const auto serve = [&](std::size_t i) {
+    shards_[i]->serve_ticks(now_, to, step_seconds_id_);
+  };
+  if (pool_) {
+    pool_->run_batch(shards_.size(), serve);
+  } else {
+    for (std::size_t i = 0; i < shards_.size(); ++i) serve(i);
+  }
+
+  det_metrics_.inc(admitted_id_, admitted_delta);
+  publish_round(to, seconds_since(begin));
+}
+
+void ServeLoop::publish_round(std::uint64_t to, double tick_seconds) {
+  std::lock_guard<std::mutex> lock(publish_mutex_);
+  std::vector<CompletedSession> round_completed;
+  for (auto& shard : shards_) {
+    for (SlotRecord& record : shard->round_slots()) {
+      record.seq = results_seq_++;
+      det_metrics_.inc(slots_id_);
+      results_.push_back(record);
+    }
+    shard->round_slots().clear();
+    for (CompletedSession& record : shard->round_completed()) {
+      round_completed.push_back(std::move(record));
+    }
+    shard->round_completed().clear();
+  }
+  // Canonical completion order: by (completed_tick, id), NOT by shard —
+  // a session's position in the log is then a pure function of the
+  // virtual timeline, independent of how tick() calls chunked it (which a
+  // snapshot/restore split inherently changes). Metric replay on restore
+  // walks the log in this same order, so histogram sums stay bitwise
+  // equal too.
+  std::sort(round_completed.begin(), round_completed.end(),
+            [](const CompletedSession& a, const CompletedSession& b) {
+              return a.completed_tick != b.completed_tick
+                         ? a.completed_tick < b.completed_tick
+                         : a.id < b.id;
+            });
+  for (CompletedSession& record : round_completed) {
+    record_completed_metrics(record);
+    completed_.push_back(std::move(record));
+  }
+  while (results_.size() > config_.results_capacity) results_.pop_front();
+  loop_wall_metrics_.observe(tick_seconds_id_, tick_seconds);
+  now_ = to;
+  rebuild_published_locked();
+}
+
+void ServeLoop::record_completed_metrics(const CompletedSession& record) {
+  det_metrics_.inc(completed_id_);
+  det_metrics_.observe(accuracy_pct_id_, 100.0 * record.accuracy);
+  det_metrics_.observe(success_pct_id_, record.success_rate);
+}
+
+void ServeLoop::rebuild_published_locked() {
+  summaries_.clear();
+  std::uint64_t active = 0;
+  for (const auto& shard : shards_) {
+    for (const auto& session : shard->active()) {
+      const sim::SlotStepper& stepper = session->stepper();
+      SessionSummary summary;
+      summary.id = session->spec().id;
+      summary.arrival_tick = session->spec().arrival_tick;
+      summary.slots_done = stepper.next_slot();
+      summary.slots_total = stepper.total_slots();
+      summary.accuracy = stepper.result().accuracy.overall();
+      summary.attempts = stepper.result().completion.attempts;
+      summary.completions = stepper.result().completion.completions;
+      for (std::size_t s = 0; s < data::kNumSensors; ++s) {
+        summary.stored_j[s] = stepper.node(s).stored_j();
+      }
+      summaries_.push_back(summary);
+      ++active;
+    }
+  }
+
+  std::vector<obs::MetricsShard> all;
+  all.reserve(2 + shards_.size());
+  all.push_back(det_metrics_);
+  all.push_back(loop_wall_metrics_);
+  for (const auto& shard : shards_) all.push_back(shard->wall_metrics());
+  metrics_snapshot_ = obs::snapshot(registry_, obs::merge_in_order(all));
+
+  status_.now = now_;
+  status_.admitted = next_admit_;
+  status_.active = active;
+  status_.completed = static_cast<std::uint64_t>(completed_.size());
+  status_.slots_served = det_metrics_.counter(slots_id_);
+}
+
+void ServeLoop::drain(std::uint64_t chunk) {
+  if (chunk == 0) chunk = 1;
+  while (!done()) tick(chunk);
+}
+
+bool ServeLoop::done() const {
+  if (next_admit_ < arrivals_.size()) return false;
+  for (const auto& shard : shards_) {
+    if (!shard->active().empty()) return false;
+  }
+  return true;
+}
+
+std::uint64_t ServeLoop::now() const { return now_; }
+
+ServeLoop::Status ServeLoop::status() const {
+  std::lock_guard<std::mutex> lock(publish_mutex_);
+  return status_;
+}
+
+obs::MetricsSnapshot ServeLoop::metrics() const {
+  std::lock_guard<std::mutex> lock(publish_mutex_);
+  return metrics_snapshot_;
+}
+
+std::vector<SessionSummary> ServeLoop::session_summaries() const {
+  std::lock_guard<std::mutex> lock(publish_mutex_);
+  return summaries_;
+}
+
+std::optional<SessionSummary> ServeLoop::session_summary(
+    std::uint64_t id) const {
+  std::lock_guard<std::mutex> lock(publish_mutex_);
+  for (const auto& summary : summaries_) {
+    if (summary.id == id) return summary;
+  }
+  return std::nullopt;
+}
+
+std::vector<SlotRecord> ServeLoop::recent_results(std::size_t tail) const {
+  std::lock_guard<std::mutex> lock(publish_mutex_);
+  const std::size_t n = results_.size() < tail ? results_.size() : tail;
+  return std::vector<SlotRecord>(results_.end() - static_cast<std::ptrdiff_t>(n),
+                                 results_.end());
+}
+
+std::vector<CompletedSession> ServeLoop::completed_sessions() const {
+  std::lock_guard<std::mutex> lock(publish_mutex_);
+  return completed_;
+}
+
+}  // namespace origin::serve

@@ -1,0 +1,148 @@
+// ServeLoop: the long-lived fleet-serving loop. Turns the batch fleet
+// simulator into a persistent service: sessions are admitted at runtime
+// under an open-loop arrival schedule over a deterministic virtual clock
+// (one tick = one stream slot), advanced one slot per tick in sharded
+// session tables on a reused fleet::ThreadPool, and evicted on
+// completion. All published outputs — the JSONL results stream, the
+// completed-session log, the deterministic metrics — are folded in
+// shard-index order, so they are bit-identical at any --threads and
+// across a snapshot/restore split (see snapshot.cpp).
+//
+// Thread model: tick()/drain()/restore() belong to one driver thread;
+// the const query surface (status, summaries, results, metrics) is safe
+// from any thread at any time — it reads state published under the
+// mutex at the end of each tick.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fleet/thread_pool.hpp"
+#include "obs/metrics.hpp"
+#include "serve/arrival.hpp"
+#include "serve/session_table.hpp"
+
+namespace origin::serve {
+
+struct ServeConfig {
+  /// Sessions the process admits over its lifetime.
+  std::size_t users = 64;
+  /// Open-loop arrival rate (sessions per virtual second) and seed.
+  double arrival_rate_hz = 4.0;
+  std::uint64_t arrival_seed = 0x0A221BA1ULL;
+  /// Population derivation (user profiles + stream seeds), mirroring
+  /// fleet::make_population's per-user hashing.
+  std::uint64_t population_seed = 0xF1EE7ULL;
+  double severity = 0.5;
+  sim::PolicyKind policy = sim::PolicyKind::Origin;
+  int rr_cycle = 12;
+  sim::ModelSet set = sim::ModelSet::BL2;
+  /// Worker threads serving shards; <= 1 serves inline. Never affects
+  /// results.
+  unsigned threads = 1;
+  /// Session-table shards. Part of the determinism fingerprint (the
+  /// publish fold order), unlike threads.
+  std::size_t shards = 8;
+  int ring_capacity = data::StreamCursor::kDefaultRingCapacity;
+  /// In-shard batching (SimulatorConfig::batch_slots); must stay within
+  /// ring_capacity. Bit-identical either way.
+  int batch_slots = 0;
+  /// Recent-results ring exposed on /results (older records are dropped;
+  /// seq numbers keep the stream gap-free for consumers that care).
+  std::size_t results_capacity = 4096;
+};
+
+class ServeLoop {
+ public:
+  ServeLoop(const sim::Experiment& experiment, ServeConfig config);
+
+  /// Advances the virtual clock by `n` ticks: admits due arrivals, serves
+  /// one slot per tick per active session, publishes the round.
+  void tick(std::uint64_t n = 1);
+
+  /// Ticks until every session has been admitted and completed.
+  void drain(std::uint64_t chunk = 64);
+
+  bool done() const;
+  std::uint64_t now() const;
+
+  struct Status {
+    std::uint64_t now = 0;
+    std::uint64_t admitted = 0;
+    std::uint64_t active = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t slots_served = 0;
+  };
+  Status status() const;
+
+  // --- Published query surface (endpoint.cpp); all return copies taken
+  // under the publish mutex.
+  obs::MetricsSnapshot metrics() const;
+  std::vector<SessionSummary> session_summaries() const;
+  std::optional<SessionSummary> session_summary(std::uint64_t id) const;
+  /// Most recent served slots, oldest first, at most `tail` of them.
+  std::vector<SlotRecord> recent_results(std::size_t tail) const;
+  std::vector<CompletedSession> completed_sessions() const;
+
+  /// Snapshot the full session table to `path` (versioned binary format,
+  /// atomic `.tmp.<pid>` + rename). Call between ticks.
+  void save(const std::string& path) const;
+  /// Restores a snapshot into this freshly constructed loop (nothing
+  /// admitted yet). The snapshot's config fingerprint must match this
+  /// loop's workload config (threads and batching may differ — they never
+  /// affect results). Throws std::runtime_error on a corrupt or
+  /// mismatched snapshot.
+  void restore(const std::string& path);
+
+  const ServeConfig& config() const { return config_; }
+  const sim::Experiment& experiment() const { return *experiment_; }
+  const ArrivalSchedule& arrivals() const { return arrivals_; }
+
+ private:
+  /// Workload identity of session `id`, re-derived on admission and on
+  /// snapshot restore (the snapshot stores only the id).
+  SessionSpec make_spec(std::uint64_t id) const;
+  /// Creates session `id` in its home shard and returns it.
+  Session& admit_session(std::uint64_t id);
+  /// Folds the round logs of every shard in shard-index order under the
+  /// publish mutex and refreshes the published views.
+  void publish_round(std::uint64_t to, double tick_seconds);
+  /// Records one completed session into the deterministic metrics shard
+  /// (also replayed, in log order, on snapshot restore).
+  void record_completed_metrics(const CompletedSession& record);
+  void rebuild_published_locked();
+
+  const sim::Experiment* experiment_;
+  ServeConfig config_;
+  ArrivalSchedule arrivals_;
+
+  obs::MetricsRegistry registry_;
+  obs::MetricId admitted_id_{}, completed_id_{}, slots_id_{};
+  obs::MetricId accuracy_pct_id_{}, success_pct_id_{};
+  obs::MetricId step_seconds_id_{}, tick_seconds_id_{};
+  /// Deterministic metrics, recorded only during the serial publish fold.
+  obs::MetricsShard det_metrics_;
+  /// Wall-clock metrics owned by the loop (tick latency).
+  obs::MetricsShard loop_wall_metrics_;
+
+  std::vector<std::unique_ptr<SessionShard>> shards_;
+  std::unique_ptr<fleet::ThreadPool> pool_;  // created once, reused per tick
+
+  std::uint64_t now_ = 0;
+  std::uint64_t next_admit_ = 0;
+  std::uint64_t results_seq_ = 0;
+
+  mutable std::mutex publish_mutex_;
+  std::deque<SlotRecord> results_;
+  std::vector<CompletedSession> completed_;
+  std::vector<SessionSummary> summaries_;
+  obs::MetricsSnapshot metrics_snapshot_;
+  Status status_;
+};
+
+}  // namespace origin::serve

@@ -1,0 +1,20 @@
+#include "serve/session.hpp"
+
+namespace origin::serve {
+
+Session::Session(const sim::Experiment& experiment, SessionSpec spec,
+                 std::array<nn::Sequential, data::kNumSensors>* models,
+                 int ring_capacity, int batch_slots)
+    : spec_(std::move(spec)),
+      policy_(experiment.make_policy(spec_.policy, spec_.rr_cycle, spec_.set)),
+      cursor_(experiment.make_cursor(spec_.user, spec_.seed_offset,
+                                     std::nullopt, ring_capacity)),
+      stepper_(experiment.spec(), models, &experiment.trace(), policy_.get(),
+               &cursor_,
+               [&] {
+                 sim::SimulatorConfig config = experiment.sim_config();
+                 config.batch_slots = batch_slots;
+                 return config;
+               }()) {}
+
+}  // namespace origin::serve

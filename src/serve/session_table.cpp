@@ -1,0 +1,75 @@
+#include "serve/session_table.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+namespace origin::serve {
+
+std::uint64_t fnv1a_outputs(const std::vector<int>& outputs) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (int v : outputs) {
+    auto u = static_cast<std::uint32_t>(v);
+    for (int b = 0; b < 4; ++b) {
+      h ^= (u >> (8 * b)) & 0xFFu;
+      h *= 0x100000001b3ULL;
+    }
+  }
+  return h;
+}
+
+SessionShard::SessionShard(const sim::Experiment& experiment,
+                           sim::ModelSet set)
+    : models_(set == sim::ModelSet::Relaxed
+                  ? experiment.system().relaxed_copy()
+                  : experiment.system().bl2_copy()) {}
+
+void SessionShard::admit(std::unique_ptr<Session> session) {
+  active_.push_back(std::move(session));
+}
+
+void SessionShard::serve_ticks(std::uint64_t from, std::uint64_t to,
+                               obs::MetricId step_seconds) {
+  using clock = std::chrono::steady_clock;
+  for (auto& session : active_) {
+    const SessionSpec& spec = session->spec();
+    std::uint64_t tick = std::max(spec.arrival_tick, from);
+    std::uint64_t last_tick = tick;
+    while (tick < to && !session->done()) {
+      const auto begin = clock::now();
+      const auto out = session->stepper().step();
+      wall_metrics_.observe(
+          step_seconds,
+          std::chrono::duration<double>(clock::now() - begin).count());
+      SlotRecord record;
+      record.tick = tick;
+      record.session = spec.id;
+      record.slot = static_cast<std::uint32_t>(out.slot);
+      record.predicted = out.predicted;
+      record.label = out.label;
+      round_slots_.push_back(record);
+      last_tick = tick;
+      ++tick;
+    }
+    if (session->done()) {
+      sim::SimResult result = session->stepper().take_result();
+      CompletedSession done;
+      done.id = spec.id;
+      done.arrival_tick = spec.arrival_tick;
+      done.completed_tick = last_tick;
+      done.slots = result.completion.slots;
+      done.accuracy = result.accuracy.overall();
+      done.success_rate = result.completion.attempt_success_rate();
+      for (const auto& counters : result.node_counters) {
+        done.harvested_j += counters.harvested_j;
+        done.consumed_j += counters.consumed_j;
+      }
+      done.outputs_fnv1a = fnv1a_outputs(result.outputs);
+      done.outputs = std::move(result.outputs);
+      round_completed_.push_back(std::move(done));
+    }
+  }
+  std::erase_if(active_,
+                [](const std::unique_ptr<Session>& s) { return s->done(); });
+}
+
+}  // namespace origin::serve

@@ -1,0 +1,103 @@
+// Sharded session tables for the serving loop. Sessions are assigned to a
+// fixed number of shards by id (never by thread), each shard serves its
+// sessions one slot per virtual tick, and per-round outputs are published
+// by folding shards in shard-index order — the same determinism contract
+// as fleet/: threads decide *when* a shard runs, never *what* it computes
+// or in which order it is merged.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "serve/session.hpp"
+
+namespace origin::serve {
+
+/// One served slot, as published on the JSONL results stream.
+struct SlotRecord {
+  std::uint64_t seq = 0;   // global publish sequence number
+  std::uint64_t tick = 0;  // virtual tick the slot was served at
+  std::uint64_t session = 0;
+  std::uint32_t slot = 0;  // session-local slot index
+  std::int32_t predicted = -1;
+  std::int32_t label = -1;
+};
+
+/// Final per-user aggregates of an evicted (completed) session.
+struct CompletedSession {
+  std::uint64_t id = 0;
+  std::uint64_t arrival_tick = 0;
+  std::uint64_t completed_tick = 0;
+  std::uint64_t slots = 0;
+  double accuracy = 0.0;      // overall top-1, in [0, 1]
+  double success_rate = 0.0;  // attempt success, percent
+  double harvested_j = 0.0;
+  double consumed_j = 0.0;
+  /// FNV-1a checksum over the per-slot fused outputs — the compact
+  /// bit-identity witness the bench compares across thread counts and
+  /// snapshot/restore splits.
+  std::uint64_t outputs_fnv1a = 0;
+  /// The outputs themselves (one int per slot, -1 = no output).
+  std::vector<int> outputs;
+};
+
+/// Live view of one active session for the /sessions endpoint.
+struct SessionSummary {
+  std::uint64_t id = 0;
+  std::uint64_t arrival_tick = 0;
+  std::uint64_t slots_done = 0;
+  std::uint64_t slots_total = 0;
+  double accuracy = 0.0;  // over the served prefix, in [0, 1]
+  std::uint64_t attempts = 0;
+  std::uint64_t completions = 0;
+  std::array<double, data::kNumSensors> stored_j{};
+};
+
+/// FNV-1a (64-bit) over a fused-output sequence.
+std::uint64_t fnv1a_outputs(const std::vector<int>& outputs);
+
+/// One shard of the session table. Owned and advanced by exactly one
+/// worker per round (exclusivity is the serving loop's), so it needs no
+/// interior locking.
+class SessionShard {
+ public:
+  /// Builds this shard's private copies of the deployed networks for
+  /// `set` (inference mutates activation caches, so shards never share).
+  SessionShard(const sim::Experiment& experiment, sim::ModelSet set);
+
+  std::array<nn::Sequential, data::kNumSensors>* models() { return &models_; }
+
+  void admit(std::unique_ptr<Session> session);
+
+  /// Serves every admitted session one slot per tick over [from, to)
+  /// (sessions arriving inside the window start at their arrival tick).
+  /// Appends served slots and completions to the round logs and evicts
+  /// completed sessions. `step_seconds` is observed per slot into
+  /// `wall_metrics()` (wall-clock — never deterministic).
+  void serve_ticks(std::uint64_t from, std::uint64_t to,
+                   obs::MetricId step_seconds);
+
+  /// Round logs, cleared by the publisher after folding.
+  std::vector<SlotRecord>& round_slots() { return round_slots_; }
+  std::vector<CompletedSession>& round_completed() { return round_completed_; }
+
+  obs::MetricsShard& wall_metrics() { return wall_metrics_; }
+  void set_wall_metrics(obs::MetricsShard shard) {
+    wall_metrics_ = std::move(shard);
+  }
+
+  const std::vector<std::unique_ptr<Session>>& active() const {
+    return active_;
+  }
+
+ private:
+  std::array<nn::Sequential, data::kNumSensors> models_;
+  std::vector<std::unique_ptr<Session>> active_;  // admission (= id) order
+  std::vector<SlotRecord> round_slots_;
+  std::vector<CompletedSession> round_completed_;
+  obs::MetricsShard wall_metrics_;
+};
+
+}  // namespace origin::serve

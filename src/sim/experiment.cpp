@@ -26,6 +26,15 @@ const char* to_string(PolicyKind k) {
   return "?";
 }
 
+PolicyKind parse_policy_kind(const std::string& name) {
+  for (auto kind : {PolicyKind::Naive, PolicyKind::PlainRR, PolicyKind::AAS,
+                    PolicyKind::AASR, PolicyKind::Origin}) {
+    if (name == to_string(kind)) return kind;
+  }
+  throw std::invalid_argument("unknown policy '" + name +
+                              "' (naive|rr|aas|aasr|origin)");
+}
+
 double calibrate_harvest_scale(double inference_energy_j,
                                const energy::PowerTrace& trace,
                                double efficiency, double slot_s, double ratio) {

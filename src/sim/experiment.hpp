@@ -26,6 +26,10 @@ enum class ModelSet { BL2, Relaxed };
 const char* to_string(PolicyKind k);
 const char* to_string(ModelSet m);
 
+/// Inverse of to_string(PolicyKind) for CLI flags; throws
+/// std::invalid_argument with the accepted names on an unknown string.
+PolicyKind parse_policy_kind(const std::string& name);
+
 struct ExperimentConfig {
   core::PipelineConfig pipeline;
   energy::TraceConfig trace;

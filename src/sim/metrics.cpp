@@ -25,6 +25,27 @@ void AccuracyTracker::record(int truth, int predicted) {
   if (predicted == truth) ++correct_;
 }
 
+void AccuracyTracker::restore(
+    std::vector<std::vector<std::uint64_t>> confusion) {
+  if (confusion.size() != static_cast<std::size_t>(num_classes_)) {
+    throw std::invalid_argument("AccuracyTracker::restore: row count");
+  }
+  for (const auto& row : confusion) {
+    if (row.size() != static_cast<std::size_t>(num_classes_) + 1) {
+      throw std::invalid_argument("AccuracyTracker::restore: column count");
+    }
+  }
+  total_ = 0;
+  correct_ = 0;
+  for (std::size_t t = 0; t < confusion.size(); ++t) {
+    for (std::size_t p = 0; p < confusion[t].size(); ++p) {
+      total_ += confusion[t][p];
+      if (p == t) correct_ += confusion[t][p];
+    }
+  }
+  confusion_ = std::move(confusion);
+}
+
 double AccuracyTracker::overall() const {
   return total_ ? static_cast<double>(correct_) / static_cast<double>(total_) : 0.0;
 }

@@ -19,6 +19,11 @@ class AccuracyTracker {
   /// `predicted` may be -1 ("system produced no output"), counted wrong.
   void record(int truth, int predicted);
 
+  /// Overwrites the tracker from a saved confusion matrix (snapshot
+  /// restore); totals are recomputed from the cells. The matrix must be
+  /// num_classes rows of num_classes + 1 columns (the no-output column).
+  void restore(std::vector<std::vector<std::uint64_t>> confusion);
+
   int num_classes() const { return num_classes_; }
   std::uint64_t total() const { return total_; }
   std::uint64_t correct() const { return correct_; }

@@ -1,8 +1,8 @@
 #include "sim/simulator.hpp"
 
-#include <algorithm>
-#include <limits>
 #include <stdexcept>
+
+#include "sim/slot_stepper.hpp"
 
 namespace origin::sim {
 
@@ -52,197 +52,12 @@ SimResult Simulator::run(const data::Stream& stream) {
 }
 
 SimResult Simulator::run(data::SlotSource& source) {
-  if (source.size() == 0) throw std::invalid_argument("Simulator::run: empty stream");
-  if (source.spec().num_classes() != spec_.num_classes()) {
-    throw std::invalid_argument("Simulator::run: stream/spec class mismatch");
-  }
-  if (config_.batch_slots > 1 &&
-      static_cast<std::size_t>(config_.batch_slots) > source.lookback()) {
-    throw std::invalid_argument(
-        "Simulator::run: batch_slots exceeds the source's lookback window");
-  }
-
-  // Fresh nodes per run, borrowing the deployed networks (the networks
-  // carry no cross-run state the simulator observes — attempts only run
-  // forward passes).
-  std::vector<net::SensorNode> nodes;
-  nodes.reserve(data::kNumSensors);
-  for (int s = 0; s < data::kNumSensors; ++s) {
-    const auto si = static_cast<std::size_t>(s);
-    energy::Harvester harvester(trace_, config_.harvester_efficiency,
-                                config_.harvest_scale[si],
-                                config_.harvest_offset_s[si]);
-    nodes.emplace_back(static_cast<data::SensorLocation>(s), &(*models_)[si],
-                       std::vector<int>{spec_.channels, spec_.window_len},
-                       harvester, config_.node);
-  }
-
-  net::HostDevice host;
-  policy_->reset();
-  policy_->set_trace(config_.trace);
-  std::array<double, data::kNumSensors> last_success_s;
-  last_success_s.fill(-std::numeric_limits<double>::infinity());
-
-  SimResult result;
-  result.accuracy = AccuracyTracker(spec_.num_classes());
-  const double slot_s = spec_.slot_seconds();
-  int previous_output = -1;
-
-  // In-shard batching state: per-sensor cache of classifications for one
-  // block of consecutive slots, filled lazily by a single batched forward
-  // the first time an attempt lands in the block (see SimulatorConfig).
-  const std::size_t block = config_.batch_slots > 1
-                                ? static_cast<std::size_t>(config_.batch_slots)
-                                : 0;
-  struct BlockCache {
-    std::size_t begin = 0;
-    std::size_t end = 0;  // cache covers slots [begin, end); empty if ==
-    std::vector<net::Classification> results;
-  };
-  std::array<BlockCache, data::kNumSensors> block_cache;
-  std::vector<const nn::Tensor*> block_windows;
-  const auto precomputed_for = [&](std::size_t sensor, std::size_t slot_idx)
-      -> const net::Classification* {
-    if (block == 0) return nullptr;
-    BlockCache& cache = block_cache[sensor];
-    if (slot_idx < cache.begin || slot_idx >= cache.end) {
-      cache.begin = (slot_idx / block) * block;
-      cache.end = std::min(cache.begin + block, source.size());
-      block_windows.clear();
-      for (std::size_t j = cache.begin; j < cache.end; ++j) {
-        // May synthesize forward (a cursor source); the whole block stays
-        // within the source's lookback window, so earlier pointers hold.
-        block_windows.push_back(&source.slot(j).windows[sensor]);
-      }
-      const auto probas = nodes[sensor].model().predict_proba_batch(
-          block_windows.data(), block_windows.size());
-      cache.results.clear();
-      for (const auto& p : probas) {
-        cache.results.push_back(net::make_classification(p));
-      }
-    }
-    return &cache.results[slot_idx - cache.begin];
-  };
-
-  for (std::size_t i = 0; i < source.size(); ++i) {
-    const data::SlotSample& slot = source.slot(i);
-    const double t0 = static_cast<double>(i) * slot_s;
-    const double t1 = t0 + slot_s;
-
-    for (int s = 0; s < data::kNumSensors; ++s) {
-      const auto si = static_cast<std::size_t>(s);
-      const auto& failure = config_.node_failure_at_s[si];
-      if (failure && t0 >= *failure) nodes[si].fail();
-      nodes[si].accumulate(t0, t1);
-    }
-    host.age_votes();
-
-    core::SlotContext ctx;
-    ctx.slot = static_cast<int>(i);
-    ctx.time_s = t0;
-    for (int s = 0; s < data::kNumSensors; ++s) {
-      const auto si = static_cast<std::size_t>(s);
-      ctx.nodes[si].stored_j = nodes[si].stored_j();
-      ctx.nodes[si].cost_j = nodes[si].inference_energy_j();
-      ctx.nodes[si].vote_age_s = t0 - last_success_s[si];
-      ctx.nodes[si].alive = !nodes[si].failed();
-      ORIGIN_TRACE(config_.trace,
-                   energy(static_cast<std::int64_t>(i), t0, s,
-                          ctx.nodes[si].stored_j, ctx.nodes[si].cost_j));
-    }
-
-    const std::vector<int> attempts = policy_->plan(ctx);
-#if ORIGIN_TRACE_ENABLED
-    if (config_.trace && !attempts.empty()) {
-      config_.trace->schedule(static_cast<std::int64_t>(i), t0, slot_s,
-                              attempts, policy_->last_plan_fallback_hops());
-    }
-#endif
-    std::size_t completed = 0;
-    for (int s : attempts) {
-      if (s < 0 || s >= data::kNumSensors) {
-        throw std::logic_error("Simulator: policy planned invalid sensor");
-      }
-      const auto si = static_cast<std::size_t>(s);
-      ++result.scheduled[si];
-      const nn::Tensor& window = slot.windows[si];
-#if ORIGIN_TRACE_ENABLED
-      const double stored_before = nodes[si].stored_j();
-      const net::NodeCounters counters_before = nodes[si].counters();
-#endif
-      const net::Classification* precomputed = precomputed_for(si, i);
-      std::optional<net::Classification> outcome;
-      switch (policy_->execution()) {
-        case core::ExecutionModel::WaitCompute:
-          outcome = nodes[si].attempt_wait_compute(window, precomputed);
-          break;
-        case core::ExecutionModel::EagerNvp:
-          outcome = nodes[si].attempt_eager(window, 0.1, precomputed);
-          break;
-        case core::ExecutionModel::Deadline:
-          outcome = nodes[si].attempt_deadline(window, 0.1, precomputed);
-          break;
-      }
-#if ORIGIN_TRACE_ENABLED
-      if (config_.trace) {
-        // Completion/failure cause, derived from the node's own counters
-        // so the trace can never disagree with the Fig. 1 statistics.
-        const net::NodeCounters& after = nodes[si].counters();
-        obs::AttemptOutcome cause = obs::AttemptOutcome::InProgress;
-        if (outcome) {
-          cause = obs::AttemptOutcome::Completed;
-        } else if (after.skipped_no_energy > counters_before.skipped_no_energy) {
-          cause = obs::AttemptOutcome::SkippedNoEnergy;
-        } else if (after.died_midway > counters_before.died_midway) {
-          cause = obs::AttemptOutcome::DiedMidway;
-        }
-        config_.trace->attempt(static_cast<std::int64_t>(i), t0, slot_s, s,
-                               cause, outcome ? outcome->predicted_class : -1,
-                               outcome ? outcome->confidence : 0.0,
-                               stored_before);
-      }
-#endif
-      if (outcome) {
-        ++completed;
-        last_success_s[si] = t1;
-        host.update_vote(static_cast<data::SensorLocation>(s), *outcome, t1);
-        policy_->on_result(s, *outcome, ctx);
-      }
-    }
-
-    // Completion bookkeeping (Fig. 1).
-    ++result.completion.slots;
-    result.completion.attempts += attempts.size();
-    result.completion.completions += completed;
-    if (!attempts.empty()) {
-      if (completed == attempts.size()) {
-        ++result.completion.slots_all_completed;
-      }
-      if (completed > 0) {
-        ++result.completion.slots_some_completed;
-      } else {
-        ++result.completion.slots_none_completed;
-      }
-    }
-
-    const auto fused = policy_->fuse(host, ctx);
-    const int predicted = fused.value_or(-1);
-    ORIGIN_TRACE(config_.trace, output(static_cast<std::int64_t>(i), t0,
-                                       slot_s, predicted, slot.label));
-    result.outputs.push_back(predicted);
-    result.accuracy.record(slot.label, predicted);
-    if (predicted != previous_output && predicted >= 0 && previous_output >= 0) {
-      ++result.output_transitions;
-    }
-    if (predicted >= 0) previous_output = predicted;
-  }
-
-  for (int s = 0; s < data::kNumSensors; ++s) {
-    result.node_counters[static_cast<std::size_t>(s)] =
-        nodes[static_cast<std::size_t>(s)].counters();
-  }
-  result.validate(source.size());
-  return result;
+  // The slot loop lives in SlotStepper so serving sessions can interleave
+  // single-slot advances; draining it here keeps batch runs bit-identical
+  // to stepped ones by construction.
+  SlotStepper stepper(spec_, models_, trace_, policy_, &source, config_);
+  while (!stepper.done()) stepper.step();
+  return stepper.take_result();
 }
 
 }  // namespace origin::sim

@@ -1,0 +1,226 @@
+#include "sim/slot_stepper.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace origin::sim {
+
+SlotStepper::SlotStepper(const data::DatasetSpec& spec,
+                         std::array<nn::Sequential, data::kNumSensors>* models,
+                         const energy::PowerTrace* power, core::Policy* policy,
+                         data::SlotSource* source, SimulatorConfig config)
+    : spec_(spec),
+      models_(models),
+      policy_(policy),
+      source_(source),
+      config_(config) {
+  if (!models_) throw std::invalid_argument("SlotStepper: null models");
+  if (!power) throw std::invalid_argument("SlotStepper: null power trace");
+  if (!policy_) throw std::invalid_argument("SlotStepper: null policy");
+  if (!source_) throw std::invalid_argument("SlotStepper: null source");
+  if (source_->size() == 0) {
+    throw std::invalid_argument("SlotStepper: empty stream");
+  }
+  if (source_->spec().num_classes() != spec_.num_classes()) {
+    throw std::invalid_argument("SlotStepper: stream/spec class mismatch");
+  }
+  if (config_.batch_slots > 1 &&
+      static_cast<std::size_t>(config_.batch_slots) > source_->lookback()) {
+    throw std::invalid_argument(
+        "SlotStepper: batch_slots exceeds the source's lookback window");
+  }
+
+  // Fresh nodes, borrowing the deployed networks (the networks carry no
+  // cross-run state the simulator observes — attempts only run forward
+  // passes).
+  nodes_.reserve(data::kNumSensors);
+  for (int s = 0; s < data::kNumSensors; ++s) {
+    const auto si = static_cast<std::size_t>(s);
+    energy::Harvester harvester(power, config_.harvester_efficiency,
+                                config_.harvest_scale[si],
+                                config_.harvest_offset_s[si]);
+    nodes_.emplace_back(static_cast<data::SensorLocation>(s), &(*models_)[si],
+                        std::vector<int>{spec_.channels, spec_.window_len},
+                        harvester, config_.node);
+  }
+
+  policy_->reset();
+  policy_->set_trace(config_.trace);
+  last_success_s_.fill(-std::numeric_limits<double>::infinity());
+  result_.accuracy = AccuracyTracker(spec_.num_classes());
+  slot_s_ = spec_.slot_seconds();
+  block_ = config_.batch_slots > 1
+               ? static_cast<std::size_t>(config_.batch_slots)
+               : 0;
+}
+
+const net::Classification* SlotStepper::precomputed_for(std::size_t sensor,
+                                                        std::size_t slot_idx) {
+  if (block_ == 0) return nullptr;
+  BlockCache& cache = block_cache_[sensor];
+  if (slot_idx < cache.begin || slot_idx >= cache.end) {
+    cache.begin = (slot_idx / block_) * block_;
+    cache.end = std::min(cache.begin + block_, source_->size());
+    block_windows_.clear();
+    for (std::size_t j = cache.begin; j < cache.end; ++j) {
+      // May synthesize forward (a cursor source); the whole block stays
+      // within the source's lookback window, so earlier pointers hold.
+      block_windows_.push_back(&source_->slot(j).windows[sensor]);
+    }
+    const auto probas = nodes_[sensor].model().predict_proba_batch(
+        block_windows_.data(), block_windows_.size());
+    cache.results.clear();
+    for (const auto& p : probas) {
+      cache.results.push_back(net::make_classification(p));
+    }
+  }
+  return &cache.results[slot_idx - cache.begin];
+}
+
+SlotStepper::StepOutcome SlotStepper::step() {
+  if (done()) throw std::logic_error("SlotStepper::step: past the end");
+  const std::size_t i = next_slot_;
+  const data::SlotSample& slot = source_->slot(i);
+  const double t0 = static_cast<double>(i) * slot_s_;
+  const double t1 = t0 + slot_s_;
+
+  for (int s = 0; s < data::kNumSensors; ++s) {
+    const auto si = static_cast<std::size_t>(s);
+    const auto& failure = config_.node_failure_at_s[si];
+    if (failure && t0 >= *failure) nodes_[si].fail();
+    nodes_[si].accumulate(t0, t1);
+  }
+  host_.age_votes();
+
+  core::SlotContext ctx;
+  ctx.slot = static_cast<int>(i);
+  ctx.time_s = t0;
+  for (int s = 0; s < data::kNumSensors; ++s) {
+    const auto si = static_cast<std::size_t>(s);
+    ctx.nodes[si].stored_j = nodes_[si].stored_j();
+    ctx.nodes[si].cost_j = nodes_[si].inference_energy_j();
+    ctx.nodes[si].vote_age_s = t0 - last_success_s_[si];
+    ctx.nodes[si].alive = !nodes_[si].failed();
+    ORIGIN_TRACE(config_.trace,
+                 energy(static_cast<std::int64_t>(i), t0, s,
+                        ctx.nodes[si].stored_j, ctx.nodes[si].cost_j));
+  }
+
+  const std::vector<int> attempts = policy_->plan(ctx);
+#if ORIGIN_TRACE_ENABLED
+  if (config_.trace && !attempts.empty()) {
+    config_.trace->schedule(static_cast<std::int64_t>(i), t0, slot_s_,
+                            attempts, policy_->last_plan_fallback_hops());
+  }
+#endif
+  std::size_t completed = 0;
+  for (int s : attempts) {
+    if (s < 0 || s >= data::kNumSensors) {
+      throw std::logic_error("SlotStepper: policy planned invalid sensor");
+    }
+    const auto si = static_cast<std::size_t>(s);
+    ++result_.scheduled[si];
+    const nn::Tensor& window = slot.windows[si];
+#if ORIGIN_TRACE_ENABLED
+    const double stored_before = nodes_[si].stored_j();
+    const net::NodeCounters counters_before = nodes_[si].counters();
+#endif
+    const net::Classification* precomputed = precomputed_for(si, i);
+    std::optional<net::Classification> outcome;
+    switch (policy_->execution()) {
+      case core::ExecutionModel::WaitCompute:
+        outcome = nodes_[si].attempt_wait_compute(window, precomputed);
+        break;
+      case core::ExecutionModel::EagerNvp:
+        outcome = nodes_[si].attempt_eager(window, 0.1, precomputed);
+        break;
+      case core::ExecutionModel::Deadline:
+        outcome = nodes_[si].attempt_deadline(window, 0.1, precomputed);
+        break;
+    }
+#if ORIGIN_TRACE_ENABLED
+    if (config_.trace) {
+      // Completion/failure cause, derived from the node's own counters
+      // so the trace can never disagree with the Fig. 1 statistics.
+      const net::NodeCounters& after = nodes_[si].counters();
+      obs::AttemptOutcome cause = obs::AttemptOutcome::InProgress;
+      if (outcome) {
+        cause = obs::AttemptOutcome::Completed;
+      } else if (after.skipped_no_energy > counters_before.skipped_no_energy) {
+        cause = obs::AttemptOutcome::SkippedNoEnergy;
+      } else if (after.died_midway > counters_before.died_midway) {
+        cause = obs::AttemptOutcome::DiedMidway;
+      }
+      config_.trace->attempt(static_cast<std::int64_t>(i), t0, slot_s_, s,
+                             cause, outcome ? outcome->predicted_class : -1,
+                             outcome ? outcome->confidence : 0.0,
+                             stored_before);
+    }
+#endif
+    if (outcome) {
+      ++completed;
+      last_success_s_[si] = t1;
+      host_.update_vote(static_cast<data::SensorLocation>(s), *outcome, t1);
+      policy_->on_result(s, *outcome, ctx);
+    }
+  }
+
+  // Completion bookkeeping (Fig. 1).
+  ++result_.completion.slots;
+  result_.completion.attempts += attempts.size();
+  result_.completion.completions += completed;
+  if (!attempts.empty()) {
+    if (completed == attempts.size()) {
+      ++result_.completion.slots_all_completed;
+    }
+    if (completed > 0) {
+      ++result_.completion.slots_some_completed;
+    } else {
+      ++result_.completion.slots_none_completed;
+    }
+  }
+
+  const auto fused = policy_->fuse(host_, ctx);
+  const int predicted = fused.value_or(-1);
+  ORIGIN_TRACE(config_.trace, output(static_cast<std::int64_t>(i), t0, slot_s_,
+                                     predicted, slot.label));
+  result_.outputs.push_back(predicted);
+  result_.accuracy.record(slot.label, predicted);
+  if (predicted != previous_output_ && predicted >= 0 && previous_output_ >= 0) {
+    ++result_.output_transitions;
+  }
+  if (predicted >= 0) previous_output_ = predicted;
+
+  ++next_slot_;
+  return StepOutcome{i, predicted, slot.label};
+}
+
+SimResult SlotStepper::take_result() {
+  for (int s = 0; s < data::kNumSensors; ++s) {
+    result_.node_counters[static_cast<std::size_t>(s)] =
+        nodes_[static_cast<std::size_t>(s)].counters();
+  }
+  result_.validate(next_slot_);
+  return std::move(result_);
+}
+
+void SlotStepper::restore_progress(
+    std::size_t next_slot,
+    const std::array<double, data::kNumSensors>& last_success_s,
+    int previous_output) {
+  if (next_slot > source_->size()) {
+    throw std::invalid_argument("SlotStepper::restore_progress: past the end");
+  }
+  next_slot_ = next_slot;
+  last_success_s_ = last_success_s;
+  previous_output_ = previous_output;
+  // Drop any batching cache: it indexes the previous process's source
+  // positions and refills lazily on the next attempt.
+  for (auto& cache : block_cache_) {
+    cache.begin = cache.end = 0;
+    cache.results.clear();
+  }
+}
+
+}  // namespace origin::sim

@@ -1,0 +1,110 @@
+// Slot-granular simulation stepping: the per-slot loop body of
+// Simulator::run, extracted into a resumable object so a long-lived
+// serving process (src/serve) can advance one user's session a single
+// slot at a time, interleaved with thousands of other sessions, instead
+// of draining a whole run. Simulator::run is a thin wrapper (construct,
+// step until done, take_result), so stepped results are bit-identical to
+// batch runs by construction.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+#include "core/policy.hpp"
+#include "data/stream_cursor.hpp"
+#include "energy/power_trace.hpp"
+#include "net/host.hpp"
+#include "net/sensor_node.hpp"
+#include "sim/metrics.hpp"
+#include "sim/simulator.hpp"
+
+namespace origin::sim {
+
+class SlotStepper {
+ public:
+  /// What one step produced (the slot's fused output and ground truth).
+  struct StepOutcome {
+    std::size_t slot = 0;
+    int predicted = -1;  // -1 = no output this slot
+    int label = -1;
+  };
+
+  /// Everything is borrowed and must outlive the stepper: `models[i]` is
+  /// deployed to sensor i, `power` feeds the harvesters, `policy` is
+  /// reset() on construction (fresh-run semantics), `source` yields the
+  /// slots. Requires source->size() > 0, matching class counts, and
+  /// config.batch_slots <= source->lookback().
+  SlotStepper(const data::DatasetSpec& spec,
+              std::array<nn::Sequential, data::kNumSensors>* models,
+              const energy::PowerTrace* power, core::Policy* policy,
+              data::SlotSource* source, SimulatorConfig config = {});
+
+  bool done() const { return next_slot_ >= source_->size(); }
+  std::size_t next_slot() const { return next_slot_; }
+  std::size_t total_slots() const { return source_->size(); }
+
+  /// Advances exactly one slot. Calling past done() is a logic error.
+  StepOutcome step();
+
+  /// Finalizes the accumulated result: copies the node counters in and
+  /// validates one output per simulated slot. Call once, after done().
+  SimResult take_result();
+
+  // --- Session-state surface (serve/ snapshot + live summaries). The
+  // mutable accessors exist so a snapshot restore can write back the
+  // exact state a previous process saved; everything else treats them
+  // as read-only.
+  net::SensorNode& node(std::size_t i) { return nodes_[i]; }
+  const net::SensorNode& node(std::size_t i) const { return nodes_[i]; }
+  net::HostDevice& host() { return host_; }
+  const net::HostDevice& host() const { return host_; }
+  core::Policy& policy() { return *policy_; }
+  const core::Policy& policy() const { return *policy_; }
+  SimResult& result() { return result_; }
+  const SimResult& result() const { return result_; }
+  const std::array<double, data::kNumSensors>& last_success_s() const {
+    return last_success_s_;
+  }
+  int previous_output() const { return previous_output_; }
+
+  /// Fast-forwards the loop bookkeeping to a snapshotted position. Node,
+  /// host, policy and result state are restored separately through their
+  /// own surfaces; the slot source re-synthesizes deterministically on
+  /// the next step, so it carries no state to restore.
+  void restore_progress(std::size_t next_slot,
+                        const std::array<double, data::kNumSensors>& last_success_s,
+                        int previous_output);
+
+ private:
+  const net::Classification* precomputed_for(std::size_t sensor,
+                                             std::size_t slot_idx);
+
+  data::DatasetSpec spec_;
+  std::array<nn::Sequential, data::kNumSensors>* models_;
+  core::Policy* policy_;
+  data::SlotSource* source_;
+  SimulatorConfig config_;
+  double slot_s_ = 0.0;
+
+  std::vector<net::SensorNode> nodes_;
+  net::HostDevice host_;
+  std::array<double, data::kNumSensors> last_success_s_{};
+  SimResult result_;
+  int previous_output_ = -1;
+  std::size_t next_slot_ = 0;
+
+  // In-shard batching state: per-sensor cache of classifications for one
+  // block of consecutive slots, filled lazily by a single batched forward
+  // the first time an attempt lands in the block (see SimulatorConfig).
+  std::size_t block_ = 0;
+  struct BlockCache {
+    std::size_t begin = 0;
+    std::size_t end = 0;  // cache covers slots [begin, end); empty if ==
+    std::vector<net::Classification> results;
+  };
+  std::array<BlockCache, data::kNumSensors> block_cache_;
+  std::vector<const nn::Tensor*> block_windows_;
+};
+
+}  // namespace origin::sim

@@ -1,0 +1,58 @@
+// Tiny declarative CLI flag parser shared by the example binaries
+// (fleet_simulation, fleet_serve). Flags bind to variables, accept
+// "--flag value" or "--flag=value", and parse() validates eagerly:
+// an unknown flag or an unparsable value throws std::invalid_argument
+// with the offending token, which the binaries turn into usage() + exit.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace origin::util {
+
+class ArgParser {
+ public:
+  /// `tool` names the binary in usage(); `summary` is its one-liner.
+  ArgParser(std::string tool, std::string summary);
+
+  // Each overload binds "--name <value>" to *target (pre-initialized with
+  // its default, which usage() prints). `help` describes the flag.
+  void add(const std::string& name, std::string* target,
+           const std::string& help);
+  void add(const std::string& name, int* target, const std::string& help);
+  void add(const std::string& name, unsigned* target, const std::string& help);
+  void add(const std::string& name, std::uint64_t* target,
+           const std::string& help);
+  void add(const std::string& name, double* target, const std::string& help);
+  /// Valueless switch: "--name" sets *target = true.
+  void add_switch(const std::string& name, bool* target,
+                  const std::string& help);
+
+  /// Parses argv (skipping argv[0]). "--help"/"-h" prints usage() to
+  /// stdout and returns false (caller exits 0). Throws
+  /// std::invalid_argument on unknown flags or bad values.
+  bool parse(int argc, char** argv) const;
+
+  std::string usage() const;
+
+ private:
+  struct Flag {
+    std::string name;  // without the leading "--"
+    std::string help;
+    std::string default_repr;
+    bool takes_value = true;
+    std::function<void(const std::string&)> assign;
+  };
+
+  void add_flag(const std::string& name, const std::string& help,
+                std::string default_repr, bool takes_value,
+                std::function<void(const std::string&)> assign);
+
+  std::string tool_;
+  std::string summary_;
+  std::vector<Flag> flags_;
+};
+
+}  // namespace origin::util
