@@ -31,6 +31,7 @@ namespace {
 struct RunOutput {
   std::vector<serve::CompletedSession> completed;
   obs::MetricsSnapshot metrics;
+  std::vector<obs::TraceEvent> flight;
   double wall_seconds = 0.0;
 };
 
@@ -43,6 +44,9 @@ RunOutput drain_loop(serve::ServeLoop& loop) {
           .count();
   out.completed = loop.completed_sessions();
   out.metrics = loop.metrics();
+  // Fixed drain chunk above: the flight stream is then a pure function of
+  // the workload, so it must be bit-identical across thread counts.
+  out.flight = loop.flight_events();
   return out;
 }
 
@@ -134,6 +138,12 @@ int main(int argc, char** argv) {
                      threads);
         ok = false;
       }
+      if (reference.flight != out.flight) {
+        std::fprintf(stderr,
+                     "FAIL: flight event stream diverges at threads=%u\n",
+                     threads);
+        ok = false;
+      }
     }
   }
   table.print();
@@ -175,7 +185,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "fleet_serve: bit-identity check FAILED\n");
     return 1;
   }
-  std::printf("bit-identity: completed logs and deterministic metrics equal "
-              "across threads 1/2/8 and the snapshot split\n");
+  std::printf("bit-identity: completed logs, deterministic metrics and flight "
+              "event streams equal across threads 1/2/8 (+ the snapshot "
+              "split for logs/metrics)\n");
   return 0;
 }

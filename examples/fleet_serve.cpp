@@ -13,11 +13,13 @@
 // Run with --help for the full flag list.
 #include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <thread>
 
 #include "obs/manifest.hpp"
+#include "obs/prometheus.hpp"
 #include "serve/endpoint.hpp"
 #include "serve/serve_loop.hpp"
 #include "serve/snapshot.hpp"
@@ -50,6 +52,8 @@ int main(int argc, char** argv) {
   std::string policy_name = to_string(serve_config.policy);
   std::string snapshot_path;
   std::string manifest_path;
+  std::string trace_path;
+  bool prom = false;
   double linger_s = 0.0;
 
   util::ArgParser args("fleet_serve",
@@ -73,6 +77,10 @@ int main(int argc, char** argv) {
   args.add("linger-s", &linger_s,
            "keep the endpoint up this many seconds after draining");
   args.add("manifest", &manifest_path, "write a run manifest JSON on exit");
+  args.add("trace", &trace_path,
+           "write the flight-recorder events as a Chrome trace on exit");
+  args.add_switch("prom", &prom,
+                  "print the Prometheus exposition once at exit");
   try {
     if (!args.parse(argc, argv)) return 0;
     serve_config.policy = sim::parse_policy_kind(policy_name);
@@ -156,9 +164,11 @@ int main(int argc, char** argv) {
                          : 0.0,
               wall_s > 0 ? static_cast<double>(status.completed) / wall_s
                          : 0.0);
-  std::printf("per-slot latency: p50 %.1f us, p99 %.1f us\n",
-              1e6 * obs::histogram_quantile(step, step_def.upper_bounds, 0.5),
-              1e6 * obs::histogram_quantile(step, step_def.upper_bounds, 0.99));
+  const auto step_q = obs::histogram_quantiles(
+      step, step_def.upper_bounds,
+      {obs::kSloQuantiles.begin(), obs::kSloQuantiles.end()});
+  std::printf("per-slot latency: p50 %.1f us, p95 %.1f us, p99 %.1f us\n",
+              1e6 * step_q[0], 1e6 * step_q[1], 1e6 * step_q[2]);
 
   if (linger_s > 0) {
     std::printf("lingering %.1f s for queries...\n", linger_s);
@@ -175,6 +185,29 @@ int main(int argc, char** argv) {
     manifest.set_wall_seconds(wall_s);
     manifest.write(manifest_path, &metrics);
     std::printf("manifest: %s\n", manifest_path.c_str());
+  }
+  if (!trace_path.empty()) {
+    if (!loop.flight_enabled()) {
+      std::fprintf(stderr,
+                   "fleet_serve: --trace ignored (flight recorder off; "
+                   "built with -DORIGIN_TRACE=OFF?)\n");
+    } else {
+      std::ofstream os(trace_path, std::ios::binary);
+      if (!os) {
+        std::fprintf(stderr, "fleet_serve: cannot write %s\n",
+                     trace_path.c_str());
+        return 2;
+      }
+      obs::ChromeTraceSink sink;
+      sink.write(loop.flight_events(), loop.flight_dropped(), os);
+      std::printf("trace: %s (%llu events, %llu dropped)\n",
+                  trace_path.c_str(),
+                  static_cast<unsigned long long>(loop.flight_events().size()),
+                  static_cast<unsigned long long>(loop.flight_dropped()));
+    }
+  }
+  if (prom) {
+    std::fputs(obs::prometheus_text(metrics).c_str(), stdout);
   }
   return 0;
 }

@@ -8,14 +8,22 @@
 #             Release+ASan. Guards the tentpole contract: fast synthesis
 #             must be bit-identical to the reference, so every downstream
 #             accuracy number is unchanged.
-#   kernels — scripts/verify_kernels.sh (inference kernels + fleet
-#             concurrency suites, Release + ASan).
+#   kernels — inference kernels + fleet concurrency suites (labels nn,
+#             fleet, obs-fleet) in Release and Release+ASan, plus the
+#             simulator's batching bit-identity cases.
 #   train   — the training-path suite (label `nn`, which includes
 #             test_train_kernels: backward kernels vs the naive oracle,
 #             batched fit vs fit_reference, parallel train_system byte
 #             identity) in Release and Release+ASan, plus a cold-cache
 #             serial-vs-parallel pipeline determinism diff.
-#   trace   — scripts/verify_trace.sh (-DORIGIN_TRACE=ON/OFF builds).
+#   trace   — the -DORIGIN_TRACE=ON/OFF build switch: both configurations
+#             build, pass the obs suite, and produce valid (event-free
+#             when OFF) trace files; the OFF tree also proves the serve
+#             flight recorder compiles out (bench/obs_overhead).
+#   obs     — the observability suites (labels obs-fleet + serve) in
+#             Release and Release+ASan, plus an HTTP smoke of the
+#             Prometheus exposition and flight-recorder routes
+#             (/metrics?format=prom, /trace/recent).
 #   serve   — the serving-subsystem suite (label `serve`: bit-identity
 #             across thread counts and snapshot/restore splits, the HTTP
 #             endpoint) in Release and Release+ASan, plus an end-to-end
@@ -23,9 +31,10 @@
 #             curl the JSON/JSONL routes.
 #   all     — everything above (default).
 #
-# Usage: scripts/verify.sh [data|kernels|train|trace|serve|all] [generator-args...]
-# The data gate reuses the build-kernels-{release,asan}/ trees so a full
-# `all` run configures each tree once.
+# Usage: scripts/verify.sh [data|kernels|train|trace|obs|serve|all] [generator-args...]
+# The data/kernels/train/obs/serve gates share the
+# build-kernels-{release,asan}/ trees so a full `all` run configures each
+# tree once; the trace gate owns build-trace-{on,off}/.
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
@@ -35,6 +44,32 @@ gate="${1:-all}"
 if [ "$#" -gt 0 ]; then shift; fi
 
 jobs="$(nproc 2>/dev/null || echo 2)"
+
+# Boots examples/fleet_serve from build-kernels-release on an ephemeral
+# port, exports `smoke_port`/`smoke_pid`, and leaves the server lingering
+# for curls. Caller must `wait "$smoke_pid"` when done.
+serve_smoke_boot() {
+  cmake --build "build-kernels-release" -j "$jobs" --target fleet_serve
+  local out="build-kernels-release/serve_smoke.log"
+  rm -f "$out"
+  ( cd build-kernels-release && \
+    ./examples/fleet_serve --users 4 --slots 60 --linger-s 45 \
+        > serve_smoke.log 2>&1 ) &
+  smoke_pid=$!
+  smoke_port=""
+  for _ in $(seq 1 300); do
+    smoke_port="$(sed -n 's#^serving on http://127.0.0.1:\([0-9]*\)$#\1#p' \
+        "$out" 2>/dev/null || true)"
+    [ -n "$smoke_port" ] && break
+    sleep 1
+  done
+  if [ -z "$smoke_port" ]; then
+    echo "serve smoke: server never reported a port" >&2
+    cat "$out" >&2 || true
+    kill "$smoke_pid" 2>/dev/null || true
+    exit 1
+  fi
+}
 
 verify_data_config() {
   local sanitizer="$1" dir="$2"
@@ -50,6 +85,28 @@ verify_data() {
   verify_data_config ""        "build-kernels-release" "$@"
   verify_data_config "address" "build-kernels-asan"    "$@"
   echo "=== data path verified (Release + ASan) ==="
+}
+
+verify_kernels_config() {
+  local sanitizer="$1" dir="$2"
+  shift 2
+  echo "=== kernels: sanitizer='${sanitizer:-none}' (${dir}) ==="
+  cmake -B "$dir" -S "$repo" -DORIGIN_SANITIZE="$sanitizer" "$@" >/dev/null
+  cmake --build "$dir" -j "$jobs" --target \
+      test_kernels test_simulator test_fleet test_fleet_runner test_obs
+  # `-L 'nn|fleet'` is a regex OR (labels nn, fleet, obs-fleet); repeating
+  # -L would intersect.
+  ctest --test-dir "$dir" -L 'nn|fleet' --output-on-failure -j "$jobs"
+  # The simulator's batching bit-identity cases are in the unlabeled
+  # simulator suite; run that binary directly in both gates too.
+  "$dir/tests/test_simulator" \
+      --gtest_filter='*Batched*' --gtest_brief=1
+}
+
+verify_kernels() {
+  verify_kernels_config ""        "build-kernels-release" "$@"
+  verify_kernels_config "address" "build-kernels-asan"    "$@"
+  echo "=== inference kernels verified (Release + ASan) ==="
 }
 
 verify_train_config() {
@@ -72,6 +129,84 @@ verify_train() {
   echo "=== training path verified (Release + ASan + parallel determinism) ==="
 }
 
+verify_trace_config() {
+  local flag="$1" dir="$2"
+  shift 2
+  echo "=== ORIGIN_TRACE=${flag} (${dir}) ==="
+  cmake -B "$dir" -S "$repo" -DORIGIN_TRACE="$flag" "$@" >/dev/null
+  cmake --build "$dir" -j "$jobs" --target test_obs test_flight \
+      fleet_simulation obs_overhead
+  ctest --test-dir "$dir" -L obs --output-on-failure -j "$jobs"
+
+  local trace="$dir/verify_trace.json"
+  "$dir/examples/fleet_simulation" --users 2 --slots 50 --threads 2 \
+      --trace "$trace" > "$dir/verify_trace.out" 2>&1 || {
+    cat "$dir/verify_trace.out"; return 1
+  }
+  # The trace must be valid JSON in both configurations; instrumentation
+  # events (beyond the constant metadata records) only exist when ON.
+  python3 - "$trace" "$flag" <<'EOF'
+import json, sys
+path, flag = sys.argv[1], sys.argv[2]
+doc = json.load(open(path))
+events = doc["traceEvents"]
+instrumented = [e for e in events if e.get("ph") != "M"]
+if flag == "ON":
+    assert instrumented, "ORIGIN_TRACE=ON produced no instrumentation events"
+else:
+    assert not instrumented, (
+        f"ORIGIN_TRACE=OFF still recorded {len(instrumented)} events")
+manifest = json.load(open(path + ".manifest.json"))
+assert manifest["build"]["trace_enabled"] == (flag == "ON"), \
+    "manifest trace_enabled flag disagrees with the build configuration"
+print(f"    trace ok: {len(events)} events "
+      f"({len(instrumented)} instrumented), manifest consistent")
+EOF
+  if [ "$flag" = "OFF" ]; then
+    # The serve flight recorder must compile out too: obs_overhead asserts
+    # zero recorded events and structural-zero overhead in this tree.
+    "$dir/bench/obs_overhead" --users 2 --slots 50 --repeat 1
+  fi
+}
+
+verify_trace() {
+  verify_trace_config ON "build-trace-on" "$@"
+  verify_trace_config OFF "build-trace-off" "$@"
+  echo "=== ORIGIN_TRACE verified in both configurations ==="
+}
+
+verify_obs_config() {
+  local sanitizer="$1" dir="$2"
+  shift 2
+  echo "=== obs: sanitizer='${sanitizer:-none}' (${dir}) ==="
+  cmake -B "$dir" -S "$repo" -DORIGIN_SANITIZE="$sanitizer" "$@" >/dev/null
+  cmake --build "$dir" -j "$jobs" --target \
+      test_obs test_flight test_serve test_serve_snapshot
+  ctest --test-dir "$dir" -L 'obs|serve' --output-on-failure -j "$jobs"
+}
+
+verify_obs() {
+  verify_obs_config ""        "build-kernels-release" "$@"
+  verify_obs_config "address" "build-kernels-asan"    "$@"
+  # HTTP smoke of the observability surface: the Prometheus exposition
+  # must carry typed series, and the flight-recorder routes must answer.
+  local smoke_pid smoke_port
+  serve_smoke_boot
+  curl -fsS --max-time 10 \
+      "http://127.0.0.1:${smoke_port}/metrics?format=prom" \
+      | grep -q '^# TYPE serve_slots_served_total counter$'
+  curl -fsS --max-time 10 \
+      "http://127.0.0.1:${smoke_port}/metrics?format=prom" \
+      | grep -q '_bucket{le="+Inf"}'
+  curl -fsS --max-time 10 \
+      "http://127.0.0.1:${smoke_port}/trace/recent?n=16" \
+      | grep -q '"kind"'
+  curl -fsS --max-time 10 "http://127.0.0.1:${smoke_port}/status" \
+      | grep -q '"slo"'
+  wait "$smoke_pid"
+  echo "=== observability verified (Release + ASan + prom/trace smoke on port ${smoke_port}) ==="
+}
+
 verify_serve_config() {
   local sanitizer="$1" dir="$2"
   shift 2
@@ -88,52 +223,36 @@ verify_serve() {
   # End-to-end smoke: boot the serving example on a kernel-assigned
   # ephemeral port (no fixed port to collide with), then curl the JSON
   # and JSONL routes while it lingers.
-  cmake --build "build-kernels-release" -j "$jobs" --target fleet_serve
-  local out="build-kernels-release/serve_smoke.log"
-  rm -f "$out"
-  ( cd build-kernels-release && \
-    ./examples/fleet_serve --users 4 --slots 60 --linger-s 45 \
-        > serve_smoke.log 2>&1 ) &
-  local pid=$!
-  local port=""
-  for _ in $(seq 1 300); do
-    port="$(sed -n 's#^serving on http://127.0.0.1:\([0-9]*\)$#\1#p' "$out" \
-        2>/dev/null || true)"
-    [ -n "$port" ] && break
-    sleep 1
-  done
-  if [ -z "$port" ]; then
-    echo "serve smoke: server never reported a port" >&2
-    cat "$out" >&2 || true
-    kill "$pid" 2>/dev/null || true
-    exit 1
-  fi
-  curl -fsS --max-time 10 "http://127.0.0.1:${port}/healthz" \
+  local smoke_pid smoke_port
+  serve_smoke_boot
+  curl -fsS --max-time 10 "http://127.0.0.1:${smoke_port}/healthz" \
       | grep -q '"status":"ok"'
-  curl -fsS --max-time 10 "http://127.0.0.1:${port}/status" \
+  curl -fsS --max-time 10 "http://127.0.0.1:${smoke_port}/status" \
       | grep -q '"slots_served"'
-  curl -fsS --max-time 10 "http://127.0.0.1:${port}/results?tail=3" \
+  curl -fsS --max-time 10 "http://127.0.0.1:${smoke_port}/results?tail=3" \
       | grep -q '"predicted"'
-  wait "$pid"
-  echo "=== serve verified (Release + ASan + HTTP smoke on port ${port}) ==="
+  wait "$smoke_pid"
+  echo "=== serve verified (Release + ASan + HTTP smoke on port ${smoke_port}) ==="
 }
 
 case "$gate" in
   data)    verify_data "$@" ;;
-  kernels) "$repo/scripts/verify_kernels.sh" "$@" ;;
+  kernels) verify_kernels "$@" ;;
   train)   verify_train "$@" ;;
-  trace)   "$repo/scripts/verify_trace.sh" "$@" ;;
+  trace)   verify_trace "$@" ;;
+  obs)     verify_obs "$@" ;;
   serve)   verify_serve "$@" ;;
   all)
     verify_data "$@"
-    "$repo/scripts/verify_kernels.sh" "$@"
+    verify_kernels "$@"
     verify_train "$@"
-    "$repo/scripts/verify_trace.sh" "$@"
+    verify_trace "$@"
+    verify_obs "$@"
     verify_serve "$@"
     echo "=== all verification gates passed ==="
     ;;
   *)
-    echo "usage: scripts/verify.sh [data|kernels|train|trace|serve|all] [generator-args...]" >&2
+    echo "usage: scripts/verify.sh [data|kernels|train|trace|obs|serve|all] [generator-args...]" >&2
     exit 2
     ;;
 esac

@@ -1,0 +1,131 @@
+#include "obs/digest.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace origin::obs {
+namespace {
+
+double parabolic(const std::array<double, 5>& q, const std::array<double, 5>& n,
+                 int i, double d) {
+  // Piecewise-parabolic (P²) prediction of marker i's height after moving
+  // it d positions (d is +1 or -1).
+  return q[i] + d / (n[i + 1] - n[i - 1]) *
+                    ((n[i] - n[i - 1] + d) * (q[i + 1] - q[i]) /
+                         (n[i + 1] - n[i]) +
+                     (n[i + 1] - n[i] - d) * (q[i] - q[i - 1]) /
+                         (n[i] - n[i - 1]));
+}
+
+double linear(const std::array<double, 5>& q, const std::array<double, 5>& n,
+              int i, double d) {
+  const int j = i + static_cast<int>(d);
+  return q[i] + d * (q[j] - q[i]) / (n[j] - n[i]);
+}
+
+}  // namespace
+
+void StreamingDigest::Estimator::init(const std::array<double, 5>& first_five) {
+  q = first_five;
+  std::sort(q.begin(), q.end());
+  for (int i = 0; i < 5; ++i) n[i] = i + 1;
+  np = {1.0, 1.0 + 2.0 * p, 1.0 + 4.0 * p, 3.0 + 2.0 * p, 5.0};
+}
+
+void StreamingDigest::Estimator::observe(double x) {
+  int k;
+  if (x < q[0]) {
+    q[0] = x;
+    k = 0;
+  } else if (x < q[1]) {
+    k = 0;
+  } else if (x < q[2]) {
+    k = 1;
+  } else if (x < q[3]) {
+    k = 2;
+  } else if (x <= q[4]) {
+    k = 3;
+  } else {
+    q[4] = x;
+    k = 3;
+  }
+  for (int i = k + 1; i < 5; ++i) n[i] += 1.0;
+  // Desired positions advance by the marker's quantile increment.
+  const std::array<double, 5> dnp = {0.0, p / 2.0, p, (1.0 + p) / 2.0, 1.0};
+  for (int i = 0; i < 5; ++i) np[i] += dnp[i];
+  // Adjust interior markers toward their desired positions.
+  for (int i = 1; i <= 3; ++i) {
+    const double d = np[i] - n[i];
+    if ((d >= 1.0 && n[i + 1] - n[i] > 1.0) ||
+        (d <= -1.0 && n[i - 1] - n[i] < -1.0)) {
+      const double dir = d >= 0 ? 1.0 : -1.0;
+      double qi = parabolic(q, n, i, dir);
+      if (!(q[i - 1] < qi && qi < q[i + 1])) qi = linear(q, n, i, dir);
+      q[i] = qi;
+      n[i] += dir;
+    }
+  }
+}
+
+StreamingDigest::StreamingDigest(std::vector<double> targets)
+    : targets_(std::move(targets)) {
+  if (targets_.empty()) throw std::invalid_argument("digest: no targets");
+  estimators_.reserve(targets_.size());
+  for (double t : targets_) {
+    if (!(t > 0.0 && t < 1.0)) {
+      throw std::invalid_argument("digest: target outside (0, 1)");
+    }
+    Estimator e;
+    e.p = t;
+    estimators_.push_back(e);
+  }
+}
+
+void StreamingDigest::observe(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  sum_ += x;
+  if (!initialized_) {
+    boot_[count_] = x;
+    ++count_;
+    if (count_ == 5) {
+      for (Estimator& e : estimators_) e.init(boot_);
+      initialized_ = true;
+    }
+    return;
+  }
+  ++count_;
+  for (Estimator& e : estimators_) e.observe(x);
+}
+
+double StreamingDigest::quantile(double q) const {
+  std::size_t idx = targets_.size();
+  for (std::size_t i = 0; i < targets_.size(); ++i) {
+    if (targets_[i] == q) {
+      idx = i;
+      break;
+    }
+  }
+  if (idx == targets_.size()) {
+    throw std::out_of_range("digest: untracked quantile");
+  }
+  if (count_ == 0) return 0.0;
+  if (!initialized_) {
+    // Exact: nearest-rank over the (sorted) bootstrap samples.
+    std::array<double, 5> sorted = boot_;
+    std::sort(sorted.begin(), sorted.begin() + count_);
+    const double pos = q * static_cast<double>(count_ - 1);
+    const auto lo = static_cast<std::size_t>(std::floor(pos));
+    const auto hi = static_cast<std::size_t>(std::ceil(pos));
+    const double frac = pos - static_cast<double>(lo);
+    return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+  }
+  return estimators_[idx].value();
+}
+
+}  // namespace origin::obs

@@ -1,0 +1,68 @@
+// StreamingDigest: constant-memory quantile estimates for wall-clock
+// latency series that have no natural histogram bucketing. One P-squared
+// estimator (Jain & Chlamtac, CACM 1985) per tracked quantile: five
+// markers whose positions drift toward the target via piecewise-parabolic
+// interpolation. O(1) per observation, a few hundred bytes per target,
+// exact until five samples have arrived.
+//
+// Wall-clock digests are nondeterministic by nature; they live alongside
+// the metrics registry's `deterministic=false` gauges and never enter the
+// serve determinism contract.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace origin::obs {
+
+/// Default tracked quantiles: the SLO trio.
+inline constexpr std::array<double, 3> kSloQuantiles = {0.5, 0.95, 0.99};
+
+class StreamingDigest {
+ public:
+  /// `targets` must be strictly inside (0, 1); throws std::invalid_argument
+  /// otherwise.
+  explicit StreamingDigest(
+      std::vector<double> targets = {kSloQuantiles.begin(),
+                                     kSloQuantiles.end()});
+
+  void observe(double x);
+
+  /// Estimate for a tracked target; throws std::out_of_range for a `q`
+  /// that was not passed to the constructor. With fewer than five samples
+  /// the estimate is exact (sorted-buffer lookup); with zero samples it
+  /// returns 0.
+  double quantile(double q) const;
+
+  const std::vector<double>& targets() const { return targets_; }
+  std::uint64_t count() const { return count_; }
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+  double sum() const { return sum_; }
+  double mean() const { return count_ ? sum_ / static_cast<double>(count_) : 0.0; }
+
+ private:
+  // One five-marker P-squared estimator tracking quantile p.
+  struct Estimator {
+    double p = 0.5;
+    std::array<double, 5> q{};   // marker heights
+    std::array<double, 5> n{};   // actual marker positions (1-based)
+    std::array<double, 5> np{};  // desired marker positions
+
+    void init(const std::array<double, 5>& first_five);
+    void observe(double x);
+    double value() const { return q[2]; }
+  };
+
+  std::vector<double> targets_;
+  std::vector<Estimator> estimators_;
+  std::array<double, 5> boot_{};  // first five samples, until initialized
+  bool initialized_ = false;
+  std::uint64_t count_ = 0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+}  // namespace origin::obs

@@ -1,0 +1,129 @@
+#include "obs/flight_recorder.hpp"
+
+#include <algorithm>
+
+namespace origin::obs {
+
+void FlightLog::admit(std::int64_t session, int shard, double t0_s,
+                      std::int64_t arrival_tick, int slots_total) {
+  TraceEvent e;
+  e.kind = EventKind::Admit;
+  e.session = session;
+  e.track = shard;
+  e.t0_s = t0_s;
+  e.slot = arrival_tick;
+  e.count = slots_total;
+  events_.push_back(std::move(e));
+}
+
+void FlightLog::step(std::int64_t session, int shard, double t0_s, double dur_s,
+                     std::int64_t slot, int predicted, int truth,
+                     double stored_total_j, double stored_min_j) {
+  TraceEvent e;
+  e.kind = EventKind::Step;
+  e.session = session;
+  e.track = shard;
+  e.t0_s = t0_s;
+  e.dur_s = dur_s;
+  e.slot = slot;
+  e.cls = predicted;
+  e.count = truth;
+  e.flag = predicted == truth;
+  e.value = stored_total_j;
+  e.aux = stored_min_j;
+  events_.push_back(std::move(e));
+}
+
+void FlightLog::hop(std::int64_t session, int shard, double t0_s,
+                    std::int64_t slot, int hops) {
+  TraceEvent e;
+  e.kind = EventKind::Hop;
+  e.session = session;
+  e.track = shard;
+  e.t0_s = t0_s;
+  e.slot = slot;
+  e.count = hops;
+  events_.push_back(std::move(e));
+}
+
+void FlightLog::nvp_save(std::int64_t session, int shard, double t0_s,
+                         std::int64_t slot, int sensor, int times) {
+  TraceEvent e;
+  e.kind = EventKind::NvpSave;
+  e.session = session;
+  e.track = shard;
+  e.t0_s = t0_s;
+  e.slot = slot;
+  e.cls = sensor;
+  e.count = times;
+  events_.push_back(std::move(e));
+}
+
+void FlightLog::nvp_restore(std::int64_t session, int shard, double t0_s,
+                            std::int64_t slot, int sensor, int times) {
+  TraceEvent e;
+  e.kind = EventKind::NvpRestore;
+  e.session = session;
+  e.track = shard;
+  e.t0_s = t0_s;
+  e.slot = slot;
+  e.cls = sensor;
+  e.count = times;
+  events_.push_back(std::move(e));
+}
+
+void FlightLog::session_end(std::int64_t session, int shard, double t0_s,
+                            std::int64_t completed_tick, int slots,
+                            double accuracy, double success_rate_pct,
+                            bool completed) {
+  TraceEvent e;
+  e.kind = EventKind::SessionEnd;
+  e.session = session;
+  e.track = shard;
+  e.t0_s = t0_s;
+  e.slot = completed_tick;
+  e.count = slots;
+  e.value = accuracy;
+  e.aux = success_rate_pct;
+  e.flag = completed;
+  events_.push_back(std::move(e));
+}
+
+FlightRecorder::FlightRecorder(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(1, capacity)) {}
+
+void FlightRecorder::fold(FlightLog& log) {
+  for (TraceEvent& e : log.events()) {
+    if (ring_.size() == capacity_) {
+      ring_.pop_front();
+      ++dropped_;
+    }
+    ring_.push_back(std::move(e));
+  }
+  log.clear();
+}
+
+std::vector<TraceEvent> FlightRecorder::events() const {
+  return std::vector<TraceEvent>(ring_.begin(), ring_.end());
+}
+
+std::vector<TraceEvent> FlightRecorder::recent(std::size_t n) const {
+  const std::size_t take = std::min(n, ring_.size());
+  return std::vector<TraceEvent>(ring_.end() - static_cast<std::ptrdiff_t>(take),
+                                 ring_.end());
+}
+
+std::vector<TraceEvent> FlightRecorder::session(std::uint64_t id) const {
+  std::vector<TraceEvent> out;
+  for (const TraceEvent& e : ring_) {
+    if (e.session == static_cast<std::int64_t>(id)) out.push_back(e);
+  }
+  return out;
+}
+
+void FlightRecorder::clear() {
+  ring_.clear();
+  dropped_ = 0;
+}
+
+}  // namespace origin::obs

@@ -339,6 +339,15 @@ double histogram_quantile(const HistogramCell& cell,
   return cell.max;
 }
 
+std::vector<double> histogram_quantiles(const HistogramCell& cell,
+                                        const std::vector<double>& upper_bounds,
+                                        const std::vector<double>& qs) {
+  std::vector<double> out;
+  out.reserve(qs.size());
+  for (double q : qs) out.push_back(histogram_quantile(cell, upper_bounds, q));
+  return out;
+}
+
 bool MetricsSnapshot::deterministic_equal(const MetricsSnapshot& a,
                                           const MetricsSnapshot& b) {
   if (a.defs.size() != b.defs.size()) return false;

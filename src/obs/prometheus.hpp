@@ -1,0 +1,24 @@
+// Prometheus text exposition (format 0.0.4) for a MetricsSnapshot —
+// what /metrics?format=prom serves so a stock Prometheus scraper can
+// watch a serving fleet without a translation shim.
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace origin::obs {
+
+/// Content-Type a scraper expects for the text format.
+inline constexpr const char* kPrometheusContentType =
+    "text/plain; version=0.0.4; charset=utf-8";
+
+/// Renders every metric of `snap` in Prometheus text format:
+///   - names sanitized to [a-zA-Z0-9_:] (dots become underscores);
+///   - counters get a `_total` suffix;
+///   - histograms render cumulative `_bucket{le="..."}` series ending in
+///     `le="+Inf"` (== `_count`), plus `_sum` and `_count`;
+///   - unset gauges are skipped.
+std::string prometheus_text(const MetricsSnapshot& snap);
+
+}  // namespace origin::obs

@@ -20,8 +20,22 @@ const char* to_string(EventKind kind) {
     case EventKind::Job: return "job";
     case EventKind::Epoch: return "epoch";
     case EventKind::Mark: return "mark";
+    case EventKind::Admit: return "admit";
+    case EventKind::Step: return "step";
+    case EventKind::Hop: return "hop";
+    case EventKind::NvpSave: return "nvp_save";
+    case EventKind::NvpRestore: return "nvp_restore";
+    case EventKind::SessionEnd: return "session_end";
   }
   return "?";
+}
+
+bool operator==(const TraceEvent& a, const TraceEvent& b) {
+  return a.kind == b.kind && a.outcome == b.outcome && a.flag == b.flag &&
+         a.track == b.track && a.slot == b.slot && a.t0_s == b.t0_s &&
+         a.dur_s == b.dur_s && a.cls == b.cls && a.value == b.value &&
+         a.aux == b.aux && a.count == b.count && a.session == b.session &&
+         a.label == b.label;
 }
 
 const char* to_string(AttemptOutcome outcome) {
@@ -227,6 +241,7 @@ void JsonlSink::write(const std::vector<TraceEvent>& events,
     w.kv("slot", e.slot);
     w.kv("t0_s", e.t0_s);
     if (e.dur_s != 0.0) w.kv("dur_s", e.dur_s);
+    if (e.session >= 0) w.kv("session", e.session);
     switch (e.kind) {
       case EventKind::Schedule:
         w.kv("sensors", e.label);
@@ -274,6 +289,37 @@ void JsonlSink::write(const std::vector<TraceEvent>& events,
       case EventKind::Mark:
         w.kv("label", e.label);
         break;
+      case EventKind::Admit:
+        w.kv("shard", e.track);
+        w.kv("arrival_tick", e.slot);
+        w.kv("slots_total", e.count);
+        break;
+      case EventKind::Step:
+        w.kv("shard", e.track);
+        w.kv("predicted", e.cls);
+        w.kv("truth", e.count);
+        w.kv("correct", e.flag);
+        w.kv("stored_total_j", e.value);
+        w.kv("stored_min_j", e.aux);
+        break;
+      case EventKind::Hop:
+        w.kv("shard", e.track);
+        w.kv("hops", e.count);
+        break;
+      case EventKind::NvpSave:
+      case EventKind::NvpRestore:
+        w.kv("shard", e.track);
+        w.kv("sensor", e.cls);
+        w.kv("times", e.count);
+        break;
+      case EventKind::SessionEnd:
+        w.kv("shard", e.track);
+        w.kv("completed_tick", e.slot);
+        w.kv("slots", e.count);
+        w.kv("accuracy", e.value);
+        w.kv("success_rate_pct", e.aux);
+        w.kv("completed", e.flag);
+        break;
     }
     w.end_object();
     os << w.str() << '\n';
@@ -292,6 +338,7 @@ constexpr int kPidRun = 0;
 constexpr int kPidSim = 1;
 constexpr int kPidFleet = 2;
 constexpr int kPidTrainer = 3;
+constexpr int kPidServe = 4;
 constexpr int kTidSchedule = 100;
 constexpr int kTidFusion = 101;
 constexpr int kTidOutput = 102;
@@ -312,6 +359,13 @@ Lane lane_of(const TraceEvent& e) {
     case EventKind::Job: return {kPidFleet, e.track};
     case EventKind::Epoch: return {kPidTrainer, 0};
     case EventKind::Mark: return {kPidRun, 0};
+    case EventKind::Admit:
+    case EventKind::Step:
+    case EventKind::Hop:
+    case EventKind::NvpSave:
+    case EventKind::NvpRestore:
+    case EventKind::SessionEnd:
+      return {kPidServe, e.track};  // one lane per session-table shard
   }
   return {};
 }
@@ -325,6 +379,7 @@ std::string lane_thread_name(const Lane& lane) {
   }
   if (lane.pid == kPidFleet) return "shard " + std::to_string(lane.tid);
   if (lane.pid == kPidTrainer) return "epochs";
+  if (lane.pid == kPidServe) return "shard " + std::to_string(lane.tid);
   return "run";
 }
 
@@ -333,6 +388,7 @@ const char* pid_name(int pid) {
     case kPidSim: return "simulator";
     case kPidFleet: return "fleet";
     case kPidTrainer: return "trainer";
+    case kPidServe: return "serve";
     default: return "run";
   }
 }
@@ -486,6 +542,60 @@ void ChromeTraceSink::write(const std::vector<TraceEvent>& events,
         common_fields(w, e.label.empty() ? "mark" : e.label.c_str(), "i",
                       lane, ts_us);
         w.kv("s", "g");
+        break;
+      case EventKind::Admit:
+        common_fields(w, "admit", "i", lane, ts_us);
+        w.kv("s", "t");
+        w.key("args").begin_object();
+        w.kv("session", e.session);
+        w.kv("arrival_tick", e.slot);
+        w.kv("slots_total", e.count);
+        w.end_object();
+        break;
+      case EventKind::Step:
+        common_fields(w, e.flag ? "step" : "step_wrong", "X", lane, ts_us);
+        w.kv("dur", dur_us);
+        w.key("args").begin_object();
+        w.kv("session", e.session);
+        w.kv("slot", e.slot);
+        w.kv("predicted", e.cls);
+        w.kv("truth", e.count);
+        w.kv("stored_total_j", e.value);
+        w.kv("stored_min_j", e.aux);
+        w.end_object();
+        break;
+      case EventKind::Hop:
+        common_fields(w, "hop", "i", lane, ts_us);
+        w.kv("s", "t");
+        w.key("args").begin_object();
+        w.kv("session", e.session);
+        w.kv("slot", e.slot);
+        w.kv("hops", e.count);
+        w.end_object();
+        break;
+      case EventKind::NvpSave:
+      case EventKind::NvpRestore:
+        common_fields(w, e.kind == EventKind::NvpSave ? "nvp_save"
+                                                      : "nvp_restore",
+                      "i", lane, ts_us);
+        w.kv("s", "t");
+        w.key("args").begin_object();
+        w.kv("session", e.session);
+        w.kv("slot", e.slot);
+        w.kv("sensor", e.cls);
+        w.kv("times", e.count);
+        w.end_object();
+        break;
+      case EventKind::SessionEnd:
+        common_fields(w, "session_end", "i", lane, ts_us);
+        w.kv("s", "t");
+        w.key("args").begin_object();
+        w.kv("session", e.session);
+        w.kv("completed_tick", e.slot);
+        w.kv("slots", e.count);
+        w.kv("accuracy", e.value);
+        w.kv("success_rate_pct", e.aux);
+        w.end_object();
         break;
     }
     w.end_object();

@@ -49,6 +49,16 @@ enum class EventKind : std::uint8_t {
   Job,       // fleet: one simulation job's wall-clock span
   Epoch,     // trainer: one epoch's loss/accuracy/wall time
   Mark,      // generic instant
+  // Serving-tier flight-recorder kinds (src/obs/flight_recorder.hpp).
+  // Every field of these events is a pure function of the workload —
+  // virtual serve-time, never wall clock — so folded streams participate
+  // in the serve determinism contract.
+  Admit,       // session admitted into its home shard
+  Step,        // one served slot: fused output + stored-energy levels
+  Hop,         // the slot's schedule fell back (count = hops taken)
+  NvpSave,     // NVP checkpoint(s) taken during the slot (count = how many)
+  NvpRestore,  // NVP restore(s) paid during the slot (count = how many)
+  SessionEnd,  // session completed/evicted with its final aggregates
 };
 
 const char* to_string(EventKind kind);
@@ -78,8 +88,17 @@ struct TraceEvent {
   double value = 0.0;      // stored J / vote weight / top total / loss
   double aux = 0.0;        // cost J / vote age s / runner-up total / accuracy
   int count = 0;           // sensors planned / fallback hops / ballots
+  /// Serving session id for the flight-recorder kinds; -1 elsewhere.
+  std::int64_t session = -1;
   std::string label;       // sensor list, job label, ...
 };
+
+/// Field-wise equality — the flight-recorder determinism tests compare
+/// whole event streams with this.
+bool operator==(const TraceEvent& a, const TraceEvent& b);
+inline bool operator!=(const TraceEvent& a, const TraceEvent& b) {
+  return !(a == b);
+}
 
 class TraceRecorder {
  public:

@@ -1,8 +1,11 @@
 #include "serve/endpoint.hpp"
 
 #include <cstdlib>
+#include <sstream>
 
 #include "obs/json.hpp"
+#include "obs/prometheus.hpp"
+#include "obs/trace.hpp"
 
 namespace origin::serve {
 
@@ -17,6 +20,23 @@ HttpResponse error(int status, const std::string& message) {
   obs::JsonWriter w;
   w.begin_object().kv("error", message).end_object();
   return {status, "application/json", w.str() + "\n"};
+}
+
+/// Renders flight events as JSONL (default) or a Chrome trace_event
+/// document, reusing the obs trace sinks.
+HttpResponse trace_response(const std::vector<obs::TraceEvent>& events,
+                            std::uint64_t dropped,
+                            const std::string& format) {
+  std::ostringstream os;
+  if (format == "chrome") {
+    obs::ChromeTraceSink sink;
+    sink.write(events, dropped, os);
+    return {200, "application/json", os.str()};
+  }
+  if (format != "jsonl") return error(400, "bad format (jsonl|chrome)");
+  obs::JsonlSink sink;
+  sink.write(events, dropped, os);
+  return {200, "application/x-ndjson", os.str()};
 }
 
 void session_summary_fields(obs::JsonWriter& w, const SessionSummary& s) {
@@ -86,6 +106,7 @@ HttpResponse ServeEndpoint::handle(const HttpRequest& request) const {
 
   if (path == "/status") {
     const ServeLoop::Status status = loop_->status();
+    const ServeLoop::Slo slo = loop_->slo();
     obs::JsonWriter w;
     w.begin_object();
     w.kv("now", status.now);
@@ -95,12 +116,52 @@ HttpResponse ServeEndpoint::handle(const HttpRequest& request) const {
     w.kv("slots_served", status.slots_served);
     w.kv("users", static_cast<std::uint64_t>(loop_->config().users));
     w.kv("done", loop_->done());
+    w.key("slo").begin_object();
+    w.kv("step_p50_us", slo.step_p50_us);
+    w.kv("step_p95_us", slo.step_p95_us);
+    w.kv("step_p99_us", slo.step_p99_us);
+    w.kv("tick_p50_ms", slo.tick_p50_ms);
+    w.kv("tick_p95_ms", slo.tick_p95_ms);
+    w.kv("tick_p99_ms", slo.tick_p99_ms);
+    w.kv("admission_backlog", slo.admission_backlog);
+    w.kv("sessions_per_s", slo.sessions_per_s);
+    w.kv("slots_per_s", slo.slots_per_s);
+    w.end_object();
     w.end_object();
     return json_ok(w.str());
   }
 
   if (path == "/metrics") {
+    const std::string format = query_param(request.query, "format", "json");
+    if (format == "prom") {
+      return {200, obs::kPrometheusContentType,
+              obs::prometheus_text(loop_->metrics())};
+    }
+    if (format != "json") return error(400, "bad format (json|prom)");
     return json_ok(loop_->metrics().to_json());
+  }
+
+  if (path == "/trace") {
+    const std::string id_str = query_param(request.query, "session", "");
+    if (id_str.empty()) return error(400, "missing session=<id>");
+    char* end = nullptr;
+    const unsigned long long id = std::strtoull(id_str.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0') return error(400, "bad session id");
+    if (!loop_->flight_enabled()) return error(404, "flight recorder off");
+    return trace_response(loop_->flight_session(id), 0,
+                          query_param(request.query, "format", "jsonl"));
+  }
+
+  if (path == "/trace/recent") {
+    const std::string n_str = query_param(request.query, "n", "256");
+    char* end = nullptr;
+    const unsigned long long n = std::strtoull(n_str.c_str(), &end, 10);
+    if (n_str.empty() || end == nullptr || *end != '\0') {
+      return error(400, "bad n");
+    }
+    if (!loop_->flight_enabled()) return error(404, "flight recorder off");
+    return trace_response(loop_->flight_recent(n), loop_->flight_dropped(),
+                          query_param(request.query, "format", "jsonl"));
   }
 
   if (path == "/manifest") {

@@ -61,6 +61,13 @@ ServeLoop::ServeLoop(const sim::Experiment& experiment, ServeConfig config)
         std::make_unique<SessionShard>(experiment, config_.set));
     shards_.back()->set_wall_metrics(registry_.make_shard());
   }
+  if (obs::kTraceEnabled && config_.flight_capacity > 0) {
+    flight_ = std::make_unique<obs::FlightRecorder>(config_.flight_capacity);
+    flight_logs_.resize(config_.shards);
+    for (std::size_t i = 0; i < config_.shards; ++i) {
+      shards_[i]->set_flight(&flight_logs_[i], static_cast<int>(i));
+    }
+  }
   if (config_.threads > 1) {
     pool_ = std::make_unique<fleet::ThreadPool>(config_.threads);
   }
@@ -93,7 +100,18 @@ Session& ServeLoop::admit_session(std::uint64_t id) {
   SessionShard& shard = *shards_[id % config_.shards];
   shard.admit(std::make_unique<Session>(*experiment_, make_spec(id),
                                         shard.models(), config_.ring_capacity,
-                                        config_.batch_slots));
+                                        config_.batch_slots, config_.trace));
+  const Session& session = *shard.active().back();
+  // Admission is serial (id order), so these events are deterministic; a
+  // snapshot restore re-fires them — the flight ring is process-local
+  // state, not snapshotted.
+  ORIGIN_TRACE(
+      shard.flight(),
+      admit(static_cast<std::int64_t>(id), shard.shard_index(),
+            static_cast<double>(session.spec().arrival_tick) *
+                experiment_->spec().slot_seconds(),
+            static_cast<std::int64_t>(session.spec().arrival_tick),
+            static_cast<int>(session.stepper().total_slots())));
   return *shard.active().back();
 }
 
@@ -128,6 +146,11 @@ void ServeLoop::tick(std::uint64_t n) {
 
 void ServeLoop::publish_round(std::uint64_t to, double tick_seconds) {
   std::lock_guard<std::mutex> lock(publish_mutex_);
+  if (flight_) {
+    // Shard-index fold order: the flight stream is bit-identical at any
+    // thread count, like every other published output.
+    for (obs::FlightLog& log : flight_logs_) flight_->fold(log);
+  }
   std::vector<CompletedSession> round_completed;
   for (auto& shard : shards_) {
     for (SlotRecord& record : shard->round_slots()) {
@@ -159,6 +182,7 @@ void ServeLoop::publish_round(std::uint64_t to, double tick_seconds) {
   }
   while (results_.size() > config_.results_capacity) results_.pop_front();
   loop_wall_metrics_.observe(tick_seconds_id_, tick_seconds);
+  tick_digest_.observe(tick_seconds);
   now_ = to;
   rebuild_published_locked();
 }
@@ -254,6 +278,59 @@ std::vector<SlotRecord> ServeLoop::recent_results(std::size_t tail) const {
 std::vector<CompletedSession> ServeLoop::completed_sessions() const {
   std::lock_guard<std::mutex> lock(publish_mutex_);
   return completed_;
+}
+
+ServeLoop::Slo ServeLoop::slo() const {
+  std::lock_guard<std::mutex> lock(publish_mutex_);
+  Slo slo;
+  const obs::MetricDef* step =
+      metrics_snapshot_.find("serve.step_seconds");
+  if (step) {
+    const obs::HistogramCell& cell =
+        metrics_snapshot_.histograms[step->slot];
+    const auto qs = obs::histogram_quantiles(
+        cell, step->upper_bounds, {obs::kSloQuantiles.begin(),
+                                   obs::kSloQuantiles.end()});
+    slo.step_p50_us = qs[0] * 1e6;
+    slo.step_p95_us = qs[1] * 1e6;
+    slo.step_p99_us = qs[2] * 1e6;
+  }
+  if (tick_digest_.count() > 0) {
+    slo.tick_p50_ms = tick_digest_.quantile(0.5) * 1e3;
+    slo.tick_p95_ms = tick_digest_.quantile(0.95) * 1e3;
+    slo.tick_p99_ms = tick_digest_.quantile(0.99) * 1e3;
+  }
+  slo.admission_backlog =
+      static_cast<std::uint64_t>(config_.users) - status_.admitted;
+  const double wall_s = tick_digest_.sum();
+  if (wall_s > 0.0) {
+    slo.sessions_per_s = static_cast<double>(status_.completed) / wall_s;
+    slo.slots_per_s = static_cast<double>(status_.slots_served) / wall_s;
+  }
+  return slo;
+}
+
+bool ServeLoop::flight_enabled() const { return flight_ != nullptr; }
+
+std::vector<obs::TraceEvent> ServeLoop::flight_events() const {
+  std::lock_guard<std::mutex> lock(publish_mutex_);
+  return flight_ ? flight_->events() : std::vector<obs::TraceEvent>{};
+}
+
+std::vector<obs::TraceEvent> ServeLoop::flight_recent(std::size_t n) const {
+  std::lock_guard<std::mutex> lock(publish_mutex_);
+  return flight_ ? flight_->recent(n) : std::vector<obs::TraceEvent>{};
+}
+
+std::vector<obs::TraceEvent> ServeLoop::flight_session(
+    std::uint64_t id) const {
+  std::lock_guard<std::mutex> lock(publish_mutex_);
+  return flight_ ? flight_->session(id) : std::vector<obs::TraceEvent>{};
+}
+
+std::uint64_t ServeLoop::flight_dropped() const {
+  std::lock_guard<std::mutex> lock(publish_mutex_);
+  return flight_ ? flight_->dropped() : 0;
 }
 
 }  // namespace origin::serve

@@ -23,6 +23,8 @@
 #include <vector>
 
 #include "fleet/thread_pool.hpp"
+#include "obs/digest.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "serve/arrival.hpp"
 #include "serve/session_table.hpp"
@@ -55,6 +57,18 @@ struct ServeConfig {
   /// Recent-results ring exposed on /results (older records are dropped;
   /// seq numbers keep the stream gap-free for consumers that care).
   std::size_t results_capacity = 4096;
+  /// Flight-recorder ring capacity (admit/step/hop/NVP/session-end events,
+  /// oldest dropped first). 0 disables recording; a -DORIGIN_TRACE=OFF
+  /// build compiles the recording sites out regardless. Never affects
+  /// results, so it is excluded from the snapshot fingerprint.
+  std::size_t flight_capacity = 1 << 15;
+  /// Optional slot-level trace: wired into every session's SlotStepper so
+  /// served sessions emit the same energy/schedule/attempt/output events
+  /// the batch simulator does. The recorder is internally locked (shards
+  /// record concurrently — interleaving across shards is wall-clock
+  /// nondeterministic; the flight recorder above is the deterministic
+  /// stream). Not owned; must outlive the loop.
+  obs::TraceRecorder* trace = nullptr;
 };
 
 class ServeLoop {
@@ -79,6 +93,29 @@ class ServeLoop {
     std::uint64_t slots_served = 0;
   };
   Status status() const;
+
+  /// SLO summary derived from the published metrics: slot-step and tick
+  /// latency quantiles (wall clock — nondeterministic), admission backlog
+  /// and realized throughput. Quantile fields are 0 until data arrives.
+  struct Slo {
+    double step_p50_us = 0.0, step_p95_us = 0.0, step_p99_us = 0.0;
+    double tick_p50_ms = 0.0, tick_p95_ms = 0.0, tick_p99_ms = 0.0;
+    /// Sessions not yet admitted (config.users - admitted).
+    std::uint64_t admission_backlog = 0;
+    /// Completed sessions / served slots per wall-clock second spent in
+    /// tick() so far.
+    double sessions_per_s = 0.0;
+    double slots_per_s = 0.0;
+  };
+  Slo slo() const;
+
+  // --- Flight recorder (deterministic serve-tier event stream); empty
+  // results when recording is disabled or compiled out.
+  bool flight_enabled() const;
+  std::vector<obs::TraceEvent> flight_events() const;
+  std::vector<obs::TraceEvent> flight_recent(std::size_t n) const;
+  std::vector<obs::TraceEvent> flight_session(std::uint64_t id) const;
+  std::uint64_t flight_dropped() const;
 
   // --- Published query surface (endpoint.cpp); all return copies taken
   // under the publish mutex.
@@ -133,11 +170,19 @@ class ServeLoop {
   std::vector<std::unique_ptr<SessionShard>> shards_;
   std::unique_ptr<fleet::ThreadPool> pool_;  // created once, reused per tick
 
+  /// Flight recorder: per-shard logs recorded lock-free during the round,
+  /// folded into the ring in shard-index order under the publish mutex.
+  /// Null when disabled (flight_capacity == 0 or trace compiled out).
+  std::unique_ptr<obs::FlightRecorder> flight_;
+  std::vector<obs::FlightLog> flight_logs_;  // one per shard
+
   std::uint64_t now_ = 0;
   std::uint64_t next_admit_ = 0;
   std::uint64_t results_seq_ = 0;
 
   mutable std::mutex publish_mutex_;
+  /// Driver-thread tick-latency digest (wall clock), read by slo().
+  obs::StreamingDigest tick_digest_;
   std::deque<SlotRecord> results_;
   std::vector<CompletedSession> completed_;
   std::vector<SessionSummary> summaries_;

@@ -4,7 +4,8 @@ namespace origin::serve {
 
 Session::Session(const sim::Experiment& experiment, SessionSpec spec,
                  std::array<nn::Sequential, data::kNumSensors>* models,
-                 int ring_capacity, int batch_slots)
+                 int ring_capacity, int batch_slots,
+                 obs::TraceRecorder* trace)
     : spec_(std::move(spec)),
       policy_(experiment.make_policy(spec_.policy, spec_.rr_cycle, spec_.set)),
       cursor_(experiment.make_cursor(spec_.user, spec_.seed_offset,
@@ -14,6 +15,7 @@ Session::Session(const sim::Experiment& experiment, SessionSpec spec,
                [&] {
                  sim::SimulatorConfig config = experiment.sim_config();
                  config.batch_slots = batch_slots;
+                 config.trace = trace;
                  return config;
                }()) {}
 

@@ -32,10 +32,15 @@ class Session {
  public:
   /// `models` is the owning shard's deployed-network scratch (must match
   /// spec.set) and must outlive the session; sessions of one shard share
-  /// it safely because the shard serves them one slot at a time.
+  /// it safely because the shard serves them one slot at a time. `trace`
+  /// (optional) receives the stepper's slot-level ORIGIN_TRACE events —
+  /// the same energy/schedule/attempt/output stream the batch simulator
+  /// emits; it must be thread-safe when shards serve in parallel
+  /// (obs::TraceRecorder is).
   Session(const sim::Experiment& experiment, SessionSpec spec,
           std::array<nn::Sequential, data::kNumSensors>* models,
-          int ring_capacity, int batch_slots);
+          int ring_capacity, int batch_slots,
+          obs::TraceRecorder* trace = nullptr);
 
   Session(const Session&) = delete;
   Session& operator=(const Session&) = delete;

@@ -21,7 +21,8 @@ SessionShard::SessionShard(const sim::Experiment& experiment,
                            sim::ModelSet set)
     : models_(set == sim::ModelSet::Relaxed
                   ? experiment.system().relaxed_copy()
-                  : experiment.system().bl2_copy()) {}
+                  : experiment.system().bl2_copy()),
+      slot_s_(experiment.spec().slot_seconds()) {}
 
 void SessionShard::admit(std::unique_ptr<Session> session) {
   active_.push_back(std::move(session));
@@ -35,11 +36,63 @@ void SessionShard::serve_ticks(std::uint64_t from, std::uint64_t to,
     std::uint64_t tick = std::max(spec.arrival_tick, from);
     std::uint64_t last_tick = tick;
     while (tick < to && !session->done()) {
+#if ORIGIN_TRACE_ENABLED
+      std::array<std::uint64_t, data::kNumSensors> nvp_saves_before{};
+      std::array<std::uint64_t, data::kNumSensors> nvp_restores_before{};
+      if (flight_) {
+        for (std::size_t s = 0; s < data::kNumSensors; ++s) {
+          const energy::NvpCore& nvp = session->stepper().node(s).nvp();
+          nvp_saves_before[s] = nvp.checkpoints();
+          nvp_restores_before[s] = nvp.restores();
+        }
+      }
+#endif
       const auto begin = clock::now();
       const auto out = session->stepper().step();
       wall_metrics_.observe(
           step_seconds,
           std::chrono::duration<double>(clock::now() - begin).count());
+#if ORIGIN_TRACE_ENABLED
+      if (flight_) {
+        // Flight events use virtual serve-time only (tick x slot seconds):
+        // the stream stays a pure function of the workload, so it obeys
+        // the same determinism contract as the published logs.
+        const auto& stepper = session->stepper();
+        const double t0 = static_cast<double>(tick) * slot_s_;
+        double stored_total = 0.0;
+        double stored_min = stepper.node(0).stored_j();
+        for (std::size_t s = 0; s < data::kNumSensors; ++s) {
+          const double j = stepper.node(s).stored_j();
+          stored_total += j;
+          stored_min = std::min(stored_min, j);
+        }
+        flight_->step(static_cast<std::int64_t>(spec.id), shard_index_, t0,
+                      slot_s_, static_cast<std::int64_t>(out.slot),
+                      out.predicted, out.label, stored_total, stored_min);
+        const int hops = stepper.policy().last_plan_fallback_hops();
+        if (hops > 0) {
+          flight_->hop(static_cast<std::int64_t>(spec.id), shard_index_, t0,
+                       static_cast<std::int64_t>(out.slot), hops);
+        }
+        for (std::size_t s = 0; s < data::kNumSensors; ++s) {
+          const energy::NvpCore& nvp = stepper.node(s).nvp();
+          const auto saves = nvp.checkpoints() - nvp_saves_before[s];
+          const auto restores = nvp.restores() - nvp_restores_before[s];
+          if (saves > 0) {
+            flight_->nvp_save(static_cast<std::int64_t>(spec.id), shard_index_,
+                              t0, static_cast<std::int64_t>(out.slot),
+                              static_cast<int>(s), static_cast<int>(saves));
+          }
+          if (restores > 0) {
+            flight_->nvp_restore(static_cast<std::int64_t>(spec.id),
+                                 shard_index_, t0,
+                                 static_cast<std::int64_t>(out.slot),
+                                 static_cast<int>(s),
+                                 static_cast<int>(restores));
+          }
+        }
+      }
+#endif
       SlotRecord record;
       record.tick = tick;
       record.session = spec.id;
@@ -65,6 +118,13 @@ void SessionShard::serve_ticks(std::uint64_t from, std::uint64_t to,
       }
       done.outputs_fnv1a = fnv1a_outputs(result.outputs);
       done.outputs = std::move(result.outputs);
+      ORIGIN_TRACE(
+          flight_,
+          session_end(static_cast<std::int64_t>(done.id), shard_index_,
+                      static_cast<double>(done.completed_tick) * slot_s_,
+                      static_cast<std::int64_t>(done.completed_tick),
+                      static_cast<int>(done.slots), done.accuracy,
+                      done.success_rate, /*completed=*/true));
       round_completed_.push_back(std::move(done));
     }
   }

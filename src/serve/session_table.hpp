@@ -10,6 +10,7 @@
 #include <memory>
 #include <vector>
 
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "serve/session.hpp"
 
@@ -88,6 +89,16 @@ class SessionShard {
     wall_metrics_ = std::move(shard);
   }
 
+  /// Attaches this shard's flight-recorder log (serve loop owns it; the
+  /// publisher folds + clears it each round). `shard_index` tags events
+  /// (TraceEvent::track → Chrome trace lane). Null detaches.
+  void set_flight(obs::FlightLog* log, int shard_index) {
+    flight_ = log;
+    shard_index_ = shard_index;
+  }
+  obs::FlightLog* flight() const { return flight_; }
+  int shard_index() const { return shard_index_; }
+
   const std::vector<std::unique_ptr<Session>>& active() const {
     return active_;
   }
@@ -98,6 +109,9 @@ class SessionShard {
   std::vector<SlotRecord> round_slots_;
   std::vector<CompletedSession> round_completed_;
   obs::MetricsShard wall_metrics_;
+  obs::FlightLog* flight_ = nullptr;
+  int shard_index_ = 0;
+  double slot_s_ = 0.0;  // virtual seconds per tick (flight timestamps)
 };
 
 }  // namespace origin::serve

@@ -6,13 +6,18 @@
 // labels so it runs under the TSan gate: ctest -L obs).
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <sstream>
+#include <stdexcept>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "obs/digest.hpp"
 #include "obs/json.hpp"
 #include "obs/manifest.hpp"
 #include "obs/metrics.hpp"
+#include "obs/prometheus.hpp"
 #include "obs/trace.hpp"
 
 namespace origin::obs {
@@ -190,6 +195,197 @@ TEST(MetricsSnapshot, JsonContainsEveryMetric) {
   EXPECT_NE(json.find("\"fleet.jobs\""), std::string::npos);
   EXPECT_NE(json.find("\"pool.depth\""), std::string::npos);
   EXPECT_NE(json.find("\"fleet.job_seconds\""), std::string::npos);
+}
+
+// --------------------------------------------------------------- quantiles
+
+TEST(HistogramQuantile, EmptyHistogramReturnsZero) {
+  const HistogramCell cell{.buckets = {0, 0, 0}, .count = 0};
+  const std::vector<double> bounds = {1.0, 2.0};
+  EXPECT_DOUBLE_EQ(histogram_quantile(cell, bounds, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(histogram_quantile(cell, bounds, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(histogram_quantile(cell, bounds, 1.0), 0.0);
+}
+
+TEST(HistogramQuantile, AllInInfBucketClampsToObservedMax) {
+  MetricsRegistry reg;
+  const auto h = reg.add_histogram("h", {1.0, 2.0});
+  auto shard = reg.make_shard();
+  shard.observe(h, 10.0);
+  shard.observe(h, 20.0);
+  shard.observe(h, 30.0);
+  const HistogramCell& cell = shard.histogram(h);
+  for (double q : {0.01, 0.5, 0.99}) {
+    EXPECT_DOUBLE_EQ(histogram_quantile(cell, {1.0, 2.0}, q), 30.0) << q;
+  }
+}
+
+TEST(HistogramQuantile, SingleBucketInterpolatesFromZero) {
+  MetricsRegistry reg;
+  const auto h = reg.add_histogram("h", {8.0});
+  auto shard = reg.make_shard();
+  for (int i = 0; i < 4; ++i) shard.observe(h, 1.0);
+  const HistogramCell& cell = shard.histogram(h);
+  // All mass in [0, 8]: the estimate interpolates linearly across it.
+  EXPECT_DOUBLE_EQ(histogram_quantile(cell, {8.0}, 0.5), 4.0);
+  EXPECT_DOUBLE_EQ(histogram_quantile(cell, {8.0}, 0.25), 2.0);
+}
+
+TEST(HistogramQuantile, ExactBoundaryAndClampedExtremes) {
+  MetricsRegistry reg;
+  const auto h = reg.add_histogram("h", {1.0, 2.0, 4.0});
+  auto shard = reg.make_shard();
+  shard.observe(h, 0.5);
+  shard.observe(h, 1.0);  // boundary value lands in bucket 0 (v <= bound)
+  shard.observe(h, 1.5);
+  shard.observe(h, 3.0);
+  const HistogramCell& cell = shard.histogram(h);
+  // rank(0.5) = 2 falls exactly on bucket 0's cumulative edge: the
+  // estimate is that bucket's upper bound, not bucket 1 territory.
+  EXPECT_DOUBLE_EQ(histogram_quantile(cell, {1.0, 2.0, 4.0}, 0.5), 1.0);
+  // q <= 0 / q >= 1 clamp to the observed extremes, not bucket edges.
+  EXPECT_DOUBLE_EQ(histogram_quantile(cell, {1.0, 2.0, 4.0}, 0.0), 0.5);
+  EXPECT_DOUBLE_EQ(histogram_quantile(cell, {1.0, 2.0, 4.0}, -1.0), 0.5);
+  EXPECT_DOUBLE_EQ(histogram_quantile(cell, {1.0, 2.0, 4.0}, 1.0), 3.0);
+  EXPECT_DOUBLE_EQ(histogram_quantile(cell, {1.0, 2.0, 4.0}, 2.0), 3.0);
+}
+
+TEST(HistogramQuantile, BatchFormMatchesSingleCalls) {
+  MetricsRegistry reg;
+  const auto h = reg.add_histogram("h", {1.0, 2.0, 4.0, 8.0});
+  auto shard = reg.make_shard();
+  for (double v : {0.2, 0.9, 1.7, 3.1, 5.0, 7.7, 12.0}) shard.observe(h, v);
+  const HistogramCell& cell = shard.histogram(h);
+  const std::vector<double> bounds = {1.0, 2.0, 4.0, 8.0};
+  const std::vector<double> qs = {0.0, 0.5, 0.95, 0.99, 1.0};
+  const auto batch = histogram_quantiles(cell, bounds, qs);
+  ASSERT_EQ(batch.size(), qs.size());
+  for (std::size_t i = 0; i < qs.size(); ++i) {
+    EXPECT_DOUBLE_EQ(batch[i], histogram_quantile(cell, bounds, qs[i])) << i;
+  }
+  EXPECT_TRUE(histogram_quantiles(cell, bounds, {}).empty());
+}
+
+// ----------------------------------------------------------------- digest
+
+TEST(StreamingDigest, ValidatesTargets) {
+  EXPECT_THROW(StreamingDigest(std::vector<double>{}), std::invalid_argument);
+  EXPECT_THROW(StreamingDigest({0.0}), std::invalid_argument);
+  EXPECT_THROW(StreamingDigest({1.0}), std::invalid_argument);
+  StreamingDigest d({0.5});
+  EXPECT_THROW(d.quantile(0.99), std::out_of_range);
+}
+
+TEST(StreamingDigest, EmptyAndSmallCountsAreExact) {
+  StreamingDigest d;
+  EXPECT_EQ(d.count(), 0u);
+  EXPECT_DOUBLE_EQ(d.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(d.min(), 0.0);
+  EXPECT_DOUBLE_EQ(d.max(), 0.0);
+  EXPECT_DOUBLE_EQ(d.mean(), 0.0);
+
+  d.observe(3.0);
+  EXPECT_DOUBLE_EQ(d.quantile(0.5), 3.0);
+  d.observe(1.0);
+  d.observe(2.0);
+  // Below five samples the estimate is an exact sorted-buffer lookup.
+  EXPECT_DOUBLE_EQ(d.quantile(0.5), 2.0);
+  EXPECT_DOUBLE_EQ(d.min(), 1.0);
+  EXPECT_DOUBLE_EQ(d.max(), 3.0);
+  EXPECT_DOUBLE_EQ(d.mean(), 2.0);
+}
+
+TEST(StreamingDigest, TracksQuantilesOfALargeStream) {
+  // Deterministic pseudo-random stream in [0, 1): the P-squared estimates
+  // must land near the true quantiles.
+  StreamingDigest d;
+  std::uint64_t x = 0x9E3779B97F4A7C15ULL;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    d.observe(static_cast<double>(x % 100000u) / 100000.0);
+  }
+  EXPECT_EQ(d.count(), static_cast<std::uint64_t>(n));
+  EXPECT_NEAR(d.quantile(0.5), 0.5, 0.02);
+  EXPECT_NEAR(d.quantile(0.95), 0.95, 0.02);
+  EXPECT_NEAR(d.quantile(0.99), 0.99, 0.02);
+  EXPECT_NEAR(d.mean(), 0.5, 0.02);
+  EXPECT_GE(d.quantile(0.99), d.quantile(0.95));
+  EXPECT_GE(d.quantile(0.95), d.quantile(0.5));
+  EXPECT_LE(d.max(), 1.0);
+  EXPECT_GE(d.min(), 0.0);
+}
+
+// ------------------------------------------------------------- prometheus
+
+TEST(Prometheus, ExposesCountersGaugesAndHistograms) {
+  MetricsRegistry reg;
+  const auto c = reg.add_counter("serve.slots.served");
+  const auto g = reg.add_gauge("pool.depth");
+  const auto unset = reg.add_gauge("pool.idle");
+  const auto h = reg.add_histogram("serve.step_seconds", {0.5, 1.0});
+  auto shard = reg.make_shard();
+  shard.inc(c, 42);
+  shard.set(g, 3.0);
+  (void)unset;
+  shard.observe(h, 0.25);
+  shard.observe(h, 0.75);
+  shard.observe(h, 9.0);
+  const std::string text = prometheus_text(snapshot(reg, shard));
+
+  // Counters: sanitized name + _total suffix.
+  EXPECT_NE(text.find("# TYPE serve_slots_served_total counter\n"
+                      "serve_slots_served_total 42\n"),
+            std::string::npos);
+  // Gauges: set ones exposed, unset ones skipped entirely.
+  EXPECT_NE(text.find("# TYPE pool_depth gauge\npool_depth 3\n"),
+            std::string::npos);
+  EXPECT_EQ(text.find("pool_idle"), std::string::npos);
+  // Histograms: cumulative buckets ending at +Inf == _count, plus
+  // _sum/_count.
+  EXPECT_NE(text.find("serve_step_seconds_bucket{le=\"0.5\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("serve_step_seconds_bucket{le=\"1\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("serve_step_seconds_bucket{le=\"+Inf\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("serve_step_seconds_sum 10\n"), std::string::npos);
+  EXPECT_NE(text.find("serve_step_seconds_count 3\n"), std::string::npos);
+}
+
+TEST(Prometheus, TextFormatIsStructurallyValid) {
+  // Every non-comment line must be `name{labels} value` or `name value`
+  // with a sanitized metric name — the shape a scraper parses.
+  MetricsRegistry reg;
+  reg.add_counter("serve.sessions.admitted");
+  reg.add_histogram("fleet.job-seconds", {1e-3, 1e-2});
+  auto shard = reg.make_shard();
+  shard.inc(reg.find("serve.sessions.admitted"), 7);
+  shard.observe(reg.find("fleet.job-seconds"), 5e-3);
+  const std::string text = prometheus_text(snapshot(reg, shard));
+  ASSERT_FALSE(text.empty());
+  EXPECT_EQ(text.back(), '\n');
+  std::istringstream is(text);
+  std::string line;
+  while (std::getline(is, line)) {
+    ASSERT_FALSE(line.empty());
+    if (line[0] == '#') {
+      EXPECT_EQ(line.rfind("# TYPE ", 0), 0u) << line;
+      continue;
+    }
+    const auto space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    const std::string name = line.substr(0, space);
+    for (char ch : name.substr(0, name.find('{'))) {
+      const bool ok = (ch >= 'a' && ch <= 'z') || (ch >= 'A' && ch <= 'Z') ||
+                      (ch >= '0' && ch <= '9') || ch == '_' || ch == ':';
+      EXPECT_TRUE(ok) << "bad metric-name char '" << ch << "' in " << line;
+    }
+    // The value must parse as a number.
+    EXPECT_NO_THROW(std::stod(line.substr(space + 1))) << line;
+  }
 }
 
 // ------------------------------------------------------------------- trace
