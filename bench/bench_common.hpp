@@ -15,6 +15,7 @@
 #include <utility>
 #include <vector>
 
+#include "nn/kernels/backend.hpp"
 #include "obs/json.hpp"
 #include "obs/manifest.hpp"
 #include "sim/experiment.hpp"
@@ -70,6 +71,12 @@ class JsonReport {
     for (int i = 1; i + 1 < argc; ++i) {
       if (!std::strcmp(argv[i], "--json")) path_ = argv[i + 1];
     }
+    // Every bench manifest records which kernel backend produced its
+    // numbers — bench_history.sh refuses to tolerance-compare rows from
+    // different backends.
+    manifest_.set("kernel_backend",
+                  std::string(nn::kernels::active_backend().name));
+    manifest_.set("simd", nn::kernels::simd_features());
   }
 
   explicit operator bool() const { return !path_.empty(); }

@@ -22,6 +22,7 @@
 
 #include "bench_common.hpp"
 #include "serve/serve_loop.hpp"
+#include "util/args.hpp"
 #include "util/table.hpp"
 
 using namespace origin;
@@ -70,23 +71,45 @@ int main(int argc, char** argv) {
   serve::ServeConfig base;
   base.users = 24;
   int slots = 600;
-  for (int i = 1; i + 1 < argc; i += 2) {
-    if (!std::strcmp(argv[i], "--users")) {
-      base.users = std::strtoul(argv[i + 1], nullptr, 10);
-    } else if (!std::strcmp(argv[i], "--slots")) {
-      slots = std::atoi(argv[i + 1]);
-    } else if (!std::strcmp(argv[i], "--arrival-rate")) {
-      base.arrival_rate_hz = std::atof(argv[i + 1]);
-    } else if (!std::strcmp(argv[i], "--shards")) {
-      base.shards = std::strtoul(argv[i + 1], nullptr, 10);
-    }
-  }
+  std::uint64_t users = base.users;
+  std::uint64_t shards = base.shards;
+  std::string backend;  // empty = keep ORIGIN_BACKEND / reference default
+  std::string json_path;  // parsed again by JsonReport below
 
+  util::ArgParser args("fleet_serve",
+                       "sustained serving throughput + bit-identity checks");
+  args.add("users", &users, "sessions admitted over the run");
+  args.add("slots", &slots, "stream length per session, in slots");
+  args.add("arrival-rate", &base.arrival_rate_hz,
+           "open-loop arrivals per virtual second");
+  args.add("shards", &shards, "session-table shards");
+  args.add("backend", &backend,
+           "kernel backend: reference|avx2|neon|auto (default keeps "
+           "ORIGIN_BACKEND or reference)");
+  args.add("bits", &base.bits,
+           "inference word width: 32 (float) or 2..8 (int8 serving path)");
+  args.add("json", &json_path, "write a run manifest JSON here");
+  try {
+    if (!args.parse(argc, argv)) return 0;
+    if (!backend.empty() && !nn::kernels::set_backend(backend)) {
+      throw std::invalid_argument("unknown or unavailable backend '" +
+                                  backend + "'");
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "fleet_serve: %s\n%s", e.what(), args.usage().c_str());
+    return 2;
+  }
+  base.users = users;
+  base.shards = shards;
+
+  // JsonReport re-scans argv for --json and stamps the (now switched)
+  // kernel backend into the manifest.
   bench::JsonReport report(argc, argv, "fleet_serve");
   report.manifest().set("users", std::uint64_t{base.users});
   report.manifest().set("slots", slots);
   report.manifest().set("arrival_rate_hz", base.arrival_rate_hz);
   report.manifest().set("shards", std::uint64_t{base.shards});
+  report.manifest().set("bits", base.bits);
 
   auto config = bench::default_config(data::DatasetKind::MHealthLike);
   config.stream_slots = slots;

@@ -30,9 +30,15 @@ using namespace origin;
 
 namespace {
 
+/// `--bits` (default 32): inference word width applied to every
+/// deployed-net benchmark. The int8 benchmark below pins 8 regardless.
+int g_bits = 32;
+
 nn::Sequential deployed_net() {
   const auto spec = data::dataset_spec(data::DatasetKind::MHealthLike);
-  return core::make_bl1_architecture(spec, 42);
+  auto net = core::make_bl1_architecture(spec, 42);
+  if (g_bits != 32) net.set_inference_bits(g_bits);
+  return net;
 }
 
 /// BL-2-like network: the BL-1 architecture pruned to 45% of its
@@ -102,6 +108,23 @@ void BM_PredictBatch(benchmark::State& state) {
                           static_cast<std::int64_t>(windows.size()));
 }
 BENCHMARK(BM_PredictBatch)->Arg(8)->Arg(32)->Arg(128);
+
+/// The int8 serving path over the same batch: per-sample activation
+/// quantization + int32-accumulation GEMMs (backend-invariant bits).
+void BM_PredictBatchInt8(benchmark::State& state) {
+  auto net = deployed_net();
+  net.set_inference_bits(8);
+  const auto windows =
+      random_windows(static_cast<std::size_t>(state.range(0)), 6);
+  std::vector<const nn::Tensor*> ptrs;
+  for (const auto& w : windows) ptrs.push_back(&w);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net.predict_batch(ptrs.data(), ptrs.size()));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(windows.size()));
+}
+BENCHMARK(BM_PredictBatchInt8)->Arg(32);
 
 /// The kernel path (im2row + blocked GEMM) of one mid-network conv stage.
 void BM_Im2RowGemm(benchmark::State& state) {
@@ -381,6 +404,56 @@ void BM_PowerTraceEnergyLookup(benchmark::State& state) {
 }
 BENCHMARK(BM_PowerTraceEnergyLookup);
 
+/// Switches the kernel backend for the lifetime of one benchmark run and
+/// restores the previous one after — the per-backend variants below leave
+/// the process-global dispatch untouched for the static benchmarks.
+class BackendScope {
+ public:
+  explicit BackendScope(const char* name)
+      : prev_(nn::kernels::active_backend().name) {
+    nn::kernels::set_backend(name);
+  }
+  ~BackendScope() { nn::kernels::set_backend(prev_); }
+  BackendScope(const BackendScope&) = delete;
+  BackendScope& operator=(const BackendScope&) = delete;
+
+ private:
+  std::string prev_;
+};
+
+/// Registers `BM_<name><backend>` variants of the dispatch-sensitive
+/// benchmarks for every backend available on this machine — the speedup
+/// table in EXPERIMENTS.md compares these rows directly.
+void register_backend_variants() {
+  for (const nn::kernels::Backend* b : nn::kernels::available_backends()) {
+    const std::string tag = std::string("<") + b->name + ">";
+    benchmark::RegisterBenchmark(
+        ("BM_InferenceBL1" + tag).c_str(), [b](benchmark::State& state) {
+          BackendScope scope(b->name);
+          BM_InferenceBL1(state);
+        });
+    benchmark::RegisterBenchmark(
+        ("BM_PredictBatch" + tag).c_str(),
+        [b](benchmark::State& state) {
+          BackendScope scope(b->name);
+          BM_PredictBatch(state);
+        })
+        ->Arg(32);
+    benchmark::RegisterBenchmark(
+        ("BM_WindowSynthesis" + tag).c_str(), [b](benchmark::State& state) {
+          BackendScope scope(b->name);
+          BM_WindowSynthesis(state);
+        });
+    benchmark::RegisterBenchmark(
+        ("BM_WindowSynthesisBatch" + tag).c_str(),
+        [b](benchmark::State& state) {
+          BackendScope scope(b->name);
+          BM_WindowSynthesisBatch(state);
+        })
+        ->Arg(32);
+  }
+}
+
 /// Console reporter that also captures each run's numbers so the custom
 /// main below can feed them to bench::JsonReport.
 class CaptureReporter : public benchmark::ConsoleReporter {
@@ -411,17 +484,43 @@ class CaptureReporter : public benchmark::ConsoleReporter {
 }  // namespace
 
 int main(int argc, char** argv) {
-  origin::bench::JsonReport report(argc, argv, "micro_perf");
-  // Strip `--json <path>` before benchmark::Initialize — google-benchmark
-  // rejects flags it does not own.
+  // Strip the flags google-benchmark does not own (`--json <path>`,
+  // `--backend <name>`) before benchmark::Initialize. --backend switches
+  // the process-global dispatch (the static benchmarks + the goldens the
+  // variants restore to); the per-backend variants cover every available
+  // backend regardless.
   std::vector<char*> args;
   for (int i = 0; i < argc; ++i) {
     if (i + 1 < argc && !std::strcmp(argv[i], "--json")) {
       ++i;
       continue;
     }
+    if (i + 1 < argc && !std::strcmp(argv[i], "--backend")) {
+      if (!origin::nn::kernels::set_backend(argv[i + 1])) {
+        std::fprintf(stderr,
+                     "micro_perf: unknown or unavailable backend '%s'\n",
+                     argv[i + 1]);
+        return 2;
+      }
+      ++i;
+      continue;
+    }
+    if (i + 1 < argc && !std::strcmp(argv[i], "--bits")) {
+      g_bits = std::atoi(argv[i + 1]);
+      if (g_bits != 32 && (g_bits < 2 || g_bits > 8)) {
+        std::fprintf(stderr,
+                     "micro_perf: --bits must be 32 or in [2, 8], got %d\n",
+                     g_bits);
+        return 2;
+      }
+      ++i;
+      continue;
+    }
     args.push_back(argv[i]);
   }
+  origin::bench::JsonReport report(argc, argv, "micro_perf");
+  report.manifest().set("bits", g_bits);
+  register_backend_variants();
   int bench_argc = static_cast<int>(args.size());
   benchmark::Initialize(&bench_argc, args.data());
   if (benchmark::ReportUnrecognizedArguments(bench_argc, args.data())) {

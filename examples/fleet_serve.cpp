@@ -18,6 +18,7 @@
 #include <string>
 #include <thread>
 
+#include "nn/kernels/backend.hpp"
 #include "obs/manifest.hpp"
 #include "obs/prometheus.hpp"
 #include "serve/endpoint.hpp"
@@ -50,6 +51,7 @@ int main(int argc, char** argv) {
   std::uint64_t shards = serve_config.shards;
   std::uint64_t tick_slots = 16;
   std::string policy_name = to_string(serve_config.policy);
+  std::string backend;  // empty = keep ORIGIN_BACKEND / reference default
   std::string snapshot_path;
   std::string manifest_path;
   std::string trace_path;
@@ -70,6 +72,11 @@ int main(int argc, char** argv) {
   args.add("severity", &serve_config.severity, "user deviation severity");
   args.add("batch-slots", &serve_config.batch_slots,
            "in-shard inference batching (0 = off)");
+  args.add("backend", &backend,
+           "kernel backend: reference|avx2|neon|auto (auto = best available; "
+           "default keeps ORIGIN_BACKEND or reference)");
+  args.add("bits", &serve_config.bits,
+           "inference word width: 32 (float) or 2..8 (int8 serving path)");
   args.add("tick-slots", &tick_slots, "virtual ticks advanced per loop turn");
   args.add("snapshot", &snapshot_path,
            "session-table snapshot: restored when the file exists, saved on "
@@ -83,6 +90,10 @@ int main(int argc, char** argv) {
                   "print the Prometheus exposition once at exit");
   try {
     if (!args.parse(argc, argv)) return 0;
+    if (!backend.empty() && !nn::kernels::set_backend(backend)) {
+      throw std::invalid_argument("unknown or unavailable backend '" +
+                                  backend + "'");
+    }
     serve_config.policy = sim::parse_policy_kind(policy_name);
     serve_config.users = users;
     serve_config.shards = shards;
@@ -122,6 +133,10 @@ int main(int argc, char** argv) {
   manifest.set("threads", static_cast<int>(serve_config.threads));
   manifest.set("shards", std::uint64_t{serve_config.shards});
   manifest.set("batch_slots", serve_config.batch_slots);
+  manifest.set("kernel_backend",
+               std::string(nn::kernels::active_backend().name));
+  manifest.set("simd", nn::kernels::simd_features());
+  manifest.set("bits", serve_config.bits);
 
   serve::ServeEndpoint endpoint(loop, &manifest);
   std::unique_ptr<serve::HttpServer> server;

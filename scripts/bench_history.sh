@@ -69,9 +69,29 @@ pairs = sys.argv[3:]
 benches = {pairs[i]: json.load(open(pairs[i + 1]))
            for i in range(0, len(pairs), 2)}
 
+def manifest_param(doc, key, default):
+    params = doc.get("params")
+    if isinstance(params, dict) and key in params:
+        return params[key]
+    return default
+
+
+# The active kernel backend (reference / avx2 / neon) and the machine's
+# SIMD feature string, as stamped into every bench manifest. Rows from
+# different backends are never tolerance-compared: a backend switch is a
+# new baseline, not a regression.
+backend = next((manifest_param(doc, "kernel_backend", None)
+                for doc in benches.values()
+                if manifest_param(doc, "kernel_backend", None)), "unknown")
+simd = next((manifest_param(doc, "simd", None)
+             for doc in benches.values()
+             if manifest_param(doc, "simd", None)), "unknown")
+
 record = {
     "schema": 1,
     "recorded_at_utc": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+    "backend": backend,
+    "simd": simd,
     "benches": benches,
 }
 
@@ -91,6 +111,12 @@ print(f"recorded -> {history_path} ({len(benches)} benches)")
 
 if previous is None or previous.get("schema") != record["schema"]:
     print("no comparable previous record; baseline established")
+    sys.exit(0)
+
+prev_backend = previous.get("backend", "unknown")
+if prev_backend != backend:
+    print(f"kernel backend changed ({prev_backend} -> {backend}); "
+          "baseline re-established, no comparison")
     sys.exit(0)
 
 

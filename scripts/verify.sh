@@ -29,9 +29,14 @@
 #             endpoint) in Release and Release+ASan, plus an end-to-end
 #             smoke: boot examples/fleet_serve on an ephemeral port and
 #             curl the JSON/JSONL routes.
+#   backends — the kernel-backend dispatch suite (label `backends`:
+#             per-backend golden checksums, cross-backend tolerance grid,
+#             int8-vs-float accuracy gate, serve bit-identity per backend)
+#             under both ORIGIN_BACKEND=reference and ORIGIN_BACKEND=auto
+#             (= best SIMD available), in Release and Release+ASan.
 #   all     — everything above (default).
 #
-# Usage: scripts/verify.sh [data|kernels|train|trace|obs|serve|all] [generator-args...]
+# Usage: scripts/verify.sh [data|kernels|train|trace|obs|serve|backends|all] [generator-args...]
 # The data/kernels/train/obs/serve gates share the
 # build-kernels-{release,asan}/ trees so a full `all` run configures each
 # tree once; the trace gate owns build-trace-{on,off}/.
@@ -235,6 +240,28 @@ verify_serve() {
   echo "=== serve verified (Release + ASan + HTTP smoke on port ${smoke_port}) ==="
 }
 
+verify_backends_config() {
+  local sanitizer="$1" dir="$2"
+  shift 2
+  echo "=== backends: sanitizer='${sanitizer:-none}' (${dir}) ==="
+  cmake -B "$dir" -S "$repo" -DORIGIN_SANITIZE="$sanitizer" "$@" >/dev/null
+  cmake --build "$dir" -j "$jobs" --target test_backends
+  # Once under the reference backend and once under the best SIMD backend
+  # the build/machine offers ("auto" = reference when SIMD is compiled out
+  # or unsupported): the suite's golden checksums, cross-backend tolerance
+  # grid and int8 accuracy gate must hold from either starting point.
+  ORIGIN_BACKEND=reference \
+      ctest --test-dir "$dir" -L backends --output-on-failure
+  ORIGIN_BACKEND=auto \
+      ctest --test-dir "$dir" -L backends --output-on-failure
+}
+
+verify_backends() {
+  verify_backends_config ""        "build-kernels-release" "$@"
+  verify_backends_config "address" "build-kernels-asan"    "$@"
+  echo "=== kernel backends verified (reference + auto, Release + ASan) ==="
+}
+
 case "$gate" in
   data)    verify_data "$@" ;;
   kernels) verify_kernels "$@" ;;
@@ -242,6 +269,7 @@ case "$gate" in
   trace)   verify_trace "$@" ;;
   obs)     verify_obs "$@" ;;
   serve)   verify_serve "$@" ;;
+  backends) verify_backends "$@" ;;
   all)
     verify_data "$@"
     verify_kernels "$@"
@@ -249,10 +277,11 @@ case "$gate" in
     verify_trace "$@"
     verify_obs "$@"
     verify_serve "$@"
+    verify_backends "$@"
     echo "=== all verification gates passed ==="
     ;;
   *)
-    echo "usage: scripts/verify.sh [data|kernels|train|trace|obs|serve|all] [generator-args...]" >&2
+    echo "usage: scripts/verify.sh [data|kernels|train|trace|obs|serve|backends|all] [generator-args...]" >&2
     exit 2
     ;;
 esac

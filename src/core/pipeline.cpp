@@ -14,6 +14,7 @@
 #include "nn/conv1d.hpp"
 #include "nn/dense.hpp"
 #include "nn/dropout.hpp"
+#include "nn/kernels/backend.hpp"
 #include "nn/pooling.hpp"
 #include "nn/serialize.hpp"
 #include "util/logging.hpp"
@@ -121,6 +122,12 @@ std::string pipeline_cache_key(const PipelineConfig& config) {
      << config.profile.energy_per_mac_j << '|'
      << config.profile.energy_per_param_access_j << '|'
      << config.profile.inference_overhead_j;
+  // Trained weights depend on the kernel backend's rounding (fused SIMD
+  // vs unfused scalar), so a non-reference backend gets its own cache
+  // namespace — a model trained under avx2 must never be served to a
+  // reference-backend run expecting the golden bits, or vice versa.
+  const std::string backend = nn::kernels::active_backend().name;
+  if (backend != std::string("reference")) os << '|' << backend;
   return util::hex64(util::fnv1a(os.str()));
 }
 

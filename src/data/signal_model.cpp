@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "nn/kernels.hpp"
 #include "util/det_math.hpp"
 
 namespace origin::data {
@@ -328,60 +329,32 @@ void SignalModel::synthesize_window(nn::Tensor& out, Activity a,
 
   for (int c = 0; c < spec_.channels; ++c) {
     const auto ci = static_cast<std::size_t>(c);
-    const double ph = window_phase + user_phase_[ci];
-    const double m_dc = main.dc[ci], m_a1 = main.amp1[ci],
-                 m_a2 = main.amp2[ci], m_a3 = main.amp3[ci];
-    const double m_p1 = main.phase[ci], m_p2 = entry_main.phase2[ci],
-                 m_p3 = entry_main.phase3[ci];
-    const double a_dc = alt.dc[ci], a_a1 = alt.amp1[ci], a_a2 = alt.amp2[ci],
-                 a_a3 = alt.amp3[ci];
-    const double a_p1 = alt.phase[ci], a_p2 = entry_alt.phase2[ci],
-                 a_p3 = entry_alt.phase3[ci];
 
     // Pass 1: the deterministic waveform — no RNG, no branches, pure
-    // double arithmetic over the shared grid, so it autovectorizes.
-    if (!ambiguous) {
-      for (int i = 0; i < len; ++i) {
-        const double t = t_grid[static_cast<std::size_t>(i)];
-        const double wm = omega_main * t + ph;
-        const double v_main =
-            m_dc + amp * ((m_a1 * util::det_sin(wm + m_p1) +
-                           m_a2 * util::det_sin(2.0 * wm + m_p2)) +
-                          m_a3 * util::det_sin(3.0 * wm + m_p3));
-        const double wa = omega_alt * t + ph;
-        const double v_alt =
-            a_dc + amp * ((a_a1 * util::det_sin(wa + a_p1) +
-                           a_a2 * util::det_sin(2.0 * wa + a_p2)) +
-                          a_a3 * util::det_sin(3.0 * wa + a_p3));
-        clean[static_cast<std::size_t>(i)] =
-            blend_main * v_main + beta * v_alt;
-      }
-    } else {
-      const double b_dc = amb.dc[ci], b_a1 = amb.amp1[ci],
-                   b_a2 = amb.amp2[ci], b_a3 = amb.amp3[ci];
-      const double b_p1 = amb.phase[ci], b_p2 = entry_amb.phase2[ci],
-                   b_p3 = entry_amb.phase3[ci];
-      for (int i = 0; i < len; ++i) {
-        const double t = t_grid[static_cast<std::size_t>(i)];
-        const double wm = omega_main * t + ph;
-        const double v_main =
-            m_dc + amp * ((m_a1 * util::det_sin(wm + m_p1) +
-                           m_a2 * util::det_sin(2.0 * wm + m_p2)) +
-                          m_a3 * util::det_sin(3.0 * wm + m_p3));
-        const double wa = omega_alt * t + ph;
-        const double v_alt =
-            a_dc + amp * ((a_a1 * util::det_sin(wa + a_p1) +
-                           a_a2 * util::det_sin(2.0 * wa + a_p2)) +
-                          a_a3 * util::det_sin(3.0 * wa + a_p3));
-        const double wb = omega_amb * t + ph;
-        const double v_amb =
-            b_dc + amp * ((b_a1 * util::det_sin(wb + b_p1) +
-                           b_a2 * util::det_sin(2.0 * wb + b_p2)) +
-                          b_a3 * util::det_sin(3.0 * wb + b_p3));
-        clean[static_cast<std::size_t>(i)] =
-            keep * (blend_main * v_main + beta * v_alt) + mix * v_amb;
-      }
+    // double arithmetic over the shared grid. Dispatched through the
+    // kernel backend: the reference backend reproduces the historical
+    // loops expression-for-expression (test_data_golden pins the bits),
+    // SIMD backends fuse per their recipe.
+    nn::kernels::SynthParams sp;
+    sp.ph = window_phase + user_phase_[ci];
+    sp.amp = amp;
+    sp.blend_main = blend_main;
+    sp.beta = beta;
+    sp.keep = keep;
+    sp.mix = mix;
+    sp.ambiguous = ambiguous;
+    sp.main = {omega_main,     main.dc[ci],           main.amp1[ci],
+               main.amp2[ci],  main.amp3[ci],         main.phase[ci],
+               entry_main.phase2[ci], entry_main.phase3[ci]};
+    sp.alt = {omega_alt,      alt.dc[ci],            alt.amp1[ci],
+              alt.amp2[ci],   alt.amp3[ci],          alt.phase[ci],
+              entry_alt.phase2[ci], entry_alt.phase3[ci]};
+    if (ambiguous) {
+      sp.amb = {omega_amb,     amb.dc[ci],           amb.amp1[ci],
+                amb.amp2[ci],  amb.amp3[ci],         amb.phase[ci],
+                entry_amb.phase2[ci], entry_amb.phase3[ci]};
     }
+    nn::kernels::synth_channel(sp, t_grid.data(), clean.data(), len);
 
     // Pass 2: sensor noise, drawn in the reference's channel-major order.
     float* row = out_data + static_cast<std::size_t>(c) *

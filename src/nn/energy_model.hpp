@@ -33,11 +33,28 @@ struct InferenceCost {
   std::uint64_t activation_accesses = 0;
 };
 
+/// `profile` with MAC and weight-fetch energy scaled for `bits`-wide
+/// arithmetic: MAC energy by (bits/24)^2 (multiplier area ~ width^2
+/// relative to the float32 24-bit mantissa multiplier), weight fetches by
+/// bits/32 (memory traffic is linear in word width). bits == 32 returns
+/// the profile unchanged; otherwise bits must be in [2, 16].
+ComputeProfile quantized_profile(const ComputeProfile& profile, int bits);
+
 /// Static cost estimate for one inference of `model` on one sample of
-/// `input_shape`.
+/// `input_shape`. Honours the model's inference execution mode: a model
+/// switched to int8 serving (Sequential::set_inference_bits) is costed on
+/// the quantized_profile() for its bits automatically.
 InferenceCost estimate_cost(const Sequential& model,
                             const std::vector<int>& input_shape,
                             const ComputeProfile& profile = {});
+
+/// Cost at an explicit word width, regardless of the model's own mode —
+/// the what-if query quantization sweeps ask ("what would this float
+/// model cost deployed at `bits`?").
+InferenceCost estimate_cost_at_bits(const Sequential& model,
+                                    const std::vector<int>& input_shape,
+                                    int bits,
+                                    const ComputeProfile& profile = {});
 
 /// Average power drawn if the node ran inferences back to back.
 double continuous_power_w(const InferenceCost& cost);

@@ -1,8 +1,14 @@
+// Dispatch layer: the kernels:: free functions forward through the
+// active Backend (nn/kernels/backend.hpp). The scratch workspace and the
+// activation quantizer live here — they are backend-independent, so
+// their behavior never varies with dispatch.
 #include "nn/kernels.hpp"
 
-#include <algorithm>
+#include <cmath>
 #include <cstring>
 #include <vector>
+
+#include "nn/kernels/backend.hpp"
 
 namespace origin::nn::kernels {
 
@@ -10,18 +16,13 @@ namespace {
 
 struct Workspace {
   std::vector<float> slots[static_cast<int>(Slot::kCount)];
+  std::vector<std::int8_t> i8;
 };
 
 Workspace& workspace() {
   thread_local Workspace ws;
   return ws;
 }
-
-// Register tile: MR rows x NR columns of C in flight. NR is a multiple of
-// the SSE width so the column loop vectorizes; MR x NR accumulators fit
-// the register file with room for the A broadcasts and P row loads.
-constexpr int kMR = 4;
-constexpr int kNR = 8;
 
 }  // namespace
 
@@ -31,301 +32,80 @@ float* scratch(Slot slot, std::size_t count) {
   return buf.data();
 }
 
+std::int8_t* scratch_i8(std::size_t count) {
+  std::vector<std::int8_t>& buf = workspace().i8;
+  if (buf.size() < count) buf.resize(count);
+  return buf.data();
+}
+
+float quantize_to_i8(const float* x, std::size_t count, int bits,
+                     std::int8_t* q) {
+  float max_abs = 0.0f;
+  for (std::size_t i = 0; i < count; ++i) {
+    max_abs = std::max(max_abs, std::fabs(x[i]));
+  }
+  if (max_abs == 0.0f) {
+    std::memset(q, 0, count);
+    return 0.0f;
+  }
+  // Same symmetric grid as quantize_tensor (nn/quantize.cpp): scale and
+  // rounding in double so the stored codes match the fake-quant codes
+  // for the same tensor and bits.
+  const int levels = (1 << (bits - 1)) - 1;
+  const double scale = static_cast<double>(max_abs) / levels;
+  for (std::size_t i = 0; i < count; ++i) {
+    double v = std::round(x[i] / scale);
+    if (v > levels) v = levels;
+    if (v < -levels) v = -levels;
+    q[i] = static_cast<std::int8_t>(v);
+  }
+  return static_cast<float>(scale);
+}
+
 void im2row(const float* x, int cin, int in_len, int kernel, int stride,
             int out_len, float* panel, std::size_t ldp) {
-  for (int ci = 0; ci < cin; ++ci) {
-    const float* xrow = x + static_cast<std::size_t>(ci) * in_len;
-    for (int kk = 0; kk < kernel; ++kk) {
-      float* prow = panel + (static_cast<std::size_t>(ci) * kernel + kk) * ldp;
-      if (stride == 1) {
-        // Unit stride: row j is a contiguous slice of the input row.
-        std::memcpy(prow, xrow + kk, sizeof(float) * static_cast<std::size_t>(out_len));
-      } else {
-        for (int t = 0; t < out_len; ++t) prow[t] = xrow[t * stride + kk];
-      }
-    }
-  }
+  active_backend().im2row(x, cin, in_len, kernel, stride, out_len, panel, ldp);
 }
 
 void gemm_bias(const float* a, const float* bias, const float* p, float* c,
                int m, int kd, int n) {
-  const std::size_t lda = static_cast<std::size_t>(kd);
-  const std::size_t ldp = static_cast<std::size_t>(n);
-  int i = 0;
-  for (; i + kMR <= m; i += kMR) {
-    const float* a0 = a + static_cast<std::size_t>(i) * lda;
-    int j = 0;
-    for (; j + kNR <= n; j += kNR) {
-      float acc[kMR][kNR];
-      for (int r = 0; r < kMR; ++r) {
-        for (int q = 0; q < kNR; ++q) acc[r][q] = bias[i + r];
-      }
-      const float* prow = p + j;
-      for (int k = 0; k < kd; ++k, prow += ldp) {
-        for (int r = 0; r < kMR; ++r) {
-          const float av = a0[static_cast<std::size_t>(r) * lda + k];
-          for (int q = 0; q < kNR; ++q) acc[r][q] += av * prow[q];
-        }
-      }
-      for (int r = 0; r < kMR; ++r) {
-        float* crow = c + static_cast<std::size_t>(i + r) * ldp + j;
-        for (int q = 0; q < kNR; ++q) crow[q] = acc[r][q];
-      }
-    }
-    for (; j < n; ++j) {
-      // Column remainder: still kMR rows per pass over P's column.
-      float acc[kMR];
-      for (int r = 0; r < kMR; ++r) acc[r] = bias[i + r];
-      for (int k = 0; k < kd; ++k) {
-        const float pv = p[static_cast<std::size_t>(k) * ldp + j];
-        for (int r = 0; r < kMR; ++r) {
-          acc[r] += a0[static_cast<std::size_t>(r) * lda + k] * pv;
-        }
-      }
-      for (int r = 0; r < kMR; ++r) {
-        c[static_cast<std::size_t>(i + r) * ldp + j] = acc[r];
-      }
-    }
-  }
-  for (; i < m; ++i) {
-    const float* arow = a + static_cast<std::size_t>(i) * lda;
-    float* crow = c + static_cast<std::size_t>(i) * ldp;
-    int j = 0;
-    for (; j + kNR <= n; j += kNR) {
-      float acc[kNR];
-      for (int q = 0; q < kNR; ++q) acc[q] = bias[i];
-      const float* prow = p + j;
-      for (int k = 0; k < kd; ++k, prow += ldp) {
-        const float av = arow[k];
-        for (int q = 0; q < kNR; ++q) acc[q] += av * prow[q];
-      }
-      for (int q = 0; q < kNR; ++q) crow[j + q] = acc[q];
-    }
-    for (; j < n; ++j) {
-      float acc = bias[i];
-      for (int k = 0; k < kd; ++k) {
-        acc += arow[k] * p[static_cast<std::size_t>(k) * ldp + j];
-      }
-      crow[j] = acc;
-    }
-  }
+  active_backend().gemm_bias(a, bias, p, c, m, kd, n);
 }
 
 void matvec_bias(const float* a, const float* bias, const float* x, float* y,
                  int m, int kd) {
-  const std::size_t lda = static_cast<std::size_t>(kd);
-  int i = 0;
-  for (; i + kMR <= m; i += kMR) {
-    const float* r0 = a + static_cast<std::size_t>(i) * lda;
-    const float* r1 = r0 + lda;
-    const float* r2 = r1 + lda;
-    const float* r3 = r2 + lda;
-    float acc0 = bias[i], acc1 = bias[i + 1], acc2 = bias[i + 2],
-          acc3 = bias[i + 3];
-    for (int k = 0; k < kd; ++k) {
-      const float xv = x[k];
-      acc0 += r0[k] * xv;
-      acc1 += r1[k] * xv;
-      acc2 += r2[k] * xv;
-      acc3 += r3[k] * xv;
-    }
-    y[i] = acc0;
-    y[i + 1] = acc1;
-    y[i + 2] = acc2;
-    y[i + 3] = acc3;
-  }
-  for (; i < m; ++i) {
-    const float* row = a + static_cast<std::size_t>(i) * lda;
-    float acc = bias[i];
-    for (int k = 0; k < kd; ++k) acc += row[k] * x[k];
-    y[i] = acc;
-  }
+  active_backend().matvec_bias(a, bias, x, y, m, kd);
 }
 
 void gemm_acc_nt(const float* a, const float* b, float* c, int m, int n,
                  int kd) {
-  const std::size_t ld = static_cast<std::size_t>(kd);
-  const std::size_t ldc = static_cast<std::size_t>(n);
-  // Both operands stream contiguously along k; the MR x NR accumulators
-  // (seeded from C — gradients accumulate) give the ILP. The k loop stays
-  // strictly sequential per element: that IS the contract.
-  constexpr int kGMR = 4;
-  constexpr int kGNR = 4;
-  int i = 0;
-  for (; i + kGMR <= m; i += kGMR) {
-    int j = 0;
-    for (; j + kGNR <= n; j += kGNR) {
-      float acc[kGMR][kGNR];
-      for (int r = 0; r < kGMR; ++r) {
-        for (int q = 0; q < kGNR; ++q) {
-          acc[r][q] = c[static_cast<std::size_t>(i + r) * ldc + (j + q)];
-        }
-      }
-      const float* a0 = a + static_cast<std::size_t>(i) * ld;
-      const float* b0 = b + static_cast<std::size_t>(j) * ld;
-      for (int k = 0; k < kd; ++k) {
-        float bv[kGNR];
-        for (int q = 0; q < kGNR; ++q) {
-          bv[q] = b0[static_cast<std::size_t>(q) * ld + k];
-        }
-        for (int r = 0; r < kGMR; ++r) {
-          const float av = a0[static_cast<std::size_t>(r) * ld + k];
-          for (int q = 0; q < kGNR; ++q) acc[r][q] += av * bv[q];
-        }
-      }
-      for (int r = 0; r < kGMR; ++r) {
-        for (int q = 0; q < kGNR; ++q) {
-          c[static_cast<std::size_t>(i + r) * ldc + (j + q)] = acc[r][q];
-        }
-      }
-    }
-    for (; j < n; ++j) {
-      const float* brow = b + static_cast<std::size_t>(j) * ld;
-      float acc[kGMR];
-      for (int r = 0; r < kGMR; ++r) {
-        acc[r] = c[static_cast<std::size_t>(i + r) * ldc + j];
-      }
-      for (int k = 0; k < kd; ++k) {
-        const float bv = brow[k];
-        for (int r = 0; r < kGMR; ++r) {
-          acc[r] += a[static_cast<std::size_t>(i + r) * ld + k] * bv;
-        }
-      }
-      for (int r = 0; r < kGMR; ++r) {
-        c[static_cast<std::size_t>(i + r) * ldc + j] = acc[r];
-      }
-    }
-  }
-  for (; i < m; ++i) {
-    const float* arow = a + static_cast<std::size_t>(i) * ld;
-    float* crow = c + static_cast<std::size_t>(i) * ldc;
-    for (int j = 0; j < n; ++j) {
-      const float* brow = b + static_cast<std::size_t>(j) * ld;
-      float acc = crow[j];
-      for (int k = 0; k < kd; ++k) acc += arow[k] * brow[k];
-      crow[j] = acc;
-    }
-  }
+  active_backend().gemm_acc_nt(a, b, c, m, n, kd);
 }
 
 void gemm_tn(const float* a, const float* p, float* c, int m, int kd, int n) {
-  const std::size_t lda = static_cast<std::size_t>(m);
-  const std::size_t ldp = static_cast<std::size_t>(n);
-  // A row k holds column values for all i, P row k for all j — both loads
-  // contiguous, and the q loop vectorizes. k sequential per element.
-  int i = 0;
-  for (; i + kMR <= m; i += kMR) {
-    int j = 0;
-    for (; j + kNR <= n; j += kNR) {
-      float acc[kMR][kNR] = {};
-      const float* arow = a + i;
-      const float* prow = p + j;
-      for (int k = 0; k < kd; ++k, arow += lda, prow += ldp) {
-        for (int r = 0; r < kMR; ++r) {
-          const float av = arow[r];
-          for (int q = 0; q < kNR; ++q) acc[r][q] += av * prow[q];
-        }
-      }
-      for (int r = 0; r < kMR; ++r) {
-        float* crow = c + static_cast<std::size_t>(i + r) * ldp + j;
-        for (int q = 0; q < kNR; ++q) crow[q] = acc[r][q];
-      }
-    }
-    for (; j < n; ++j) {
-      float acc[kMR] = {};
-      for (int k = 0; k < kd; ++k) {
-        const float pv = p[static_cast<std::size_t>(k) * ldp + j];
-        const float* arow = a + static_cast<std::size_t>(k) * lda + i;
-        for (int r = 0; r < kMR; ++r) acc[r] += arow[r] * pv;
-      }
-      for (int r = 0; r < kMR; ++r) {
-        c[static_cast<std::size_t>(i + r) * ldp + j] = acc[r];
-      }
-    }
-  }
-  for (; i < m; ++i) {
-    for (int j = 0; j < n; ++j) {
-      float acc = 0.0f;
-      for (int k = 0; k < kd; ++k) {
-        acc += a[static_cast<std::size_t>(k) * lda + i] *
-               p[static_cast<std::size_t>(k) * ldp + j];
-      }
-      c[static_cast<std::size_t>(i) * ldp + j] = acc;
-    }
-  }
+  active_backend().gemm_tn(a, p, c, m, kd, n);
 }
 
 void row_sum_acc(const float* a, float* y, int m, int n, std::size_t lda) {
-  for (int i = 0; i < m; ++i) {
-    const float* row = a + static_cast<std::size_t>(i) * lda;
-    float acc = y[i];
-    for (int j = 0; j < n; ++j) acc += row[j];
-    y[i] = acc;
-  }
+  active_backend().row_sum_acc(a, y, m, n, lda);
 }
 
 void conv1d_grad_input(const float* w, const float* gy, float* gx, int cin,
                        int cout, int kernel, int stride, int in_len,
                        int out_len, std::size_t ldg) {
-  if (stride != 1) {
-    // General stride: scalar, with the t range solved per input position.
-    // Per element the order is (co asc, t asc) — backward_reference's.
-    for (int ci = 0; ci < cin; ++ci) {
-      float* gxrow = gx + static_cast<std::size_t>(ci) * in_len;
-      for (int p = 0; p < in_len; ++p) {
-        const int t_lo = p < kernel ? 0 : (p - kernel + stride) / stride;
-        const int t_hi = std::min(out_len - 1, p / stride);
-        float acc = 0.0f;
-        for (int co = 0; co < cout; ++co) {
-          const float* wrow =
-              w + (static_cast<std::size_t>(co) * cin + ci) * kernel;
-          const float* grow = gy + static_cast<std::size_t>(co) * ldg;
-          for (int t = t_lo; t <= t_hi; ++t) {
-            acc += grow[t] * wrow[p - t * stride];
-          }
-        }
-        gxrow[p] = acc;
-      }
-    }
-    return;
-  }
-  // Unit stride: t == p - kk, so t-ascending order is kk-descending order
-  // and interior positions (every kernel tap in range) vectorize over a
-  // block of consecutive p with contiguous grad-output loads. The first
-  // and last kernel-1 positions fall back to the bounds-checked scalar.
-  constexpr int kPB = 8;
-  for (int ci = 0; ci < cin; ++ci) {
-    float* gxrow = gx + static_cast<std::size_t>(ci) * in_len;
-    const auto scalar_at = [&](int p) {
-      const int kk_hi = std::min(kernel - 1, p);
-      const int kk_lo = std::max(0, p - (out_len - 1));
-      float acc = 0.0f;
-      for (int co = 0; co < cout; ++co) {
-        const float* wrow =
-            w + (static_cast<std::size_t>(co) * cin + ci) * kernel;
-        const float* grow = gy + static_cast<std::size_t>(co) * ldg;
-        for (int kk = kk_hi; kk >= kk_lo; --kk) acc += grow[p - kk] * wrow[kk];
-      }
-      gxrow[p] = acc;
-    };
-    int p = 0;
-    for (; p < kernel - 1; ++p) scalar_at(p);
-    for (; p + kPB <= out_len; p += kPB) {
-      float acc[kPB] = {};
-      for (int co = 0; co < cout; ++co) {
-        const float* wrow =
-            w + (static_cast<std::size_t>(co) * cin + ci) * kernel;
-        const float* grow = gy + static_cast<std::size_t>(co) * ldg;
-        for (int kk = kernel - 1; kk >= 0; --kk) {
-          const float wv = wrow[kk];
-          const float* gsrc = grow + (p - kk);
-          for (int q = 0; q < kPB; ++q) acc[q] += gsrc[q] * wv;
-        }
-      }
-      for (int q = 0; q < kPB; ++q) gxrow[p + q] = acc[q];
-    }
-    for (; p < in_len; ++p) scalar_at(p);
-  }
+  active_backend().conv1d_grad_input(w, gy, gx, cin, cout, kernel, stride,
+                                     in_len, out_len, ldg);
+}
+
+void gemm_bias_i8(const std::int8_t* a, const float* bias,
+                  const std::int8_t* p, float* c, int m, int kd, int n,
+                  float scale) {
+  active_backend().gemm_bias_i8(a, bias, p, c, m, kd, n, scale);
+}
+
+void synth_channel(const SynthParams& sp, const double* t, double* clean,
+                   int len) {
+  active_backend().synth_channel(sp, t, clean, len);
 }
 
 }  // namespace origin::nn::kernels

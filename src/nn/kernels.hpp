@@ -1,16 +1,23 @@
 // Inference + training kernels: im2row packing, cache-blocked GEMM/matvec
 // and their backward counterparts, plus the per-thread scratch workspace
-// the fast paths allocate from.
+// the fast paths allocate from. Every free function here dispatches
+// through the runtime-selected Backend (nn/kernels/backend.hpp); the
+// default backend is the scalar reference, so all golden numbers are
+// those of the reference kernels unless a SIMD backend is opted into.
 //
 // Accumulation-order contract (load-bearing for the fleet determinism
-// guarantees, see DESIGN.md): every output element is produced by ONE
+// guarantees, see DESIGN.md §13): every output element is produced by ONE
 // float accumulator initialized with the bias and updated strictly in
 // packed-row order j = 0..kd-1, exactly the (ci-major, then kernel-tap)
 // order of the reference loops in Conv1D::forward_reference /
 // Dense::forward_reference. Blocking and unrolling only regroup *which*
 // output elements are in flight together — never the per-element order —
-// so kernel outputs are bit-identical to the reference loops, and batched
-// calls are bit-identical to repeated single-sample calls.
+// so, WITHIN any one backend, kernel outputs are bit-identical to that
+// backend's element recipe, and batched calls are bit-identical to
+// repeated single-sample calls. The reference backend computes each
+// multiply-accumulate unfused (bit-identical to the reference loops);
+// SIMD backends compute it as a single-rounded fused FMA (bit-identical
+// to each other, tolerance-equivalent to the reference).
 //
 // The backward kernels extend the same contract to gradients: a gradient
 // accumulator starts from its *current* value (grads accumulate across a
@@ -20,10 +27,13 @@
 // Because a float store/load round-trip is exact, chaining per-sample
 // updates through memory (the reference) equals keeping the accumulator
 // in a register across the whole batch (the kernels), so trained weights
-// are bit-identical whichever path ran.
+// are bit-identical whichever path ran — per backend.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+
+#include "nn/kernels/backend.hpp"
 
 namespace origin::nn::kernels {
 
@@ -95,5 +105,37 @@ void row_sum_acc(const float* a, float* y, int m, int n, std::size_t lda);
 void conv1d_grad_input(const float* w, const float* gy, float* gx, int cin,
                        int cout, int kernel, int stride, int in_len,
                        int out_len, std::size_t ldg);
+
+/// Borrowed pointer to `count` bytes of thread-local int8 scratch (the
+/// quantized-activation panel of the int8 serving path). Same lifetime
+/// rules as scratch().
+std::int8_t* scratch_i8(std::size_t count);
+
+/// Symmetric per-tensor quantization of `count` floats onto the
+/// (1 << (bits-1)) - 1 level grid — the same grid quantize_tensor
+/// (nn/quantize.hpp) fake-quantizes onto. Writes the int8 codes to `q`
+/// and returns the scale (0 when the tensor is all-zero, with q zeroed).
+/// Backend-independent: scale search and rounding are scalar double
+/// arithmetic, so codes are identical on every backend.
+float quantize_to_i8(const float* x, std::size_t count, int bits,
+                     std::int8_t* q);
+
+/// Quantized GEMM of the int8 serving path:
+///   C[m x n] = broadcast(bias[m]) + scale * (A[m x kd] * P[kd x n])
+/// with A and P int8 and the reduction in exact int32 (127*127*kd stays
+/// far below 2^31). `scale` is weight_scale * activation_scale. The
+/// dequantization is mul-then-add — never fused — so this kernel is
+/// bit-identical across ALL backends, not just within one.
+void gemm_bias_i8(const std::int8_t* a, const float* bias,
+                  const std::int8_t* p, float* c, int m, int kd, int n,
+                  float scale);
+
+/// The window-synthesis inner loop (SignalModel::synthesize_window's
+/// deterministic pass): fills clean[0..len) from the time grid t[0..len)
+/// per the SynthParams combination. The reference backend reproduces the
+/// pre-dispatch loops expression-for-expression (pinned by
+/// tests/test_data_golden); SIMD backends fuse per their recipe.
+void synth_channel(const SynthParams& sp, const double* t, double* clean,
+                   int len);
 
 }  // namespace origin::nn::kernels

@@ -1,0 +1,513 @@
+// AVX2/FMA backend.
+//
+// Bit-identity strategy: every float multiply-accumulate — vector lane
+// or scalar remainder — is a single-rounded fused FMA applied in the
+// contract's strict k order. IEEE-754 specifies fma(a,b,c) exactly, so
+// an element's value is the same whether it sits in a _mm256_fmadd lane
+// or goes through std::fma in a remainder loop. That makes every output
+// independent of blocking/vector width, which is what preserves
+// batch == single and any-thread-count bit-identity WITHIN this backend
+// (and makes the fused goldens shared with the NEON backend). Versus the
+// reference backend the bits differ (fused vs unfused rounding): that
+// pairing is tolerance-gated, not bit-gated.
+//
+// This TU is compiled with "-mavx2;-mfma;-ffp-contract=off": contraction
+// stays off so the only fusions are the explicit ones, keeping the
+// scalar remainders and the int8 dequant (mul-then-add, never fused)
+// exactly as written.
+#include "nn/kernels/backend_detail.hpp"
+
+#if defined(__AVX2__) && defined(__FMA__) && \
+    (defined(__x86_64__) || defined(_M_X64))
+
+#include <immintrin.h>
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace origin::nn::kernels {
+namespace {
+
+void gemm_bias(const float* a, const float* bias, const float* p, float* c,
+               int m, int kd, int n) {
+  const std::size_t lda = static_cast<std::size_t>(kd);
+  const std::size_t ldp = static_cast<std::size_t>(n);
+  int i = 0;
+  for (; i + 4 <= m; i += 4) {
+    const float* a0 = a + static_cast<std::size_t>(i) * lda;
+    const float* a1 = a0 + lda;
+    const float* a2 = a1 + lda;
+    const float* a3 = a2 + lda;
+    int j = 0;
+    for (; j + 8 <= n; j += 8) {
+      __m256 c0 = _mm256_set1_ps(bias[i]);
+      __m256 c1 = _mm256_set1_ps(bias[i + 1]);
+      __m256 c2 = _mm256_set1_ps(bias[i + 2]);
+      __m256 c3 = _mm256_set1_ps(bias[i + 3]);
+      const float* prow = p + j;
+      for (int k = 0; k < kd; ++k, prow += ldp) {
+        const __m256 pv = _mm256_loadu_ps(prow);
+        c0 = _mm256_fmadd_ps(_mm256_set1_ps(a0[k]), pv, c0);
+        c1 = _mm256_fmadd_ps(_mm256_set1_ps(a1[k]), pv, c1);
+        c2 = _mm256_fmadd_ps(_mm256_set1_ps(a2[k]), pv, c2);
+        c3 = _mm256_fmadd_ps(_mm256_set1_ps(a3[k]), pv, c3);
+      }
+      _mm256_storeu_ps(c + static_cast<std::size_t>(i) * ldp + j, c0);
+      _mm256_storeu_ps(c + static_cast<std::size_t>(i + 1) * ldp + j, c1);
+      _mm256_storeu_ps(c + static_cast<std::size_t>(i + 2) * ldp + j, c2);
+      _mm256_storeu_ps(c + static_cast<std::size_t>(i + 3) * ldp + j, c3);
+    }
+    for (; j < n; ++j) {
+      float s0 = bias[i], s1 = bias[i + 1], s2 = bias[i + 2], s3 = bias[i + 3];
+      for (int k = 0; k < kd; ++k) {
+        const float pv = p[static_cast<std::size_t>(k) * ldp + j];
+        s0 = std::fmaf(a0[k], pv, s0);
+        s1 = std::fmaf(a1[k], pv, s1);
+        s2 = std::fmaf(a2[k], pv, s2);
+        s3 = std::fmaf(a3[k], pv, s3);
+      }
+      c[static_cast<std::size_t>(i) * ldp + j] = s0;
+      c[static_cast<std::size_t>(i + 1) * ldp + j] = s1;
+      c[static_cast<std::size_t>(i + 2) * ldp + j] = s2;
+      c[static_cast<std::size_t>(i + 3) * ldp + j] = s3;
+    }
+  }
+  for (; i < m; ++i) {
+    const float* arow = a + static_cast<std::size_t>(i) * lda;
+    float* crow = c + static_cast<std::size_t>(i) * ldp;
+    int j = 0;
+    for (; j + 8 <= n; j += 8) {
+      __m256 acc = _mm256_set1_ps(bias[i]);
+      const float* prow = p + j;
+      for (int k = 0; k < kd; ++k, prow += ldp) {
+        acc = _mm256_fmadd_ps(_mm256_set1_ps(arow[k]), _mm256_loadu_ps(prow),
+                              acc);
+      }
+      _mm256_storeu_ps(crow + j, acc);
+    }
+    for (; j < n; ++j) {
+      float s = bias[i];
+      for (int k = 0; k < kd; ++k) {
+        s = std::fmaf(arow[k], p[static_cast<std::size_t>(k) * ldp + j], s);
+      }
+      crow[j] = s;
+    }
+  }
+}
+
+void matvec_bias(const float* a, const float* bias, const float* x, float* y,
+                 int m, int kd) {
+  // Scalar FMA chains, 4 rows in flight: a horizontal vector reduction
+  // would reassociate the k loop and break lane-equivalence with
+  // gemm_bias (batched calls must equal single-sample calls bit-for-bit).
+  const std::size_t lda = static_cast<std::size_t>(kd);
+  int i = 0;
+  for (; i + 4 <= m; i += 4) {
+    const float* r0 = a + static_cast<std::size_t>(i) * lda;
+    const float* r1 = r0 + lda;
+    const float* r2 = r1 + lda;
+    const float* r3 = r2 + lda;
+    float s0 = bias[i], s1 = bias[i + 1], s2 = bias[i + 2], s3 = bias[i + 3];
+    for (int k = 0; k < kd; ++k) {
+      const float xv = x[k];
+      s0 = std::fmaf(r0[k], xv, s0);
+      s1 = std::fmaf(r1[k], xv, s1);
+      s2 = std::fmaf(r2[k], xv, s2);
+      s3 = std::fmaf(r3[k], xv, s3);
+    }
+    y[i] = s0;
+    y[i + 1] = s1;
+    y[i + 2] = s2;
+    y[i + 3] = s3;
+  }
+  for (; i < m; ++i) {
+    const float* row = a + static_cast<std::size_t>(i) * lda;
+    float s = bias[i];
+    for (int k = 0; k < kd; ++k) s = std::fmaf(row[k], x[k], s);
+    y[i] = s;
+  }
+}
+
+void gemm_acc_nt(const float* a, const float* b, float* c, int m, int n,
+                 int kd) {
+  const std::size_t ld = static_cast<std::size_t>(kd);
+  const std::size_t ldc = static_cast<std::size_t>(n);
+  // B rows are contiguous along k but strided along j; pack the 8-column
+  // tile transposed once per j block so the k loop gets contiguous
+  // 8-wide loads. Packing moves data only — the per-element fused chain
+  // stays in k order.
+  thread_local std::vector<float> btile;
+  int j = 0;
+  for (; j + 8 <= n; j += 8) {
+    btile.resize(static_cast<std::size_t>(kd) * 8);
+    for (int q = 0; q < 8; ++q) {
+      const float* brow = b + static_cast<std::size_t>(j + q) * ld;
+      for (int k = 0; k < kd; ++k) {
+        btile[static_cast<std::size_t>(k) * 8 + q] = brow[k];
+      }
+    }
+    int i = 0;
+    for (; i + 4 <= m; i += 4) {
+      __m256 c0 = _mm256_loadu_ps(c + static_cast<std::size_t>(i) * ldc + j);
+      __m256 c1 =
+          _mm256_loadu_ps(c + static_cast<std::size_t>(i + 1) * ldc + j);
+      __m256 c2 =
+          _mm256_loadu_ps(c + static_cast<std::size_t>(i + 2) * ldc + j);
+      __m256 c3 =
+          _mm256_loadu_ps(c + static_cast<std::size_t>(i + 3) * ldc + j);
+      const float* a0 = a + static_cast<std::size_t>(i) * ld;
+      const float* a1 = a0 + ld;
+      const float* a2 = a1 + ld;
+      const float* a3 = a2 + ld;
+      const float* bt = btile.data();
+      for (int k = 0; k < kd; ++k, bt += 8) {
+        const __m256 bv = _mm256_loadu_ps(bt);
+        c0 = _mm256_fmadd_ps(_mm256_set1_ps(a0[k]), bv, c0);
+        c1 = _mm256_fmadd_ps(_mm256_set1_ps(a1[k]), bv, c1);
+        c2 = _mm256_fmadd_ps(_mm256_set1_ps(a2[k]), bv, c2);
+        c3 = _mm256_fmadd_ps(_mm256_set1_ps(a3[k]), bv, c3);
+      }
+      _mm256_storeu_ps(c + static_cast<std::size_t>(i) * ldc + j, c0);
+      _mm256_storeu_ps(c + static_cast<std::size_t>(i + 1) * ldc + j, c1);
+      _mm256_storeu_ps(c + static_cast<std::size_t>(i + 2) * ldc + j, c2);
+      _mm256_storeu_ps(c + static_cast<std::size_t>(i + 3) * ldc + j, c3);
+    }
+    for (; i < m; ++i) {
+      __m256 acc = _mm256_loadu_ps(c + static_cast<std::size_t>(i) * ldc + j);
+      const float* arow = a + static_cast<std::size_t>(i) * ld;
+      const float* bt = btile.data();
+      for (int k = 0; k < kd; ++k, bt += 8) {
+        acc = _mm256_fmadd_ps(_mm256_set1_ps(arow[k]), _mm256_loadu_ps(bt),
+                              acc);
+      }
+      _mm256_storeu_ps(c + static_cast<std::size_t>(i) * ldc + j, acc);
+    }
+  }
+  for (; j < n; ++j) {
+    const float* brow = b + static_cast<std::size_t>(j) * ld;
+    for (int i = 0; i < m; ++i) {
+      const float* arow = a + static_cast<std::size_t>(i) * ld;
+      float s = c[static_cast<std::size_t>(i) * ldc + j];
+      for (int k = 0; k < kd; ++k) s = std::fmaf(arow[k], brow[k], s);
+      c[static_cast<std::size_t>(i) * ldc + j] = s;
+    }
+  }
+}
+
+void gemm_tn(const float* a, const float* p, float* c, int m, int kd, int n) {
+  const std::size_t lda = static_cast<std::size_t>(m);
+  const std::size_t ldp = static_cast<std::size_t>(n);
+  int i = 0;
+  for (; i + 4 <= m; i += 4) {
+    int j = 0;
+    for (; j + 8 <= n; j += 8) {
+      __m256 c0 = _mm256_setzero_ps();
+      __m256 c1 = _mm256_setzero_ps();
+      __m256 c2 = _mm256_setzero_ps();
+      __m256 c3 = _mm256_setzero_ps();
+      const float* arow = a + i;
+      const float* prow = p + j;
+      for (int k = 0; k < kd; ++k, arow += lda, prow += ldp) {
+        const __m256 pv = _mm256_loadu_ps(prow);
+        c0 = _mm256_fmadd_ps(_mm256_set1_ps(arow[0]), pv, c0);
+        c1 = _mm256_fmadd_ps(_mm256_set1_ps(arow[1]), pv, c1);
+        c2 = _mm256_fmadd_ps(_mm256_set1_ps(arow[2]), pv, c2);
+        c3 = _mm256_fmadd_ps(_mm256_set1_ps(arow[3]), pv, c3);
+      }
+      _mm256_storeu_ps(c + static_cast<std::size_t>(i) * ldp + j, c0);
+      _mm256_storeu_ps(c + static_cast<std::size_t>(i + 1) * ldp + j, c1);
+      _mm256_storeu_ps(c + static_cast<std::size_t>(i + 2) * ldp + j, c2);
+      _mm256_storeu_ps(c + static_cast<std::size_t>(i + 3) * ldp + j, c3);
+    }
+    for (; j < n; ++j) {
+      float s0 = 0.0f, s1 = 0.0f, s2 = 0.0f, s3 = 0.0f;
+      for (int k = 0; k < kd; ++k) {
+        const float pv = p[static_cast<std::size_t>(k) * ldp + j];
+        const float* arow = a + static_cast<std::size_t>(k) * lda + i;
+        s0 = std::fmaf(arow[0], pv, s0);
+        s1 = std::fmaf(arow[1], pv, s1);
+        s2 = std::fmaf(arow[2], pv, s2);
+        s3 = std::fmaf(arow[3], pv, s3);
+      }
+      c[static_cast<std::size_t>(i) * ldp + j] = s0;
+      c[static_cast<std::size_t>(i + 1) * ldp + j] = s1;
+      c[static_cast<std::size_t>(i + 2) * ldp + j] = s2;
+      c[static_cast<std::size_t>(i + 3) * ldp + j] = s3;
+    }
+  }
+  for (; i < m; ++i) {
+    int j = 0;
+    for (; j + 8 <= n; j += 8) {
+      __m256 acc = _mm256_setzero_ps();
+      const float* arow = a + i;
+      const float* prow = p + j;
+      for (int k = 0; k < kd; ++k, arow += lda, prow += ldp) {
+        acc = _mm256_fmadd_ps(_mm256_set1_ps(arow[0]), _mm256_loadu_ps(prow),
+                              acc);
+      }
+      _mm256_storeu_ps(c + static_cast<std::size_t>(i) * ldp + j, acc);
+    }
+    for (; j < n; ++j) {
+      float s = 0.0f;
+      for (int k = 0; k < kd; ++k) {
+        s = std::fmaf(a[static_cast<std::size_t>(k) * lda + i],
+                      p[static_cast<std::size_t>(k) * ldp + j], s);
+      }
+      c[static_cast<std::size_t>(i) * ldp + j] = s;
+    }
+  }
+}
+
+void conv1d_grad_input(const float* w, const float* gy, float* gx, int cin,
+                       int cout, int kernel, int stride, int in_len,
+                       int out_len, std::size_t ldg) {
+  if (stride != 1) {
+    // Strided layers are off the hot path (one per net, short outputs);
+    // fusing would change bits for no measurable win, so keep the
+    // reference exactly.
+    ref::conv1d_grad_input(w, gy, gx, cin, cout, kernel, stride, in_len,
+                           out_len, ldg);
+    return;
+  }
+  for (int ci = 0; ci < cin; ++ci) {
+    float* gxrow = gx + static_cast<std::size_t>(ci) * in_len;
+    const auto scalar_at = [&](int p) {
+      const int kk_hi = (kernel - 1 < p) ? kernel - 1 : p;
+      const int kk_lo = (p - (out_len - 1) > 0) ? p - (out_len - 1) : 0;
+      float acc = 0.0f;
+      for (int co = 0; co < cout; ++co) {
+        const float* wrow =
+            w + (static_cast<std::size_t>(co) * cin + ci) * kernel;
+        const float* grow = gy + static_cast<std::size_t>(co) * ldg;
+        for (int kk = kk_hi; kk >= kk_lo; --kk) {
+          acc = std::fmaf(grow[p - kk], wrow[kk], acc);
+        }
+      }
+      gxrow[p] = acc;
+    };
+    int p = 0;
+    for (; p < kernel - 1; ++p) scalar_at(p);
+    for (; p + 8 <= out_len; p += 8) {
+      __m256 acc = _mm256_setzero_ps();
+      for (int co = 0; co < cout; ++co) {
+        const float* wrow =
+            w + (static_cast<std::size_t>(co) * cin + ci) * kernel;
+        const float* grow = gy + static_cast<std::size_t>(co) * ldg;
+        for (int kk = kernel - 1; kk >= 0; --kk) {
+          acc = _mm256_fmadd_ps(_mm256_loadu_ps(grow + (p - kk)),
+                                _mm256_set1_ps(wrow[kk]), acc);
+        }
+      }
+      _mm256_storeu_ps(gxrow + p, acc);
+    }
+    for (; p < in_len; ++p) scalar_at(p);
+  }
+}
+
+void gemm_bias_i8(const std::int8_t* a, const float* bias,
+                  const std::int8_t* p, float* c, int m, int kd, int n,
+                  float scale) {
+  // Integer accumulation is exact and associative, so vectorizing is
+  // free; the dequant stays mul-then-add (no fmadd) so the result is
+  // bit-identical to the reference backend.
+  for (int i = 0; i < m; ++i) {
+    const std::int8_t* arow = a + static_cast<std::size_t>(i) * kd;
+    float* crow = c + static_cast<std::size_t>(i) * n;
+    const __m256 biasv = _mm256_set1_ps(bias[i]);
+    const __m256 scalev = _mm256_set1_ps(scale);
+    int j = 0;
+    for (; j + 8 <= n; j += 8) {
+      __m256i acc = _mm256_setzero_si256();
+      for (int k = 0; k < kd; ++k) {
+        const __m256i av = _mm256_set1_epi32(arow[k]);
+        const __m128i pb = _mm_loadl_epi64(reinterpret_cast<const __m128i*>(
+            p + static_cast<std::size_t>(k) * n + j));
+        acc = _mm256_add_epi32(
+            acc, _mm256_mullo_epi32(av, _mm256_cvtepi8_epi32(pb)));
+      }
+      _mm256_storeu_ps(
+          crow + j,
+          _mm256_add_ps(biasv, _mm256_mul_ps(scalev, _mm256_cvtepi32_ps(acc))));
+    }
+    for (; j < n; ++j) {
+      std::int32_t acc = 0;
+      for (int k = 0; k < kd; ++k) {
+        acc += static_cast<std::int32_t>(arow[k]) *
+               static_cast<std::int32_t>(
+                   p[static_cast<std::size_t>(k) * n + j]);
+      }
+      crow[j] = bias[i] + scale * static_cast<float>(acc);
+    }
+  }
+}
+
+// --- det_sin, fused ---------------------------------------------------
+// The constants are util::det_sin's exactly; the algorithm differs only
+// in fusing each multiply-add. Both the 4-wide vector body and the
+// scalar remainder follow ONE element-wise recipe (every a*b+c is a
+// single-rounded fma in the same position), so lanes equal remainders
+// and the NEON backend — using the same recipe — produces the same bits.
+
+constexpr double kRoundMagic = 6755399441055744.0;  // 1.5 * 2^52
+constexpr double kInvPi = 0x1.45f306dc9c883p-2;
+constexpr double kPi1 = 0x1.921fb54400000p+1;
+constexpr double kPi2 = 0x1.0b4611a400000p-33;
+constexpr double kPi3 = 0x1.13198a2e03707p-64;
+constexpr double kS1 = -0x1.5555555555555p-3;
+constexpr double kS2 = 0x1.1111111111111p-7;
+constexpr double kS3 = -0x1.a01a01a01a01ap-13;
+constexpr double kS4 = 0x1.71de3a556c734p-19;
+constexpr double kS5 = -0x1.ae64567f544e4p-26;
+constexpr double kS6 = 0x1.6124613a86d09p-33;
+constexpr double kS7 = -0x1.ae7f3e733b81fp-41;
+
+inline __m256d det_sin_pd(__m256d x) {
+  const __m256d magic = _mm256_set1_pd(kRoundMagic);
+  const __m256d n = _mm256_sub_pd(
+      _mm256_fmadd_pd(x, _mm256_set1_pd(kInvPi), magic), magic);
+  __m256d r = _mm256_fnmadd_pd(n, _mm256_set1_pd(kPi1), x);
+  r = _mm256_fnmadd_pd(n, _mm256_set1_pd(kPi2), r);
+  r = _mm256_fnmadd_pd(n, _mm256_set1_pd(kPi3), r);
+  const __m256d parity = _mm256_sub_pd(
+      n, _mm256_mul_pd(
+             _mm256_set1_pd(2.0),
+             _mm256_sub_pd(_mm256_fmadd_pd(n, _mm256_set1_pd(0.5), magic),
+                           magic)));
+  const __m256d sign = _mm256_fnmadd_pd(
+      _mm256_set1_pd(2.0), _mm256_mul_pd(parity, parity),
+      _mm256_set1_pd(1.0));
+  const __m256d r2 = _mm256_mul_pd(r, r);
+  __m256d pl = _mm256_set1_pd(kS7);
+  pl = _mm256_fmadd_pd(pl, r2, _mm256_set1_pd(kS6));
+  pl = _mm256_fmadd_pd(pl, r2, _mm256_set1_pd(kS5));
+  pl = _mm256_fmadd_pd(pl, r2, _mm256_set1_pd(kS4));
+  pl = _mm256_fmadd_pd(pl, r2, _mm256_set1_pd(kS3));
+  pl = _mm256_fmadd_pd(pl, r2, _mm256_set1_pd(kS2));
+  pl = _mm256_fmadd_pd(pl, r2, _mm256_set1_pd(kS1));
+  return _mm256_mul_pd(sign, _mm256_fmadd_pd(r, _mm256_mul_pd(r2, pl), r));
+}
+
+inline double det_sin_fused(double x) {
+  const double n = std::fma(x, kInvPi, kRoundMagic) - kRoundMagic;
+  double r = std::fma(-n, kPi1, x);
+  r = std::fma(-n, kPi2, r);
+  r = std::fma(-n, kPi3, r);
+  const double parity = n - 2.0 * (std::fma(n, 0.5, kRoundMagic) - kRoundMagic);
+  const double sign = std::fma(-2.0, parity * parity, 1.0);
+  const double r2 = r * r;
+  double pl = kS7;
+  pl = std::fma(pl, r2, kS6);
+  pl = std::fma(pl, r2, kS5);
+  pl = std::fma(pl, r2, kS4);
+  pl = std::fma(pl, r2, kS3);
+  pl = std::fma(pl, r2, kS2);
+  pl = std::fma(pl, r2, kS1);
+  return sign * std::fma(r, r2 * pl, r);
+}
+
+struct SigV {
+  __m256d omega, dc, a1, a2, a3, p1, p2, p3;
+  explicit SigV(const SynthSig& s)
+      : omega(_mm256_set1_pd(s.omega)),
+        dc(_mm256_set1_pd(s.dc)),
+        a1(_mm256_set1_pd(s.a1)),
+        a2(_mm256_set1_pd(s.a2)),
+        a3(_mm256_set1_pd(s.a3)),
+        p1(_mm256_set1_pd(s.p1)),
+        p2(_mm256_set1_pd(s.p2)),
+        p3(_mm256_set1_pd(s.p3)) {}
+};
+
+inline __m256d sig_eval_pd(const SigV& s, __m256d t, __m256d ph, __m256d amp) {
+  const __m256d w = _mm256_fmadd_pd(s.omega, t, ph);
+  const __m256d s1 = det_sin_pd(_mm256_add_pd(w, s.p1));
+  const __m256d s2 =
+      det_sin_pd(_mm256_fmadd_pd(_mm256_set1_pd(2.0), w, s.p2));
+  const __m256d s3 =
+      det_sin_pd(_mm256_fmadd_pd(_mm256_set1_pd(3.0), w, s.p3));
+  __m256d acc = _mm256_fmadd_pd(s.a2, s2, _mm256_mul_pd(s.a1, s1));
+  acc = _mm256_fmadd_pd(s.a3, s3, acc);
+  return _mm256_fmadd_pd(amp, acc, s.dc);
+}
+
+inline double sig_eval_fused(const SynthSig& s, double t, double ph,
+                             double amp) {
+  const double w = std::fma(s.omega, t, ph);
+  const double s1 = det_sin_fused(w + s.p1);
+  const double s2 = det_sin_fused(std::fma(2.0, w, s.p2));
+  const double s3 = det_sin_fused(std::fma(3.0, w, s.p3));
+  double acc = std::fma(s.a2, s2, s.a1 * s1);
+  acc = std::fma(s.a3, s3, acc);
+  return std::fma(amp, acc, s.dc);
+}
+
+void synth_channel(const SynthParams& sp, const double* t, double* clean,
+                   int len) {
+  const __m256d phv = _mm256_set1_pd(sp.ph);
+  const __m256d ampv = _mm256_set1_pd(sp.amp);
+  const __m256d bmv = _mm256_set1_pd(sp.blend_main);
+  const __m256d betav = _mm256_set1_pd(sp.beta);
+  const SigV mainv(sp.main), altv(sp.alt);
+  int i = 0;
+  if (!sp.ambiguous) {
+    for (; i + 4 <= len; i += 4) {
+      const __m256d tv = _mm256_loadu_pd(t + i);
+      const __m256d vm = sig_eval_pd(mainv, tv, phv, ampv);
+      const __m256d va = sig_eval_pd(altv, tv, phv, ampv);
+      _mm256_storeu_pd(clean + i,
+                       _mm256_fmadd_pd(betav, va, _mm256_mul_pd(bmv, vm)));
+    }
+    for (; i < len; ++i) {
+      const double vm = sig_eval_fused(sp.main, t[i], sp.ph, sp.amp);
+      const double va = sig_eval_fused(sp.alt, t[i], sp.ph, sp.amp);
+      clean[i] = std::fma(sp.beta, va, sp.blend_main * vm);
+    }
+  } else {
+    const __m256d keepv = _mm256_set1_pd(sp.keep);
+    const __m256d mixv = _mm256_set1_pd(sp.mix);
+    const SigV ambv(sp.amb);
+    for (; i + 4 <= len; i += 4) {
+      const __m256d tv = _mm256_loadu_pd(t + i);
+      const __m256d vm = sig_eval_pd(mainv, tv, phv, ampv);
+      const __m256d va = sig_eval_pd(altv, tv, phv, ampv);
+      const __m256d vb = sig_eval_pd(ambv, tv, phv, ampv);
+      const __m256d kept = _mm256_mul_pd(
+          keepv, _mm256_fmadd_pd(betav, va, _mm256_mul_pd(bmv, vm)));
+      _mm256_storeu_pd(clean + i, _mm256_fmadd_pd(mixv, vb, kept));
+    }
+    for (; i < len; ++i) {
+      const double vm = sig_eval_fused(sp.main, t[i], sp.ph, sp.amp);
+      const double va = sig_eval_fused(sp.alt, t[i], sp.ph, sp.amp);
+      const double vb = sig_eval_fused(sp.amb, t[i], sp.ph, sp.amp);
+      clean[i] = std::fma(
+          sp.mix, vb, sp.keep * std::fma(sp.beta, va, sp.blend_main * vm));
+    }
+  }
+}
+
+}  // namespace
+
+const Backend* avx2_backend() {
+  static const Backend backend = {
+      "avx2",           ref::im2row,  gemm_bias,
+      matvec_bias,      gemm_acc_nt,  gemm_tn,
+      ref::row_sum_acc, conv1d_grad_input,
+      gemm_bias_i8,     synth_channel,
+  };
+  static const bool supported =
+      __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+  return supported ? &backend : nullptr;
+}
+
+}  // namespace origin::nn::kernels
+
+#else  // no AVX2/FMA target support in this TU
+
+namespace origin::nn::kernels {
+
+const Backend* avx2_backend() { return nullptr; }
+
+}  // namespace origin::nn::kernels
+
+#endif

@@ -59,16 +59,7 @@ InferenceCost estimate_quantized_cost(const Sequential& model,
                                       int bits,
                                       const ComputeProfile& profile) {
   check_bits(bits);
-  // MAC energy scales roughly with multiplier area ~ width^2 relative to a
-  // float32 (24-bit mantissa) multiplier; memory traffic scales linearly
-  // with word width.
-  const double width_ratio = static_cast<double>(bits) / 32.0;
-  const double mac_ratio =
-      (static_cast<double>(bits) * bits) / (24.0 * 24.0);
-  ComputeProfile quantized = profile;
-  quantized.energy_per_mac_j *= mac_ratio;
-  quantized.energy_per_param_access_j *= width_ratio;
-  return estimate_cost(model, input_shape, quantized);
+  return estimate_cost_at_bits(model, input_shape, bits, profile);
 }
 
 }  // namespace origin::nn

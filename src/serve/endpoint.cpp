@@ -3,6 +3,7 @@
 #include <cstdlib>
 #include <sstream>
 
+#include "nn/kernels/backend.hpp"
 #include "obs/json.hpp"
 #include "obs/prometheus.hpp"
 #include "obs/trace.hpp"
@@ -116,6 +117,8 @@ HttpResponse ServeEndpoint::handle(const HttpRequest& request) const {
     w.kv("slots_served", status.slots_served);
     w.kv("users", static_cast<std::uint64_t>(loop_->config().users));
     w.kv("done", loop_->done());
+    w.kv("backend", nn::kernels::active_backend().name);
+    w.kv("bits", loop_->config().bits);
     w.key("slo").begin_object();
     w.kv("step_p50_us", slo.step_p50_us);
     w.kv("step_p95_us", slo.step_p95_us);

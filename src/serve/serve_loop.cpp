@@ -36,6 +36,9 @@ ServeLoop::ServeLoop(const sim::Experiment& experiment, ServeConfig config)
     throw std::invalid_argument(
         "ServeLoop: batch_slots exceeds ring_capacity");
   }
+  if (config_.bits != 32 && (config_.bits < 2 || config_.bits > 8)) {
+    throw std::invalid_argument("ServeLoop: bits must be 32 or in [2, 8]");
+  }
 
   admitted_id_ = registry_.add_counter("serve.sessions.admitted");
   completed_id_ = registry_.add_counter("serve.sessions.completed");
@@ -58,7 +61,7 @@ ServeLoop::ServeLoop(const sim::Experiment& experiment, ServeConfig config)
   shards_.reserve(config_.shards);
   for (std::size_t i = 0; i < config_.shards; ++i) {
     shards_.push_back(
-        std::make_unique<SessionShard>(experiment, config_.set));
+        std::make_unique<SessionShard>(experiment, config_.set, config_.bits));
     shards_.back()->set_wall_metrics(registry_.make_shard());
   }
   if (obs::kTraceEnabled && config_.flight_capacity > 0) {

@@ -18,11 +18,15 @@ std::uint64_t fnv1a_outputs(const std::vector<int>& outputs) {
 }
 
 SessionShard::SessionShard(const sim::Experiment& experiment,
-                           sim::ModelSet set)
+                           sim::ModelSet set, int bits)
     : models_(set == sim::ModelSet::Relaxed
                   ? experiment.system().relaxed_copy()
                   : experiment.system().bl2_copy()),
-      slot_s_(experiment.spec().slot_seconds()) {}
+      slot_s_(experiment.spec().slot_seconds()) {
+  if (bits != 32) {
+    for (nn::Sequential& model : models_) model.set_inference_bits(bits);
+  }
+}
 
 void SessionShard::admit(std::unique_ptr<Session> session) {
   active_.push_back(std::move(session));

@@ -66,7 +66,10 @@ class SessionShard {
  public:
   /// Builds this shard's private copies of the deployed networks for
   /// `set` (inference mutates activation caches, so shards never share).
-  SessionShard(const sim::Experiment& experiment, sim::ModelSet set);
+  /// `bits` != 32 switches the copies to the int8 serving path
+  /// (Sequential::set_inference_bits).
+  SessionShard(const sim::Experiment& experiment, sim::ModelSet set,
+               int bits = 32);
 
   std::array<nn::Sequential, data::kNumSensors>* models() { return &models_; }
 

@@ -16,7 +16,10 @@ namespace origin::serve {
 
 inline constexpr char kSnapshotMagic[8] = {'O', 'R', 'G', 'N',
                                            'S', 'N', 'A', 'P'};
-inline constexpr std::uint32_t kSnapshotVersion = 1;
+/// Version 2 added the inference word width (ServeConfig::bits) and the
+/// active kernel backend name to the config fingerprint: both change the
+/// served bits, so a snapshot refuses to load under a different one.
+inline constexpr std::uint32_t kSnapshotVersion = 2;
 
 /// Append-only little-endian byte buffer.
 class SnapshotWriter {

@@ -127,6 +127,20 @@ TEST(Quantize, QuantizedCostCheaper) {
   EXPECT_EQ(int8.macs, fp32.macs);
 }
 
+TEST(Quantize, CostHonoursInferenceBitsWithoutDoubleScaling) {
+  auto m = net(12);
+  const auto what_if = estimate_quantized_cost(m, {2, 16}, 8);
+  m.set_inference_bits(8);
+  // A model switched to the int8 serving path is costed on the quantized
+  // profile automatically...
+  const auto deployed = estimate_cost(m, {2, 16});
+  EXPECT_DOUBLE_EQ(deployed.energy_j, what_if.energy_j);
+  // ...and the explicit-bits what-if ignores the model's own mode, so
+  // asking about the bits it already runs at does not scale twice.
+  const auto again = estimate_cost_at_bits(m, {2, 16}, 8);
+  EXPECT_DOUBLE_EQ(again.energy_j, what_if.energy_j);
+}
+
 TEST(Quantize, Idempotent) {
   auto m = net(11);
   quantize_weights(m, 6);
