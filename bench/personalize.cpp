@@ -1,0 +1,241 @@
+// Fleet-scale personalization: measures the three pieces this subsystem
+// adds and asserts their determinism contracts (non-zero exit on any
+// divergence):
+//
+//   1. Parallel pipeline calibration — calibrate_system wall-clock at
+//      --threads 1/2/8, bit-identical rank tables, per-class calibration
+//      accuracies and confidence matrices at every thread count.
+//   2. In-shard bounded fine-tuning — per-slot serving overhead with
+//      personalization on vs off, and bit-identity of the fine-tuned
+//      completed logs across thread counts.
+//   3. Delta-encoded per-user storage — mean serialized delta bytes per
+//      tuned user vs the full three-model file size.
+//
+// Flags: --users N, --slots N, --json PATH.
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "nn/serialize.hpp"
+#include "serve/serve_loop.hpp"
+#include "util/args.hpp"
+#include "util/table.hpp"
+
+using namespace origin;
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point begin) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       begin)
+      .count();
+}
+
+bool same_system_tables(const core::TrainedSystem& a,
+                        const core::TrainedSystem& b) {
+  const int num_classes = a.spec.num_classes();
+  for (std::size_t s = 0; s < data::kNumSensors; ++s) {
+    if (a.calib_accuracy[s] != b.calib_accuracy[s]) return false;
+    if (a.calib_accuracy_relaxed[s] != b.calib_accuracy_relaxed[s]) {
+      return false;
+    }
+  }
+  for (int c = 0; c < num_classes; ++c) {
+    for (int r = 0; r < data::kNumSensors; ++r) {
+      if (a.ranks.sensor_at(c, r) != b.ranks.sensor_at(c, r)) return false;
+      if (a.ranks_relaxed.sensor_at(c, r) != b.ranks_relaxed.sensor_at(c, r)) {
+        return false;
+      }
+    }
+    for (int s = 0; s < data::kNumSensors; ++s) {
+      const auto loc = static_cast<data::SensorLocation>(s);
+      if (a.confidence.weight(loc, c) != b.confidence.weight(loc, c)) {
+        return false;
+      }
+      if (a.confidence_relaxed.weight(loc, c) !=
+          b.confidence_relaxed.weight(loc, c)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool same_completed(const std::vector<serve::CompletedSession>& a,
+                    const std::vector<serve::CompletedSession>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].id != b[i].id || a[i].completed_tick != b[i].completed_tick ||
+        a[i].outputs_fnv1a != b[i].outputs_fnv1a ||
+        a[i].outputs != b[i].outputs ||
+        a[i].fine_tunes != b[i].fine_tunes ||
+        a[i].fine_tune_steps != b[i].fine_tune_steps ||
+        a[i].delta_bytes != b[i].delta_bytes ||
+        a[i].personalize_j != b[i].personalize_j) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint64_t users = 12;
+  int slots = 300;
+  std::string json_path;
+
+  util::ArgParser args("personalize",
+                       "parallel calibration + served fine-tuning: wall-clock, "
+                       "overhead, delta storage, bit-identity checks");
+  args.add("users", &users, "sessions served in the fine-tuning runs");
+  args.add("slots", &slots, "stream length per session, in slots");
+  args.add("json", &json_path, "write a run manifest JSON here");
+  try {
+    if (!args.parse(argc, argv)) return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "personalize: %s\n%s", e.what(), args.usage().c_str());
+    return 2;
+  }
+
+  bench::JsonReport report(argc, argv, "personalize");
+  report.manifest().set("users", users);
+  report.manifest().set("slots", slots);
+
+  auto config = bench::default_config(data::DatasetKind::MHealthLike);
+  config.stream_slots = slots;
+  std::printf("[setup] building/loading mhealth system (cache: %s)...\n",
+              bench::cache_dir().c_str());
+  sim::Experiment experiment(config);
+  bool ok = true;
+
+  // --- 1. Parallel calibration ---------------------------------------
+  std::printf("\ncalibration stage (3 syntheses + 6 measurement passes):\n");
+  util::AsciiTable calib_table({"threads", "wall s", "speedup"});
+  core::TrainedSystem reference_system = experiment.system();
+  double serial_s = 0.0;
+  for (int threads : {1, 2, 8}) {
+    core::TrainedSystem system = experiment.system();
+    core::PipelineConfig cfg = config.pipeline;
+    cfg.train_threads = threads;
+    const auto begin = std::chrono::steady_clock::now();
+    core::calibrate_system(system, cfg);
+    const double wall = seconds_since(begin);
+    if (threads == 1) {
+      serial_s = wall;
+      reference_system = std::move(system);
+    } else if (!same_system_tables(reference_system, system)) {
+      std::fprintf(stderr, "FAIL: calibration diverges at threads=%d\n",
+                   threads);
+      ok = false;
+    }
+    calib_table.add_row({std::to_string(threads),
+                         util::AsciiTable::format(wall, 3),
+                         util::AsciiTable::format(serial_s / wall, 2)});
+  }
+  calib_table.print();
+  report.add_table("calibration", calib_table);
+
+  // --- 2. Served fine-tuning overhead --------------------------------
+  serve::ServeConfig base;
+  base.users = users;
+  base.shards = 4;
+  std::printf("\nserving %llu users x %d slots, personalization off vs on:\n",
+              static_cast<unsigned long long>(users), slots);
+  util::AsciiTable serve_table(
+      {"fine-tune", "wall s", "us/slot", "fine-tunes", "steps"});
+  std::vector<serve::CompletedSession> tuned_log;
+  double frozen_us_per_slot = 0.0, tuned_us_per_slot = 0.0;
+  for (bool personalize : {false, true}) {
+    serve::ServeConfig cfg = base;
+    cfg.personalize.enabled = personalize;
+    serve::ServeLoop loop(experiment, cfg);
+    const auto begin = std::chrono::steady_clock::now();
+    loop.drain(/*chunk=*/32);
+    const double wall = seconds_since(begin);
+    const auto status = loop.status();
+    const double us_per_slot =
+        1e6 * wall / static_cast<double>(status.slots_served);
+    std::uint64_t tunes = 0, steps = 0;
+    for (const auto& c : loop.completed_sessions()) {
+      tunes += c.fine_tunes;
+      steps += c.fine_tune_steps;
+    }
+    serve_table.add_row({personalize ? "on" : "off",
+                         util::AsciiTable::format(wall, 2),
+                         util::AsciiTable::format(us_per_slot, 1),
+                         std::to_string(tunes), std::to_string(steps)});
+    if (personalize) {
+      tuned_log = loop.completed_sessions();
+      tuned_us_per_slot = us_per_slot;
+    } else {
+      frozen_us_per_slot = us_per_slot;
+    }
+  }
+  serve_table.print();
+  std::printf("fine-tuning overhead: %.1f us/slot (%.1f%%)\n",
+              tuned_us_per_slot - frozen_us_per_slot,
+              100.0 * (tuned_us_per_slot - frozen_us_per_slot) /
+                  frozen_us_per_slot);
+  report.add_table("serving", serve_table);
+
+  // Bit-identity of the fine-tuned serve across thread counts.
+  for (unsigned threads : {2u, 8u}) {
+    serve::ServeConfig cfg = base;
+    cfg.personalize.enabled = true;
+    cfg.threads = threads;
+    serve::ServeLoop loop(experiment, cfg);
+    loop.drain(/*chunk=*/32);
+    if (!same_completed(tuned_log, loop.completed_sessions())) {
+      std::fprintf(stderr,
+                   "FAIL: fine-tuned completed log diverges at threads=%u\n",
+                   threads);
+      ok = false;
+    }
+  }
+
+  // --- 3. Delta storage ----------------------------------------------
+  const std::uint64_t full_bytes =
+      3 * nn::model_to_string(experiment.system().bl2_copy()[0]).size();
+  std::uint64_t delta_sum = 0, tuned_users = 0;
+  for (const auto& c : tuned_log) {
+    if (c.fine_tunes == 0) continue;
+    delta_sum += c.delta_bytes;
+    ++tuned_users;
+  }
+  const double mean_delta =
+      tuned_users ? static_cast<double>(delta_sum) /
+                        static_cast<double>(tuned_users)
+                  : 0.0;
+  util::AsciiTable delta_table(
+      {"tuned users", "delta B/user", "full model B", "ratio"});
+  delta_table.add_row(
+      {std::to_string(tuned_users), util::AsciiTable::format(mean_delta, 0),
+       std::to_string(full_bytes),
+       util::AsciiTable::format(
+           mean_delta > 0 ? static_cast<double>(full_bytes) / mean_delta : 0.0,
+           1)});
+  std::printf("\nper-user storage (delta vs full 3-net model file):\n");
+  delta_table.print();
+  report.add_table("storage", delta_table);
+  if (tuned_users == 0) {
+    std::fprintf(stderr, "FAIL: no session fine-tuned — workload too short\n");
+    ok = false;
+  } else if (10.0 * mean_delta > static_cast<double>(full_bytes)) {
+    std::fprintf(stderr, "FAIL: delta storage less than 10x smaller\n");
+    ok = false;
+  }
+
+  report.manifest().set("bit_identical", ok);
+  report.write();
+  if (!ok) {
+    std::fprintf(stderr, "personalize: check FAILED\n");
+    return 1;
+  }
+  std::printf("\nbit-identity: calibration tables equal at threads 1/2/8; "
+              "fine-tuned completed logs equal at threads 1/2/8; deltas "
+              ">=10x smaller than full model files\n");
+  return 0;
+}

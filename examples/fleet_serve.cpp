@@ -77,6 +77,13 @@ int main(int argc, char** argv) {
            "default keeps ORIGIN_BACKEND or reference)");
   args.add("bits", &serve_config.bits,
            "inference word width: 32 (float) or 2..8 (int8 serving path)");
+  args.add_switch("fine-tune", &serve_config.personalize.enabled,
+                  "bounded per-user fine-tuning (requires --bits 32 and "
+                  "--batch-slots 0)");
+  args.add("ft-budget", &serve_config.personalize.step_budget,
+           "fine-tune optimizer-step budget per sensor net");
+  args.add("ft-cadence", &serve_config.personalize.cadence_slots,
+           "slots between fine-tune attempts");
   args.add("tick-slots", &tick_slots, "virtual ticks advanced per loop turn");
   args.add("snapshot", &snapshot_path,
            "session-table snapshot: restored when the file exists, saved on "
@@ -137,6 +144,11 @@ int main(int argc, char** argv) {
                std::string(nn::kernels::active_backend().name));
   manifest.set("simd", nn::kernels::simd_features());
   manifest.set("bits", serve_config.bits);
+  manifest.set("fine_tune", serve_config.personalize.enabled);
+  if (serve_config.personalize.enabled) {
+    manifest.set("ft_budget", serve_config.personalize.step_budget);
+    manifest.set("ft_cadence", serve_config.personalize.cadence_slots);
+  }
 
   serve::ServeEndpoint endpoint(loop, &manifest);
   std::unique_ptr<serve::HttpServer> server;

@@ -1,34 +1,50 @@
 // personalization — Origin meeting a new wearer (the Fig. 6 scenario): an
-// unseen user with a different gait, tempo and noise level walks in; only
-// the host's confidence matrix adapts (EMA on each successful
-// classification), the networks stay frozen. The example tracks accuracy
-// and matrix drift across adaptation phases.
+// unseen user with a different gait, tempo and noise level walks in. Two
+// adaptation tiers are demonstrated:
+//
+//   default      only the host's confidence matrix adapts (EMA on each
+//                successful classification); the networks stay frozen.
+//                Tracks accuracy and matrix drift across stream quarters.
+//   --fine-tune  serve-tier bounded fine-tuning (serve/personalize.hpp):
+//                sessions buffer their correctly-classified windows and
+//                micro-fit the classifier head on a slot cadence, storing
+//                the result as a quantized delta against the shared base.
+//                Compares a personalized fleet against a frozen one and
+//                reports the per-user delta size vs the full model file.
+//
+// Build & run (from the repository root):
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/personalization --severity 0.8
+//   ./build/examples/personalization --fine-tune --slots 400
 #include <cstdio>
 
 #include "core/policy.hpp"
+#include "nn/serialize.hpp"
+#include "serve/serve_loop.hpp"
 #include "sim/experiment.hpp"
+#include "util/args.hpp"
 
 using namespace origin;
 
-int main() {
+namespace {
+
+// Default-mode demo: the confidence matrix tracks the wearer online while
+// the DNNs stay frozen. Returns 0 on success.
+int run_matrix_adaptation(double severity, int slots, double snr_db) {
   sim::ExperimentConfig config;
   config.pipeline.kind = data::DatasetKind::MHealthLike;
   sim::Experiment experiment(config);
 
   util::Rng rng(2026);
-  // A mildly-shifted cooperative wearer (severity 0.5) — the regime the
-  // unsupervised adaptation is designed for; see EXPERIMENTS.md Fig. 6
-  // notes on heavily-shifted users.
-  const data::UserProfile user = data::random_user(1, rng, 0.5);
-  std::printf("unseen user: tempo x%.2f, intensity x%.2f, noise x%.2f, style %.2f\n",
-              user.freq_scale, user.amp_scale, user.noise_scale,
-              user.style_shift);
+  const data::UserProfile user = data::random_user(1, rng, severity);
+  std::printf(
+      "unseen user: tempo x%.2f, intensity x%.2f, noise x%.2f, style %.2f\n",
+      user.freq_scale, user.amp_scale, user.noise_scale, user.style_shift);
 
-  // A long, lightly-noisy stream of this user's activity.
   data::StreamConfig stream_cfg;
-  stream_cfg.snr_db = 25.0;
+  stream_cfg.snr_db = snr_db;
   const auto stream =
-      data::make_stream(experiment.spec(), 12000, user, 991, stream_cfg);
+      data::make_stream(experiment.spec(), slots, user, 991, stream_cfg);
 
   auto run = [&](bool adaptive) {
     core::OriginPolicy policy(core::ExtendedRoundRobin(12),
@@ -36,7 +52,6 @@ int main() {
                               experiment.system().confidence, adaptive);
     policy.set_recall_horizon_s(experiment.config().recall_horizon_s);
     const auto result = experiment.run_policy(policy, stream);
-    // Accuracy per quarter of the stream.
     std::printf("  %-22s", adaptive ? "adaptive matrix:" : "frozen matrix:");
     const std::size_t quarter = stream.slots.size() / 4;
     for (int q = 0; q < 4; ++q) {
@@ -44,7 +59,8 @@ int main() {
       for (std::size_t i = q * quarter; i < (q + 1) * quarter; ++i) {
         if (result.outputs[i] == stream.slots[i].label) ++ok;
       }
-      std::printf("  Q%d %.1f%%", q + 1, 100.0 * static_cast<double>(ok) / quarter);
+      std::printf("  Q%d %.1f%%",
+                  q + 1, 100.0 * static_cast<double>(ok) / quarter);
     }
     std::printf("   (overall %.2f%%)\n", 100.0 * result.accuracy.overall());
     return policy.confidence().distance(experiment.system().confidence);
@@ -63,4 +79,97 @@ int main() {
       " the frozen matrix on streams, and ahead of it in the controlled\n"
       " Fig. 6 batch protocol, see bench/fig06_adaptive)\n");
   return 0;
+}
+
+// --fine-tune demo: a small served fleet with bounded per-user
+// fine-tuning, against the same fleet frozen.
+int run_fine_tuning(double severity, int slots, std::uint64_t users) {
+  sim::ExperimentConfig config;
+  config.pipeline.kind = data::DatasetKind::MHealthLike;
+  config.stream_slots = slots;
+  sim::Experiment experiment(config);
+
+  auto drain = [&](bool personalize) {
+    serve::ServeConfig serve_config;
+    serve_config.users = users;
+    serve_config.severity = severity;
+    serve_config.personalize.enabled = personalize;
+    serve::ServeLoop loop(experiment, serve_config);
+    loop.drain();
+    return loop.completed_sessions();
+  };
+
+  std::printf("serving %llu users x %d slots (severity %.2f)...\n",
+              static_cast<unsigned long long>(users), slots, severity);
+  const auto frozen = drain(false);
+  const auto tuned = drain(true);
+
+  auto mean_accuracy = [](const std::vector<serve::CompletedSession>& log) {
+    double sum = 0.0;
+    for (const auto& c : log) sum += c.accuracy;
+    return log.empty() ? 0.0 : sum / static_cast<double>(log.size());
+  };
+
+  std::printf("\n  %-20s mean accuracy %.2f%%\n", "frozen fleet:",
+              100.0 * mean_accuracy(frozen));
+  std::printf("  %-20s mean accuracy %.2f%%\n", "personalized fleet:",
+              100.0 * mean_accuracy(tuned));
+
+  const std::uint64_t full_bytes =
+      3 * nn::model_to_string(experiment.system().bl2_copy()[0]).size();
+  std::printf("\nper-user adaptation (step budget %d/net, cadence %d slots):\n",
+              serve::PersonalizeConfig{}.step_budget,
+              serve::PersonalizeConfig{}.cadence_slots);
+  std::printf("  %4s  %10s  %6s  %11s  %12s\n", "user", "fine-tunes", "steps",
+              "delta bytes", "energy (J)");
+  for (const auto& c : tuned) {
+    std::printf("  %4llu  %10llu  %6llu  %11llu  %12.4f\n",
+                static_cast<unsigned long long>(c.id),
+                static_cast<unsigned long long>(c.fine_tunes),
+                static_cast<unsigned long long>(c.fine_tune_steps),
+                static_cast<unsigned long long>(c.delta_bytes),
+                c.personalize_j);
+  }
+  std::printf(
+      "\n(a full 3-net model file is %llu bytes; each user's personalized\n"
+      " state is the delta above — the fleet stores base + per-user deltas,\n"
+      " and snapshot v3 resumes every session on its own weights)\n",
+      static_cast<unsigned long long>(full_bytes));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double severity = 0.5;
+  int slots = 0;  // 0 = mode default (12000 batch, 400 serve)
+  double snr_db = 25.0;
+  bool fine_tune = false;
+  std::uint64_t users = 6;
+
+  util::ArgParser args("personalization",
+                       "adapt Origin to unseen wearers: online confidence "
+                       "matrix (default) or served fine-tuning (--fine-tune)");
+  args.add("severity", &severity, "user deviation severity in [0, 1]");
+  args.add("slots", &slots,
+           "stream length in slots (0 = 12000, or 400 with --fine-tune)");
+  args.add("snr-db", &snr_db, "stream noise level (default mode only)");
+  args.add_switch("fine-tune", &fine_tune,
+                  "serve a small fleet with bounded per-user fine-tuning");
+  args.add("users", &users, "fleet size (--fine-tune only)");
+  try {
+    if (!args.parse(argc, argv)) return 0;
+    if (severity < 0.0 || severity > 1.0) {
+      throw std::invalid_argument("--severity must be in [0, 1]");
+    }
+    if (slots < 0) throw std::invalid_argument("--slots must be >= 0");
+    if (slots == 0) slots = fine_tune ? 400 : 12000;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "personalization: %s\n%s", e.what(),
+                 args.usage().c_str());
+    return 2;
+  }
+
+  return fine_tune ? run_fine_tuning(severity, slots, users)
+                   : run_matrix_adaptation(severity, slots, snr_db);
 }

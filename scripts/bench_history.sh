@@ -39,7 +39,7 @@ jobs="$(nproc 2>/dev/null || echo 2)"
 
 cmake -B "$build" -S "$repo" -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "$build" -j "$jobs" --target \
-    fleet_scale bench_fleet_serve obs_overhead
+    fleet_scale bench_fleet_serve obs_overhead personalize
 
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
@@ -57,11 +57,17 @@ trap 'rm -rf "$tmp"' EXIT
 # record below; the strict gate runs standalone (bench/obs_overhead).
 ( cd "$build" && ./bench/obs_overhead --users 8 --slots 300 --tolerance 50 \
     --json "$tmp/obs_overhead.json" )
+# Personalization: calibration wall at 1/2/8 threads, fine-tune serving
+# overhead, delta-vs-full storage ratio (exits non-zero on any
+# bit-identity divergence, which does abort the record).
+( cd "$build" && ./bench/personalize --users 8 --slots 200 \
+    --json "$tmp/personalize.json" )
 
 python3 - "$history" "$tolerance" \
     fleet_scale "$tmp/fleet_scale.json" \
     fleet_serve "$tmp/fleet_serve.json" \
-    obs_overhead "$tmp/obs_overhead.json" <<'EOF'
+    obs_overhead "$tmp/obs_overhead.json" \
+    personalize "$tmp/personalize.json" <<'EOF'
 import json, sys, time
 
 history_path, tolerance = sys.argv[1], float(sys.argv[2])

@@ -34,9 +34,16 @@
 #             int8-vs-float accuracy gate, serve bit-identity per backend)
 #             under both ORIGIN_BACKEND=reference and ORIGIN_BACKEND=auto
 #             (= best SIMD available), in Release and Release+ASan.
+#   personalize — the per-user personalization suite (label `personalize`:
+#             delta codec round-trips, parallel calibration bit-identity
+#             at threads 1/2/8, fine-tuned serve bit-identity across
+#             thread counts and a mid-flight snapshot/restore split) in
+#             Release and Release+ASan, plus a cold-cache re-run of the
+#             parallel-calibration determinism case against a fresh
+#             ORIGIN_CACHE_DIR.
 #   all     — everything above (default).
 #
-# Usage: scripts/verify.sh [data|kernels|train|trace|obs|serve|backends|all] [generator-args...]
+# Usage: scripts/verify.sh [data|kernels|train|trace|obs|serve|backends|personalize|all] [generator-args...]
 # The data/kernels/train/obs/serve gates share the
 # build-kernels-{release,asan}/ trees so a full `all` run configures each
 # tree once; the trace gate owns build-trace-{on,off}/.
@@ -262,6 +269,30 @@ verify_backends() {
   echo "=== kernel backends verified (reference + auto, Release + ASan) ==="
 }
 
+verify_personalize_config() {
+  local sanitizer="$1" dir="$2"
+  shift 2
+  echo "=== personalize: sanitizer='${sanitizer:-none}' (${dir}) ==="
+  cmake -B "$dir" -S "$repo" -DORIGIN_SANITIZE="$sanitizer" "$@" >/dev/null
+  cmake --build "$dir" -j "$jobs" --target test_personalize
+  ctest --test-dir "$dir" -L personalize --output-on-failure -j "$jobs"
+}
+
+verify_personalize() {
+  verify_personalize_config ""        "build-kernels-release" "$@"
+  verify_personalize_config "address" "build-kernels-asan"    "$@"
+  # Cold-cache determinism: the parallel calibration must produce
+  # bit-identical tables when every pipeline artifact is rebuilt from
+  # scratch, not just when served from a warm model cache.
+  local cold_cache
+  cold_cache="$(mktemp -d)"
+  ORIGIN_CACHE_DIR="$cold_cache" \
+      "build-kernels-release/tests/test_personalize" \
+      --gtest_filter='*CalibrateSystemBitIdenticalAcrossThreadCounts*'
+  rm -rf "$cold_cache"
+  echo "=== personalization verified (Release + ASan + cold-cache parallel calibration) ==="
+}
+
 case "$gate" in
   data)    verify_data "$@" ;;
   kernels) verify_kernels "$@" ;;
@@ -270,6 +301,7 @@ case "$gate" in
   obs)     verify_obs "$@" ;;
   serve)   verify_serve "$@" ;;
   backends) verify_backends "$@" ;;
+  personalize) verify_personalize "$@" ;;
   all)
     verify_data "$@"
     verify_kernels "$@"
@@ -278,10 +310,11 @@ case "$gate" in
     verify_obs "$@"
     verify_serve "$@"
     verify_backends "$@"
+    verify_personalize "$@"
     echo "=== all verification gates passed ==="
     ;;
   *)
-    echo "usage: scripts/verify.sh [data|kernels|train|trace|obs|serve|backends|all] [generator-args...]" >&2
+    echo "usage: scripts/verify.sh [data|kernels|train|trace|obs|serve|backends|personalize|all] [generator-args...]" >&2
     exit 2
     ;;
 esac

@@ -1,5 +1,6 @@
 #include "core/confidence.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -43,6 +44,60 @@ ConfidenceMatrix ConfidenceMatrix::calibrate(
       matrix.weights_[static_cast<std::size_t>(s)][static_cast<std::size_t>(c)] =
           stats.count() > 0 ? stats.mean() : global.mean();
     }
+  }
+  matrix.freeze_baseline();
+  return matrix;
+}
+
+std::vector<double> ConfidenceMatrix::calibrate_sensor(
+    nn::Sequential& model, const nn::Samples& samples, int num_classes) {
+  if (num_classes <= 0) {
+    throw std::invalid_argument("ConfidenceMatrix::calibrate_sensor: num_classes <= 0");
+  }
+  std::vector<util::RunningStats> per_class(static_cast<std::size_t>(num_classes));
+  util::RunningStats global;
+  // Fixed-size chunks bound the batched-inference arenas; the chunk size
+  // never changes the result — predict_proba_batch is bit-identical to
+  // per-sample predict_proba, and the stats accumulate in sample order.
+  constexpr std::size_t kChunk = 256;
+  std::vector<const nn::Tensor*> inputs;
+  for (std::size_t begin = 0; begin < samples.size(); begin += kChunk) {
+    const std::size_t count = std::min(kChunk, samples.size() - begin);
+    inputs.clear();
+    for (std::size_t i = 0; i < count; ++i) {
+      inputs.push_back(&samples[begin + i].input);
+    }
+    const auto probs = model.predict_proba_batch(inputs.data(), count);
+    for (std::size_t i = 0; i < count; ++i) {
+      const double var = util::probability_vector_variance(probs[i]);
+      const auto predicted = util::argmax(probs[i]);
+      if (predicted >= static_cast<std::size_t>(num_classes)) {
+        throw std::logic_error(
+            "ConfidenceMatrix::calibrate_sensor: class out of range");
+      }
+      per_class[predicted].add(var);
+      global.add(var);
+    }
+  }
+  std::vector<double> row(static_cast<std::size_t>(num_classes));
+  for (int c = 0; c < num_classes; ++c) {
+    const auto& stats = per_class[static_cast<std::size_t>(c)];
+    row[static_cast<std::size_t>(c)] =
+        stats.count() > 0 ? stats.mean() : global.mean();
+  }
+  return row;
+}
+
+ConfidenceMatrix ConfidenceMatrix::from_rows(
+    const std::array<std::vector<double>, data::kNumSensors>& rows,
+    int num_classes) {
+  ConfidenceMatrix matrix(num_classes);
+  for (int s = 0; s < data::kNumSensors; ++s) {
+    const auto& row = rows[static_cast<std::size_t>(s)];
+    if (row.size() != static_cast<std::size_t>(num_classes)) {
+      throw std::invalid_argument("ConfidenceMatrix::from_rows: row size");
+    }
+    matrix.weights_[static_cast<std::size_t>(s)] = row;
   }
   matrix.freeze_baseline();
   return matrix;

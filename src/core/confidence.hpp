@@ -28,6 +28,22 @@ class ConfidenceMatrix {
       const std::array<const nn::Samples*, data::kNumSensors>& calibration,
       int num_classes);
 
+  /// One sensor's calibration row on the batched inference path
+  /// (predict_proba_batch in fixed-size chunks, per-sample accumulation
+  /// in sample order) — bit-identical to the corresponding calibrate()
+  /// row, which is kept as the per-sample oracle. The unit of work the
+  /// parallel pipeline calibration fans out per (sensor, model variant).
+  static std::vector<double> calibrate_sensor(nn::Sequential& model,
+                                              const nn::Samples& samples,
+                                              int num_classes);
+
+  /// Assembles a matrix from per-sensor rows (as produced by
+  /// calibrate_sensor) and freezes the adaptation baseline — the serial
+  /// merge step after the parallel fan-out.
+  static ConfidenceMatrix from_rows(
+      const std::array<std::vector<double>, data::kNumSensors>& rows,
+      int num_classes);
+
   int num_classes() const { return num_classes_; }
 
   double weight(data::SensorLocation sensor, int cls) const;

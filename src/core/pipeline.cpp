@@ -1,7 +1,5 @@
 #include "core/pipeline.hpp"
 
-#include <unistd.h>
-
 #include <algorithm>
 #include <cstdlib>
 #include <filesystem>
@@ -38,24 +36,6 @@ nn::Samples training_set_for(const PipelineConfig& config,
                              std::uint64_t salt) {
   return data::make_training_set(spec, loc, per_class, data::reference_user(),
                                  config.seed ^ salt);
-}
-
-/// Writes to `<path>.tmp.<pid>` then renames over `path`. rename(2) within
-/// one directory is atomic on POSIX, so readers (and concurrent trainers
-/// racing on a cold cache) only ever see a complete model file.
-void save_model_atomic(const nn::Sequential& model,
-                       const std::filesystem::path& path) {
-  const std::filesystem::path tmp =
-      path.string() + ".tmp." + std::to_string(::getpid());
-  nn::save_model(model, tmp.string());
-  std::error_code ec;
-  std::filesystem::rename(tmp, path, ec);
-  if (ec) {
-    std::error_code ignore;
-    std::filesystem::remove(tmp, ignore);
-    throw std::runtime_error("pipeline: failed to rename " + tmp.string() +
-                             " -> " + path.string() + ": " + ec.message());
-  }
 }
 
 }  // namespace
@@ -140,6 +120,36 @@ std::vector<double> per_class_accuracy(nn::Sequential& model,
     ++total[static_cast<std::size_t>(s.label)];
     if (model.predict(s.input) == s.label) {
       ++correct[static_cast<std::size_t>(s.label)];
+    }
+  }
+  std::vector<double> acc(static_cast<std::size_t>(num_classes), 0.0);
+  for (int c = 0; c < num_classes; ++c) {
+    const auto ci = static_cast<std::size_t>(c);
+    if (total[ci]) acc[ci] = static_cast<double>(correct[ci]) / static_cast<double>(total[ci]);
+  }
+  return acc;
+}
+
+std::vector<double> per_class_accuracy_batch(nn::Sequential& model,
+                                             const nn::Samples& samples,
+                                             int num_classes) {
+  std::vector<std::uint64_t> correct(static_cast<std::size_t>(num_classes), 0);
+  std::vector<std::uint64_t> total(static_cast<std::size_t>(num_classes), 0);
+  constexpr std::size_t kChunk = 256;
+  std::vector<const nn::Tensor*> inputs;
+  for (std::size_t begin = 0; begin < samples.size(); begin += kChunk) {
+    const std::size_t count = std::min(kChunk, samples.size() - begin);
+    inputs.clear();
+    for (std::size_t i = 0; i < count; ++i) {
+      inputs.push_back(&samples[begin + i].input);
+    }
+    const std::vector<int> predicted = model.predict_batch(inputs.data(), count);
+    for (std::size_t i = 0; i < count; ++i) {
+      const auto& s = samples[begin + i];
+      ++total[static_cast<std::size_t>(s.label)];
+      if (predicted[i] == s.label) {
+        ++correct[static_cast<std::size_t>(s.label)];
+      }
     }
   }
   std::vector<double> acc(static_cast<std::size_t>(num_classes), 0.0);
@@ -290,9 +300,10 @@ void train_system(TrainedSystem& system, const PipelineConfig& config) {
       if (!ec) {
         for (std::size_t k = 0; k < pending.size(); ++k) {
           const auto si = static_cast<std::size_t>(pending[k]);
-          save_model_atomic(system.sensors[si].bl1, paths[si].bl1);
-          save_model_atomic(system.sensors[si].bl2, paths[si].bl2);
-          save_model_atomic(system.sensors[si].relaxed, paths[si].rlx);
+          nn::save_model_atomic(system.sensors[si].bl1, paths[si].bl1.string());
+          nn::save_model_atomic(system.sensors[si].bl2, paths[si].bl2.string());
+          nn::save_model_atomic(system.sensors[si].relaxed,
+                                paths[si].rlx.string());
         }
       }
     }
@@ -308,33 +319,69 @@ void train_system(TrainedSystem& system, const PipelineConfig& config) {
   }
 }
 
+void calibrate_system(TrainedSystem& system, const PipelineConfig& config) {
+  const int num_classes = system.spec.num_classes();
+  std::array<nn::Samples, data::kNumSensors> calib;
+  std::array<std::vector<double>, data::kNumSensors> rows;
+  std::array<std::vector<double>, data::kNumSensors> rows_relaxed;
+
+  // Stage 1: held-out window synthesis, one task per sensor. Each task
+  // writes only its own slots.
+  auto synthesize = [&](std::size_t si) {
+    const auto loc = static_cast<data::SensorLocation>(si);
+    calib[si] = training_set_for(config, system.spec, loc,
+                                 config.calib_per_class,
+                                 0xCA11Bu + si);
+    system.test_sets[si] = training_set_for(config, system.spec, loc,
+                                            config.test_per_class,
+                                            0x7E57u + si);
+  };
+
+  // Stage 2: measurement, one task per (sensor, model variant) — task k
+  // is sensor k%3, variant k/3, so each task owns one model exclusively
+  // (batched inference keeps per-thread arenas, but the int8 and panel
+  // caches live in the model). Both passes run on the batched paths,
+  // which are pinned bit-identical to the per-sample oracles.
+  auto measure = [&](std::size_t k) {
+    const std::size_t si = k % data::kNumSensors;
+    const bool relaxed = k >= data::kNumSensors;
+    nn::Sequential& model =
+        relaxed ? system.sensors[si].relaxed : system.sensors[si].bl2;
+    auto& accuracy =
+        relaxed ? system.calib_accuracy_relaxed[si] : system.calib_accuracy[si];
+    auto& row = relaxed ? rows_relaxed[si] : rows[si];
+    accuracy = per_class_accuracy_batch(model, calib[si], num_classes);
+    row = ConfidenceMatrix::calibrate_sensor(model, calib[si], num_classes);
+  };
+
+  const unsigned threads =
+      config.train_threads > 0 ? static_cast<unsigned>(config.train_threads)
+                               : fleet::ThreadPool::hardware_threads();
+  if (threads > 1) {
+    // Two flat run_batch calls, like train_system — the pool is not
+    // reentrant, and stage 2 reads every sensor's calibration set.
+    fleet::ThreadPool pool(std::min<unsigned>(
+        threads, static_cast<unsigned>(data::kNumSensors) * 2u));
+    pool.run_batch(data::kNumSensors, synthesize);
+    pool.run_batch(static_cast<std::size_t>(data::kNumSensors) * 2, measure);
+  } else {
+    for (std::size_t si = 0; si < data::kNumSensors; ++si) synthesize(si);
+    for (std::size_t k = 0; k < data::kNumSensors * 2u; ++k) measure(k);
+  }
+
+  // Serial merge in sensor order: rank tables + confidence matrices for
+  // the strict (BL-2) and relaxed model sets.
+  system.ranks = RankTable::from_accuracy(system.calib_accuracy);
+  system.confidence = ConfidenceMatrix::from_rows(rows, num_classes);
+  system.ranks_relaxed = RankTable::from_accuracy(system.calib_accuracy_relaxed);
+  system.confidence_relaxed =
+      ConfidenceMatrix::from_rows(rows_relaxed, num_classes);
+}
+
 TrainedSystem build_system(const PipelineConfig& config) {
   TrainedSystem system;
   train_system(system, config);
-
-  // Calibration: rank table + confidence matrix from held-out windows,
-  // separately for the strict (BL-2) and relaxed model sets.
-  std::array<nn::Samples, data::kNumSensors> calib;
-  for (int s = 0; s < data::kNumSensors; ++s) {
-    const auto si = static_cast<std::size_t>(s);
-    const auto loc = static_cast<data::SensorLocation>(s);
-    calib[si] = training_set_for(config, system.spec, loc,
-                                 config.calib_per_class, 0xCA11Bu + si);
-    system.calib_accuracy[si] = per_class_accuracy(
-        system.sensors[si].bl2, calib[si], system.spec.num_classes());
-    system.calib_accuracy_relaxed[si] = per_class_accuracy(
-        system.sensors[si].relaxed, calib[si], system.spec.num_classes());
-    system.test_sets[si] = training_set_for(config, system.spec, loc,
-                                            config.test_per_class, 0x7E57u + si);
-  }
-  system.ranks = RankTable::from_accuracy(system.calib_accuracy);
-  system.confidence = ConfidenceMatrix::calibrate(
-      system.bl2_models(),
-      {&calib[0], &calib[1], &calib[2]}, system.spec.num_classes());
-  system.ranks_relaxed = RankTable::from_accuracy(system.calib_accuracy_relaxed);
-  system.confidence_relaxed = ConfidenceMatrix::calibrate(
-      system.relaxed_models(),
-      {&calib[0], &calib[1], &calib[2]}, system.spec.num_classes());
+  calibrate_system(system, config);
   return system;
 }
 

@@ -102,7 +102,18 @@ nn::Sequential make_bl1_architecture(const data::DatasetSpec& spec,
 /// leaves a torn model file.
 void train_system(TrainedSystem& system, const PipelineConfig& config);
 
-/// Trains (or loads from cache) the full system.
+/// Calibration stage of build_system, exposed so benches and tests can
+/// time and re-run it standalone: synthesizes the held-out calibration
+/// and test sets, measures per-class accuracy, and builds the rank
+/// tables and confidence matrices for the strict and relaxed model
+/// sets. The work fans out over config.train_threads workers in two
+/// flat stages (three per-sensor data syntheses, then six per-model
+/// measurement passes), each task owning one model exclusively; the
+/// rank/confidence assembly is a serial merge in sensor order, so the
+/// tables are bit-identical at any thread count.
+void calibrate_system(TrainedSystem& system, const PipelineConfig& config);
+
+/// Trains (or loads from cache) and calibrates the full system.
 TrainedSystem build_system(const PipelineConfig& config);
 
 /// Per-class accuracy of `model` on `samples` (classes sized by
@@ -110,6 +121,13 @@ TrainedSystem build_system(const PipelineConfig& config);
 std::vector<double> per_class_accuracy(nn::Sequential& model,
                                        const nn::Samples& samples,
                                        int num_classes);
+
+/// per_class_accuracy on the batched inference path (predict_batch in
+/// fixed-size chunks) — bit-identical counts, kept separate so the
+/// per-sample loop remains the oracle the batch path is tested against.
+std::vector<double> per_class_accuracy_batch(nn::Sequential& model,
+                                             const nn::Samples& samples,
+                                             int num_classes);
 
 /// Stable cache key for the given configuration (exposed for tests).
 std::string pipeline_cache_key(const PipelineConfig& config);

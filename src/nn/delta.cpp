@@ -1,0 +1,247 @@
+#include "nn/delta.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+
+#include "util/fileio.hpp"
+
+namespace origin::nn {
+
+namespace {
+
+constexpr char kMagic[8] = {'O', 'R', 'G', 'N', 'D', 'E', 'L', 'T'};
+constexpr std::uint32_t kVersion = 1;
+
+std::vector<Tensor*> params_of(const Sequential& model) {
+  // params() is non-const by design (callers usually mutate); reading
+  // through it is the established idiom (see Layer::param_count).
+  return const_cast<Sequential&>(model).params();
+}
+
+/// Smallest power of two `s` with max_abs <= 32767 * s. Power-of-two
+/// scales keep q * scale exact (outside the subnormal range), which is
+/// what makes apply-then-encode a projection.
+float pow2_scale(float max_abs) {
+  int exp = 0;
+  std::frexp(max_abs / 32767.0f, &exp);  // max_abs/32767 = m * 2^exp, m<1
+  return std::ldexp(1.0f, exp);
+}
+
+void append_u32(std::string& out, std::uint32_t v) {
+  for (int b = 0; b < 4; ++b) out.push_back(static_cast<char>(v >> (8 * b)));
+}
+void append_u64(std::string& out, std::uint64_t v) {
+  for (int b = 0; b < 8; ++b) out.push_back(static_cast<char>(v >> (8 * b)));
+}
+void append_f32(std::string& out, float v) {
+  std::uint32_t bits;
+  std::memcpy(&bits, &v, sizeof bits);
+  append_u32(out, bits);
+}
+
+class Cursor {
+ public:
+  explicit Cursor(const std::string& blob) : blob_(blob) {}
+  const char* take(std::size_t n) {
+    if (pos_ + n > blob_.size()) throw std::runtime_error("delta: truncated");
+    const char* p = blob_.data() + pos_;
+    pos_ += n;
+    return p;
+  }
+  std::uint32_t u32() {
+    const auto* p = reinterpret_cast<const unsigned char*>(take(4));
+    std::uint32_t v = 0;
+    for (int b = 0; b < 4; ++b) v |= static_cast<std::uint32_t>(p[b]) << (8 * b);
+    return v;
+  }
+  std::uint64_t u64() {
+    const auto* p = reinterpret_cast<const unsigned char*>(take(8));
+    std::uint64_t v = 0;
+    for (int b = 0; b < 8; ++b) v |= static_cast<std::uint64_t>(p[b]) << (8 * b);
+    return v;
+  }
+  float f32() {
+    const std::uint32_t bits = u32();
+    float v;
+    std::memcpy(&v, &bits, sizeof v);
+    return v;
+  }
+  bool exhausted() const { return pos_ == blob_.size(); }
+
+ private:
+  const std::string& blob_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::uint64_t params_fingerprint(const Sequential& model) {
+  std::uint64_t h = 1469598103934665603ULL;  // FNV-1a offset basis
+  for (const Tensor* p : params_of(model)) {
+    const auto* bytes = reinterpret_cast<const unsigned char*>(p->data());
+    for (std::size_t i = 0; i < p->size() * sizeof(float); ++i) {
+      h = (h ^ bytes[i]) * 1099511628211ULL;
+    }
+  }
+  return h;
+}
+
+ModelDelta delta_encode(const Sequential& base, const Sequential& tuned) {
+  const std::vector<Tensor*> bp = params_of(base);
+  const std::vector<Tensor*> tp = params_of(tuned);
+  if (bp.size() != tp.size()) {
+    throw std::runtime_error("delta_encode: parameter layout mismatch");
+  }
+  ModelDelta delta;
+  delta.base_fingerprint = params_fingerprint(base);
+  delta.base_param_tensors = static_cast<std::uint32_t>(bp.size());
+  for (std::size_t i = 0; i < bp.size(); ++i) {
+    if (bp[i]->size() != tp[i]->size()) {
+      throw std::runtime_error("delta_encode: tensor size mismatch");
+    }
+    const float* b = bp[i]->data();
+    const float* t = tp[i]->data();
+    float max_abs = 0.0f;
+    for (std::size_t k = 0; k < bp[i]->size(); ++k) {
+      max_abs = std::max(max_abs, std::fabs(t[k] - b[k]));
+    }
+    if (max_abs == 0.0f) continue;
+    TensorDelta entry;
+    entry.param_index = static_cast<std::uint32_t>(i);
+    entry.scale = pow2_scale(max_abs);
+    entry.q.resize(bp[i]->size());
+    for (std::size_t k = 0; k < bp[i]->size(); ++k) {
+      const float q = std::nearbyint((t[k] - b[k]) / entry.scale);
+      entry.q[k] = static_cast<std::int16_t>(
+          std::min(32767.0f, std::max(-32767.0f, q)));
+    }
+    delta.entries.push_back(std::move(entry));
+  }
+  return delta;
+}
+
+void delta_apply(const Sequential& base, const ModelDelta& delta,
+                 Sequential& model) {
+  delta_apply_with_fingerprint(base, params_fingerprint(base), delta, model);
+}
+
+void delta_apply_with_fingerprint(const Sequential& base,
+                                  std::uint64_t fingerprint,
+                                  const ModelDelta& delta, Sequential& model) {
+  const std::vector<Tensor*> bp = params_of(base);
+  const std::vector<Tensor*> mp = model.params();
+  if (bp.size() != mp.size()) {
+    throw std::runtime_error("delta_apply: parameter layout mismatch");
+  }
+  // A default-constructed delta is the identity: restore plain base.
+  const bool identity =
+      delta.base_param_tensors == 0 && delta.entries.empty();
+  if (!identity) {
+    if (delta.base_param_tensors != static_cast<std::uint32_t>(bp.size())) {
+      throw std::runtime_error("delta_apply: parameter layout mismatch");
+    }
+    if (delta.base_fingerprint != fingerprint) {
+      throw std::runtime_error("delta_apply: delta was taken against a "
+                               "different base model");
+    }
+  }
+  std::size_t next_entry = 0;
+  for (std::size_t i = 0; i < bp.size(); ++i) {
+    if (bp[i]->size() != mp[i]->size()) {
+      throw std::runtime_error("delta_apply: tensor size mismatch");
+    }
+    const float* b = bp[i]->data();
+    float* m = mp[i]->data();
+    const TensorDelta* entry = nullptr;
+    if (next_entry < delta.entries.size() &&
+        delta.entries[next_entry].param_index == i) {
+      entry = &delta.entries[next_entry++];
+      if (entry->q.size() != bp[i]->size()) {
+        throw std::runtime_error("delta_apply: entry size mismatch");
+      }
+    }
+    for (std::size_t k = 0; k < bp[i]->size(); ++k) {
+      m[k] = entry ? b[k] + static_cast<float>(entry->q[k]) * entry->scale
+                   : b[k];
+    }
+  }
+  if (next_entry != delta.entries.size()) {
+    throw std::runtime_error("delta_apply: entries out of order or out of "
+                             "range");
+  }
+}
+
+std::string delta_to_string(const ModelDelta& delta) {
+  std::string out;
+  out.append(kMagic, sizeof kMagic);
+  append_u32(out, kVersion);
+  append_u64(out, delta.base_fingerprint);
+  append_u32(out, delta.base_param_tensors);
+  append_u32(out, static_cast<std::uint32_t>(delta.entries.size()));
+  for (const TensorDelta& entry : delta.entries) {
+    append_u32(out, entry.param_index);
+    append_f32(out, entry.scale);
+    append_u64(out, entry.q.size());
+    for (std::int16_t q : entry.q) {
+      out.push_back(static_cast<char>(q & 0xFF));
+      out.push_back(static_cast<char>((q >> 8) & 0xFF));
+    }
+  }
+  return out;
+}
+
+ModelDelta delta_from_string(const std::string& blob) {
+  Cursor c(blob);
+  if (std::memcmp(c.take(sizeof kMagic), kMagic, sizeof kMagic) != 0) {
+    throw std::runtime_error("delta: bad magic (not a model delta)");
+  }
+  const std::uint32_t version = c.u32();
+  if (version != kVersion) {
+    throw std::runtime_error("delta: unsupported version " +
+                             std::to_string(version));
+  }
+  ModelDelta delta;
+  delta.base_fingerprint = c.u64();
+  delta.base_param_tensors = c.u32();
+  const std::uint32_t entries = c.u32();
+  if (entries > delta.base_param_tensors) {
+    throw std::runtime_error("delta: implausible entry count");
+  }
+  std::uint32_t previous_index = 0;
+  for (std::uint32_t e = 0; e < entries; ++e) {
+    TensorDelta entry;
+    entry.param_index = c.u32();
+    if (entry.param_index >= delta.base_param_tensors ||
+        (e > 0 && entry.param_index <= previous_index)) {
+      throw std::runtime_error("delta: entries out of order");
+    }
+    previous_index = entry.param_index;
+    entry.scale = c.f32();
+    const std::uint64_t count = c.u64();
+    if (count > (1ULL << 28)) {
+      throw std::runtime_error("delta: implausible tensor size");
+    }
+    entry.q.resize(count);
+    const auto* p = reinterpret_cast<const unsigned char*>(c.take(count * 2));
+    for (std::uint64_t k = 0; k < count; ++k) {
+      entry.q[k] = static_cast<std::int16_t>(
+          static_cast<std::uint16_t>(p[2 * k]) |
+          (static_cast<std::uint16_t>(p[2 * k + 1]) << 8));
+    }
+    delta.entries.push_back(std::move(entry));
+  }
+  if (!c.exhausted()) throw std::runtime_error("delta: trailing bytes");
+  return delta;
+}
+
+void save_delta_atomic(const ModelDelta& delta, const std::string& path) {
+  util::write_file_atomic(path, delta_to_string(delta));
+}
+
+ModelDelta load_delta(const std::string& path) {
+  return delta_from_string(util::read_file(path));
+}
+
+}  // namespace origin::nn

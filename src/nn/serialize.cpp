@@ -12,6 +12,7 @@
 #include "nn/layernorm.hpp"
 #include "nn/pooling.hpp"
 #include "nn/softmax.hpp"
+#include "util/fileio.hpp"
 
 namespace origin::nn {
 
@@ -174,6 +175,10 @@ void save_model(const Sequential& model, const std::string& path) {
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out) throw std::runtime_error("save_model: cannot open " + path);
   save_model(model, out);
+}
+
+void save_model_atomic(const Sequential& model, const std::string& path) {
+  util::write_file_atomic(path, model_to_string(model));
 }
 
 Sequential load_model(std::istream& in) {

@@ -18,6 +18,12 @@ namespace origin::nn {
 void save_model(const Sequential& model, std::ostream& out);
 void save_model(const Sequential& model, const std::string& path);
 
+/// Atomic save via util::write_file_atomic: the model is serialized to
+/// memory first, then staged through `<path>.tmp.<pid>` and renamed, so
+/// concurrent readers never see a torn file and a failed write leaves
+/// neither a corrupt `path` nor a stale temp file behind.
+void save_model_atomic(const Sequential& model, const std::string& path);
+
 /// Throws std::runtime_error on malformed/truncated input or unknown kinds.
 Sequential load_model(std::istream& in);
 Sequential load_model(const std::string& path);

@@ -51,6 +51,10 @@ void session_summary_fields(obs::JsonWriter& w, const SessionSummary& s) {
   w.key("stored_j").begin_array();
   for (double j : s.stored_j) w.value(j);
   w.end_array();
+  w.kv("fine_tunes", s.fine_tunes);
+  w.kv("fine_tune_steps", s.fine_tune_steps);
+  w.kv("delta_bytes", s.delta_bytes);
+  w.kv("personalize_j", s.personalize_j);
 }
 
 }  // namespace
@@ -80,6 +84,10 @@ std::string completed_session_json(const CompletedSession& record) {
   w.kv("harvested_j", record.harvested_j);
   w.kv("consumed_j", record.consumed_j);
   w.kv("outputs_fnv1a", record.outputs_fnv1a);
+  w.kv("fine_tunes", record.fine_tunes);
+  w.kv("fine_tune_steps", record.fine_tune_steps);
+  w.kv("delta_bytes", record.delta_bytes);
+  w.kv("personalize_j", record.personalize_j);
   w.end_object();
   return w.str();
 }

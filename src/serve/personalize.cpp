@@ -1,0 +1,208 @@
+#include "serve/personalize.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "fleet/shard.hpp"
+#include "nn/dropout.hpp"
+#include "nn/energy_model.hpp"
+#include "nn/trainer.hpp"
+
+namespace origin::serve {
+
+namespace {
+
+/// Salts for the per-fit seed derivation: every fine-tune of every
+/// session draws dropout and shuffle seeds from its own
+/// (seed_offset, fine-tune ordinal, sensor) triple, so the fit is a pure
+/// function of the session's history — the property that makes served
+/// fine-tuning reproducible across thread counts and snapshot splits.
+constexpr std::uint64_t kFitSeedSalt = 0x9E12A1F17EULL;
+constexpr std::uint64_t kShuffleSalt = 0xD1CEULL;
+
+}  // namespace
+
+std::vector<std::uint8_t> tail_trainable_mask(nn::Sequential& model,
+                                              int tail_layers) {
+  if (tail_layers < 1) {
+    throw std::invalid_argument("tail_trainable_mask: tail_layers < 1");
+  }
+  // Per-layer parameter counts in params() order.
+  std::vector<std::size_t> layer_params;
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < model.layer_count(); ++i) {
+    const std::size_t n = model.layer(i).params().size();
+    layer_params.push_back(n);
+    total += n;
+  }
+  std::vector<std::uint8_t> mask(total, 0);
+  int remaining = tail_layers;
+  std::size_t end = total;
+  for (std::size_t i = layer_params.size(); i-- > 0 && remaining > 0;) {
+    if (layer_params[i] == 0) continue;
+    for (std::size_t k = end - layer_params[i]; k < end; ++k) mask[k] = 1;
+    --remaining;
+    end -= layer_params[i];
+  }
+  return mask;
+}
+
+Personalizer::Personalizer(
+    const sim::Experiment& experiment,
+    const std::array<nn::Sequential, data::kNumSensors>& deployed,
+    PersonalizeConfig config)
+    : config_(std::move(config)), base_(deployed) {
+  if (config_.step_budget < 1 || config_.cadence_slots < 1 ||
+      config_.min_samples < 1 || config_.max_samples < config_.min_samples ||
+      config_.batch_size < 1 || config_.epochs < 1 ||
+      config_.learning_rate <= 0.0 || config_.tune_tail_layers < 1) {
+    throw std::invalid_argument("Personalizer: invalid config");
+  }
+  const std::vector<int> input_shape{experiment.spec().channels,
+                                     experiment.spec().window_len};
+  const nn::ComputeProfile& profile =
+      experiment.config().pipeline.profile;
+  for (std::size_t s = 0; s < data::kNumSensors; ++s) {
+    base_fingerprint_[s] = nn::params_fingerprint(base_[s]);
+    trainable_[s] = tail_trainable_mask(base_[s], config_.tune_tail_layers);
+    // One training sample-pass ~ forward + backward + weight update over
+    // the same MACs as inference: the conventional 3x multiplier on the
+    // existing per-inference cost model.
+    sample_cost_j_[s] =
+        3.0 * nn::estimate_cost(base_[s], input_shape, profile).energy_j;
+  }
+}
+
+void Personalizer::load(const PersonalizeState& state, std::uint64_t id,
+                        std::array<nn::Sequential, data::kNumSensors>& models) {
+  if (loaded_ == static_cast<std::int64_t>(id)) return;
+  if (!state.dirty() && !scratch_dirty_) {
+    // Scratch still holds pristine base and this session never adapted.
+    loaded_ = static_cast<std::int64_t>(id);
+    return;
+  }
+  for (std::size_t s = 0; s < data::kNumSensors; ++s) {
+    nn::delta_apply_with_fingerprint(base_[s], base_fingerprint_[s],
+                                     state.delta[s], models[s]);
+  }
+  scratch_dirty_ = state.dirty();
+  loaded_ = static_cast<std::int64_t>(id);
+}
+
+std::uint64_t Personalizer::serialized_bytes(
+    const std::array<nn::ModelDelta, data::kNumSensors>& delta) {
+  std::uint64_t bytes = 0;
+  for (const auto& d : delta) {
+    bytes += static_cast<std::uint64_t>(nn::delta_to_string(d).size());
+  }
+  return bytes;
+}
+
+std::uint64_t Personalizer::after_step(
+    PersonalizeState& state, std::uint64_t seed_offset,
+    const sim::SlotStepper::StepOutcome& outcome, data::SlotSource& source,
+    std::array<nn::Sequential, data::kNumSensors>& models) {
+  // Buffer the slot when the fused ensemble output matched ground truth:
+  // pseudo-labels the session can safely adapt toward (AHAR-style
+  // self-training on confident slots).
+  if (outcome.predicted >= 0 && outcome.predicted == outcome.label) {
+    const data::SlotSample& slot = source.slot(outcome.slot);
+    PersonalizeState::BufferedSample sample;
+    sample.label = slot.label;
+    for (std::size_t s = 0; s < data::kNumSensors; ++s) {
+      sample.windows[s] = slot.windows[s];
+    }
+    state.buffer.push_back(std::move(sample));
+    while (state.buffer.size() >
+           static_cast<std::size_t>(config_.max_samples)) {
+      state.buffer.pop_front();
+    }
+  }
+
+  // Cadence gate on the session-local slot index — a pure function of
+  // the session's own progress, independent of tick chunking.
+  if ((outcome.slot + 1) % static_cast<std::size_t>(config_.cadence_slots) !=
+      0) {
+    return 0;
+  }
+  if (state.buffer.size() < static_cast<std::size_t>(config_.min_samples)) {
+    return 0;
+  }
+  const std::uint64_t budget = static_cast<std::uint64_t>(config_.step_budget);
+  if (state.steps_used >= budget) return 0;
+  const std::uint64_t remaining = budget - state.steps_used;
+  const std::uint64_t epochs = static_cast<std::uint64_t>(config_.epochs);
+  if (remaining < epochs) return 0;
+  // Largest sample count whose fit stays inside the remaining budget:
+  // one fit costs epochs * ceil(n / batch) optimizer steps per net.
+  const std::uint64_t max_batches = remaining / epochs;
+  const std::uint64_t max_n =
+      max_batches * static_cast<std::uint64_t>(config_.batch_size);
+  const std::size_t n =
+      std::min(state.buffer.size(), static_cast<std::size_t>(max_n));
+  if (n < static_cast<std::size_t>(config_.min_samples)) return 0;
+
+  // Most recent n buffered slots, oldest first.
+  const std::size_t first = state.buffer.size() - n;
+  const std::uint64_t fit_seed =
+      fleet::shard_seed(seed_offset ^ kFitSeedSalt, state.fine_tunes);
+  for (std::size_t s = 0; s < data::kNumSensors; ++s) {
+    nn::Samples samples;
+    samples.reserve(n);
+    for (std::size_t i = first; i < state.buffer.size(); ++i) {
+      samples.push_back(
+          {state.buffer[i].windows[s], state.buffer[i].label});
+    }
+    // Deterministic stochastic layers: the fit's dropout draws depend
+    // only on (session, fine-tune ordinal, sensor), never on how many
+    // fits other sessions ran on this shard scratch before.
+    const std::uint64_t sensor_seed = fleet::shard_seed(fit_seed, s);
+    for (std::size_t l = 0; l < models[s].layer_count(); ++l) {
+      if (auto* dropout = dynamic_cast<nn::Dropout*>(&models[s].layer(l))) {
+        dropout->reseed(sensor_seed + l);
+      }
+    }
+    nn::TrainConfig train;
+    train.epochs = config_.epochs;
+    train.batch_size = config_.batch_size;
+    train.learning_rate = config_.learning_rate;
+    train.lr_decay = 1.0;
+    train.weight_decay = 0.0;
+    train.shuffle_seed = sensor_seed ^ kShuffleSalt;
+    train.early_stop_accuracy = 0.0;
+    nn::Trainer(train).fit(models[s], samples);
+
+    // Freeze: parameters outside the trainable tail snap back to base,
+    // so the whole personalized state lives in the tail delta.
+    const std::vector<nn::Tensor*> bp = base_[s].params();
+    const std::vector<nn::Tensor*> mp = models[s].params();
+    for (std::size_t p = 0; p < bp.size(); ++p) {
+      if (trainable_[s][p]) continue;
+      std::copy(bp[p]->data(), bp[p]->data() + bp[p]->size(),
+                mp[p]->data());
+    }
+    // Realize the quantized state: encode the tail diff, then apply it
+    // back so the live weights sit exactly on the delta grid — what the
+    // snapshot stores is bit-for-bit what keeps serving.
+    state.delta[s] = nn::delta_encode(base_[s], models[s]);
+    nn::delta_apply_with_fingerprint(base_[s], base_fingerprint_[s],
+                                     state.delta[s], models[s]);
+    state.energy_j +=
+        sample_cost_j_[s] * static_cast<double>(n) *
+        static_cast<double>(config_.epochs);
+  }
+  scratch_dirty_ = true;
+
+  const std::uint64_t batches =
+      (static_cast<std::uint64_t>(n) +
+       static_cast<std::uint64_t>(config_.batch_size) - 1) /
+      static_cast<std::uint64_t>(config_.batch_size);
+  const std::uint64_t steps = epochs * batches;
+  state.steps_used += steps;
+  ++state.fine_tunes;
+  state.delta_bytes = serialized_bytes(state.delta);
+  state.buffer.clear();
+  return steps;
+}
+
+}  // namespace origin::serve

@@ -39,6 +39,18 @@ ServeLoop::ServeLoop(const sim::Experiment& experiment, ServeConfig config)
   if (config_.bits != 32 && (config_.bits < 2 || config_.bits > 8)) {
     throw std::invalid_argument("ServeLoop: bits must be 32 or in [2, 8]");
   }
+  if (config_.personalize.enabled) {
+    if (config_.bits != 32) {
+      throw std::invalid_argument(
+          "ServeLoop: personalize requires bits == 32 — fine-tuning trains "
+          "float weights, which int8 model copies would not serve");
+    }
+    if (config_.batch_slots != 0) {
+      throw std::invalid_argument(
+          "ServeLoop: personalize requires batch_slots == 0 — block "
+          "classification caches would serve pre-fine-tune outputs");
+    }
+  }
 
   admitted_id_ = registry_.add_counter("serve.sessions.admitted");
   completed_id_ = registry_.add_counter("serve.sessions.completed");
@@ -47,6 +59,8 @@ ServeLoop::ServeLoop(const sim::Experiment& experiment, ServeConfig config)
       "serve.accuracy_pct", obs::MetricsRegistry::linear_bounds(5, 5, 20));
   success_pct_id_ = registry_.add_histogram(
       "serve.success_rate_pct", obs::MetricsRegistry::linear_bounds(5, 5, 20));
+  fine_tunes_id_ = registry_.add_counter("serve.fine_tunes");
+  fine_tune_steps_id_ = registry_.add_counter("serve.fine_tune_steps");
   step_seconds_id_ = registry_.add_histogram(
       "serve.step_seconds",
       obs::MetricsRegistry::exponential_bounds(1e-6, 2.0, 20),
@@ -60,8 +74,8 @@ ServeLoop::ServeLoop(const sim::Experiment& experiment, ServeConfig config)
 
   shards_.reserve(config_.shards);
   for (std::size_t i = 0; i < config_.shards; ++i) {
-    shards_.push_back(
-        std::make_unique<SessionShard>(experiment, config_.set, config_.bits));
+    shards_.push_back(std::make_unique<SessionShard>(
+        experiment, config_.set, config_.bits, config_.personalize));
     shards_.back()->set_wall_metrics(registry_.make_shard());
   }
   if (obs::kTraceEnabled && config_.flight_capacity > 0) {
@@ -166,6 +180,9 @@ void ServeLoop::publish_round(std::uint64_t to, double tick_seconds) {
       round_completed.push_back(std::move(record));
     }
     shard->round_completed().clear();
+    det_metrics_.inc(fine_tunes_id_, shard->round_fine_tunes());
+    det_metrics_.inc(fine_tune_steps_id_, shard->round_fine_tune_steps());
+    shard->clear_round_personalize();
   }
   // Canonical completion order: by (completed_tick, id), NOT by shard —
   // a session's position in the log is then a pure function of the
@@ -212,6 +229,12 @@ void ServeLoop::rebuild_published_locked() {
       summary.completions = stepper.result().completion.completions;
       for (std::size_t s = 0; s < data::kNumSensors; ++s) {
         summary.stored_j[s] = stepper.node(s).stored_j();
+      }
+      if (const PersonalizeState* st = session->personalize()) {
+        summary.fine_tunes = st->fine_tunes;
+        summary.fine_tune_steps = st->steps_used;
+        summary.delta_bytes = st->delta_bytes;
+        summary.personalize_j = st->energy_j;
       }
       summaries_.push_back(summary);
       ++active;

@@ -60,6 +60,12 @@ struct ServeConfig {
   /// In-shard batching (SimulatorConfig::batch_slots); must stay within
   /// ring_capacity. Bit-identical either way.
   int batch_slots = 0;
+  /// In-shard bounded per-user fine-tuning (serve/personalize.hpp).
+  /// Changes results, so every field is part of the snapshot fingerprint.
+  /// Requires bits == 32 (fine-tuning trains float weights; int8 copies
+  /// would serve stale quantized weights) and batch_slots == 0 (block
+  /// classification caches would serve pre-fine-tune outputs).
+  PersonalizeConfig personalize;
   /// Recent-results ring exposed on /results (older records are dropped;
   /// seq numbers keep the stream gap-free for consumers that care).
   std::size_t results_capacity = 4096;
@@ -167,6 +173,7 @@ class ServeLoop {
   obs::MetricsRegistry registry_;
   obs::MetricId admitted_id_{}, completed_id_{}, slots_id_{};
   obs::MetricId accuracy_pct_id_{}, success_pct_id_{};
+  obs::MetricId fine_tunes_id_{}, fine_tune_steps_id_{};
   obs::MetricId step_seconds_id_{}, tick_seconds_id_{};
   /// Deterministic metrics, recorded only during the serial publish fold.
   obs::MetricsShard det_metrics_;

@@ -8,6 +8,7 @@
 #include <memory>
 
 #include "data/user_profile.hpp"
+#include "serve/personalize.hpp"
 #include "sim/experiment.hpp"
 #include "sim/slot_stepper.hpp"
 
@@ -50,11 +51,20 @@ class Session {
   sim::SlotStepper& stepper() { return stepper_; }
   const sim::SlotStepper& stepper() const { return stepper_; }
 
+  /// Per-session fine-tuning state; null unless the shard's personalize
+  /// mode is on (enable_personalize() is called on admission).
+  PersonalizeState* personalize() { return personalize_.get(); }
+  const PersonalizeState* personalize() const { return personalize_.get(); }
+  void enable_personalize() {
+    if (!personalize_) personalize_ = std::make_unique<PersonalizeState>();
+  }
+
  private:
   SessionSpec spec_;
   std::unique_ptr<core::Policy> policy_;
   data::StreamCursor cursor_;
   sim::SlotStepper stepper_;
+  std::unique_ptr<PersonalizeState> personalize_;
 };
 
 }  // namespace origin::serve

@@ -18,7 +18,8 @@ std::uint64_t fnv1a_outputs(const std::vector<int>& outputs) {
 }
 
 SessionShard::SessionShard(const sim::Experiment& experiment,
-                           sim::ModelSet set, int bits)
+                           sim::ModelSet set, int bits,
+                           const PersonalizeConfig& personalize)
     : models_(set == sim::ModelSet::Relaxed
                   ? experiment.system().relaxed_copy()
                   : experiment.system().bl2_copy()),
@@ -26,9 +27,14 @@ SessionShard::SessionShard(const sim::Experiment& experiment,
   if (bits != 32) {
     for (nn::Sequential& model : models_) model.set_inference_bits(bits);
   }
+  if (personalize.enabled) {
+    personalizer_ =
+        std::make_unique<Personalizer>(experiment, models_, personalize);
+  }
 }
 
 void SessionShard::admit(std::unique_ptr<Session> session) {
+  if (personalizer_) session->enable_personalize();
   active_.push_back(std::move(session));
 }
 
@@ -39,6 +45,11 @@ void SessionShard::serve_ticks(std::uint64_t from, std::uint64_t to,
     const SessionSpec& spec = session->spec();
     std::uint64_t tick = std::max(spec.arrival_tick, from);
     std::uint64_t last_tick = tick;
+    if (personalizer_ && tick < to && !session->done()) {
+      // Re-target the shard scratch at this session's personalized
+      // weights before its first step of the round.
+      personalizer_->load(*session->personalize(), spec.id, models_);
+    }
     while (tick < to && !session->done()) {
 #if ORIGIN_TRACE_ENABLED
       std::array<std::uint64_t, data::kNumSensors> nvp_saves_before{};
@@ -53,6 +64,15 @@ void SessionShard::serve_ticks(std::uint64_t from, std::uint64_t to,
 #endif
       const auto begin = clock::now();
       const auto out = session->stepper().step();
+      if (personalizer_) {
+        const std::uint64_t steps = personalizer_->after_step(
+            *session->personalize(), spec.seed_offset, out,
+            session->stepper().source(), models_);
+        if (steps > 0) {
+          ++round_fine_tunes_;
+          round_fine_tune_steps_ += steps;
+        }
+      }
       wall_metrics_.observe(
           step_seconds,
           std::chrono::duration<double>(clock::now() - begin).count());
@@ -122,6 +142,12 @@ void SessionShard::serve_ticks(std::uint64_t from, std::uint64_t to,
       }
       done.outputs_fnv1a = fnv1a_outputs(result.outputs);
       done.outputs = std::move(result.outputs);
+      if (const PersonalizeState* st = session->personalize()) {
+        done.fine_tunes = st->fine_tunes;
+        done.fine_tune_steps = st->steps_used;
+        done.delta_bytes = st->delta_bytes;
+        done.personalize_j = st->energy_j;
+      }
       ORIGIN_TRACE(
           flight_,
           session_end(static_cast<std::int64_t>(done.id), shard_index_,

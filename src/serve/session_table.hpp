@@ -42,6 +42,12 @@ struct CompletedSession {
   std::uint64_t outputs_fnv1a = 0;
   /// The outputs themselves (one int per slot, -1 = no output).
   std::vector<int> outputs;
+  // --- Personalization aggregates (zero unless the loop's personalize
+  // mode was on; see serve/personalize.hpp).
+  std::uint64_t fine_tunes = 0;
+  std::uint64_t fine_tune_steps = 0;
+  std::uint64_t delta_bytes = 0;
+  double personalize_j = 0.0;
 };
 
 /// Live view of one active session for the /sessions endpoint.
@@ -54,6 +60,10 @@ struct SessionSummary {
   std::uint64_t attempts = 0;
   std::uint64_t completions = 0;
   std::array<double, data::kNumSensors> stored_j{};
+  std::uint64_t fine_tunes = 0;
+  std::uint64_t fine_tune_steps = 0;
+  std::uint64_t delta_bytes = 0;
+  double personalize_j = 0.0;
 };
 
 /// FNV-1a (64-bit) over a fused-output sequence.
@@ -67,9 +77,12 @@ class SessionShard {
   /// Builds this shard's private copies of the deployed networks for
   /// `set` (inference mutates activation caches, so shards never share).
   /// `bits` != 32 switches the copies to the int8 serving path
-  /// (Sequential::set_inference_bits).
+  /// (Sequential::set_inference_bits). When `personalize.enabled`, the
+  /// shard also keeps pristine base copies and a Personalizer, and its
+  /// model scratch is re-targeted per session (base + session delta)
+  /// before that session's ticks.
   SessionShard(const sim::Experiment& experiment, sim::ModelSet set,
-               int bits = 32);
+               int bits = 32, const PersonalizeConfig& personalize = {});
 
   std::array<nn::Sequential, data::kNumSensors>* models() { return &models_; }
 
@@ -86,6 +99,16 @@ class SessionShard {
   /// Round logs, cleared by the publisher after folding.
   std::vector<SlotRecord>& round_slots() { return round_slots_; }
   std::vector<CompletedSession>& round_completed() { return round_completed_; }
+  /// Fine-tunes run / optimizer steps consumed this round (folded into
+  /// the deterministic counters by the publisher, which also resets them).
+  std::uint64_t round_fine_tunes() const { return round_fine_tunes_; }
+  std::uint64_t round_fine_tune_steps() const { return round_fine_tune_steps_; }
+  void clear_round_personalize() {
+    round_fine_tunes_ = 0;
+    round_fine_tune_steps_ = 0;
+  }
+
+  Personalizer* personalizer() { return personalizer_.get(); }
 
   obs::MetricsShard& wall_metrics() { return wall_metrics_; }
   void set_wall_metrics(obs::MetricsShard shard) {
@@ -108,9 +131,12 @@ class SessionShard {
 
  private:
   std::array<nn::Sequential, data::kNumSensors> models_;
+  std::unique_ptr<Personalizer> personalizer_;  // null unless enabled
   std::vector<std::unique_ptr<Session>> active_;  // admission (= id) order
   std::vector<SlotRecord> round_slots_;
   std::vector<CompletedSession> round_completed_;
+  std::uint64_t round_fine_tunes_ = 0;
+  std::uint64_t round_fine_tune_steps_ = 0;
   obs::MetricsShard wall_metrics_;
   obs::FlightLog* flight_ = nullptr;
   int shard_index_ = 0;

@@ -9,39 +9,11 @@
 // metrics are bit-identical to one that never stopped.
 #include "serve/snapshot.hpp"
 
-#include <unistd.h>
-
-#include <cstdio>
-#include <fstream>
-
+#include "nn/delta.hpp"
 #include "nn/kernels/backend.hpp"
 #include "serve/serve_loop.hpp"
 
 namespace origin::serve {
-
-void write_file_atomic(const std::string& path, const std::string& bytes) {
-  const std::string tmp = path + ".tmp." + std::to_string(::getpid());
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out || !out.write(bytes.data(),
-                           static_cast<std::streamsize>(bytes.size()))) {
-      std::remove(tmp.c_str());
-      throw std::runtime_error("snapshot: cannot write " + tmp);
-    }
-  }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    std::remove(tmp.c_str());
-    throw std::runtime_error("snapshot: cannot rename " + tmp + " -> " + path);
-  }
-}
-
-std::string read_file(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) throw std::runtime_error("snapshot: cannot read " + path);
-  std::string bytes((std::istreambuf_iterator<char>(in)),
-                    std::istreambuf_iterator<char>());
-  return bytes;
-}
 
 namespace {
 
@@ -128,6 +100,10 @@ void write_completed(SnapshotWriter& w, const CompletedSession& c) {
   w.u64(c.outputs_fnv1a);
   w.u64(c.outputs.size());
   for (int v : c.outputs) w.i32(v);
+  w.u64(c.fine_tunes);
+  w.u64(c.fine_tune_steps);
+  w.u64(c.delta_bytes);
+  w.f64(c.personalize_j);
 }
 
 CompletedSession read_completed(SnapshotReader& r) {
@@ -143,6 +119,10 @@ CompletedSession read_completed(SnapshotReader& r) {
   c.outputs_fnv1a = r.u64();
   c.outputs.resize(r.u64());
   for (auto& v : c.outputs) v = r.i32();
+  c.fine_tunes = r.u64();
+  c.fine_tune_steps = r.u64();
+  c.delta_bytes = r.u64();
+  c.personalize_j = r.f64();
   return c;
 }
 
@@ -184,6 +164,18 @@ void ServeLoop::save(const std::string& path) const {
   w.i32(experiment_->config().stream_slots);
   w.u64(experiment_->config().stream_seed);
   w.i32(experiment_->spec().num_classes());
+  // Personalization knobs all change the served outputs, so every field
+  // fingerprints — a snapshot taken with fine-tuning off (or differently
+  // tuned) refuses to load under another config.
+  w.u8(config_.personalize.enabled ? 1 : 0);
+  w.i32(config_.personalize.step_budget);
+  w.i32(config_.personalize.cadence_slots);
+  w.i32(config_.personalize.min_samples);
+  w.i32(config_.personalize.max_samples);
+  w.i32(config_.personalize.batch_size);
+  w.f64(config_.personalize.learning_rate);
+  w.i32(config_.personalize.epochs);
+  w.i32(config_.personalize.tune_tail_layers);
 
   w.u64(now_);
   w.u64(next_admit_);
@@ -245,6 +237,26 @@ void ServeLoop::save(const std::string& path) const {
       w.u64(result.output_transitions);
       w.u64(result.outputs.size());
       for (int v : result.outputs) w.i32(v);
+      if (config_.personalize.enabled) {
+        const PersonalizeState& st = *session->personalize();
+        w.u64(st.fine_tunes);
+        w.u64(st.steps_used);
+        w.u64(st.delta_bytes);
+        w.f64(st.energy_j);
+        w.u64(st.buffer.size());
+        for (const auto& sample : st.buffer) {
+          w.i32(sample.label);
+          for (const auto& window : sample.windows) write_tensor(w, window);
+        }
+        // The deltas round-trip through their own codec: a restored
+        // session's in-memory weights (base + dequantized delta) are the
+        // bytes the fit realized, so serving resumes bit-identically.
+        for (const auto& delta : st.delta) {
+          const std::string bytes = nn::delta_to_string(delta);
+          w.u64(bytes.size());
+          w.raw(bytes.data(), bytes.size());
+        }
+      }
     }
   }
 
@@ -289,6 +301,18 @@ void ServeLoop::restore(const std::string& path) {
   check(r.u64() == experiment_->config().stream_seed, "stream_seed");
   const int num_classes = experiment_->spec().num_classes();
   check(r.i32() == num_classes, "num_classes");
+  check((r.u8() != 0) == config_.personalize.enabled, "personalize.enabled");
+  check(r.i32() == config_.personalize.step_budget, "personalize.step_budget");
+  check(r.i32() == config_.personalize.cadence_slots,
+        "personalize.cadence_slots");
+  check(r.i32() == config_.personalize.min_samples, "personalize.min_samples");
+  check(r.i32() == config_.personalize.max_samples, "personalize.max_samples");
+  check(r.i32() == config_.personalize.batch_size, "personalize.batch_size");
+  check(r.f64() == config_.personalize.learning_rate,
+        "personalize.learning_rate");
+  check(r.i32() == config_.personalize.epochs, "personalize.epochs");
+  check(r.i32() == config_.personalize.tune_tail_layers,
+        "personalize.tune_tail_layers");
 
   const std::uint64_t saved_now = r.u64();
   const std::uint64_t saved_next_admit = r.u64();
@@ -307,6 +331,8 @@ void ServeLoop::restore(const std::string& path) {
   for (const auto& record : completed_) {
     record_completed_metrics(record);
     det_metrics_.inc(slots_id_, record.slots);
+    det_metrics_.inc(fine_tunes_id_, record.fine_tunes);
+    det_metrics_.inc(fine_tune_steps_id_, record.fine_tune_steps);
   }
 
   const std::uint64_t active_count = r.u64();
@@ -375,6 +401,30 @@ void ServeLoop::restore(const std::string& path) {
     result.output_transitions = r.u64();
     result.outputs.resize(r.u64());
     for (auto& v : result.outputs) v = r.i32();
+    if (config_.personalize.enabled) {
+      PersonalizeState& st = *session.personalize();
+      st.fine_tunes = r.u64();
+      st.steps_used = r.u64();
+      st.delta_bytes = r.u64();
+      st.energy_j = r.f64();
+      st.buffer.clear();
+      const std::uint64_t buffered = r.u64();
+      for (std::uint64_t b = 0; b < buffered; ++b) {
+        PersonalizeState::BufferedSample sample;
+        sample.label = r.i32();
+        for (auto& window : sample.windows) window = read_tensor(r);
+        st.buffer.push_back(std::move(sample));
+      }
+      for (auto& delta : st.delta) {
+        std::string bytes(r.u64(), '\0');
+        std::memcpy(bytes.data(), r.take(bytes.size()), bytes.size());
+        delta = nn::delta_from_string(bytes);
+      }
+      // The weights themselves are re-derived lazily: Personalizer::load
+      // re-applies base + delta before the session's next served tick.
+      det_metrics_.inc(fine_tunes_id_, st.fine_tunes);
+      det_metrics_.inc(fine_tune_steps_id_, st.steps_used);
+    }
   }
 
   if (!r.exhausted()) {

@@ -12,6 +12,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "util/fileio.hpp"
+
 namespace origin::serve {
 
 inline constexpr char kSnapshotMagic[8] = {'O', 'R', 'G', 'N',
@@ -19,7 +21,12 @@ inline constexpr char kSnapshotMagic[8] = {'O', 'R', 'G', 'N',
 /// Version 2 added the inference word width (ServeConfig::bits) and the
 /// active kernel backend name to the config fingerprint: both change the
 /// served bits, so a snapshot refuses to load under a different one.
-inline constexpr std::uint32_t kSnapshotVersion = 2;
+/// Version 3 added per-user personalization: the PersonalizeConfig fields
+/// join the fingerprint (fine-tuning changes results), completed records
+/// carry fine-tune aggregates, and active sessions store their sample
+/// buffer plus per-sensor weight deltas so a restored fleet resumes
+/// serving personalized models.
+inline constexpr std::uint32_t kSnapshotVersion = 3;
 
 /// Append-only little-endian byte buffer.
 class SnapshotWriter {
@@ -102,11 +109,9 @@ class SnapshotReader {
   std::size_t pos_ = 0;
 };
 
-/// Atomic file write: `<path>.tmp.<pid>` + rename. Throws
-/// std::runtime_error on I/O failure (the temp file is removed).
-void write_file_atomic(const std::string& path, const std::string& bytes);
-
-/// Whole-file read; throws std::runtime_error when unreadable.
-std::string read_file(const std::string& path);
+/// Atomic file write / whole-file read — shared with the model cache and
+/// the per-user delta store (see util/fileio.hpp for the contract).
+using util::write_file_atomic;
+using util::read_file;
 
 }  // namespace origin::serve

@@ -61,6 +61,9 @@ class SlotStepper {
   const net::HostDevice& host() const { return host_; }
   core::Policy& policy() { return *policy_; }
   const core::Policy& policy() const { return *policy_; }
+  /// The session's slot source — re-requesting the slot just stepped is
+  /// always within the lookback window (serve-tier window capture).
+  data::SlotSource& source() { return *source_; }
   SimResult& result() { return result_; }
   const SimResult& result() const { return result_; }
   const std::array<double, data::kNumSensors>& last_success_s() const {

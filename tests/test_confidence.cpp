@@ -100,5 +100,72 @@ TEST(ConfidenceMatrix, CalibrateValidatesInputs) {
       std::invalid_argument);
 }
 
+// A model whose prediction varies with the input, so calibration sees a
+// mix of predicted classes.
+nn::Sequential varied_model(std::uint64_t seed) {
+  util::Rng rng(seed);
+  nn::Sequential m;
+  m.emplace<nn::Dense>(4, 3, rng);
+  return m;
+}
+
+nn::Samples varied_samples(int n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  nn::Samples samples;
+  for (int i = 0; i < n; ++i) {
+    samples.push_back({nn::Tensor::randn({4}, rng, 1.0f), i % 3});
+  }
+  return samples;
+}
+
+TEST(ConfidenceMatrix, CalibrateSensorMatchesCalibrateBitwise) {
+  // The batched per-sensor row (the unit of the parallel pipeline
+  // calibration) against the per-sample calibrate() oracle.
+  nn::Sequential m0 = varied_model(11), m1 = varied_model(12),
+                 m2 = varied_model(13);
+  const nn::Samples s0 = varied_samples(40, 21), s1 = varied_samples(37, 22),
+                    s2 = varied_samples(5, 23);
+  const auto oracle =
+      ConfidenceMatrix::calibrate({&m0, &m1, &m2}, {&s0, &s1, &s2}, 3);
+  std::array<std::vector<double>, data::kNumSensors> rows = {
+      ConfidenceMatrix::calibrate_sensor(m0, s0, 3),
+      ConfidenceMatrix::calibrate_sensor(m1, s1, 3),
+      ConfidenceMatrix::calibrate_sensor(m2, s2, 3)};
+  const auto assembled = ConfidenceMatrix::from_rows(rows, 3);
+  for (int s = 0; s < data::kNumSensors; ++s) {
+    for (int c = 0; c < 3; ++c) {
+      EXPECT_EQ(assembled.weight(static_cast<SensorLocation>(s), c),
+                oracle.weight(static_cast<SensorLocation>(s), c))
+          << "sensor " << s << " class " << c;
+    }
+  }
+}
+
+TEST(ConfidenceMatrix, CalibrateSensorSingleWindowClass) {
+  // One calibration window: its predicted class's cell and every
+  // never-predicted class's global-mean fallback all equal that single
+  // window's softmax variance.
+  nn::Sequential m = varied_model(31);
+  const nn::Samples one = varied_samples(1, 41);
+  const auto row = ConfidenceMatrix::calibrate_sensor(m, one, 3);
+  ASSERT_EQ(row.size(), 3u);
+  EXPECT_GT(row[0], 0.0);
+  EXPECT_EQ(row[0], row[1]);
+  EXPECT_EQ(row[1], row[2]);
+}
+
+TEST(ConfidenceMatrix, FromRowsValidatesRowSizes) {
+  std::array<std::vector<double>, data::kNumSensors> rows = {
+      std::vector<double>{0.1, 0.2}, std::vector<double>{0.1, 0.2},
+      std::vector<double>{0.1}};  // wrong length
+  EXPECT_THROW(ConfidenceMatrix::from_rows(rows, 2), std::invalid_argument);
+}
+
+TEST(ConfidenceMatrix, DistanceRequiresMatchingClassCount) {
+  ConfidenceMatrix a(2), b(3);
+  EXPECT_THROW(a.distance(b), std::invalid_argument);
+  EXPECT_THROW(b.distance(a), std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace origin::core

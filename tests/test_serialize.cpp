@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <csignal>
 #include <filesystem>
+#include <sys/resource.h>
 
 #include "nn/activations.hpp"
 #include "nn/conv1d.hpp"
@@ -107,6 +109,52 @@ TEST(Serialize, DropoutRateSurvives) {
   auto* d = dynamic_cast<Dropout*>(&loaded.layer(0));
   ASSERT_NE(d, nullptr);
   EXPECT_FLOAT_EQ(d->rate(), 0.42f);
+}
+
+TEST(Serialize, FailedAtomicSaveLeavesNoTempFile) {
+  // Regression: a write failure mid-stream (simulated with a file-size
+  // rlimit) must surface as an exception AND clean up the `.tmp.<pid>`
+  // staging file — a crashed save used to leave it behind.
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::temp_directory_path() / "origin_atomic_save_test";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  const std::string path = (dir / "model.bin").string();
+
+  struct rlimit old_limit {};
+  ASSERT_EQ(getrlimit(RLIMIT_FSIZE, &old_limit), 0);
+  // Exceeding the limit raises SIGXFSZ (default: kill); ignore it so the
+  // write fails with EFBIG instead.
+  struct sigaction old_action {};
+  struct sigaction ignore {};
+  ignore.sa_handler = SIG_IGN;
+  ASSERT_EQ(sigaction(SIGXFSZ, &ignore, &old_action), 0);
+  struct rlimit tiny = old_limit;
+  tiny.rlim_cur = 64;  // far below any serialized model
+  ASSERT_EQ(setrlimit(RLIMIT_FSIZE, &tiny), 0);
+
+  Sequential m = representative_model(8);
+  EXPECT_THROW(save_model_atomic(m, path), std::runtime_error);
+
+  ASSERT_EQ(setrlimit(RLIMIT_FSIZE, &old_limit), 0);
+  ASSERT_EQ(sigaction(SIGXFSZ, &old_action, nullptr), 0);
+
+  EXPECT_FALSE(fs::exists(path));
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    ADD_FAILURE() << "stale file left behind: " << entry.path();
+  }
+
+  // With the limit lifted the same call succeeds and stages nothing.
+  save_model_atomic(m, path);
+  Sequential loaded = load_model(path);
+  expect_same_outputs(m, loaded, {3, 20});
+  std::size_t files = 0;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    (void)entry;
+    ++files;
+  }
+  EXPECT_EQ(files, 1u);
+  fs::remove_all(dir);
 }
 
 TEST(Serialize, ConvConfigSurvives) {
