@@ -109,6 +109,25 @@ void BM_PredictBatch(benchmark::State& state) {
 }
 BENCHMARK(BM_PredictBatch)->Arg(8)->Arg(32)->Arg(128);
 
+/// The cross-session serving panel (DESIGN.md §15): N windows through the
+/// pruned BL-2 deployment net via predict_proba_batch_into, the exact
+/// call SessionShard::run_panel_group makes per (sensor, tick) panel.
+void BM_PredictBatchBL2(benchmark::State& state) {
+  auto net = pruned_net();
+  const auto windows =
+      random_windows(static_cast<std::size_t>(state.range(0)), 9);
+  std::vector<const nn::Tensor*> ptrs;
+  for (const auto& w : windows) ptrs.push_back(&w);
+  std::vector<float> probs;
+  for (auto _ : state) {
+    net.predict_proba_batch_into(ptrs.data(), ptrs.size(), probs);
+    benchmark::DoNotOptimize(probs.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(windows.size()));
+}
+BENCHMARK(BM_PredictBatchBL2)->Arg(1)->Arg(8)->Arg(40);
+
 /// The int8 serving path over the same batch: per-sample activation
 /// quantization + int32-accumulation GEMMs (backend-invariant bits).
 void BM_PredictBatchInt8(benchmark::State& state) {

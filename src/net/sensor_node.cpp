@@ -67,37 +67,44 @@ bool SensorNode::can_infer() const {
   return !failed_ && capacitor_.stored_j() >= total_cost_j_;
 }
 
-std::optional<Classification> SensorNode::attempt_wait_compute(
+SensorNode::AttemptProbe SensorNode::probe_wait_compute(
     const nn::Tensor& window, const Classification* precomputed) {
   ++counters_.attempts;
+  AttemptProbe probe;
   if (failed_) {
     ++counters_.skipped_no_energy;
-    return std::nullopt;
+    return probe;
   }
   if (!capacitor_.try_draw(total_cost_j_)) {
     ++counters_.skipped_no_energy;
-    return std::nullopt;
+    return probe;
   }
   counters_.consumed_j += total_cost_j_;
   ++counters_.completions;
-  if (precomputed) return *precomputed;
-  return make_classification(model_->predict_proba(window));
+  probe.completed = true;
+  if (precomputed) {
+    probe.ready = *precomputed;
+  } else {
+    probe.classify = &window;
+  }
+  return probe;
 }
 
-std::optional<Classification> SensorNode::attempt_eager(
+SensorNode::AttemptProbe SensorNode::probe_eager(
     const nn::Tensor& window, double start_threshold_frac,
     const Classification* precomputed) {
   ++counters_.attempts;
+  AttemptProbe probe;
   if (failed_) {
     ++counters_.skipped_no_energy;
-    return std::nullopt;
+    return probe;
   }
   if (!nvp_.task_active()) {
     // New task: only begin once a minimal charge exists (a cold processor
     // cannot even boot below this).
     if (capacitor_.stored_j() < start_threshold_frac * total_cost_j_) {
       ++counters_.skipped_no_energy;
-      return std::nullopt;
+      return probe;
     }
     nvp_.begin_task(total_cost_j_);
     pending_window_ = window;
@@ -121,44 +128,75 @@ std::optional<Classification> SensorNode::attempt_eager(
         pending_result_.reset();
       }
     }
-    return std::nullopt;
+    return probe;
   }
   ++counters_.completions;
+  probe.completed = true;
   if (pending_result_) {
-    const Classification out = *pending_result_;
-    pending_window_.reset();
-    pending_result_.reset();
-    return out;
+    probe.ready = *pending_result_;
+  } else {
+    // A resumed task finishes on its *original* window, which may be stale
+    // by now — as on hardware. Park it somewhere that outlives the probe.
+    completed_window_ = pending_window_ ? std::move(*pending_window_) : window;
+    probe.classify = &completed_window_;
   }
-  nn::Tensor input = pending_window_ ? *pending_window_ : window;
   pending_window_.reset();
   pending_result_.reset();
-  return make_classification(model_->predict_proba(input));
+  return probe;
 }
 
-std::optional<Classification> SensorNode::attempt_deadline(
+SensorNode::AttemptProbe SensorNode::probe_deadline(
     const nn::Tensor& window, double start_threshold_frac,
     const Classification* precomputed) {
   ++counters_.attempts;
+  AttemptProbe probe;
   if (failed_) {
     ++counters_.skipped_no_energy;
-    return std::nullopt;
+    return probe;
   }
   if (capacitor_.stored_j() < start_threshold_frac * total_cost_j_) {
     ++counters_.skipped_no_energy;
-    return std::nullopt;
+    return probe;
   }
   if (capacitor_.try_draw(total_cost_j_)) {
     counters_.consumed_j += total_cost_j_;
     ++counters_.completions;
-    if (precomputed) return *precomputed;
-    return make_classification(model_->predict_proba(window));
+    probe.completed = true;
+    if (precomputed) {
+      probe.ready = *precomputed;
+    } else {
+      probe.classify = &window;
+    }
+    return probe;
   }
   // Started but cannot make the deadline: everything stored burns on
   // partial work that the slot-synchronous ensemble cannot use.
   counters_.consumed_j += capacitor_.draw_up_to(total_cost_j_);
   ++counters_.died_midway;
-  return std::nullopt;
+  return probe;
+}
+
+std::optional<Classification> SensorNode::resolve(const AttemptProbe& probe) {
+  if (!probe.completed) return std::nullopt;
+  if (probe.ready) return *probe.ready;
+  return make_classification(model_->predict_proba(*probe.classify));
+}
+
+std::optional<Classification> SensorNode::attempt_wait_compute(
+    const nn::Tensor& window, const Classification* precomputed) {
+  return resolve(probe_wait_compute(window, precomputed));
+}
+
+std::optional<Classification> SensorNode::attempt_eager(
+    const nn::Tensor& window, double start_threshold_frac,
+    const Classification* precomputed) {
+  return resolve(probe_eager(window, start_threshold_frac, precomputed));
+}
+
+std::optional<Classification> SensorNode::attempt_deadline(
+    const nn::Tensor& window, double start_threshold_frac,
+    const Classification* precomputed) {
+  return resolve(probe_deadline(window, start_threshold_frac, precomputed));
 }
 
 Classification SensorNode::classify(const nn::Tensor& window) {

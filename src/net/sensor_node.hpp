@@ -95,6 +95,19 @@ class SensorNode {
   double stored_j() const { return capacitor_.stored_j(); }
   double capacity_j() const { return capacitor_.capacity_j(); }
 
+  /// Outcome of the bookkeeping half of an attempt (probe_*): whether the
+  /// inference completed this call, and — when it did — either the ready
+  /// classification (precomputed / captured at task begin) or the window
+  /// the caller must classify with this node's model. `classify` stays
+  /// valid until the node's next probe/attempt; classification is a pure
+  /// function of (model, window), so deferring it never changes energy
+  /// state, counters, or the result itself.
+  struct AttemptProbe {
+    bool completed = false;
+    const nn::Tensor* classify = nullptr;
+    std::optional<Classification> ready;
+  };
+
   /// Wait-compute attempt: runs the inference only if the full energy is
   /// available; otherwise records a skip and returns nullopt.
   ///
@@ -106,6 +119,23 @@ class SensorNode {
   /// all counters and outputs stay bit-identical.
   std::optional<Classification> attempt_wait_compute(
       const nn::Tensor& window, const Classification* precomputed = nullptr);
+
+  /// Bookkeeping halves of the three attempt flavors: identical energy /
+  /// NVP / counter effects to the fused attempt_* calls, but the model
+  /// forward pass is left to the caller (the serve tier batches it across
+  /// sessions). attempt_X(w, ...) == resolve(probe_X(w, ...)) by
+  /// construction.
+  AttemptProbe probe_wait_compute(const nn::Tensor& window,
+                                  const Classification* precomputed = nullptr);
+  AttemptProbe probe_eager(const nn::Tensor& window,
+                           double start_threshold_frac = 0.1,
+                           const Classification* precomputed = nullptr);
+  AttemptProbe probe_deadline(const nn::Tensor& window,
+                              double start_threshold_frac = 0.1,
+                              const Classification* precomputed = nullptr);
+  /// Completes a probe in-place: classifies probe.classify on this node's
+  /// model when no ready result was captured.
+  std::optional<Classification> resolve(const AttemptProbe& probe);
 
   /// Eager attempt: starts/continues regardless of the stored energy
   /// (above a small start threshold), drawing what is there. A volatile
@@ -170,6 +200,10 @@ class SensorNode {
   /// Precomputed classification of pending_window_, captured at task
   /// begin when the caller runs batched inference ahead of the attempts.
   std::optional<Classification> pending_result_;
+  /// Stable home for the window an eager completion must classify (the
+  /// pending window is consumed by the probe; AttemptProbe::classify
+  /// points here until the next probe).
+  nn::Tensor completed_window_;
 };
 
 }  // namespace origin::net

@@ -165,6 +165,23 @@ std::vector<std::vector<float>> Sequential::predict_proba_batch(
   return predict_proba_batch(ptrs.data(), ptrs.size());
 }
 
+std::size_t Sequential::predict_proba_batch_into(const Tensor* const* inputs,
+                                                 std::size_t count,
+                                                 std::vector<float>& probs) {
+  probs.clear();
+  if (count == 0) return 0;
+  static thread_local std::vector<Tensor> logits;
+  if (logits.size() < count) logits.resize(count);
+  forward_batch_inference(inputs, count, logits.data());
+  const std::size_t num_classes = logits[0].size();
+  probs.reserve(count * num_classes);
+  for (std::size_t b = 0; b < count; ++b) {
+    const std::vector<float> row = softmax(logits[b].vec());
+    probs.insert(probs.end(), row.begin(), row.end());
+  }
+  return num_classes;
+}
+
 std::vector<int> Sequential::predict_batch(const Tensor* const* inputs,
                                            std::size_t count) {
   std::vector<Tensor> logits(count);

@@ -70,6 +70,15 @@ class Sequential {
       const Tensor* const* inputs, std::size_t count);
   std::vector<std::vector<float>> predict_proba_batch(
       std::span<const Tensor> inputs);
+  /// Flat-output variant for hot serving panels: row b of `probs`
+  /// (`num_classes` floats, returned) equals predict_proba(inputs[b])
+  /// bit-for-bit. `probs` is resized to count * num_classes and its
+  /// capacity is the caller's to reuse across panels — steady-state
+  /// panel classification allocates nothing beyond the thread-local
+  /// activation arena.
+  std::size_t predict_proba_batch_into(const Tensor* const* inputs,
+                                       std::size_t count,
+                                       std::vector<float>& probs);
   /// Batched top-1 prediction; element b matches predict(inputs[b]).
   std::vector<int> predict_batch(const Tensor* const* inputs,
                                  std::size_t count);

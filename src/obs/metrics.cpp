@@ -173,6 +173,24 @@ void MetricsShard::observe(MetricId id, double v) {
   cell.sum += v;
 }
 
+void MetricsShard::restore_histogram(MetricId id, const HistogramCell& cell) {
+  const MetricDef& def = checked(id, MetricKind::Histogram);
+  HistogramCell& a = histograms_[def.slot];
+  if (cell.buckets.size() != a.buckets.size()) {
+    throw std::logic_error("MetricsShard::restore_histogram: bucket layout of '" +
+                           def.name + "' does not match the captured cell");
+  }
+  for (std::size_t k = 0; k < a.buckets.size(); ++k) {
+    a.buckets[k] += cell.buckets[k];
+  }
+  if (cell.count > 0) {
+    a.min = a.count > 0 ? std::min(a.min, cell.min) : cell.min;
+    a.max = a.count > 0 ? std::max(a.max, cell.max) : cell.max;
+    a.count += cell.count;
+    a.sum += cell.sum;
+  }
+}
+
 void MetricsShard::merge(const MetricsShard& other) {
   if (registry_ != other.registry_) {
     throw std::logic_error("MetricsShard::merge: shards from different registries");

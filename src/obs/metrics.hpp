@@ -94,6 +94,12 @@ class MetricsShard {
   /// shards (max is exact and commutative, unlike last-write).
   void set_max(MetricId id, double v);
   void observe(MetricId id, double v);
+  /// Adds a previously captured cell into this shard's histogram:
+  /// bucket-wise sums plus min/max merge. For snapshot restore, where a
+  /// deterministic histogram's accumulated state is replayed wholesale
+  /// instead of observation by observation. The cell's bucket layout must
+  /// match the metric's (same upper_bounds it was captured under).
+  void restore_histogram(MetricId id, const HistogramCell& cell);
 
   void merge(const MetricsShard& other);
 

@@ -89,6 +89,18 @@ void Personalizer::load(const PersonalizeState& state, std::uint64_t id,
   loaded_ = static_cast<std::int64_t>(id);
 }
 
+void Personalizer::load_base(
+    std::array<nn::Sequential, data::kNumSensors>& models) {
+  if (scratch_dirty_) {
+    for (std::size_t s = 0; s < data::kNumSensors; ++s) {
+      nn::delta_apply_with_fingerprint(base_[s], base_fingerprint_[s],
+                                       nn::ModelDelta{}, models[s]);
+    }
+    scratch_dirty_ = false;
+  }
+  loaded_ = -1;
+}
+
 std::uint64_t Personalizer::serialized_bytes(
     const std::array<nn::ModelDelta, data::kNumSensors>& delta) {
   std::uint64_t bytes = 0;
@@ -102,6 +114,14 @@ std::uint64_t Personalizer::after_step(
     PersonalizeState& state, std::uint64_t seed_offset,
     const sim::SlotStepper::StepOutcome& outcome, data::SlotSource& source,
     std::array<nn::Sequential, data::kNumSensors>& models) {
+  buffer_step(state, outcome, source);
+  if (!fit_due(state, outcome)) return 0;
+  return run_fit(state, seed_offset, models);
+}
+
+void Personalizer::buffer_step(PersonalizeState& state,
+                               const sim::SlotStepper::StepOutcome& outcome,
+                               data::SlotSource& source) {
   // Buffer the slot when the fused ensemble output matched ground truth:
   // pseudo-labels the session can safely adapt toward (AHAR-style
   // self-training on confident slots).
@@ -118,21 +138,39 @@ std::uint64_t Personalizer::after_step(
       state.buffer.pop_front();
     }
   }
+}
 
+bool Personalizer::fit_due(const PersonalizeState& state,
+                           const sim::SlotStepper::StepOutcome& outcome) const {
   // Cadence gate on the session-local slot index — a pure function of
   // the session's own progress, independent of tick chunking.
   if ((outcome.slot + 1) % static_cast<std::size_t>(config_.cadence_slots) !=
       0) {
-    return 0;
+    return false;
   }
   if (state.buffer.size() < static_cast<std::size_t>(config_.min_samples)) {
-    return 0;
+    return false;
   }
+  const std::uint64_t budget = static_cast<std::uint64_t>(config_.step_budget);
+  if (state.steps_used >= budget) return false;
+  const std::uint64_t remaining = budget - state.steps_used;
+  const std::uint64_t epochs = static_cast<std::uint64_t>(config_.epochs);
+  if (remaining < epochs) return false;
+  const std::uint64_t max_batches = remaining / epochs;
+  const std::uint64_t max_n =
+      max_batches * static_cast<std::uint64_t>(config_.batch_size);
+  const std::size_t n =
+      std::min(state.buffer.size(), static_cast<std::size_t>(max_n));
+  return n >= static_cast<std::size_t>(config_.min_samples);
+}
+
+std::uint64_t Personalizer::run_fit(
+    PersonalizeState& state, std::uint64_t seed_offset,
+    std::array<nn::Sequential, data::kNumSensors>& models) {
   const std::uint64_t budget = static_cast<std::uint64_t>(config_.step_budget);
   if (state.steps_used >= budget) return 0;
   const std::uint64_t remaining = budget - state.steps_used;
   const std::uint64_t epochs = static_cast<std::uint64_t>(config_.epochs);
-  if (remaining < epochs) return 0;
   // Largest sample count whose fit stays inside the remaining budget:
   // one fit costs epochs * ceil(n / batch) optimizer steps per net.
   const std::uint64_t max_batches = remaining / epochs;
@@ -140,7 +178,6 @@ std::uint64_t Personalizer::after_step(
       max_batches * static_cast<std::uint64_t>(config_.batch_size);
   const std::size_t n =
       std::min(state.buffer.size(), static_cast<std::size_t>(max_n));
-  if (n < static_cast<std::size_t>(config_.min_samples)) return 0;
 
   // Most recent n buffered slots, oldest first.
   const std::size_t first = state.buffer.size() - n;

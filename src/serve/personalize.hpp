@@ -93,14 +93,37 @@ class Personalizer {
   void load(const PersonalizeState& state, std::uint64_t id,
             std::array<nn::Sequential, data::kNumSensors>& models);
 
+  /// Restores the pristine base weights into the shard scratch (no-op
+  /// when it is already clean). The cross-session batched path serves
+  /// every clean (empty-delta) session from one shared base panel, so it
+  /// loads base once per tick instead of once per session.
+  void load_base(std::array<nn::Sequential, data::kNumSensors>& models);
+
   /// Post-step hook: buffers the slot's windows when the fused output
   /// matched ground truth, and runs a budgeted micro-fit on the cadence.
   /// `models` must currently hold this session's weights (see load()).
   /// Returns the optimizer steps consumed (0 when no fit ran).
+  /// Equivalent to buffer_step + (fit_due ? run_fit : 0) — the batched
+  /// serve path calls the pieces so it can defer the (possibly redundant)
+  /// load() until a fit is actually due.
   std::uint64_t after_step(PersonalizeState& state, std::uint64_t seed_offset,
                            const sim::SlotStepper::StepOutcome& outcome,
                            data::SlotSource& source,
                            std::array<nn::Sequential, data::kNumSensors>& models);
+
+  /// The buffering half of after_step (needs no model weights).
+  void buffer_step(PersonalizeState& state,
+                   const sim::SlotStepper::StepOutcome& outcome,
+                   data::SlotSource& source);
+  /// Whether a fit would run for this slot, after buffer_step: the
+  /// cadence, min-samples and step-budget gates, evaluated without
+  /// touching the scratch.
+  bool fit_due(const PersonalizeState& state,
+               const sim::SlotStepper::StepOutcome& outcome) const;
+  /// The fit half of after_step. `models` must hold this session's
+  /// weights (load() first). Returns the optimizer steps consumed.
+  std::uint64_t run_fit(PersonalizeState& state, std::uint64_t seed_offset,
+                        std::array<nn::Sequential, data::kNumSensors>& models);
 
   /// Serialized size of a session's three deltas (delta_bytes refresh).
   static std::uint64_t serialized_bytes(

@@ -60,6 +60,16 @@ struct ServeConfig {
   /// In-shard batching (SimulatorConfig::batch_slots); must stay within
   /// ring_capacity. Bit-identical either way.
   int batch_slots = 0;
+  /// Cross-session batched classification (DESIGN.md §15): each shard
+  /// gathers the windows ready across its sessions at a tick and runs one
+  /// GEMM panel per (delta-group, sensor) instead of one matvec per
+  /// window. Non-speculative and bit-identical either way (the fused-FMA
+  /// batch kernels compute each row exactly as the single-sample path),
+  /// so — like threads and batch_slots — it is excluded from the snapshot
+  /// fingerprint. -1 resolves from the ORIGIN_SERVE_BATCH environment
+  /// variable ("0" disables; anything else — or unset — enables); 0 and 1
+  /// pin it explicitly.
+  int serve_batch = -1;
   /// In-shard bounded per-user fine-tuning (serve/personalize.hpp).
   /// Changes results, so every field is part of the snapshot fingerprint.
   /// Requires bits == 32 (fine-tuning trains float weights; int8 copies
@@ -103,8 +113,19 @@ class ServeLoop {
     std::uint64_t active = 0;
     std::uint64_t completed = 0;
     std::uint64_t slots_served = 0;
+    /// Cross-session batching: whether it is on, the GEMM panels run so
+    /// far, the windows classified through them, and the mean windows per
+    /// panel (0 while no panel has run).
+    bool serve_batch = false;
+    std::uint64_t batch_panels = 0;
+    std::uint64_t batch_windows = 0;
+    double batch_mean_occupancy = 0.0;
   };
   Status status() const;
+
+  /// The resolved cross-session batching mode (config.serve_batch with -1
+  /// resolved against ORIGIN_SERVE_BATCH at construction).
+  bool serve_batch() const { return serve_batch_; }
 
   /// SLO summary derived from the published metrics: slot-step and tick
   /// latency quantiles (wall clock — nondeterministic), admission backlog
@@ -174,6 +195,7 @@ class ServeLoop {
   obs::MetricId admitted_id_{}, completed_id_{}, slots_id_{};
   obs::MetricId accuracy_pct_id_{}, success_pct_id_{};
   obs::MetricId fine_tunes_id_{}, fine_tune_steps_id_{};
+  obs::MetricId batch_panels_id_{}, batch_windows_id_{}, batch_occupancy_id_{};
   obs::MetricId step_seconds_id_{}, tick_seconds_id_{};
   /// Deterministic metrics, recorded only during the serial publish fold.
   obs::MetricsShard det_metrics_;
@@ -192,6 +214,7 @@ class ServeLoop {
   std::uint64_t now_ = 0;
   std::uint64_t next_admit_ = 0;
   std::uint64_t results_seq_ = 0;
+  bool serve_batch_ = false;  // config_.serve_batch, resolved
 
   mutable std::mutex publish_mutex_;
   /// Driver-thread tick-latency digest (wall clock), read by slo().

@@ -80,9 +80,12 @@ class SessionShard {
   /// (Sequential::set_inference_bits). When `personalize.enabled`, the
   /// shard also keeps pristine base copies and a Personalizer, and its
   /// model scratch is re-targeted per session (base + session delta)
-  /// before that session's ticks.
+  /// before that session's ticks. `serve_batch` selects cross-session
+  /// batched classification in serve_ticks (DESIGN.md §15): never affects
+  /// results, only how many forward passes compute them.
   SessionShard(const sim::Experiment& experiment, sim::ModelSet set,
-               int bits = 32, const PersonalizeConfig& personalize = {});
+               int bits = 32, const PersonalizeConfig& personalize = {},
+               bool serve_batch = false);
 
   std::array<nn::Sequential, data::kNumSensors>* models() { return &models_; }
 
@@ -107,6 +110,22 @@ class SessionShard {
     round_fine_tunes_ = 0;
     round_fine_tune_steps_ = 0;
   }
+  /// Cross-session batching stats for the round: panels launched, windows
+  /// classified through them, and the per-panel occupancy observations —
+  /// all pure functions of the workload (folded into the deterministic
+  /// serve.batch_* metrics by the publisher, which also resets them).
+  std::uint64_t round_batch_panels() const { return round_batch_panels_; }
+  std::uint64_t round_batch_windows() const { return round_batch_windows_; }
+  const std::vector<std::uint32_t>& round_batch_occupancy() const {
+    return round_batch_occupancy_;
+  }
+  void clear_round_batch() {
+    round_batch_panels_ = 0;
+    round_batch_windows_ = 0;
+    round_batch_occupancy_.clear();
+  }
+
+  bool serve_batch() const { return serve_batch_; }
 
   Personalizer* personalizer() { return personalizer_.get(); }
 
@@ -130,6 +149,36 @@ class SessionShard {
   }
 
  private:
+  /// One session's stake in the current tick of the batched path: the
+  /// range of classify requests its step_begin appended, plus the flight
+  /// recorder's before-counters (probes advance NVP state in phase A).
+  struct PendingStep {
+    Session* session = nullptr;
+    std::size_t req_begin = 0;
+    std::size_t req_end = 0;
+    std::array<std::uint64_t, data::kNumSensors> nvp_saves_before{};
+    std::array<std::uint64_t, data::kNumSensors> nvp_restores_before{};
+  };
+
+  void serve_ticks_sequential(std::uint64_t from, std::uint64_t to,
+                              obs::MetricId step_seconds);
+  void serve_ticks_batched(std::uint64_t from, std::uint64_t to,
+                           obs::MetricId step_seconds);
+  /// Phase B: classifies every gathered request into results_, one
+  /// per-sensor panel per delta-group (shared base panel for clean
+  /// sessions; per-session panels for ones carrying a non-identity delta).
+  void run_panels(const std::vector<PendingStep>& items);
+  /// One (group, sensor) panel over requests_[item range] with the
+  /// weights currently loaded in models_.
+  void run_panel_group(const PendingStep* items, std::size_t item_count);
+  /// Phase C per-session completion: step_finish + personalize + flight +
+  /// the slot record (mirrors one sequential-path loop body).
+  void finish_step(Session& session, const PendingStep& item,
+                   std::uint64_t tick);
+  /// Eviction record + flight session_end for a finished session.
+  void complete_session(Session& session, std::uint64_t last_tick);
+  void capture_nvp_before(const Session& session, PendingStep& item) const;
+
   std::array<nn::Sequential, data::kNumSensors> models_;
   std::unique_ptr<Personalizer> personalizer_;  // null unless enabled
   std::vector<std::unique_ptr<Session>> active_;  // admission (= id) order
@@ -137,10 +186,24 @@ class SessionShard {
   std::vector<CompletedSession> round_completed_;
   std::uint64_t round_fine_tunes_ = 0;
   std::uint64_t round_fine_tune_steps_ = 0;
+  std::uint64_t round_batch_panels_ = 0;
+  std::uint64_t round_batch_windows_ = 0;
+  std::vector<std::uint32_t> round_batch_occupancy_;
   obs::MetricsShard wall_metrics_;
   obs::FlightLog* flight_ = nullptr;
   int shard_index_ = 0;
   double slot_s_ = 0.0;  // virtual seconds per tick (flight timestamps)
+  bool serve_batch_ = false;
+
+  // Batched-path scratch, reused across ticks (no steady-state allocs):
+  // the gathered requests/results of the current tick and the per-panel
+  // gather buffers.
+  std::vector<sim::SlotStepper::ClassifyRequest> requests_;
+  std::vector<net::Classification> results_;
+  std::vector<PendingStep> pending_;
+  std::vector<std::size_t> panel_request_idx_;
+  std::vector<const nn::Tensor*> panel_windows_;
+  std::vector<float> panel_probs_;
 };
 
 }  // namespace origin::serve

@@ -181,6 +181,22 @@ void ServeLoop::save(const std::string& path) const {
   w.u64(next_admit_);
   w.u64(results_seq_);
 
+  // Cross-session batching stats (v4): carried wholesale — the panel
+  // composition of already-served ticks is not recoverable from the
+  // completed log, unlike every other deterministic metric.
+  {
+    const obs::HistogramCell& occupancy =
+        det_metrics_.histogram(batch_occupancy_id_);
+    w.u64(det_metrics_.counter(batch_panels_id_));
+    w.u64(det_metrics_.counter(batch_windows_id_));
+    w.u64(occupancy.buckets.size());
+    for (std::uint64_t bucket : occupancy.buckets) w.u64(bucket);
+    w.u64(occupancy.count);
+    w.f64(occupancy.sum);
+    w.f64(occupancy.min);
+    w.f64(occupancy.max);
+  }
+
   w.u64(completed_.size());
   for (const auto& record : completed_) write_completed(w, record);
 
@@ -319,6 +335,20 @@ void ServeLoop::restore(const std::string& path) {
   const std::uint64_t saved_results_seq = r.u64();
 
   std::lock_guard<std::mutex> lock(publish_mutex_);
+  {
+    const std::uint64_t batch_panels = r.u64();
+    const std::uint64_t batch_windows = r.u64();
+    obs::HistogramCell occupancy;
+    occupancy.buckets.resize(r.u64());
+    for (auto& bucket : occupancy.buckets) bucket = r.u64();
+    occupancy.count = r.u64();
+    occupancy.sum = r.f64();
+    occupancy.min = r.f64();
+    occupancy.max = r.f64();
+    det_metrics_.inc(batch_panels_id_, batch_panels);
+    det_metrics_.inc(batch_windows_id_, batch_windows);
+    det_metrics_.restore_histogram(batch_occupancy_id_, occupancy);
+  }
   completed_.clear();
   const std::uint64_t completed_count = r.u64();
   for (std::uint64_t i = 0; i < completed_count; ++i) {

@@ -26,7 +26,13 @@ inline constexpr char kSnapshotMagic[8] = {'O', 'R', 'G', 'N',
 /// carry fine-tune aggregates, and active sessions store their sample
 /// buffer plus per-sensor weight deltas so a restored fleet resumes
 /// serving personalized models.
-inline constexpr std::uint32_t kSnapshotVersion = 3;
+/// Version 4 added the cross-session batching stats (serve.batch_panels /
+/// serve.batch_windows counters and the serve.batch_occupancy histogram
+/// cell), carried wholesale so /status stays continuous across a restore
+/// — unlike the deterministic metrics, they cannot be replayed from the
+/// completed log. The serve_batch mode itself stays out of the
+/// fingerprint (it never affects results).
+inline constexpr std::uint32_t kSnapshotVersion = 4;
 
 /// Append-only little-endian byte buffer.
 class SnapshotWriter {

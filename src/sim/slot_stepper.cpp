@@ -78,8 +78,11 @@ const net::Classification* SlotStepper::precomputed_for(std::size_t sensor,
   return &cache.results[slot_idx - cache.begin];
 }
 
-SlotStepper::StepOutcome SlotStepper::step() {
-  if (done()) throw std::logic_error("SlotStepper::step: past the end");
+std::size_t SlotStepper::step_begin(std::vector<ClassifyRequest>& out) {
+  if (done()) throw std::logic_error("SlotStepper::step_begin: past the end");
+  if (phase_open_) {
+    throw std::logic_error("SlotStepper::step_begin: slot already open");
+  }
   const std::size_t i = next_slot_;
   const data::SlotSample& slot = source_->slot(i);
   const double t0 = static_cast<double>(i) * slot_s_;
@@ -93,7 +96,8 @@ SlotStepper::StepOutcome SlotStepper::step() {
   }
   host_.age_votes();
 
-  core::SlotContext ctx;
+  core::SlotContext& ctx = pending_ctx_;
+  ctx = core::SlotContext{};
   ctx.slot = static_cast<int>(i);
   ctx.time_s = t0;
   for (int s = 0; s < data::kNumSensors; ++s) {
@@ -102,60 +106,111 @@ SlotStepper::StepOutcome SlotStepper::step() {
     ctx.nodes[si].cost_j = nodes_[si].inference_energy_j();
     ctx.nodes[si].vote_age_s = t0 - last_success_s_[si];
     ctx.nodes[si].alive = !nodes_[si].failed();
-    ORIGIN_TRACE(config_.trace,
-                 energy(static_cast<std::int64_t>(i), t0, s,
-                        ctx.nodes[si].stored_j, ctx.nodes[si].cost_j));
   }
 
-  const std::vector<int> attempts = policy_->plan(ctx);
-#if ORIGIN_TRACE_ENABLED
-  if (config_.trace && !attempts.empty()) {
-    config_.trace->schedule(static_cast<std::int64_t>(i), t0, slot_s_,
-                            attempts, policy_->last_plan_fallback_hops());
-  }
-#endif
-  std::size_t completed = 0;
-  for (int s : attempts) {
+  pending_plan_ = policy_->plan(ctx);
+  pending_hops_ = policy_->last_plan_fallback_hops();
+  pending_attempts_.clear();
+  pending_requests_ = 0;
+  for (int s : pending_plan_) {
     if (s < 0 || s >= data::kNumSensors) {
       throw std::logic_error("SlotStepper: policy planned invalid sensor");
     }
     const auto si = static_cast<std::size_t>(s);
     ++result_.scheduled[si];
     const nn::Tensor& window = slot.windows[si];
-#if ORIGIN_TRACE_ENABLED
-    const double stored_before = nodes_[si].stored_j();
+    PendingAttempt pending;
+    pending.sensor = s;
+    pending.stored_before = nodes_[si].stored_j();
     const net::NodeCounters counters_before = nodes_[si].counters();
-#endif
     const net::Classification* precomputed = precomputed_for(si, i);
-    std::optional<net::Classification> outcome;
+    net::SensorNode::AttemptProbe probe;
     switch (policy_->execution()) {
       case core::ExecutionModel::WaitCompute:
-        outcome = nodes_[si].attempt_wait_compute(window, precomputed);
+        probe = nodes_[si].probe_wait_compute(window, precomputed);
         break;
       case core::ExecutionModel::EagerNvp:
-        outcome = nodes_[si].attempt_eager(window, 0.1, precomputed);
+        probe = nodes_[si].probe_eager(window, 0.1, precomputed);
         break;
       case core::ExecutionModel::Deadline:
-        outcome = nodes_[si].attempt_deadline(window, 0.1, precomputed);
+        probe = nodes_[si].probe_deadline(window, 0.1, precomputed);
         break;
+    }
+    // Completion/failure cause, derived from the node's own counters so
+    // the trace can never disagree with the Fig. 1 statistics.
+    const net::NodeCounters& after = nodes_[si].counters();
+    pending.completed = probe.completed;
+    if (probe.completed) {
+      pending.cause = obs::AttemptOutcome::Completed;
+    } else if (after.skipped_no_energy > counters_before.skipped_no_energy) {
+      pending.cause = obs::AttemptOutcome::SkippedNoEnergy;
+    } else if (after.died_midway > counters_before.died_midway) {
+      pending.cause = obs::AttemptOutcome::DiedMidway;
+    } else {
+      pending.cause = obs::AttemptOutcome::InProgress;
+    }
+    if (probe.completed) {
+      if (probe.ready) {
+        pending.ready = std::move(probe.ready);
+      } else {
+        pending.request = pending_requests_++;
+        out.push_back(ClassifyRequest{s, probe.classify});
+      }
+    }
+    pending_attempts_.push_back(std::move(pending));
+  }
+  pending_label_ = slot.label;
+  phase_open_ = true;
+  return pending_requests_;
+}
+
+SlotStepper::StepOutcome SlotStepper::step_finish(
+    const net::Classification* results, std::size_t count) {
+  if (!phase_open_) {
+    throw std::logic_error("SlotStepper::step_finish: no open slot");
+  }
+  if (count != pending_requests_) {
+    throw std::invalid_argument(
+        "SlotStepper::step_finish: result count does not match the "
+        "requests step_begin issued");
+  }
+  phase_open_ = false;
+  const std::size_t i = next_slot_;
+  const double t0 = static_cast<double>(i) * slot_s_;
+  const double t1 = t0 + slot_s_;
+  const core::SlotContext& ctx = pending_ctx_;
+
+#if ORIGIN_TRACE_ENABLED
+  // The whole trace stream is deferred to here so split and fused
+  // stepping emit byte-identical event sequences per slot.
+  if (config_.trace) {
+    for (int s = 0; s < data::kNumSensors; ++s) {
+      const auto si = static_cast<std::size_t>(s);
+      config_.trace->energy(static_cast<std::int64_t>(i), t0, s,
+                            ctx.nodes[si].stored_j, ctx.nodes[si].cost_j);
+    }
+    if (!pending_plan_.empty()) {
+      config_.trace->schedule(static_cast<std::int64_t>(i), t0, slot_s_,
+                              pending_plan_, pending_hops_);
+    }
+  }
+#endif
+
+  std::size_t completed = 0;
+  for (const PendingAttempt& pending : pending_attempts_) {
+    const int s = pending.sensor;
+    const auto si = static_cast<std::size_t>(s);
+    std::optional<net::Classification> outcome;
+    if (pending.completed) {
+      outcome = pending.ready ? *pending.ready : results[pending.request];
     }
 #if ORIGIN_TRACE_ENABLED
     if (config_.trace) {
-      // Completion/failure cause, derived from the node's own counters
-      // so the trace can never disagree with the Fig. 1 statistics.
-      const net::NodeCounters& after = nodes_[si].counters();
-      obs::AttemptOutcome cause = obs::AttemptOutcome::InProgress;
-      if (outcome) {
-        cause = obs::AttemptOutcome::Completed;
-      } else if (after.skipped_no_energy > counters_before.skipped_no_energy) {
-        cause = obs::AttemptOutcome::SkippedNoEnergy;
-      } else if (after.died_midway > counters_before.died_midway) {
-        cause = obs::AttemptOutcome::DiedMidway;
-      }
       config_.trace->attempt(static_cast<std::int64_t>(i), t0, slot_s_, s,
-                             cause, outcome ? outcome->predicted_class : -1,
+                             pending.cause,
+                             outcome ? outcome->predicted_class : -1,
                              outcome ? outcome->confidence : 0.0,
-                             stored_before);
+                             pending.stored_before);
     }
 #endif
     if (outcome) {
@@ -168,10 +223,10 @@ SlotStepper::StepOutcome SlotStepper::step() {
 
   // Completion bookkeeping (Fig. 1).
   ++result_.completion.slots;
-  result_.completion.attempts += attempts.size();
+  result_.completion.attempts += pending_plan_.size();
   result_.completion.completions += completed;
-  if (!attempts.empty()) {
-    if (completed == attempts.size()) {
+  if (!pending_plan_.empty()) {
+    if (completed == pending_plan_.size()) {
       ++result_.completion.slots_all_completed;
     }
     if (completed > 0) {
@@ -184,16 +239,29 @@ SlotStepper::StepOutcome SlotStepper::step() {
   const auto fused = policy_->fuse(host_, ctx);
   const int predicted = fused.value_or(-1);
   ORIGIN_TRACE(config_.trace, output(static_cast<std::int64_t>(i), t0, slot_s_,
-                                     predicted, slot.label));
+                                     predicted, pending_label_));
   result_.outputs.push_back(predicted);
-  result_.accuracy.record(slot.label, predicted);
+  result_.accuracy.record(pending_label_, predicted);
   if (predicted != previous_output_ && predicted >= 0 && previous_output_ >= 0) {
     ++result_.output_transitions;
   }
   if (predicted >= 0) previous_output_ = predicted;
 
   ++next_slot_;
-  return StepOutcome{i, predicted, slot.label};
+  return StepOutcome{i, predicted, pending_label_};
+}
+
+SlotStepper::StepOutcome SlotStepper::step() {
+  fused_requests_.clear();
+  step_begin(fused_requests_);
+  fused_results_.clear();
+  fused_results_.reserve(fused_requests_.size());
+  for (const ClassifyRequest& request : fused_requests_) {
+    fused_results_.push_back(net::make_classification(
+        nodes_[static_cast<std::size_t>(request.sensor)].model().predict_proba(
+            *request.window)));
+  }
+  return step_finish(fused_results_.data(), fused_results_.size());
 }
 
 SimResult SlotStepper::take_result() {
@@ -215,6 +283,7 @@ void SlotStepper::restore_progress(
   next_slot_ = next_slot;
   last_success_s_ = last_success_s;
   previous_output_ = previous_output;
+  phase_open_ = false;  // a half-open slot never survives a restore
   // Drop any batching cache: it indexes the previous process's source
   // positions and refills lazily on the next attempt.
   for (auto& cache : block_cache_) {

@@ -9,6 +9,7 @@
 
 #include <array>
 #include <cstddef>
+#include <optional>
 #include <vector>
 
 #include "core/policy.hpp"
@@ -16,6 +17,7 @@
 #include "energy/power_trace.hpp"
 #include "net/host.hpp"
 #include "net/sensor_node.hpp"
+#include "obs/trace.hpp"
 #include "sim/metrics.hpp"
 #include "sim/simulator.hpp"
 
@@ -46,6 +48,37 @@ class SlotStepper {
 
   /// Advances exactly one slot. Calling past done() is a logic error.
   StepOutcome step();
+
+  /// One classification the open slot still owes: `window` must be run
+  /// through sensor `sensor`'s deployed net (by whoever gathers requests
+  /// across sessions — see serve::SessionShard). The pointer stays valid
+  /// until step_finish().
+  struct ClassifyRequest {
+    int sensor = -1;
+    const nn::Tensor* window = nullptr;
+  };
+
+  /// Split-phase stepping, the substrate of cross-session batched
+  /// serving. step_begin() runs everything up to the classification
+  /// point — harvest accounting, vote aging, the policy plan, and every
+  /// attempt's energy/NVP bookkeeping (probe_*) — and appends one
+  /// ClassifyRequest per completed attempt whose result is not already in
+  /// hand. The caller classifies the requests any way it likes (typically
+  /// one predict_proba_batch panel per sensor across many sessions) and
+  /// hands the results back to step_finish(), which replays the trace
+  /// events in fused-step order, feeds the results to the host/policy,
+  /// fuses the slot output and advances. step() is exactly
+  /// step_begin + per-request predict_proba + step_finish, so the two
+  /// paths are bit-identical by construction — classification is a pure
+  /// function of (model, window) and nothing before fuse() reads it.
+  ///
+  /// Returns the number of requests appended. No other stepper call may
+  /// intervene between step_begin and step_finish.
+  std::size_t step_begin(std::vector<ClassifyRequest>& out);
+  /// Completes the open slot. `results[k]` must classify the k-th request
+  /// this step_begin appended (count must match exactly).
+  StepOutcome step_finish(const net::Classification* results,
+                          std::size_t count);
 
   /// Finalizes the accumulated result: copies the node counters in and
   /// validates one output per simulated slot. Call once, after done().
@@ -108,6 +141,29 @@ class SlotStepper {
   };
   std::array<BlockCache, data::kNumSensors> block_cache_;
   std::vector<const nn::Tensor*> block_windows_;
+
+  // Split-phase state, valid between step_begin and step_finish. The
+  // trace stream is emitted entirely in step_finish (in fused-step event
+  // order), so interleaving many sessions' begin phases cannot reorder a
+  // session's own events.
+  struct PendingAttempt {
+    int sensor = -1;
+    bool completed = false;
+    std::optional<net::Classification> ready;  // result already in hand
+    std::size_t request = 0;  // index into this step's request range
+    obs::AttemptOutcome cause = obs::AttemptOutcome::InProgress;
+    double stored_before = 0.0;
+  };
+  bool phase_open_ = false;
+  core::SlotContext pending_ctx_;
+  std::vector<int> pending_plan_;
+  int pending_hops_ = 0;
+  std::vector<PendingAttempt> pending_attempts_;
+  std::size_t pending_requests_ = 0;
+  int pending_label_ = -1;
+  // Fused-step scratch (request/result buffers reused across slots).
+  std::vector<ClassifyRequest> fused_requests_;
+  std::vector<net::Classification> fused_results_;
 };
 
 }  // namespace origin::sim

@@ -389,6 +389,36 @@ TEST_F(PersonalizeTest, FineTuneBitIdenticalAcrossThreadCounts) {
   }
 }
 
+TEST_F(PersonalizeTest, FineTuneBitIdenticalWithCrossSessionBatching) {
+  // Personalized sessions carry non-identity weight deltas, so the
+  // batched gather must split them out of the shared base panel (or
+  // serve them one-by-one under their own weights). Either way the
+  // served bits — outputs, fine-tune counts, delta bytes, joules — must
+  // match the sequential path exactly.
+  ServeConfig cfg = tuned_config();
+  cfg.serve_batch = 0;
+  ServeLoop sequential(*experiment_, cfg);
+  sequential.drain(/*chunk=*/5);
+  const auto ref_log = sequential.completed_sessions();
+  const auto ref_metrics = sequential.metrics();
+  std::uint64_t total_tunes = 0;
+  for (const auto& c : ref_log) total_tunes += c.fine_tunes;
+  ASSERT_GT(total_tunes, 0u);  // the run must actually fine-tune
+
+  for (unsigned threads : {1u, 2u, 8u}) {
+    SCOPED_TRACE(threads);
+    ServeConfig b_cfg = cfg;
+    b_cfg.serve_batch = 1;
+    b_cfg.threads = threads;
+    ServeLoop loop(*experiment_, b_cfg);
+    loop.drain(/*chunk=*/5);
+    EXPECT_GT(loop.status().batch_panels, 0u);
+    expect_same_completed(loop.completed_sessions(), ref_log);
+    EXPECT_TRUE(obs::MetricsSnapshot::deterministic_equal(loop.metrics(),
+                                                          ref_metrics));
+  }
+}
+
 TEST_F(PersonalizeTest, FineTuneSplitRunBitIdenticalToUninterrupted) {
   ServeConfig cfg = tuned_config();
   ServeLoop uninterrupted(*experiment_, cfg);

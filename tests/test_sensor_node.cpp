@@ -168,5 +168,83 @@ TEST_F(SensorNodeTest, ConsumedTracksDraws) {
   EXPECT_NEAR(node.counters().consumed_j, node.inference_energy_j(), 1e-15);
 }
 
+TEST_F(SensorNodeTest, ProbeAndResolveMatchFusedAttempt) {
+  // probe_* + resolve is attempt_* with the classification deferred — the
+  // seam cross-session batched serving runs the forward pass through.
+  // Same counters, same joules, same classification.
+  SensorNodeConfig cfg;
+  cfg.initial_charge = 1.0;
+  auto fused = make_node(cfg);
+  auto split = make_node(cfg);
+  const auto direct = fused.attempt_wait_compute(window_);
+  const auto probe = split.probe_wait_compute(window_);
+  ASSERT_TRUE(probe.completed);
+  ASSERT_EQ(probe.classify, &window_);
+  EXPECT_FALSE(probe.ready.has_value());
+  const auto resolved = split.resolve(probe);
+  ASSERT_TRUE(direct.has_value());
+  ASSERT_TRUE(resolved.has_value());
+  EXPECT_EQ(resolved->predicted_class, direct->predicted_class);
+  EXPECT_EQ(resolved->probs, direct->probs);
+  EXPECT_EQ(split.counters().attempts, fused.counters().attempts);
+  EXPECT_EQ(split.counters().completions, fused.counters().completions);
+  EXPECT_DOUBLE_EQ(split.stored_j(), fused.stored_j());
+}
+
+TEST_F(SensorNodeTest, IncompleteProbeResolvesToNothing) {
+  SensorNodeConfig cfg;
+  cfg.initial_charge = 0.05;
+  auto node = make_node(cfg);
+  const auto probe = node.probe_wait_compute(window_);
+  EXPECT_FALSE(probe.completed);
+  EXPECT_EQ(probe.classify, nullptr);
+  EXPECT_FALSE(node.resolve(probe).has_value());
+  EXPECT_EQ(node.counters().skipped_no_energy, 1u);
+}
+
+TEST_F(SensorNodeTest, PrecomputedProbeCarriesResultWithoutClassify) {
+  SensorNodeConfig cfg;
+  cfg.initial_charge = 1.0;
+  auto node = make_node(cfg);
+  const Classification canned = node.classify(window_);
+  const auto probe = node.probe_deadline(window_, 0.1, &canned);
+  ASSERT_TRUE(probe.completed);
+  EXPECT_EQ(probe.classify, nullptr);  // nothing left to compute
+  ASSERT_TRUE(probe.ready.has_value());
+  const auto resolved = node.resolve(probe);
+  ASSERT_TRUE(resolved.has_value());
+  EXPECT_EQ(resolved->probs, canned.probs);
+}
+
+TEST_F(SensorNodeTest, EagerProbeCompletionPinsTheOriginalWindow) {
+  // A resumed eager task classifies the window it was begun on; the probe
+  // must keep that window alive past the begin-slot state reset.
+  SensorNodeConfig cfg;
+  cfg.capacitor_headroom = 2.0;
+  cfg.initial_charge = 0.25;
+  cfg.nvp.enabled = true;
+  auto fused = make_node(cfg);
+  auto split = make_node(cfg);
+  EXPECT_FALSE(fused.attempt_eager(window_).has_value());
+  EXPECT_FALSE(split.probe_eager(window_).completed);
+  while (fused.stored_j() < 0.8 * fused.inference_energy_j()) {
+    fused.accumulate(0.0, 4.0);
+    split.accumulate(0.0, 4.0);
+  }
+  ASSERT_DOUBLE_EQ(split.stored_j(), fused.stored_j());
+  const nn::Tensor stale_slot{std::vector<int>{2, 4},
+                              std::vector<float>{8, 7, 6, 5, 4, 3, 2, 1}};
+  const auto direct = fused.attempt_eager(stale_slot);
+  const auto probe = split.probe_eager(stale_slot);
+  ASSERT_TRUE(probe.completed);
+  ASSERT_NE(probe.classify, nullptr);
+  EXPECT_EQ(probe.classify->vec(), window_.vec());  // original, not current
+  const auto resolved = split.resolve(probe);
+  ASSERT_TRUE(direct.has_value());
+  ASSERT_TRUE(resolved.has_value());
+  EXPECT_EQ(resolved->probs, direct->probs);
+  EXPECT_EQ(split.counters().completions, fused.counters().completions);
+}
+
 }  // namespace
 }  // namespace origin::net

@@ -201,6 +201,61 @@ TEST_F(ServeTest, BitIdenticalAcrossThreadCountsAndBatching) {
   }
 }
 
+TEST_F(ServeTest, CrossSessionBatchingBitIdentical) {
+  // The tentpole contract: gathering the windows of many sessions into
+  // per-sensor GEMM panels must not change one published byte. Compare a
+  // sequential (serve_batch=0) baseline against the batched path at
+  // threads 1/2/8, with the flight recorder on and off.
+  const auto run = [&](int serve_batch, unsigned threads,
+                       std::size_t flight_capacity) {
+    ServeConfig cfg = small_config();
+    cfg.serve_batch = serve_batch;
+    cfg.threads = threads;
+    cfg.flight_capacity = flight_capacity;
+    ServeLoop loop(*experiment_, cfg);
+    loop.drain(/*chunk=*/7);
+    return std::tuple(loop.completed_sessions(), loop.metrics(),
+                      loop.status());
+  };
+  const auto [base_log, base_metrics, base_status] = run(0, 1, 1 << 12);
+  ASSERT_EQ(base_log.size(), small_config().users);
+  EXPECT_FALSE(base_status.serve_batch);
+  EXPECT_EQ(base_status.batch_panels, 0u);  // sequential path: no panels
+  for (unsigned threads : {1u, 2u, 8u}) {
+    for (std::size_t flight_capacity : {std::size_t{0}, std::size_t{1} << 12}) {
+      SCOPED_TRACE(threads);
+      SCOPED_TRACE(flight_capacity);
+      const auto [log, metrics, status] = run(1, threads, flight_capacity);
+      EXPECT_TRUE(status.serve_batch);
+      EXPECT_GT(status.batch_panels, 0u);
+      EXPECT_GE(status.batch_windows, status.batch_panels);
+      ASSERT_EQ(log.size(), base_log.size());
+      for (std::size_t i = 0; i < log.size(); ++i) {
+        SCOPED_TRACE(i);
+        EXPECT_EQ(log[i].id, base_log[i].id);
+        EXPECT_EQ(log[i].completed_tick, base_log[i].completed_tick);
+        EXPECT_EQ(log[i].outputs, base_log[i].outputs);
+        EXPECT_EQ(log[i].outputs_fnv1a, base_log[i].outputs_fnv1a);
+        EXPECT_EQ(log[i].accuracy, base_log[i].accuracy);
+        EXPECT_EQ(log[i].success_rate, base_log[i].success_rate);
+        EXPECT_EQ(log[i].harvested_j, base_log[i].harvested_j);
+        EXPECT_EQ(log[i].consumed_j, base_log[i].consumed_j);
+      }
+      EXPECT_TRUE(
+          obs::MetricsSnapshot::deterministic_equal(base_metrics, metrics));
+      // The occupancy histogram is the panel ledger: one observation per
+      // panel, summing to the windows served through them.
+      const auto& occupancy = metrics.histogram_value("serve.batch_occupancy");
+      EXPECT_EQ(occupancy.count, status.batch_panels);
+      EXPECT_EQ(occupancy.sum, static_cast<double>(status.batch_windows));
+      EXPECT_EQ(metrics.counter_value("serve.batch_panels"),
+                status.batch_panels);
+      EXPECT_EQ(metrics.counter_value("serve.batch_windows"),
+                status.batch_windows);
+    }
+  }
+}
+
 TEST_F(ServeTest, StatusAndSummariesTrackProgress) {
   ServeConfig cfg = small_config();
   ServeLoop loop(*experiment_, cfg);

@@ -265,6 +265,42 @@ TEST_F(ServeSnapshotTest, CorruptAndTruncatedFilesRejected) {
   std::remove(path.c_str());
 }
 
+TEST_F(ServeSnapshotTest, ServeBatchModeFreeAcrossRestore) {
+  // serve_batch never affects results, so like threads it stays out of
+  // the config fingerprint: a snapshot taken while batching can restore
+  // into a sequential loop (and vice versa) and finish bit-identical to
+  // an uninterrupted run. The batch stats themselves ride the snapshot
+  // so /status stays continuous.
+  ServeConfig batched_cfg = small_config();
+  batched_cfg.serve_batch = 1;
+  ServeLoop uninterrupted(*experiment_, batched_cfg);
+  uninterrupted.drain(/*chunk=*/5);
+  const auto full_log = uninterrupted.completed_sessions();
+  ASSERT_EQ(full_log.size(), batched_cfg.users);
+
+  const std::string path = temp_path("serve_batch_mode.snap");
+  ServeLoop first(*experiment_, batched_cfg);
+  first.tick(13);
+  ASSERT_FALSE(first.done());
+  const auto saved_status = first.status();
+  EXPECT_TRUE(saved_status.serve_batch);
+  EXPECT_GT(saved_status.batch_panels, 0u);
+  first.save(path);
+
+  ServeConfig sequential_cfg = small_config();
+  sequential_cfg.serve_batch = 0;
+  ServeLoop second(*experiment_, sequential_cfg);
+  second.restore(path);
+  EXPECT_FALSE(second.serve_batch());
+  // Panel stats from the batched half survive the restore...
+  EXPECT_EQ(second.status().batch_panels, saved_status.batch_panels);
+  EXPECT_EQ(second.status().batch_windows, saved_status.batch_windows);
+  second.drain(/*chunk=*/5);
+  // ...and the sequential second half completes the same fleet.
+  expect_same_completed(second.completed_sessions(), full_log);
+  std::remove(path.c_str());
+}
+
 TEST_F(ServeSnapshotTest, FinishedRunRoundTrips) {
   ServeConfig cfg = small_config();
   ServeLoop first(*experiment_, cfg);

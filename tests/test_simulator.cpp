@@ -1,6 +1,7 @@
 #include "sim/simulator.hpp"
 
 #include "sim/experiment.hpp"
+#include "sim/slot_stepper.hpp"
 
 #include <gtest/gtest.h>
 
@@ -212,6 +213,77 @@ TEST_F(SimulatorTest, BatchedClassificationBitIdentical) {
       expect_same_result(run_with(wait, 0), run_with(wait, batch));
     }
   }
+}
+
+TEST_F(SimulatorTest, SplitPhaseStepMatchesFusedForEveryExecutionModel) {
+  // step() == step_begin + per-request predict_proba + step_finish, under
+  // every attempt discipline — the substrate cross-session batched
+  // serving stands on (serve::SessionShard classifies the gathered
+  // requests in panels; the outcome must not depend on who runs the
+  // forward pass).
+  const auto cfg = scaled_config(6);
+  const auto check = [&](auto make_policy) {
+    auto split_policy = make_policy();
+    auto models = tiny_models(spec_);
+    data::StreamSlotSource source(stream_);
+    SlotStepper stepper(spec_, &models, &trace_, &split_policy, &source, cfg);
+    std::vector<SlotStepper::ClassifyRequest> requests;
+    std::vector<net::Classification> results;
+    while (!stepper.done()) {
+      requests.clear();
+      const std::size_t issued = stepper.step_begin(requests);
+      EXPECT_EQ(issued, requests.size());
+      results.clear();
+      for (const auto& request : requests) {
+        results.push_back(net::make_classification(
+            models[static_cast<std::size_t>(request.sensor)].predict_proba(
+                *request.window)));
+      }
+      stepper.step_finish(results.data(), results.size());
+    }
+    auto fused_policy = make_policy();
+    Simulator fused(spec_, tiny_models(spec_), &trace_, &fused_policy, cfg);
+    expect_same_result(stepper.take_result(), fused.run(stream_));
+  };
+  {
+    SCOPED_TRACE("eager");
+    check([&] { return core::PlainRRPolicy{core::ExtendedRoundRobin(6)}; });
+  }
+  {
+    SCOPED_TRACE("deadline");
+    check([&] { return core::NaiveAllPolicy(spec_.num_classes()); });
+  }
+  {
+    SCOPED_TRACE("wait-compute");
+    check([&] {
+      return core::AASPolicy(core::ExtendedRoundRobin(6),
+                             core::RankTable(spec_.num_classes()));
+    });
+  }
+}
+
+TEST_F(SimulatorTest, SplitPhaseMisuseRejected) {
+  core::PlainRRPolicy policy{core::ExtendedRoundRobin(3)};
+  auto models = tiny_models(spec_);
+  data::StreamSlotSource source(stream_);
+  SlotStepper stepper(spec_, &models, &trace_, &policy, &source,
+                      scaled_config(6));
+  // No open slot yet.
+  EXPECT_THROW(stepper.step_finish(nullptr, 0), std::logic_error);
+  std::vector<SlotStepper::ClassifyRequest> requests;
+  stepper.step_begin(requests);
+  // Re-opening and finishing with the wrong result count are both errors;
+  // neither corrupts the open slot.
+  EXPECT_THROW(stepper.step_begin(requests), std::logic_error);
+  EXPECT_THROW(stepper.step_finish(nullptr, requests.size() + 1),
+               std::invalid_argument);
+  std::vector<net::Classification> results;
+  for (const auto& request : requests) {
+    results.push_back(net::make_classification(
+        models[static_cast<std::size_t>(request.sensor)].predict_proba(
+            *request.window)));
+  }
+  EXPECT_NO_THROW(stepper.step_finish(results.data(), results.size()));
 }
 
 }  // namespace
